@@ -1,0 +1,88 @@
+"""F2 — Figure 2: reconfiguration-architecture comparison.
+
+"Locations of these functionalities [configuration manager M, protocol
+configuration builder P] have a direct impact on the reconfiguration
+latency."  Regenerates the latency of each placement for the case-study
+module and sweeps the bitstream size.
+
+Paper shape: case a (standalone self-reconfiguration via ICAP) beats case b
+(processor-driven over interrupts + SelectMAP); both beat serial JTAG.
+"""
+
+from conftest import write_result
+
+from repro.reconfig import BitstreamStore, ReconfigurationManager, all_cases
+from repro.sim import Simulator
+from repro.sim.units import to_ms
+
+
+def _measured_latency(arch, nbytes: int) -> int:
+    """End-to-end demand latency through the simulated manager."""
+    sim = Simulator()
+    store = arch.make_store()
+    store.register("D1", "mod", nbytes)
+    builder = arch.make_builder(sim, store)
+    manager = ReconfigurationManager(
+        sim, builder, request_latency_ns=arch.request_latency_ns
+    )
+
+    def proc():
+        yield manager.ensure_loaded("D1", "mod")
+        return sim.now
+
+    return sim.run(until=sim.process(proc()))
+
+
+def test_fig2_architecture_latencies(benchmark, case_study_flow):
+    _, flow = case_study_flow
+    nbytes = flow.modular.floorplan.partial_bitstream_bytes("D1")
+
+    def run():
+        return {arch.name: _measured_latency(arch, nbytes) for arch in all_cases()}
+
+    latencies = benchmark(run)
+    assert latencies["case_a_standalone"] < latencies["case_hybrid_mp"]
+    assert latencies["case_hybrid_mp"] < latencies["case_b_processor"]
+    assert latencies["case_b_processor"] < latencies["case_c_jtag"]
+    assert 3.0 <= to_ms(latencies["case_a_standalone"]) <= 5.0  # paper: ≈4 ms
+    # The analytic estimate agrees with the simulated manager.
+    for arch in all_cases():
+        est = arch.estimate_latency_ns(nbytes)
+        assert abs(est - latencies[arch.name]) <= 0.01 * latencies[arch.name] + 1000
+    text = [f"partial bitstream: {nbytes} bytes (module D1, XC2V2000)"]
+    for arch in all_cases():
+        text.append(
+            f"{arch.name:<20} M={arch.manager_location:<12} P={arch.builder_location:<12} "
+            f"port={arch.port.name:<10} latency={to_ms(latencies[arch.name]):6.2f} ms"
+        )
+    write_result("fig2_architectures", "\n".join(text))
+
+
+def test_fig2_latency_vs_bitstream_size(benchmark):
+    """Latency scales with module size; the a<b<c ordering holds across the
+    sweep (the crossover never flips)."""
+    sizes = [16_000, 40_000, 82_000, 160_000, 320_000]
+
+    def run():
+        table = {}
+        for arch in all_cases():
+            table[arch.name] = [arch.estimate_latency_ns(s) for s in sizes]
+        return table
+
+    table = benchmark(run)
+    for series in table.values():
+        assert series == sorted(series)  # monotone in size
+    for i in range(len(sizes)):
+        assert (
+            table["case_a_standalone"][i]
+            < table["case_hybrid_mp"][i]
+            < table["case_b_processor"][i]
+            < table["case_c_jtag"][i]
+        )
+    text = ["bytes      " + "".join(f"{a.name:>22}" for a in all_cases())]
+    for i, size in enumerate(sizes):
+        row = f"{size:>9} B"
+        for arch in all_cases():
+            row += f"{to_ms(table[arch.name][i]):>19.2f} ms"
+        text.append(row)
+    write_result("fig2_size_sweep", "\n".join(text))

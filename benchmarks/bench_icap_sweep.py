@@ -1,0 +1,99 @@
+"""X3 — reconfiguration-latency model sweep.
+
+Regenerates the latency model behind the paper's "about 4 ms" point:
+partial-bitstream size and load latency as a function of module width (CLB
+columns), configuration port, and memory bandwidth.  The paper's module
+(4 columns, ≈8 %) must land at ≈4 ms through the ICAP at the calibrated
+memory bandwidth.
+"""
+
+from conftest import write_result
+
+from repro.fabric import XC2V2000
+from repro.reconfig import BitstreamStore, ICAP_V2, JTAG, SELECTMAP_66
+from repro.reconfig.protocol import ProtocolConfigurationBuilder
+from repro.sim import Simulator
+from repro.sim.units import to_ms
+
+
+def _builder(port, bandwidth):
+    sim = Simulator()
+    store = BitstreamStore(bandwidth_bytes_per_s=bandwidth)
+    return ProtocolConfigurationBuilder(sim, port, store)
+
+
+def test_latency_vs_module_width(benchmark):
+    widths = [2, 4, 8, 16, 24, 48]
+
+    def run():
+        rows = []
+        for w in widths:
+            col0 = XC2V2000.clb_cols - w
+            nbytes = XC2V2000.partial_bitstream_bytes(col0, w)
+            latency = _builder(ICAP_V2, BitstreamStore.DEFAULT_BANDWIDTH).estimate_ns(nbytes)
+            rows.append((w, XC2V2000.area_fraction(w), nbytes, latency))
+        return rows
+
+    rows = benchmark(run)
+    # Monotone in width; the paper's 4-column point is ≈8 % and ≈4 ms.
+    latencies = [r[3] for r in rows]
+    assert latencies == sorted(latencies)
+    paper_point = next(r for r in rows if r[0] == 4)
+    assert 0.06 <= paper_point[1] <= 0.10
+    assert 3.0 <= to_ms(paper_point[3]) <= 5.0
+    text = ["width (CLB cols) | area %  | bitstream (KB) | latency (ms)"]
+    for w, area, nbytes, latency in rows:
+        marker = "  <- paper's module" if w == 4 else ""
+        text.append(
+            f"{w:>16} | {100 * area:>5.1f}% | {nbytes / 1024:>13.1f} | {to_ms(latency):>11.2f}{marker}"
+        )
+    write_result("icap_width_sweep", "\n".join(text))
+
+
+def test_latency_vs_port_and_memory(benchmark):
+    """Where the bottleneck sits: slow memory -> memory-bound (port barely
+    matters); fast memory -> port-bound (JTAG catastrophically slow)."""
+    nbytes = XC2V2000.partial_bitstream_bytes(44, 4)
+    ports = (ICAP_V2, SELECTMAP_66, JTAG)
+    bandwidths = (5e6, 20.5e6, 66e6, 200e6)
+
+    def run():
+        table = {}
+        for port in ports:
+            table[port.name] = [
+                _builder(port, bw).estimate_ns(nbytes) for bw in bandwidths
+            ]
+        return table
+
+    table = benchmark(run)
+    # At slow memory, parallel ports tie (memory-bound).
+    assert table["icap"][0] == table["selectmap"][0]
+    # At fast memory, the 8-bit ports beat serial JTAG by ~8x.
+    assert table["jtag"][-1] > 5 * table["icap"][-1]
+    # More memory bandwidth never hurts.
+    for series in table.values():
+        assert series == sorted(series, reverse=True)
+    text = ["memory MB/s " + "".join(f"{p.name:>14}" for p in ports)]
+    for i, bw in enumerate(bandwidths):
+        row = f"{bw / 1e6:>10.1f}  "
+        for port in ports:
+            row += f"{to_ms(table[port.name][i]):>11.2f} ms"
+        text.append(row)
+    write_result("icap_port_memory", "\n".join(text))
+
+
+def test_simulated_load_matches_estimate(benchmark):
+    """The discrete-event load takes exactly the analytic estimate — the
+    calibration constant behind every runtime number."""
+    nbytes = XC2V2000.partial_bitstream_bytes(44, 4)
+
+    def run():
+        sim = Simulator()
+        store = BitstreamStore()
+        store.register("D1", "m", nbytes)
+        builder = ProtocolConfigurationBuilder(sim, ICAP_V2, store)
+        outcome = sim.run(until=sim.process(builder.load("D1", "m")))
+        return outcome.duration_ns, builder.estimate_ns(nbytes)
+
+    measured, estimated = benchmark(run)
+    assert measured == estimated

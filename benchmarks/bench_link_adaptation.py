@@ -1,0 +1,90 @@
+"""X5 — link-level value of adaptive modulation vs its reconfiguration cost.
+
+The paper's motivation (§1): SDR terminals must adapt the physical layer to
+the channel; runtime reconfiguration provides the mechanism, at ≈4 ms per
+modulation switch.  This bench closes the loop:
+
+1. **Link benefit**: over a two-state channel, SNR-adaptive modulation
+   delivers more error-free bits than either fixed scheme.
+2. **Cost crossover**: charging every switch 4 ms of air-time dead time
+   (the measured reconfiguration latency), adaptive transmission only wins
+   when the channel coherence time is long enough — the quantitative
+   argument behind the controller's hysteresis.
+"""
+
+from conftest import write_result
+
+from repro.mccdma import SnrTrace
+from repro.mccdma.linklevel import adaptive_vs_fixed
+
+#: Air-time of one frame: 10 OFDM symbols x 80 samples at 20 Msps.
+FRAME_AIRTIME_S = 10 * 80 / 20e6
+#: Residual-error weight (uncorrected frames are retransmitted).
+ERROR_WEIGHT = 50.0
+
+
+def _net_goodput(result, reconfig_s: float) -> float:
+    """Error-free bits per second including reconfiguration dead time."""
+    airtime = result.n_frames * FRAME_AIRTIME_S + result.switches * reconfig_s
+    return result.goodput_bits_per_frame(ERROR_WEIGHT) * result.n_frames / airtime
+
+
+def test_adaptive_beats_fixed_without_switch_cost(benchmark):
+    trace = SnrTrace.step(low_db=-1.0, high_db=9.0, period=4, n=32)
+
+    def run():
+        return adaptive_vs_fixed(trace, seed=11)
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    goodput = {
+        name: r.goodput_bits_per_frame(ERROR_WEIGHT) for name, r in results.items()
+    }
+    assert goodput["adaptive"] > goodput["qpsk"]
+    assert goodput["adaptive"] > goodput["qam16"]
+    text = ["strategy   BER        bits/frame  goodput bits/frame  switches"]
+    for name, r in results.items():
+        text.append(
+            f"{name:<10} {r.ber:<9.2e}  {r.bits_per_frame():>9.1f}  "
+            f"{goodput[name]:>17.1f}  {r.switches:>8}"
+        )
+    write_result("link_adaptation_benefit", "\n".join(text))
+
+
+def test_reconfiguration_cost_crossover(benchmark, case_study_flow):
+    """Net throughput vs channel coherence: a 4 ms switch costs ≈100 frame
+    airtimes, so adaptive transmission only wins once the channel stays in
+    one state for hundreds of frames."""
+    _, flow = case_study_flow
+    reconfig_s = flow.region_latency_ns("D1") / 1e9
+    n = 1024
+
+    def run():
+        rows = []
+        for period in (8, 32, 128, 512):
+            trace = SnrTrace.step(low_db=-1.0, high_db=9.0, period=period, n=n)
+            results = adaptive_vs_fixed(trace, seed=7)
+            net = {name: _net_goodput(r, reconfig_s if name == "adaptive" else 0.0)
+                   for name, r in results.items()}
+            best_fixed = max(net["qpsk"], net["qam16"])
+            rows.append((period, net["adaptive"], best_fixed, results["adaptive"].switches))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Fast channel: reconfiguration dead time kills adaptive.
+    assert rows[0][1] < rows[0][2]
+    # Slow channel: adaptive wins despite the 4 ms switches.
+    assert rows[-1][1] > rows[-1][2]
+    crossover = next(p for p, a, f, _ in rows if a > f)
+    text = [
+        f"reconfiguration cost: {reconfig_s * 1e3:.2f} ms per switch; "
+        f"frame airtime {FRAME_AIRTIME_S * 1e6:.0f} us",
+        "coherence (frames) | adaptive net bps | best fixed net bps | switches",
+    ]
+    for period, adaptive, fixed, switches in rows:
+        marker = "  <- adaptive wins" if adaptive > fixed else ""
+        text.append(
+            f"{period:>18} | {adaptive / 1e6:>13.2f} M | {fixed / 1e6:>15.2f} M "
+            f"| {switches:>8}{marker}"
+        )
+    text.append(f"crossover at coherence ~{crossover} frames")
+    write_result("link_adaptation_crossover", "\n".join(text))

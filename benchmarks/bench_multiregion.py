@@ -1,0 +1,134 @@
+"""X4 — multi-region extension (§7).
+
+"Complex design and architecture can support more than one dynamic part."
+Regenerates: a two-region floorplan on the XC2V2000, the serialization of
+both regions' loads on the single configuration port, and throughput as a
+function of how many regions switch simultaneously.
+"""
+
+from conftest import write_result
+
+from repro.aaa import MappingConstraints
+from repro.arch import dual_region_board
+from repro.dfg import AlgorithmGraph, WORD32
+from repro.dfg.library import default_library
+from repro.flows import DesignFlow, SystemSimulation
+
+
+def _dual_graph() -> AlgorithmGraph:
+    g = AlgorithmGraph("dual_dynamic")
+    sel1 = g.add_operation("sel1", "select_source")
+    sel1.add_output("value", WORD32, 1)
+    sel2 = g.add_operation("sel2", "select_source")
+    sel2.add_output("value", WORD32, 1)
+    src = g.add_operation("src", "generic_small")
+    src.add_output("o0", WORD32, 16)
+    src.add_output("o1", WORD32, 16)
+    a0 = g.add_operation("a0", "generic_medium")
+    a1 = g.add_operation("a1", "generic_medium")
+    for op in (a0, a1):
+        op.add_input("i", WORD32, 16)
+        op.add_output("o", WORD32, 16)
+    g.connect(src, "o0", a0, "i")
+    g.connect(src, "o1", a1, "i")
+    m1 = g.add_operation("m1", "cond_merge")
+    m1.add_input("x", WORD32, 16)
+    m1.add_input("y", WORD32, 16)
+    m1.add_output("o0", WORD32, 16)
+    m1.add_output("o1", WORD32, 16)
+    g.connect(a0, "o", m1, "x")
+    g.connect(a1, "o", m1, "y")
+    b0 = g.add_operation("b0", "generic_medium")
+    b1 = g.add_operation("b1", "generic_medium")
+    for op in (b0, b1):
+        op.add_input("i", WORD32, 16)
+        op.add_output("o", WORD32, 16)
+    g.connect(m1, "o0", b0, "i")
+    g.connect(m1, "o1", b1, "i")
+    m2 = g.add_operation("m2", "cond_merge")
+    m2.add_input("x", WORD32, 16)
+    m2.add_input("y", WORD32, 16)
+    m2.add_output("o", WORD32, 16)
+    g.connect(b0, "o", m2, "x")
+    g.connect(b1, "o", m2, "y")
+    sink = g.add_operation("sink", "generic_small")
+    sink.add_input("i", WORD32, 16)
+    g.connect(m2, "o", sink, "i")
+    grp1 = g.condition_group("g1", sel1, "value")
+    grp1.add_case(0, [a0])
+    grp1.add_case(1, [a1])
+    grp2 = g.condition_group("g2", sel2, "value")
+    grp2.add_case(0, [b0])
+    grp2.add_case(1, [b1])
+    return g
+
+
+def _dual_flow():
+    mapping = (
+        MappingConstraints()
+        .pin("a0", "D1").pin("a1", "D1")
+        .pin("b0", "D2").pin("b1", "D2")
+    )
+    flow = DesignFlow(
+        graph=_dual_graph(),
+        board=dual_region_board(),
+        library=default_library(),
+        mapping=mapping,
+    )
+    return flow.run()
+
+
+def test_two_regions_floorplan_and_flow(benchmark):
+    result = benchmark.pedantic(_dual_flow, rounds=2, iterations=1)
+    fp = result.modular.floorplan
+    p1, p2 = fp.placements["D1"], fp.placements["D2"]
+    assert not p1.overlaps(p2)
+    assert result.modular.par_report.ok
+    assert set(result.modular.reconfig_latency_ns) == {"D1", "D2"}
+    text = [
+        fp.summary(),
+        f"D1 latency: {result.region_latency_ns('D1') / 1e6:.2f} ms, "
+        f"D2 latency: {result.region_latency_ns('D2') / 1e6:.2f} ms",
+    ]
+    write_result("multiregion_floorplan", "\n".join(text))
+
+
+def test_port_serializes_simultaneous_switches(benchmark):
+    """Both regions switching in the same iteration share one configuration
+    port: the loads serialize, so the dual switch costs about twice the
+    single switch."""
+    flow = _dual_flow()
+    n = 8
+
+    def run():
+        out = {}
+        plans = {
+            "none": ([0] * n, [0] * n),
+            "one_region": ([0, 0, 1, 1] * 2, [0] * n),
+            "both_regions": ([0, 0, 1, 1] * 2, [1, 1, 0, 0] * 2),
+        }
+        for name, (plan1, plan2) in plans.items():
+            result = SystemSimulation(
+                flow, n_iterations=n,
+                selector_values={"g1": lambda it: plan1[it], "g2": lambda it: plan2[it]},
+            ).run()
+            out[name] = result
+        return out
+
+    out = benchmark.pedantic(run, rounds=2, iterations=1)
+    t_none = out["none"].end_time_ns
+    t_one = out["one_region"].end_time_ns
+    t_both = out["both_regions"].end_time_ns
+    assert t_none < t_one < t_both
+    # Dual switching costs roughly twice the extra time of single switching.
+    extra_one = t_one - t_none
+    extra_both = t_both - t_none
+    assert 1.6 * extra_one < extra_both < 2.4 * extra_one
+    text = ["scenario       total (ms)  loads  stall (ms)"]
+    for name, result in out.items():
+        loads = result.manager_stats.demand_loads + result.manager_stats.prefetch_loads
+        text.append(
+            f"{name:<14} {result.end_time_ns / 1e6:>8.2f}  {loads:>5}  "
+            f"{result.total_stall_ns / 1e6:>8.2f}"
+        )
+    write_result("multiregion_serialization", "\n".join(text))

@@ -1,0 +1,98 @@
+"""X7 — energy trade-off of the dynamic scheme (§2 motivation).
+
+"In the case of mobile communications, three main constraints have to be
+combined: high performance, low power consumption and flexibility."
+
+Regenerates the energy comparison: a fixed design leaks through every
+alternative it carries, the dynamic design holds one alternative but pays
+≈720 µJ per reconfiguration.  The bench sweeps the switch interval to find
+the energy crossover, and the alternative count to show leakage scaling.
+"""
+
+from conftest import write_result
+
+from repro.dfg.operations import Operation
+from repro.fabric import ResourceVector
+from repro.fabric.power import PowerModel
+from repro.fabric.synthesis import PortSpec, Synthesizer
+from repro.mccdma.casestudy import build_mccdma_design
+
+PORTS = [PortSpec("din", 32, "in"), PortSpec("dout", 32, "out")]
+KINDS = ["qpsk_mod", "qam16_mod", "spreader", "chip_mapper", "interleaver", "channel_coder"]
+
+
+def _schemes(library, n_alternatives: int):
+    """(configured, active) resources of fixed vs dynamic schemes."""
+    synthesizer = Synthesizer(library)
+    ops = [Operation(f"alt{i}", KINDS[i % len(KINDS)]) for i in range(n_alternatives)]
+    fixed, _ = synthesizer.synthesize_module("fixed", ops, PORTS)
+    variants = [
+        synthesizer.synthesize_module(
+            f"dyn{i}", [op], PORTS, reconfigurable=True, region="D1"
+        )[0].resources
+        for i, op in enumerate(ops)
+    ]
+    worst = max(variants, key=lambda r: r.slices)
+    active = variants[0]  # one alternative actually toggling either way
+    return fixed.resources, worst, active
+
+
+def test_energy_crossover_vs_switch_interval(benchmark, case_study_flow):
+    """Fixed wins when switching is frequent (reconfiguration energy
+    dominates); dynamic wins when the terminal dwells in one mode."""
+    design, flow = case_study_flow
+    model = PowerModel(clock_mhz=50.0)
+    load_ns = flow.region_latency_ns("D1")
+    horizon_ns = 10_000_000_000  # 10 s of operation
+
+    def run():
+        fixed_conf, dyn_conf, active = _schemes(design.library, 4)
+        rows = []
+        for switch_interval_ms in (5, 20, 100, 500, 2000):
+            n_switches = horizon_ns // (switch_interval_ms * 1_000_000)
+            fixed_e = model.interval_energy(fixed_conf, active, horizon_ns)
+            dyn_e = model.interval_energy(
+                dyn_conf, active, horizon_ns,
+                n_reconfigs=int(n_switches), reconfig_ns=load_ns,
+            )
+            rows.append((switch_interval_ms, fixed_e.total_uj, dyn_e.total_uj))
+        return rows
+
+    rows = benchmark(run)
+    # Frequent switching: dynamic pays more; rare switching: dynamic wins.
+    assert rows[0][2] > rows[0][1]
+    assert rows[-1][2] < rows[-1][1]
+    crossover = next(ms for ms, fixed, dyn in rows if dyn < fixed)
+    text = [
+        f"horizon 10 s, 4 alternatives, reconfiguration {load_ns / 1e6:.2f} ms "
+        f"({PowerModel(50.0).reconfiguration_energy_uj(load_ns):.0f} uJ each)",
+        "switch interval | fixed energy | dynamic energy",
+    ]
+    for ms, fixed, dyn in rows:
+        marker = "  <- dynamic wins" if dyn < fixed else ""
+        text.append(f"{ms:>12} ms | {fixed / 1e3:>9.2f} mJ | {dyn / 1e3:>9.2f} mJ{marker}")
+    text.append(f"energy crossover at switch interval ~{crossover} ms")
+    write_result("power_crossover", "\n".join(text))
+
+
+def test_leakage_scaling_with_alternatives(benchmark, case_study_flow):
+    design, _ = case_study_flow
+    model = PowerModel(clock_mhz=50.0)
+
+    def run():
+        rows = []
+        for n in (1, 2, 4, 6):
+            fixed_conf, dyn_conf, _ = _schemes(design.library, n)
+            rows.append((n, model.static_mw(fixed_conf), model.static_mw(dyn_conf)))
+        return rows
+
+    rows = benchmark(run)
+    fixed_leak = [f for _, f, _ in rows]
+    dyn_leak = [d for _, _, d in rows]
+    assert fixed_leak == sorted(fixed_leak)
+    # Dynamic leakage tracks the worst variant, not the sum.
+    assert dyn_leak[-1] < fixed_leak[-1]
+    text = ["alternatives | fixed leakage | dynamic leakage"]
+    for n, fixed, dyn in rows:
+        text.append(f"{n:>12} | {fixed:>10.2f} mW | {dyn:>12.2f} mW")
+    write_result("power_leakage", "\n".join(text))

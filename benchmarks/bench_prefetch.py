@@ -1,0 +1,141 @@
+"""X1 — configuration prefetching ablation.
+
+The paper (§1, §5): the runtime reconfiguration manager "uses prefetching
+technic to minimize reconfiguration latency of runtime reconfiguration."
+
+Three strategies over switch-rate and pattern sweeps:
+
+- reactive executive (request when the data reaches the module),
+- prefetched executive (request the moment Select is known — the paper's
+  scheme: the block sees the Select register change ahead of the data),
+- prefetched executive + Markov history predictor (idle-time speculation;
+  wins on predictable alternation, neutral on steady selection).
+"""
+
+from conftest import build_case_study_flow, write_result
+
+from repro.flows import SystemSimulation
+from repro.mccdma import Modulation
+from repro.reconfig import HistoryPrefetchPolicy, NoPrefetchPolicy
+
+
+def _block_plan(period: int, n: int):
+    mods = [Modulation.QPSK, Modulation.QAM16]
+    return [mods[(i // period) % 2] for i in range(n)]
+
+
+def _alternating_plan(n: int):
+    return _block_plan(1, n)
+
+
+def test_prefetch_vs_reactive_executive(benchmark):
+    """End-to-end time: prefetched vs reactive executive across switch rates."""
+    _, pre_flow = build_case_study_flow(prefetch=True)
+    _, rea_flow = build_case_study_flow(prefetch=False)
+    n = 32
+
+    def run():
+        rows = []
+        for period in (1, 2, 4, 8):
+            plan = _block_plan(period, n)
+            times = {}
+            for tag, flow in (("prefetch", pre_flow), ("reactive", rea_flow)):
+                result = SystemSimulation(
+                    flow, n_iterations=n,
+                    selector_values={"modulation": lambda it: plan[it]},
+                    policy=NoPrefetchPolicy(),
+                ).run()
+                times[tag] = result
+            rows.append((period, times["reactive"], times["prefetch"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    text = ["switch period | switches | reactive total | prefetch total | saved"]
+    for period, reactive, prefetch in rows:
+        assert prefetch.end_time_ns < reactive.end_time_ns
+        assert prefetch.switches == reactive.switches
+        saved_us = (reactive.end_time_ns - prefetch.end_time_ns) / 1e3
+        text.append(
+            f"{period:>13} | {reactive.switches:>8} | {reactive.end_time_ns / 1e6:>11.2f} ms "
+            f"| {prefetch.end_time_ns / 1e6:>11.2f} ms | {saved_us:>7.1f} us"
+        )
+    # Savings grow with switch count (more requests to issue early).
+    saved = [r.end_time_ns - p.end_time_ns for _, r, p in rows]
+    assert saved[0] > saved[-1]
+    write_result("prefetch_executive", "\n".join(text))
+
+
+def test_history_predictor_on_patterns(benchmark):
+    """Idle-time speculation: big win on strict alternation (every demand is
+    predictable), neutral on slow block switching."""
+    _, flow = build_case_study_flow(prefetch=True)
+    n = 32
+
+    def run():
+        out = {}
+        for name, plan in (
+            ("alternating", _alternating_plan(n)),
+            ("blocks_of_8", _block_plan(8, n)),
+        ):
+            for policy_name, policy in (
+                ("none", NoPrefetchPolicy()),
+                ("history", HistoryPrefetchPolicy(min_confidence=0.5)),
+            ):
+                result = SystemSimulation(
+                    flow, n_iterations=n,
+                    selector_values={"modulation": lambda it: plan[it]},
+                    policy=policy,
+                ).run()
+                out[(name, policy_name)] = result
+        return out
+
+    out = benchmark.pedantic(run, rounds=2, iterations=1)
+    alt_none = out[("alternating", "none")]
+    alt_hist = out[("alternating", "history")]
+    blk_none = out[("blocks_of_8", "none")]
+    blk_hist = out[("blocks_of_8", "history")]
+    # Alternation: history predicts every switch; stall shrinks.
+    assert alt_hist.manager_stats.useful_prefetches > 0
+    assert alt_hist.total_stall_ns < alt_none.total_stall_ns
+    # Slow blocks: self-transitions dominate; history must not thrash.
+    assert blk_hist.end_time_ns <= blk_none.end_time_ns * 1.05
+    text = ["pattern       policy    total (ms)  stall (ms)  useful prefetches"]
+    for (name, policy_name), result in sorted(out.items()):
+        text.append(
+            f"{name:<13} {policy_name:<9} {result.end_time_ns / 1e6:>9.2f}  "
+            f"{result.total_stall_ns / 1e6:>9.2f}  {result.manager_stats.useful_prefetches:>11}"
+        )
+    write_result("prefetch_history", "\n".join(text))
+
+
+def test_prefetch_gain_scales_with_request_latency(benchmark):
+    """With processor-mediated reconfiguration (Fig. 2 case b), the request
+    round trip is 40x larger, so issuing requests early hides more."""
+    from repro.reconfig import case_b_processor
+
+    _, pre_a = build_case_study_flow(prefetch=True)
+    _, rea_a = build_case_study_flow(prefetch=False)
+    _, pre_b = build_case_study_flow(prefetch=True, reconfig_architecture=case_b_processor())
+    _, rea_b = build_case_study_flow(prefetch=False, reconfig_architecture=case_b_processor())
+    plan = _block_plan(2, 16)
+
+    def run():
+        out = {}
+        for tag, flow in (("a_pre", pre_a), ("a_rea", rea_a), ("b_pre", pre_b), ("b_rea", rea_b)):
+            out[tag] = SystemSimulation(
+                flow, n_iterations=len(plan),
+                selector_values={"modulation": lambda it: plan[it]},
+            ).run().end_time_ns
+        return out
+
+    out = benchmark.pedantic(run, rounds=2, iterations=1)
+    gain_a = out["a_rea"] - out["a_pre"]
+    gain_b = out["b_rea"] - out["b_pre"]
+    assert gain_a > 0 and gain_b > 0
+    text = [
+        f"case a (ICAP): reactive {out['a_rea'] / 1e6:.2f} ms, prefetch {out['a_pre'] / 1e6:.2f} ms, "
+        f"gain {gain_a / 1e3:.1f} us",
+        f"case b (DSP):  reactive {out['b_rea'] / 1e6:.2f} ms, prefetch {out['b_pre'] / 1e6:.2f} ms, "
+        f"gain {gain_b / 1e3:.1f} us",
+    ]
+    write_result("prefetch_request_latency", "\n".join(text))

@@ -1,0 +1,142 @@
+"""X2 — adequation heuristic comparison.
+
+The paper's §3 heuristic "takes into account durations of computations and
+inter-component communications"; its §7 conclusion asks for "additional
+developments to optimize time reconfiguration".  This benchmark compares:
+
+- the SynDEx-like schedule-pressure heuristic,
+- the reconfiguration-aware extension (prefetched and reactive),
+- a Noguera-Badia-style myopic earliest-finish scheduler,
+- seeded random mapping (sanity floor),
+
+on synthetic DAG families and on the case-study graph.
+"""
+
+import statistics
+
+from conftest import write_result
+
+from repro.aaa import (
+    EarliestFinishScheduler,
+    InsertionScheduler,
+    MappingConstraints,
+    RandomMappingScheduler,
+    ReconfigAwareScheduler,
+    SynDExScheduler,
+    adequate,
+)
+from repro.arch import sundance_board
+from repro.dfg.generators import conditioned_chain_graph, fork_join_graph, layered_random_graph
+from repro.dfg.library import default_library
+
+
+def _makespan(graph, scheduler, **kw):
+    board = sundance_board()
+    return adequate(
+        graph, board.architecture, default_library(), scheduler=scheduler, **kw
+    ).makespan_ns
+
+
+def test_scheduler_comparison_on_random_dags(benchmark):
+    def run():
+        results = {"pressure": [], "insertion": [], "earliest_finish": [], "random": []}
+        for seed in range(10):
+            g = layered_random_graph(5, 4, seed=seed)
+            results["pressure"].append(_makespan(g, SynDExScheduler))
+            results["insertion"].append(_makespan(g, InsertionScheduler))
+            results["earliest_finish"].append(_makespan(g, EarliestFinishScheduler))
+            results["random"].append(_makespan(g, RandomMappingScheduler, seed=seed))
+        return results
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    mean = {k: statistics.mean(v) for k, v in results.items()}
+    # The pressure heuristic dominates random and is competitive with EF;
+    # gap insertion never hurts on average.
+    assert mean["pressure"] <= mean["random"]
+    assert mean["pressure"] <= mean["earliest_finish"] * 1.05
+    assert mean["insertion"] <= mean["pressure"] * 1.01
+    wins_vs_random = sum(
+        1 for p, r in zip(results["pressure"], results["random"]) if p <= r
+    )
+    assert wins_vs_random >= 8
+    text = ["scheduler           mean makespan (us)   per-seed (us)"]
+    for name in ("pressure", "insertion", "earliest_finish", "random"):
+        series = ", ".join(f"{v / 1e3:.0f}" for v in results[name])
+        text.append(f"{name:<18} {mean[name] / 1e3:>12.1f}        [{series}]")
+    write_result("scheduler_random_dags", "\n".join(text))
+
+
+def test_scheduler_comparison_on_fork_join(benchmark):
+    def run():
+        rows = []
+        for width in (2, 4, 8):
+            g = fork_join_graph(width, kind="generic_large")
+            rows.append(
+                (
+                    width,
+                    _makespan(g, SynDExScheduler),
+                    _makespan(g, EarliestFinishScheduler),
+                    _makespan(g, RandomMappingScheduler, seed=1),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    for width, pressure, ef, rand in rows:
+        assert pressure <= rand
+    text = ["width | pressure (us) | earliest-finish (us) | random (us)"]
+    for width, pressure, ef, rand in rows:
+        text.append(f"{width:>5} | {pressure / 1e3:>12.1f} | {ef / 1e3:>19.1f} | {rand / 1e3:>10.1f}")
+    write_result("scheduler_fork_join", "\n".join(text))
+
+
+def test_reconfig_aware_extension_value(benchmark):
+    """The §7 extension: as reconfiguration latency grows, the aware
+    scheduler re-maps alternatives off the dynamic region, while the blind
+    heuristic's schedule degrades at run time.  We regenerate the makespan
+    vs latency series for the conditioned pipeline."""
+
+    def run():
+        rows = []
+        for latency_ms in (0, 1, 2, 4, 8, 16):
+            g = conditioned_chain_graph(6, 2)
+            aware = _makespan(
+                g, ReconfigAwareScheduler, reconfig_ns={"D1": latency_ms * 1_000_000}
+            )
+            board = sundance_board()
+            pinned = (
+                MappingConstraints().pin("alt0", "D1").pin("alt1", "D1")
+            )
+            blind_on_region = adequate(
+                g, board.architecture, default_library(),
+                constraints=pinned, scheduler=ReconfigAwareScheduler,
+                reconfig_ns={"D1": latency_ms * 1_000_000},
+            ).makespan_ns
+            rows.append((latency_ms, aware, blind_on_region))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    # Free mapping never loses to the pinned-dynamic mapping, and the gap
+    # opens as the latency grows.
+    for latency_ms, aware, pinned in rows:
+        assert aware <= pinned
+    gaps = [pinned - aware for _, aware, pinned in rows]
+    assert gaps[-1] > gaps[0]
+    text = ["reconfig latency | aware free mapping | pinned to region | gap"]
+    for (latency_ms, aware, pinned), gap in zip(rows, gaps):
+        text.append(
+            f"{latency_ms:>13} ms | {aware / 1e6:>15.2f} ms | {pinned / 1e6:>13.2f} ms "
+            f"| {gap / 1e6:.2f} ms"
+        )
+    write_result("scheduler_reconfig_aware", "\n".join(text))
+
+
+def test_scheduler_scales_to_large_graphs(benchmark):
+    """Throughput benchmark: the heuristic on a 120-operation DAG."""
+    g = layered_random_graph(10, 12, seed=42)
+
+    def run():
+        return _makespan(g, SynDExScheduler)
+
+    makespan = benchmark(run)
+    assert makespan > 0

@@ -1,0 +1,60 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one evaluation artefact of the paper (a table
+or a figure's data series).  Besides the pytest-benchmark timing, each
+writes its reproduced rows to ``benchmarks/results/<name>.txt`` so the
+paper-vs-measured comparison of EXPERIMENTS.md can be refreshed from disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.flows import DesignFlow, parse_constraints
+from repro.mccdma.casestudy import build_mccdma_design
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+CASE_STUDY_CONSTRAINTS = """
+[module mod_qpsk]
+region    = D1
+operation = mod_qpsk
+
+[module mod_qam16]
+region    = D1
+operation = mod_qam16
+
+[region D1]
+sharing   = true
+exclusive = mod_qpsk, mod_qam16
+"""
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a reproduced table/series and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] -> {path}\n{text}")
+
+
+def build_case_study_flow(prefetch: bool = True, reconfig_architecture=None):
+    """The full design flow on the paper's case study."""
+    design = build_mccdma_design()
+    kwargs = dict(
+        dynamic_constraints=parse_constraints(CASE_STUDY_CONSTRAINTS),
+        prefetch=prefetch,
+    )
+    if reconfig_architecture is not None:
+        kwargs["reconfig_architecture"] = reconfig_architecture
+    flow = DesignFlow.from_design(design, **kwargs)
+    flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
+    return design, flow.run()
+
+
+@pytest.fixture(scope="session")
+def case_study_flow():
+    """Session-cached flow result for the MC-CDMA case study."""
+    return build_case_study_flow()

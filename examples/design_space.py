@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Design-space exploration: device size × reconfiguration architecture.
+
+Sweeps the case study across Virtex-II parts (XC2V1000/2000/3000) and the
+Fig. 2 reconfiguration architectures, reporting for every point: region
+area, partial-bitstream size, reconfiguration latency, achievable clock and
+whether the design fits.  A downstream user would run exactly this sweep to
+pick a part for a new dynamic application.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.arch.boards import sundance_board
+from repro.fabric import XC2V1000, XC2V2000, XC2V3000
+from repro.fabric.floorplan import FloorplanError
+from repro.flows import DesignFlow, parse_constraints
+from repro.mccdma.casestudy import CaseStudyDesign, build_mccdma_graph
+from repro.dfg.library import default_library
+from repro.reconfig import case_a_standalone, case_b_processor
+
+CONSTRAINTS = """
+[module mod_qpsk]
+region    = D1
+operation = mod_qpsk
+
+[module mod_qam16]
+region    = D1
+operation = mod_qam16
+
+[region D1]
+sharing   = true
+exclusive = mod_qpsk, mod_qam16
+"""
+
+
+def explore():
+    rows = []
+    for device in (XC2V1000, XC2V2000, XC2V3000):
+        for arch_factory in (case_a_standalone, case_b_processor):
+            arch = arch_factory()
+            board = sundance_board(device=device)
+            design = CaseStudyDesign(
+                graph=build_mccdma_graph(), board=board, library=default_library()
+            )
+            flow = DesignFlow.from_design(
+                design,
+                dynamic_constraints=parse_constraints(CONSTRAINTS),
+                reconfig_architecture=arch,
+            )
+            flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
+            try:
+                result = flow.run()
+            except FloorplanError as err:
+                rows.append((device.name, arch.name, None, str(err)))
+                continue
+            rows.append(
+                (
+                    device.name,
+                    arch.name,
+                    {
+                        "area": result.modular.region_area_fraction("D1"),
+                        "bitstream": result.modular.floorplan.partial_bitstream_bytes("D1"),
+                        "latency_ms": result.region_latency_ns("D1") / 1e6,
+                        "clock": result.modular.par_report.clock_mhz,
+                        "makespan_us": result.makespan_ns / 1e3,
+                    },
+                    None,
+                )
+            )
+    return rows
+
+
+def main() -> None:
+    rows = explore()
+    header = (
+        f"{'device':<10}{'architecture':<20}{'area %':>8}{'bitstream':>11}"
+        f"{'reconfig':>11}{'clock':>8}{'iteration':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for device, arch, metrics, error in rows:
+        if metrics is None:
+            print(f"{device:<10}{arch:<20}  does not fit: {error}")
+            continue
+        print(
+            f"{device:<10}{arch:<20}{100 * metrics['area']:>7.1f}%"
+            f"{metrics['bitstream'] / 1024:>9.1f}KB"
+            f"{metrics['latency_ms']:>9.2f}ms"
+            f"{metrics['clock']:>7.0f}M"
+            f"{metrics['makespan_us']:>10.1f}us"
+        )
+    print()
+    print("Reading the table: a bigger part spends more bits per column")
+    print("(taller frames), so the same 4-column module reconfigures slower")
+    print("on the XC2V3000 than on the XC2V1000 — partial reconfiguration")
+    print("favours the smallest device that fits the static part.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The paper's case study: the runtime-reconfigurable MC-CDMA transmitter.
+
+Reproduces Section 6 end to end:
+
+1. builds the Fig. 4 algorithm graph (coder → interleaver → adaptive
+   modulation (QPSK | QAM-16) → Walsh spreading → IFFT → cyclic prefix) and
+   the Sundance board (C6201 DSP + XC2V2000);
+2. runs the complete design flow — the modulation alternatives become
+   variants of the reconfigurable region D1;
+3. prints the floorplan (expected: a narrow full-height region, ≈8 % of the
+   device, ≈4 ms reconfiguration — the paper's figures);
+4. regenerates Table 1 (fixed vs dynamic modulation implementations);
+5. runs the transmitter with real data through the simulated platform and
+   verifies the emitted samples against the monolithic numpy reference.
+
+Run:  python examples/mccdma_transmitter.py
+"""
+
+import numpy as np
+
+from repro.flows import DesignFlow, SystemSimulation, parse_constraints, table1_report
+from repro.mccdma import SnrTrace
+from repro.mccdma.bindings import make_case_study_bindings, reference_symbol
+from repro.mccdma.casestudy import build_mccdma_design
+
+CONSTRAINTS = """
+# Dynamic-module constraints file for the MC-CDMA transmitter (paper §4).
+[module mod_qpsk]
+region    = D1
+operation = mod_qpsk
+loading   = runtime
+unloading = on_switch
+
+[module mod_qam16]
+region    = D1
+operation = mod_qam16
+
+[region D1]
+sharing   = true
+exclusive = mod_qpsk, mod_qam16
+"""
+
+
+def main() -> None:
+    design = build_mccdma_design()
+    flow = DesignFlow.from_design(
+        design, dynamic_constraints=parse_constraints(CONSTRAINTS)
+    )
+    flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
+    result = flow.run()
+
+    print(result.report())
+    print()
+    print(result.modular.ucf)
+
+    # Table 1 — fixed vs dynamic modulation implementation comparison.
+    print(table1_report(design.library, flow=result))
+    print()
+
+    # Dynamic verification with real MC-CDMA data: a fading channel whose
+    # SNR steps between 8 dB (QPSK territory) and 22 dB (QAM-16 territory).
+    n_symbols = 24
+    snr = SnrTrace.step(low_db=8.0, high_db=22.0, period=6, n=n_symbols)
+    state = make_case_study_bindings(snr, seed=1)
+    runtime = SystemSimulation(
+        result, n_iterations=n_symbols, bindings=state.bindings, capture={"dac"}
+    ).run()
+    print(runtime.summary())
+
+    # Verify every emitted OFDM symbol against the reference chain.
+    mismatches = 0
+    for it in range(n_symbols):
+        emitted = runtime.execution.captured["dac"][it]["samples"]
+        expected = reference_symbol(state.source_bits[it], state.selected[it])
+        if not np.allclose(emitted, expected):
+            mismatches += 1
+    modulations = [m.value for m in state.selected]
+    print(f"modulation plan: {modulations}")
+    print(f"verified {n_symbols} OFDM symbols against the reference: "
+          f"{n_symbols - mismatches} exact, {mismatches} mismatching")
+    if mismatches:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""AAA adequation: mapping + scheduling of the algorithm onto the architecture.
+
+"Adequation consists in performing the mapping and scheduling of the
+operations and data transfers onto the operators and the communication media.
+It is carried out by a heuristic which takes into account durations of
+computations and inter-component communications."
+
+- :mod:`repro.aaa.costs` — the duration/cost model,
+- :mod:`repro.aaa.mapping` — mapping constraints and candidate enumeration,
+- :mod:`repro.aaa.schedule` — the schedule data model and its validator,
+- :mod:`repro.aaa.scheduler` — the SynDEx-like schedule-pressure heuristic,
+- :mod:`repro.aaa.recon_aware` — the reconfiguration-aware extension the
+  paper's conclusion calls for (reconfiguration as sequence-dependent setup
+  time, with prefetch insertion),
+- :mod:`repro.aaa.baselines` — comparison schedulers for the benchmarks,
+- :mod:`repro.aaa.adequation` — the user-facing entry point.
+"""
+
+from repro.aaa.costs import CostModel, CostError
+from repro.aaa.mapping import MappingConstraints, MappingError
+from repro.aaa.schedule import (
+    Schedule,
+    ScheduleValidationError,
+    ScheduledOp,
+    ScheduledReconfig,
+    ScheduledTransfer,
+)
+from repro.aaa.scheduler import SynDExScheduler
+from repro.aaa.insertion import InsertionScheduler
+from repro.aaa.recon_aware import ReconfigAwareScheduler
+from repro.aaa.baselines import EarliestFinishScheduler, RandomMappingScheduler
+from repro.aaa.adequation import AdequationResult, adequate
+from repro.aaa.analysis import ScheduleAnalysis, analyze
+
+__all__ = [
+    "CostModel",
+    "CostError",
+    "MappingConstraints",
+    "MappingError",
+    "Schedule",
+    "ScheduleValidationError",
+    "ScheduledOp",
+    "ScheduledReconfig",
+    "ScheduledTransfer",
+    "SynDExScheduler",
+    "InsertionScheduler",
+    "ReconfigAwareScheduler",
+    "EarliestFinishScheduler",
+    "RandomMappingScheduler",
+    "AdequationResult",
+    "adequate",
+    "ScheduleAnalysis",
+    "analyze",
+]

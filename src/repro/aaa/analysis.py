@@ -1,0 +1,148 @@
+"""Schedule analysis: period bounds, speedup, parallelism profile.
+
+The adequation's makespan is the *latency* of one iteration; the executive
+pipelines successive iterations, so the steady-state *period* is bounded
+below by the busiest resource.  This module computes those bounds and other
+figures of merit a designer reads off an adequation:
+
+- ``period_lower_bound``: max over operators and media of their busy time
+  per iteration (the pipeline bottleneck);
+- ``speedup``: single-operator serial time / makespan;
+- ``parallelism profile``: number of concurrently busy operators over time;
+- per-resource utilization relative to the makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.aaa.costs import CostModel
+from repro.aaa.schedule import Schedule
+from repro.arch.operator import Operator
+
+__all__ = ["ScheduleAnalysis", "analyze"]
+
+
+@dataclass
+class ScheduleAnalysis:
+    """Derived figures of one schedule."""
+
+    makespan_ns: int
+    period_lower_bound_ns: int
+    bottleneck: str
+    operator_busy_ns: dict[str, int]
+    medium_busy_ns: dict[str, int]
+    serial_best_ns: Optional[int]
+    profile: list[tuple[int, int]]  # (time, concurrently busy operators)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Serial-on-one-operator time / parallel makespan (None when the
+        graph cannot run on a single operator)."""
+        if self.serial_best_ns is None or self.makespan_ns == 0:
+            return None
+        return self.serial_best_ns / self.makespan_ns
+
+    @property
+    def max_parallelism(self) -> int:
+        return max((n for _, n in self.profile), default=0)
+
+    def average_parallelism(self) -> float:
+        """Time-weighted mean number of busy operators."""
+        if self.makespan_ns == 0 or not self.profile:
+            return 0.0
+        total = 0
+        for (t0, n), (t1, _) in zip(self.profile, self.profile[1:]):
+            total += n * (t1 - t0)
+        last_t, last_n = self.profile[-1]
+        total += last_n * (self.makespan_ns - last_t)
+        return total / self.makespan_ns
+
+    def utilization(self) -> dict[str, float]:
+        if self.makespan_ns == 0:
+            return {}
+        out = {name: busy / self.makespan_ns for name, busy in self.operator_busy_ns.items()}
+        out.update(
+            {name: busy / self.makespan_ns for name, busy in self.medium_busy_ns.items()}
+        )
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"makespan (iteration latency): {self.makespan_ns} ns",
+            f"period lower bound          : {self.period_lower_bound_ns} ns "
+            f"(bottleneck: {self.bottleneck})",
+            f"max / avg parallelism       : {self.max_parallelism} / {self.average_parallelism():.2f}",
+        ]
+        if self.speedup is not None:
+            lines.append(f"speedup vs best single op   : {self.speedup:.2f}x")
+        for name, util in sorted(self.utilization().items()):
+            lines.append(f"  {name:<12} {100 * util:5.1f}% busy ({self.operator_busy_ns.get(name, self.medium_busy_ns.get(name, 0))} ns)")
+        return "\n".join(lines)
+
+
+def _busy_union(intervals: list[tuple[int, int]]) -> int:
+    from repro.sim.metrics import interval_union
+
+    return sum(e - s for s, e in interval_union(intervals))
+
+
+def analyze(schedule: Schedule, costs: Optional[CostModel] = None) -> ScheduleAnalysis:
+    """Analyze a completed schedule (optionally with its cost model for the
+    serial-baseline speedup)."""
+    makespan = schedule.makespan()
+
+    operator_busy: dict[str, int] = {}
+    for name in schedule.operators_used():
+        operator_busy[name] = _busy_union(
+            [(s.start, s.end) for s in schedule.of_operator(name)]
+        )
+    medium_busy: dict[str, int] = {}
+    for t in schedule.transfers:
+        medium_busy.setdefault(t.medium.name, 0)
+    for name in medium_busy:
+        medium_busy[name] = _busy_union(
+            [(t.start, t.end) for t in schedule.of_medium(name)]
+        )
+
+    busiest = dict(operator_busy)
+    busiest.update(medium_busy)
+    if busiest:
+        bottleneck, bound = max(busiest.items(), key=lambda kv: (kv[1], kv[0]))
+    else:
+        bottleneck, bound = "<none>", 0
+
+    serial_best: Optional[int] = None
+    if costs is not None:
+        candidates: Optional[set[str]] = None
+        for op in costs.graph.operations:
+            names = {p.name for p in costs.candidates(op)}
+            candidates = names if candidates is None else candidates & names
+        best = None
+        for operator_name in candidates or ():
+            operator = costs.architecture.operator(operator_name)
+            total = sum(costs.duration(op, operator) for op in costs.graph.operations)
+            best = total if best is None else min(best, total)
+        serial_best = best
+
+    # Parallelism profile: sweep operator-busy interval endpoints.
+    events: dict[int, int] = {}
+    for s in schedule.ops:
+        events[s.start] = events.get(s.start, 0) + 1
+        events[s.end] = events.get(s.end, 0) - 1
+    profile: list[tuple[int, int]] = []
+    level = 0
+    for time in sorted(events):
+        level += events[time]
+        profile.append((time, level))
+
+    return ScheduleAnalysis(
+        makespan_ns=makespan,
+        period_lower_bound_ns=bound,
+        bottleneck=bottleneck,
+        operator_busy_ns=operator_busy,
+        medium_busy_ns=medium_busy,
+        serial_best_ns=serial_best,
+        profile=profile,
+    )

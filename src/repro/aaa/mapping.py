@@ -1,0 +1,76 @@
+"""Mapping constraints: pinning operations to operators.
+
+The paper's flow lets the designer force placements ("automatic or manual
+partitioning of an application"): the DSP runs the bit source and the SNR
+selector, the DAC interface lives in the static part, and the conditioned
+modulation alternatives go to the dynamic operator.  A
+:class:`MappingConstraints` object carries such decisions into the
+schedulers; anything unpinned is decided by the heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aaa.costs import CostModel
+from repro.arch.operator import Operator
+from repro.dfg.operations import Operation
+
+__all__ = ["MappingError", "MappingConstraints"]
+
+
+class MappingError(ValueError):
+    """Raised for contradictory or infeasible mapping constraints."""
+
+
+class MappingConstraints:
+    """Pinned placements plus per-operation operator filters."""
+
+    def __init__(self) -> None:
+        self._pins: dict[str, str] = {}  # operation name -> operator name
+        self._forbidden: dict[str, set[str]] = {}  # operation name -> operator names
+
+    def pin(self, op: Operation | str, operator: Operator | str) -> "MappingConstraints":
+        """Force ``op`` onto ``operator`` (chainable)."""
+        op_name = op if isinstance(op, str) else op.name
+        operator_name = operator if isinstance(operator, str) else operator.name
+        existing = self._pins.get(op_name)
+        if existing is not None and existing != operator_name:
+            raise MappingError(
+                f"operation {op_name!r} already pinned to {existing!r}, cannot pin to {operator_name!r}"
+            )
+        self._pins[op_name] = operator_name
+        return self
+
+    def forbid(self, op: Operation | str, operator: Operator | str) -> "MappingConstraints":
+        """Disallow ``op`` on ``operator`` (chainable)."""
+        op_name = op if isinstance(op, str) else op.name
+        operator_name = operator if isinstance(operator, str) else operator.name
+        if self._pins.get(op_name) == operator_name:
+            raise MappingError(f"operation {op_name!r} is pinned to {operator_name!r}, cannot forbid it")
+        self._forbidden.setdefault(op_name, set()).add(operator_name)
+        return self
+
+    def pinned_operator(self, op: Operation) -> Optional[str]:
+        return self._pins.get(op.name)
+
+    def allows(self, op: Operation, operator: Operator) -> bool:
+        pinned = self._pins.get(op.name)
+        if pinned is not None:
+            return operator.name == pinned
+        return operator.name not in self._forbidden.get(op.name, ())
+
+    def candidates(self, op: Operation, costs: CostModel) -> list[Operator]:
+        """Feasible operators for ``op`` under both costs and constraints."""
+        out = [p for p in costs.candidates(op) if self.allows(op, p)]
+        if not out:
+            pinned = self._pins.get(op.name)
+            if pinned is not None:
+                raise MappingError(
+                    f"operation {op.name!r} pinned to {pinned!r}, which cannot host kind {op.kind!r}"
+                )
+            raise MappingError(f"operation {op.name!r} has no feasible operator under constraints")
+        return out
+
+    def __len__(self) -> int:
+        return len(self._pins) + sum(len(v) for v in self._forbidden.values())

@@ -1,0 +1,258 @@
+"""Schedule data model and validator.
+
+The adequation result is "a synchronized executive": per-operator ordered
+operation lists, per-medium ordered transfer lists, and (for dynamic
+operators) reconfiguration intervals.  The validator checks the invariants
+every correct schedule must satisfy — it is the oracle for the scheduler
+property tests and for the executive generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional
+
+from repro.arch.graph import ArchitectureGraph
+from repro.arch.media import Medium
+from repro.arch.operator import Operator
+from repro.dfg.graph import AlgorithmGraph, Edge
+from repro.dfg.operations import Operation
+
+__all__ = [
+    "ScheduledOp",
+    "ScheduledTransfer",
+    "ScheduledReconfig",
+    "Schedule",
+    "ScheduleValidationError",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledOp:
+    """An operation placed in time on an operator."""
+
+    op: Operation
+    operator: Operator
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledTransfer:
+    """One hop of a data transfer on a medium."""
+
+    edge: Edge
+    medium: Medium
+    start: int
+    end: int
+    hop: int = 0  # index along a multi-hop route
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledReconfig:
+    """A reconfiguration interval on a dynamic operator."""
+
+    operator: Operator
+    module: str  # target configuration (e.g. "mod_qam16")
+    condition_value: Hashable
+    start: int
+    end: int
+    prefetched: bool = False
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class ScheduleValidationError(AssertionError):
+    """A schedule invariant was violated; carries all found problems."""
+
+    def __init__(self, problems: list[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+@dataclass
+class Schedule:
+    """The complete adequation output for one iteration of the algorithm."""
+
+    ops: list[ScheduledOp] = field(default_factory=list)
+    transfers: list[ScheduledTransfer] = field(default_factory=list)
+    reconfigs: list[ScheduledReconfig] = field(default_factory=list)
+
+    # -- queries -------------------------------------------------------------
+
+    def makespan(self) -> int:
+        ends = [s.end for s in self.ops]
+        ends += [t.end for t in self.transfers]
+        ends += [r.end for r in self.reconfigs]
+        return max(ends, default=0)
+
+    def of_operator(self, operator: Operator | str) -> list[ScheduledOp]:
+        name = operator if isinstance(operator, str) else operator.name
+        return sorted(
+            (s for s in self.ops if s.operator.name == name), key=lambda s: (s.start, s.end)
+        )
+
+    def of_medium(self, medium: Medium | str) -> list[ScheduledTransfer]:
+        name = medium if isinstance(medium, str) else medium.name
+        return sorted(
+            (t for t in self.transfers if t.medium.name == name), key=lambda t: (t.start, t.end)
+        )
+
+    def reconfigs_of(self, operator: Operator | str) -> list[ScheduledReconfig]:
+        name = operator if isinstance(operator, str) else operator.name
+        return sorted(
+            (r for r in self.reconfigs if r.operator.name == name), key=lambda r: (r.start, r.end)
+        )
+
+    def placement(self, op: Operation | str) -> ScheduledOp:
+        name = op if isinstance(op, str) else op.name
+        for s in self.ops:
+            if s.op.name == name:
+                return s
+        raise KeyError(f"operation {name!r} not in schedule")
+
+    def mapping(self) -> dict[str, str]:
+        """Operation name → operator name."""
+        return {s.op.name: s.operator.name for s in self.ops}
+
+    def operators_used(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.ops:
+            seen.setdefault(s.operator.name)
+        return list(seen)
+
+    def transfers_of_edge(self, edge: Edge) -> list[ScheduledTransfer]:
+        return sorted(
+            (t for t in self.transfers if t.edge is edge), key=lambda t: t.hop
+        )
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self, graph: AlgorithmGraph, architecture: ArchitectureGraph) -> None:
+        """Raise :class:`ScheduleValidationError` on any invariant violation."""
+        problems: list[str] = []
+
+        scheduled_names = {s.op.name for s in self.ops}
+        for op in graph.operations:
+            if op.name not in scheduled_names:
+                problems.append(f"operation {op.name!r} is not scheduled")
+        if len(scheduled_names) != len(self.ops):
+            problems.append("an operation is scheduled more than once")
+
+        for s in self.ops:
+            if s.start < 0 or s.end < s.start:
+                problems.append(f"operation {s.op.name!r} has invalid interval [{s.start}, {s.end})")
+
+        # Precedence: consumer starts after producer output arrives.
+        by_name = {s.op.name: s for s in self.ops}
+        for edge in graph.edges:
+            src = by_name.get(edge.src.name)
+            dst = by_name.get(edge.dst.name)
+            if src is None or dst is None:
+                continue
+            if src.operator.name == dst.operator.name:
+                if dst.start < src.end:
+                    problems.append(
+                        f"edge {edge}: consumer starts at {dst.start} before producer ends at {src.end}"
+                    )
+                continue
+            hops = self.transfers_of_edge(edge)
+            if not hops:
+                problems.append(f"edge {edge}: crosses operators but has no scheduled transfer")
+                continue
+            if hops[0].start < src.end:
+                problems.append(f"edge {edge}: transfer starts before producer ends")
+            if dst.start < hops[-1].end:
+                problems.append(f"edge {edge}: consumer starts before transfer completes")
+            for a, b in zip(hops, hops[1:]):
+                if b.start < a.end:
+                    problems.append(f"edge {edge}: hop {b.hop} starts before hop {a.hop} ends")
+
+        # Operator exclusivity (conditioned alternatives may overlap).
+        for operator in architecture.operators:
+            timeline = self.of_operator(operator)
+            for i, a in enumerate(timeline):
+                for b in timeline[i + 1 :]:
+                    if b.start >= a.end:
+                        break
+                    if not graph.exclusive(a.op, b.op):
+                        problems.append(
+                            f"operations {a.op.name!r} and {b.op.name!r} overlap on {operator.name!r}"
+                        )
+
+        # Media serialization (transfers of exclusive producers may overlap).
+        for medium in architecture.media:
+            timeline = self.of_medium(medium)
+            for i, a in enumerate(timeline):
+                for b in timeline[i + 1 :]:
+                    if b.start >= a.end:
+                        break
+                    if not graph.exclusive(a.edge.src, b.edge.src) and not graph.exclusive(
+                        a.edge.dst, b.edge.dst
+                    ):
+                        problems.append(
+                            f"transfers {a.edge} and {b.edge} overlap on medium {medium.name!r}"
+                        )
+
+        # Reconfigurations: only on dynamic operators; serialized; never
+        # overlapping a computation on the same operator.
+        for r in self.reconfigs:
+            if not r.operator.is_reconfigurable:
+                problems.append(f"reconfiguration scheduled on non-dynamic operator {r.operator.name!r}")
+            if r.end < r.start:
+                problems.append(f"reconfiguration of {r.module!r} has negative duration")
+        # Reconfigurations targeting different cases of one group belong to
+        # mutually exclusive iterations, so they (and the other case's
+        # computations) may legitimately overlap in the schedule template.
+        for operator in architecture.dynamic_operators():
+            recs = self.reconfigs_of(operator)
+            for i, a in enumerate(recs):
+                for b in recs[i + 1 :]:
+                    if b.start < a.end and a.condition_value == b.condition_value:
+                        problems.append(
+                            f"reconfigurations to {a.module!r} and {b.module!r} overlap "
+                            f"on {operator.name!r}"
+                        )
+            for r in recs:
+                for s in self.of_operator(operator):
+                    if r.start < s.end and s.start < r.end:
+                        cond = s.op.condition
+                        if cond is not None and cond.value != r.condition_value:
+                            continue  # exclusive futures
+                        problems.append(
+                            f"reconfiguration to {r.module!r} overlaps operation {s.op.name!r} "
+                            f"on {operator.name!r}"
+                        )
+
+        if problems:
+            raise ScheduleValidationError(problems)
+
+    # -- presentation ------------------------------------------------------------
+
+    def table(self) -> str:
+        """Human-readable schedule table, grouped per operator and medium."""
+        lines = [f"Schedule (makespan {self.makespan()} ns)"]
+        for name in sorted(self.operators_used()):
+            lines.append(f"  operator {name}:")
+            for s in self.of_operator(name):
+                cond = f" [if {s.op.condition}]" if s.op.condition else ""
+                lines.append(f"    {s.start:>10} .. {s.end:>10}  {s.op.name}{cond}")
+            for r in self.reconfigs_of(name):
+                tag = " (prefetched)" if r.prefetched else ""
+                lines.append(f"    {r.start:>10} .. {r.end:>10}  <reconfig to {r.module}>{tag}")
+        media = sorted({t.medium.name for t in self.transfers})
+        for name in media:
+            lines.append(f"  medium {name}:")
+            for t in self.of_medium(name):
+                lines.append(f"    {t.start:>10} .. {t.end:>10}  {t.edge}")
+        return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""List schedulers: shared machinery plus the SynDEx-like heuristic.
+
+The SynDEx heuristic is a greedy *schedule-pressure* list scheduler: at each
+step it evaluates every ready operation on every feasible operator, keeps the
+best placement per operation (earliest completion, communications included),
+then commits the operation whose best placement is most critical — i.e.
+whose completion plus remaining critical path to the sinks is largest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aaa.costs import CostModel
+from repro.aaa.mapping import MappingConstraints
+from repro.aaa.schedule import Schedule, ScheduledOp, ScheduledReconfig, ScheduledTransfer
+from repro.arch.operator import Operator
+from repro.dfg.graph import AlgorithmGraph, Edge
+from repro.dfg.operations import Operation
+
+__all__ = ["Placement", "ListSchedulerBase", "SynDExScheduler"]
+
+
+@dataclass
+class Placement:
+    """A tentative placement of one operation, transfers included."""
+
+    op: Operation
+    operator: Operator
+    start: int
+    end: int
+    transfers: list[ScheduledTransfer]
+    reconfig: Optional["ScheduledReconfig"] = None
+
+
+class ListSchedulerBase:
+    """Common state and placement machinery for all list schedulers."""
+
+    def __init__(self, costs: CostModel, constraints: Optional[MappingConstraints] = None):
+        self.costs = costs
+        self.graph: AlgorithmGraph = costs.graph
+        self.constraints = constraints or MappingConstraints()
+        self.schedule = Schedule()
+        self._placed: dict[str, ScheduledOp] = {}
+
+    # -- timeline helpers ------------------------------------------------------
+
+    def _operator_ready(self, op: Operation, operator: Operator) -> int:
+        """Earliest time ``operator`` can start ``op`` (append-only timeline;
+        exclusive alternatives may overlap)."""
+        ready = 0
+        for s in self.schedule.of_operator(operator):
+            if not self.graph.exclusive(op, s.op):
+                ready = max(ready, s.end)
+        return ready
+
+    def _medium_ready(self, edge: Edge, medium_name: str) -> int:
+        """Earliest time ``medium`` can carry ``edge`` (exclusivity-aware)."""
+        ready = 0
+        for t in self.schedule.of_medium(medium_name):
+            if self.graph.exclusive(edge.src, t.edge.src):
+                continue
+            if self.graph.exclusive(edge.dst, t.edge.dst):
+                continue
+            ready = max(ready, t.end)
+        return ready
+
+    # -- tentative placement ------------------------------------------------------
+
+    def _try_place(self, op: Operation, operator: Operator) -> Placement:
+        """Earliest placement of ``op`` on ``operator`` given current state."""
+        transfers: list[ScheduledTransfer] = []
+        local_medium_ready: dict[str, int] = {}  # reservations within this placement
+        data_ready = 0
+        for edge in self.graph.in_edges(op):
+            src = self._placed[edge.src.name]
+            if src.operator.name == operator.name:
+                data_ready = max(data_ready, src.end)
+                continue
+            route = self.costs.route(src.operator, operator)
+            t = src.end
+            for hop, medium in enumerate(route.media):
+                ready = max(
+                    self._medium_ready(edge, medium.name),
+                    local_medium_ready.get(medium.name, 0),
+                )
+                hop_start = max(t, ready)
+                hop_end = hop_start + medium.transfer_ns(edge.size_bytes)
+                transfers.append(
+                    ScheduledTransfer(edge=edge, medium=medium, start=hop_start, end=hop_end, hop=hop)
+                )
+                local_medium_ready[medium.name] = hop_end
+                t = hop_end
+            data_ready = max(data_ready, t)
+        raw_start = self._earliest_start(op, operator, data_ready)
+        start, reconfig = self._setup_for(op, operator, raw_start)
+        end = start + self.costs.duration(op, operator)
+        return Placement(
+            op=op, operator=operator, start=start, end=end, transfers=transfers, reconfig=reconfig
+        )
+
+    def _earliest_start(self, op: Operation, operator: Operator, data_ready: int) -> int:
+        """Earliest start of ``op`` on ``operator`` once data has arrived.
+
+        The base policy is append-only: after every non-exclusive operation
+        already committed to the operator.  Subclasses may fill gaps
+        (see :class:`repro.aaa.insertion.InsertionScheduler`).
+        """
+        return max(data_ready, self._operator_ready(op, operator))
+
+    def _setup_for(
+        self, op: Operation, operator: Operator, raw_start: int
+    ) -> tuple[int, Optional[ScheduledReconfig]]:
+        """Hook for subclasses: sequence-dependent setup (reconfiguration).
+
+        Returns the possibly-delayed start and an optional reconfiguration
+        interval to commit alongside the operation.  The base heuristic is
+        reconfiguration-blind (the paper: "SynDEx's heuristic needs
+        additional developments to optimize time reconfiguration").
+        """
+        return raw_start, None
+
+    def _commit(self, placement: Placement) -> ScheduledOp:
+        scheduled = ScheduledOp(
+            op=placement.op, operator=placement.operator, start=placement.start, end=placement.end
+        )
+        self.schedule.ops.append(scheduled)
+        self.schedule.transfers.extend(placement.transfers)
+        if placement.reconfig is not None:
+            self.schedule.reconfigs.append(placement.reconfig)
+        self._placed[placement.op.name] = scheduled
+
+    # -- ranks ---------------------------------------------------------------------
+
+    def _tail_ranks(self) -> dict[str, int]:
+        """Remaining critical path *after* each operation (best-case durations)."""
+        tail: dict[str, int] = {}
+        for op in reversed(self.graph.topological_order()):
+            best = 0
+            for succ in self.graph.successors(op):
+                best = max(best, self.costs.best_duration(succ) + tail[succ.name])
+            tail[op.name] = best
+        return tail
+
+    # -- driver ----------------------------------------------------------------------
+
+    def _successor_map(self) -> dict[str, list[Operation]]:
+        """Data successors plus the implicit conditioning edges.
+
+        A conditioned operation cannot start before its group's selector has
+        produced the condition value — and neither can the *producers that
+        feed* the conditioned alternatives, because their sends are routed
+        by the very same value (the executive's conditional ``send_`` guards
+        on it).  Both become implicit selector→X precedences, skipping any X
+        that is an ancestor of the selector (cycle guard)."""
+        succs: dict[str, list[Operation]] = {
+            op.name: list(self.graph.successors(op)) for op in self.graph.operations
+        }
+
+        def ancestors_of(op: Operation) -> set[str]:
+            seen: set[str] = set()
+            stack = [op]
+            while stack:
+                current = stack.pop()
+                for pred in self.graph.predecessors(current):
+                    if pred.name not in seen:
+                        seen.add(pred.name)
+                        stack.append(pred)
+            return seen
+
+        for group in self.graph.condition_groups.values():
+            selector = group.selector
+            blocked = ancestors_of(selector) | {selector.name}
+            targets: dict[str, Operation] = {}
+            for case_op in group.operations:
+                targets.setdefault(case_op.name, case_op)
+                for producer in self.graph.predecessors(case_op):
+                    targets.setdefault(producer.name, producer)
+            existing = {s.name for s in succs[selector.name]}
+            for name, op in targets.items():
+                if name not in blocked and name not in existing:
+                    succs[selector.name].append(op)
+        return succs
+
+    def run(self) -> Schedule:
+        """Schedule every operation; returns the completed schedule."""
+        succs = self._successor_map()
+        pending = {op.name: op for op in self.graph.operations}
+        n_preds = {op.name: 0 for op in self.graph.operations}
+        for preds in succs.values():
+            for succ in preds:
+                n_preds[succ.name] += 1
+        ready = [op for op in self.graph.topological_order() if n_preds[op.name] == 0]
+        while ready:
+            op = self._select(ready)
+            ready.remove(op)
+            del pending[op.name]
+            best = self._best_placement(op)
+            self._commit(best)
+            for succ in succs[op.name]:
+                if succ.name not in pending:
+                    continue
+                n_preds[succ.name] -= 1
+                if n_preds[succ.name] == 0:
+                    ready.append(succ)
+        if pending:
+            raise RuntimeError(f"unschedulable operations remain: {sorted(pending)}")
+        return self.schedule
+
+    def _best_placement(self, op: Operation) -> Placement:
+        candidates = self.constraints.candidates(op, self.costs)
+        placements = [self._try_place(op, p) for p in candidates]
+        return min(placements, key=lambda pl: (pl.end, pl.operator.name))
+
+    def _select(self, ready: list[Operation]) -> Operation:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SynDExScheduler(ListSchedulerBase):
+    """The AAA schedule-pressure heuristic (SynDEx's adequation core)."""
+
+    def __init__(self, costs: CostModel, constraints: Optional[MappingConstraints] = None):
+        super().__init__(costs, constraints)
+        self._tails = self._tail_ranks()
+
+    def _pressure(self, op: Operation) -> int:
+        """Schedule pressure: completion of the best placement plus the
+        remaining critical path — the op that would stretch the schedule the
+        most if delayed."""
+        best = self._best_placement(op)
+        return best.end + self._tails[op.name]
+
+    def _select(self, ready: list[Operation]) -> Operation:
+        return max(ready, key=lambda op: (self._pressure(op), op.name))

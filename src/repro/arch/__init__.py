@@ -1,0 +1,33 @@
+"""Architecture graphs (the SynDEx *architecture graph*).
+
+"Architecture is also modeled by a graph where the vertices are operators
+(e.g. processors, DSP, FPGA) or media and edges are connections between
+them."  Following the paper's Fig. 1, runtime-reconfigurable parts of an
+FPGA (D1, D2) and fixed parts (F1) are first-class hardware operators, and
+an internal link (IL) connects them.
+
+- :mod:`repro.arch.operator` — operator vertices,
+- :mod:`repro.arch.media` — communication media vertices,
+- :mod:`repro.arch.graph` — the bipartite operator/medium graph with routing,
+- :mod:`repro.arch.boards` — ready-made platforms, including the Sundance
+  C6201 + XC2V2000 board of the case study.
+"""
+
+from repro.arch.operator import Operator, OperatorKind
+from repro.arch.media import Medium, MediumKind
+from repro.arch.graph import ArchitectureGraph, ArchitectureError, Route
+from repro.arch.boards import Board, dual_region_board, standalone_fpga_board, sundance_board
+
+__all__ = [
+    "Operator",
+    "OperatorKind",
+    "Medium",
+    "MediumKind",
+    "ArchitectureGraph",
+    "ArchitectureError",
+    "Route",
+    "Board",
+    "sundance_board",
+    "dual_region_board",
+    "standalone_fpga_board",
+]

@@ -1,0 +1,141 @@
+"""Ready-made platform descriptions.
+
+:func:`sundance_board` reproduces the paper's prototyping platform: "This
+board is composed of one DSP C6201 and one FPGA Xilinx Xc2v2000", with the
+FPGA split into a static part (F1) and one runtime-reconfigurable part (D1)
+connected by an internal link (IL), and the SHB bus between DSP and FPGA.
+
+:func:`dual_region_board` exercises the conclusion's extension: "complex
+design and architecture can support more than one dynamic part."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.graph import ArchitectureGraph
+from repro.arch.media import Medium, MediumKind
+from repro.arch.operator import Operator, OperatorKind
+from repro.dfg.library import DSP_CLASS, FPGA_CLASS
+from repro.fabric.device import VirtexIIDevice, XC2V2000
+
+__all__ = ["Board", "sundance_board", "dual_region_board"]
+
+#: TI TMS320C6201 clock on the Sundance module.
+C6201_CLOCK_MHZ = 200.0
+#: Clock of the generated FPGA design (conservative Virtex-II speed).
+FPGA_CLOCK_MHZ = 50.0
+#: Sundance High-speed Bus: 32-bit parallel; sustained payload bandwidth.
+SHB_BANDWIDTH_MBPS = 160.0
+SHB_LATENCY_NS = 500
+#: On-chip internal link between static and dynamic parts (bus-macro path).
+IL_BANDWIDTH_MBPS = 400.0
+IL_LATENCY_NS = 40
+
+
+@dataclass
+class Board:
+    """A platform: architecture graph plus physical device objects."""
+
+    name: str
+    architecture: ArchitectureGraph
+    fpga_devices: dict[str, VirtexIIDevice] = field(default_factory=dict)
+
+    def fpga_device_of(self, operator_name: str) -> VirtexIIDevice:
+        op = self.architecture.operator(operator_name)
+        try:
+            return self.fpga_devices[op.device]
+        except KeyError:
+            raise KeyError(f"operator {operator_name!r} is not on a modelled FPGA") from None
+
+    @property
+    def dsp(self) -> Operator:
+        procs = self.architecture.processors()
+        if not procs:
+            raise ValueError(f"board {self.name!r} has no processor")
+        return procs[0]
+
+    def regions(self) -> list[str]:
+        return [o.region for o in self.architecture.dynamic_operators() if o.region]
+
+
+def sundance_board(
+    n_dynamic: int = 1,
+    fpga_clock_mhz: float = FPGA_CLOCK_MHZ,
+    device: VirtexIIDevice = XC2V2000,
+) -> Board:
+    """The case-study platform (Fig. 1 / Fig. 4 of the paper).
+
+    ``n_dynamic`` dynamic operators D1..Dn are created on the same FPGA,
+    each with its own region and a shared internal link to the static part.
+    """
+    if n_dynamic < 1:
+        raise ValueError("need at least one dynamic operator")
+    arch = ArchitectureGraph("sundance_smt")
+    dsp = arch.add_operator(
+        Operator("DSP", OperatorKind.PROCESSOR, DSP_CLASS, C6201_CLOCK_MHZ, device="c6201")
+    )
+    f1 = arch.add_operator(
+        Operator("F1", OperatorKind.FPGA_STATIC, FPGA_CLASS, fpga_clock_mhz, device=device.name)
+    )
+    shb = arch.add_medium(Medium("SHB", MediumKind.BUS, SHB_BANDWIDTH_MBPS, SHB_LATENCY_NS))
+    il = arch.add_medium(Medium("IL", MediumKind.INTERNAL, IL_BANDWIDTH_MBPS, IL_LATENCY_NS))
+    arch.connect(dsp, shb)
+    arch.connect(f1, shb)
+    arch.connect(f1, il)
+    for i in range(1, n_dynamic + 1):
+        dyn = arch.add_operator(
+            Operator(
+                f"D{i}",
+                OperatorKind.FPGA_DYNAMIC,
+                FPGA_CLASS,
+                fpga_clock_mhz,
+                device=device.name,
+                region=f"D{i}",
+            )
+        )
+        arch.connect(dyn, il)
+    arch.validate()
+    return Board(name="sundance", architecture=arch, fpga_devices={device.name: device})
+
+
+def dual_region_board(device: VirtexIIDevice = XC2V2000) -> Board:
+    """Two dynamic regions on one FPGA (the paper's multi-region extension)."""
+    board = sundance_board(n_dynamic=2, device=device)
+    board.name = "sundance_dual"
+    return board
+
+
+def standalone_fpga_board(
+    n_dynamic: int = 1,
+    fpga_clock_mhz: float = FPGA_CLOCK_MHZ,
+    device: VirtexIIDevice = XC2V2000,
+) -> Board:
+    """An FPGA-only platform (no DSP): the pure Fig. 2a deployment where the
+    static part hosts everything, including the configuration manager.
+
+    Algorithm graphs targeting this board must not contain DSP-only kinds;
+    the cost model rejects such mappings and adequation fails loudly.
+    """
+    if n_dynamic < 1:
+        raise ValueError("need at least one dynamic operator")
+    arch = ArchitectureGraph("standalone_fpga")
+    f1 = arch.add_operator(
+        Operator("F1", OperatorKind.FPGA_STATIC, FPGA_CLASS, fpga_clock_mhz, device=device.name)
+    )
+    il = arch.add_medium(Medium("IL", MediumKind.INTERNAL, IL_BANDWIDTH_MBPS, IL_LATENCY_NS))
+    arch.connect(f1, il)
+    for i in range(1, n_dynamic + 1):
+        dyn = arch.add_operator(
+            Operator(
+                f"D{i}",
+                OperatorKind.FPGA_DYNAMIC,
+                FPGA_CLASS,
+                fpga_clock_mhz,
+                device=device.name,
+                region=f"D{i}",
+            )
+        )
+        arch.connect(dyn, il)
+    arch.validate()
+    return Board(name="standalone_fpga", architecture=arch, fpga_devices={device.name: device})

@@ -1,0 +1,171 @@
+"""The architecture graph: operators and media with connection edges.
+
+The graph is bipartite — operators connect to media, never directly to each
+other.  A :class:`Route` is the sequence of media a transfer crosses between
+two operators; the adequation cost model charges each hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.arch.media import Medium
+from repro.arch.operator import Operator
+
+__all__ = ["ArchitectureError", "Route", "ArchitectureGraph"]
+
+
+class ArchitectureError(ValueError):
+    """Raised for malformed architectures or impossible routes."""
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A path between two operators through one or more media."""
+
+    src: Operator
+    dst: Operator
+    media: tuple[Medium, ...]
+
+    @property
+    def is_local(self) -> bool:
+        """True when src and dst are the same operator (no transfer needed)."""
+        return not self.media
+
+    def transfer_ns(self, nbytes: int) -> int:
+        """End-to-end time for ``nbytes``, store-and-forward across hops."""
+        return sum(m.transfer_ns(nbytes) for m in self.media)
+
+    def __str__(self) -> str:
+        if self.is_local:
+            return f"{self.src.name} (local)"
+        hops = " -> ".join(m.name for m in self.media)
+        return f"{self.src.name} -[{hops}]-> {self.dst.name}"
+
+
+class ArchitectureGraph:
+    """Operators + media + connections, with shortest-route queries."""
+
+    def __init__(self, name: str = "architecture"):
+        self.name = name
+        self._operators: dict[str, Operator] = {}
+        self._media: dict[str, Medium] = {}
+        self._links: set[tuple[str, str]] = set()  # (operator, medium)
+
+    # -- construction ------------------------------------------------------------
+
+    def add_operator(self, op: Operator) -> Operator:
+        if op.name in self._operators or op.name in self._media:
+            raise ArchitectureError(f"duplicate vertex name {op.name!r}")
+        self._operators[op.name] = op
+        return op
+
+    def add_medium(self, medium: Medium) -> Medium:
+        if medium.name in self._media or medium.name in self._operators:
+            raise ArchitectureError(f"duplicate vertex name {medium.name!r}")
+        self._media[medium.name] = medium
+        return medium
+
+    def connect(self, operator: Operator | str, medium: Medium | str) -> None:
+        """Attach an operator to a medium."""
+        op = self.operator(operator if isinstance(operator, str) else operator.name)
+        med = self.medium(medium if isinstance(medium, str) else medium.name)
+        self._links.add((op.name, med.name))
+
+    # -- queries --------------------------------------------------------------------
+
+    def operator(self, name: str) -> Operator:
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise ArchitectureError(f"no operator {name!r} in architecture {self.name!r}") from None
+
+    def medium(self, name: str) -> Medium:
+        try:
+            return self._media[name]
+        except KeyError:
+            raise ArchitectureError(f"no medium {name!r} in architecture {self.name!r}") from None
+
+    @property
+    def operators(self) -> list[Operator]:
+        return list(self._operators.values())
+
+    @property
+    def media(self) -> list[Medium]:
+        return list(self._media.values())
+
+    def operators_on(self, medium: Medium | str) -> list[Operator]:
+        med_name = medium if isinstance(medium, str) else medium.name
+        self.medium(med_name)
+        return [self._operators[o] for o, m in sorted(self._links) if m == med_name]
+
+    def media_of(self, operator: Operator | str) -> list[Medium]:
+        op_name = operator if isinstance(operator, str) else operator.name
+        self.operator(op_name)
+        return [self._media[m] for o, m in sorted(self._links) if o == op_name]
+
+    def processors(self) -> list[Operator]:
+        return [o for o in self._operators.values() if o.is_processor]
+
+    def dynamic_operators(self) -> list[Operator]:
+        return [o for o in self._operators.values() if o.is_reconfigurable]
+
+    def operators_of_device(self, device: str) -> list[Operator]:
+        return [o for o in self._operators.values() if o.device == device]
+
+    # -- routing ---------------------------------------------------------------------
+
+    def _nx(self) -> nx.Graph:
+        g = nx.Graph()
+        for o in self._operators:
+            g.add_node(o, vertex="operator")
+        for m in self._media:
+            g.add_node(m, vertex="medium")
+        for o, m in self._links:
+            g.add_edge(o, m)
+        return g
+
+    def route(self, src: Operator | str, dst: Operator | str) -> Route:
+        """The shortest route (fewest media hops) between two operators."""
+        src_op = self.operator(src if isinstance(src, str) else src.name)
+        dst_op = self.operator(dst if isinstance(dst, str) else dst.name)
+        if src_op.name == dst_op.name:
+            return Route(src_op, dst_op, ())
+        g = self._nx()
+        try:
+            path = nx.shortest_path(g, src_op.name, dst_op.name)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise ArchitectureError(
+                f"no route between {src_op.name!r} and {dst_op.name!r}"
+            ) from None
+        media = tuple(self._media[n] for n in path if n in self._media)
+        return Route(src_op, dst_op, media)
+
+    def validate(self) -> None:
+        """Check the platform is usable: non-empty and fully connected."""
+        problems = []
+        if not self._operators:
+            problems.append("architecture has no operators")
+        for m in self._media.values():
+            attached = self.operators_on(m)
+            if len(attached) < 2:
+                problems.append(f"medium {m.name!r} connects fewer than two operators")
+        ops = list(self._operators)
+        if len(ops) > 1:
+            g = self._nx()
+            for other in ops[1:]:
+                if not nx.has_path(g, ops[0], other):
+                    problems.append(f"operator {other!r} unreachable from {ops[0]!r}")
+        if problems:
+            raise ArchitectureError("; ".join(problems))
+
+    def summary(self) -> str:
+        lines = [f"ArchitectureGraph {self.name!r}"]
+        for o in self._operators.values():
+            media = ", ".join(m.name for m in self.media_of(o)) or "unconnected"
+            lines.append(f"  {o} on [{media}]")
+        for m in self._media.values():
+            lines.append(f"  {m}")
+        return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Architecture-graph and board serialization (JSON).
+
+Counterpart of :mod:`repro.dfg.io` for the platform side: operators, media,
+connections and the FPGA device references of a :class:`~repro.arch.boards.Board`
+round-trip through a stable JSON document, so platform descriptions can live
+in files next to the algorithm graphs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.arch.boards import Board
+from repro.arch.graph import ArchitectureGraph
+from repro.arch.media import Medium, MediumKind
+from repro.arch.operator import Operator, OperatorKind
+from repro.fabric.device import device_by_name
+
+__all__ = ["ArchFormatError", "dumps", "loads", "save", "load"]
+
+FORMAT_VERSION = 1
+
+
+class ArchFormatError(ValueError):
+    """Malformed serialized architecture/board."""
+
+
+def to_dict(board: Board) -> dict:
+    arch = board.architecture
+    operators = [
+        {
+            "name": op.name,
+            "kind": op.kind.value,
+            "operator_class": op.operator_class,
+            "clock_mhz": op.clock_mhz,
+            "device": op.device,
+            **({"region": op.region} if op.region else {}),
+        }
+        for op in arch.operators
+    ]
+    media = [
+        {
+            "name": m.name,
+            "kind": m.kind.value,
+            "bandwidth_mbps": m.bandwidth_mbps,
+            "latency_ns": m.latency_ns,
+        }
+        for m in arch.media
+    ]
+    links = []
+    for medium in arch.media:
+        for op in arch.operators_on(medium):
+            links.append({"operator": op.name, "medium": medium.name})
+    return {
+        "format": "repro-board",
+        "version": FORMAT_VERSION,
+        "name": board.name,
+        "architecture_name": arch.name,
+        "operators": operators,
+        "media": media,
+        "links": links,
+        "fpga_devices": sorted(board.fpga_devices),
+    }
+
+
+def from_dict(data: dict) -> Board:
+    if data.get("format") != "repro-board":
+        raise ArchFormatError("not a repro board document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ArchFormatError(f"unsupported format version {data.get('version')!r}")
+    arch = ArchitectureGraph(data.get("architecture_name", "architecture"))
+    for op_data in data.get("operators", []):
+        try:
+            kind = OperatorKind(op_data["kind"])
+        except ValueError:
+            raise ArchFormatError(f"unknown operator kind {op_data.get('kind')!r}") from None
+        arch.add_operator(
+            Operator(
+                name=op_data["name"],
+                kind=kind,
+                operator_class=op_data["operator_class"],
+                clock_mhz=op_data["clock_mhz"],
+                device=op_data["device"],
+                region=op_data.get("region"),
+            )
+        )
+    for m_data in data.get("media", []):
+        try:
+            kind = MediumKind(m_data["kind"])
+        except ValueError:
+            raise ArchFormatError(f"unknown medium kind {m_data.get('kind')!r}") from None
+        arch.add_medium(
+            Medium(
+                name=m_data["name"],
+                kind=kind,
+                bandwidth_mbps=m_data["bandwidth_mbps"],
+                latency_ns=m_data.get("latency_ns", 0),
+            )
+        )
+    for link in data.get("links", []):
+        arch.connect(link["operator"], link["medium"])
+    devices = {}
+    for name in data.get("fpga_devices", []):
+        try:
+            devices[name] = device_by_name(name)
+        except KeyError:
+            raise ArchFormatError(f"unknown FPGA device {name!r}") from None
+    arch.validate()
+    return Board(name=data.get("name", "board"), architecture=arch, fpga_devices=devices)
+
+
+def dumps(board: Board, indent: int = 2) -> str:
+    return json.dumps(to_dict(board), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Board:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ArchFormatError(f"invalid JSON: {err}") from err
+    return from_dict(data)
+
+
+def save(board: Board, path) -> None:
+    from pathlib import Path
+
+    Path(path).write_text(dumps(board))
+
+
+def load(path) -> Board:
+    from pathlib import Path
+
+    return loads(Path(path).read_text())

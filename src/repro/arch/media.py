@@ -1,0 +1,54 @@
+"""Communication media vertices of the architecture graph."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sim.units import transfer_time_ns
+
+__all__ = ["MediumKind", "Medium"]
+
+
+class MediumKind(enum.Enum):
+    """Physical flavour of a medium."""
+
+    BUS = "bus"  # shared parallel bus, e.g. the Sundance SHB
+    POINT_TO_POINT = "p2p"  # dedicated link
+    INTERNAL = "internal"  # on-chip wiring between FPGA parts (IL)
+
+
+@dataclass(frozen=True)
+class Medium:
+    """A communication resource.
+
+    Transfers are serialized on a medium (it is an exclusive resource in the
+    executive), and each transfer costs ``latency_ns`` of setup plus the
+    bandwidth-limited payload time.
+    """
+
+    name: str
+    kind: MediumKind
+    bandwidth_mbps: float  # sustained megabytes per second
+    latency_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("medium name must be non-empty")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"medium {self.name!r}: bandwidth must be positive")
+        if self.latency_ns < 0:
+            raise ValueError(f"medium {self.name!r}: latency must be >= 0")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_mbps * 1_000_000.0
+
+    def transfer_ns(self, nbytes: int) -> int:
+        """Time to move ``nbytes`` across this medium, setup included."""
+        if nbytes == 0:
+            return self.latency_ns
+        return self.latency_ns + transfer_time_ns(nbytes, self.bandwidth_bytes_per_s)
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.kind.value}, {self.bandwidth_mbps:g} MB/s)"

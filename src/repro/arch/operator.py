@@ -1,0 +1,73 @@
+"""Operator vertices of the architecture graph.
+
+"Operators have no internal parallelism computation available but the
+architecture exhibits the potential parallelism" — an operator executes one
+operation at a time; parallelism comes from having several operators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["OperatorKind", "Operator"]
+
+
+class OperatorKind(enum.Enum):
+    """The three operator roles of the paper's platform model."""
+
+    PROCESSOR = "processor"
+    FPGA_STATIC = "fpga_static"
+    FPGA_DYNAMIC = "fpga_dynamic"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A sequential execution resource.
+
+    ``operator_class`` keys into the operation library's duration tables
+    (e.g. ``"c6x_dsp"``, ``"virtex2"``).  ``device`` names the physical chip
+    the operator lives on — static and dynamic FPGA operators share one
+    device.  For :attr:`OperatorKind.FPGA_DYNAMIC`, ``region`` names the
+    reconfigurable region the floorplanner will place.
+    """
+
+    name: str
+    kind: OperatorKind
+    operator_class: str
+    clock_mhz: float
+    device: str
+    region: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator name must be non-empty")
+        if self.clock_mhz <= 0:
+            raise ValueError(f"operator {self.name!r}: clock must be positive")
+        if self.kind is OperatorKind.FPGA_DYNAMIC and not self.region:
+            raise ValueError(f"dynamic operator {self.name!r} must name its region")
+        if self.kind is not OperatorKind.FPGA_DYNAMIC and self.region:
+            raise ValueError(f"non-dynamic operator {self.name!r} must not name a region")
+
+    @property
+    def is_reconfigurable(self) -> bool:
+        return self.kind is OperatorKind.FPGA_DYNAMIC
+
+    @property
+    def is_processor(self) -> bool:
+        return self.kind is OperatorKind.PROCESSOR
+
+    def cycle_time_ns(self) -> float:
+        """Duration of one clock cycle in nanoseconds."""
+        return 1_000.0 / self.clock_mhz
+
+    def duration_ns(self, cycles: int) -> int:
+        """Integer-tick duration of ``cycles`` cycles (ceil)."""
+        from repro.sim.units import cycles_to_ns
+
+        return cycles_to_ns(cycles, self.clock_mhz)
+
+    def __str__(self) -> str:
+        tag = f"/{self.region}" if self.region else ""
+        return f"{self.name}({self.kind.value}{tag}@{self.clock_mhz:g}MHz)"

@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+Runs the paper's case study through the flow without writing any code::
+
+    python -m repro flow                         # full flow report
+    python -m repro table1                       # regenerate Table 1
+    python -m repro macrocode                    # the synchronized executive
+    python -m repro vhdl --out build/            # write VHDL + testbenches + UCF
+    python -m repro simulate -n 32 --pattern step --policy history
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.codegen.testbench import generate_all_testbenches
+from repro.flows import DesignFlow, SystemSimulation, parse_constraints, table1_report
+from repro.mccdma import Modulation, SnrTrace
+from repro.mccdma.bindings import make_case_study_bindings
+from repro.mccdma.casestudy import build_mccdma_design
+from repro.reconfig import (
+    HistoryPrefetchPolicy,
+    NoPrefetchPolicy,
+    OnSelectPrefetchPolicy,
+    case_a_standalone,
+    case_b_processor,
+)
+
+__all__ = ["main", "build_parser"]
+
+CASE_STUDY_CONSTRAINTS = """
+[module mod_qpsk]
+region    = D1
+operation = mod_qpsk
+
+[module mod_qam16]
+region    = D1
+operation = mod_qam16
+
+[region D1]
+sharing   = true
+exclusive = mod_qpsk, mod_qam16
+"""
+
+_POLICIES = {
+    "none": NoPrefetchPolicy,
+    "on_select": OnSelectPrefetchPolicy,
+    "history": HistoryPrefetchPolicy,
+}
+_ARCHITECTURES = {
+    "case_a": case_a_standalone,
+    "case_b": case_b_processor,
+}
+
+
+def _run_flow(args) -> "tuple":
+    design = build_mccdma_design()
+    flow = DesignFlow.from_design(
+        design,
+        dynamic_constraints=parse_constraints(CASE_STUDY_CONSTRAINTS),
+        reconfig_architecture=_ARCHITECTURES[args.architecture](),
+        prefetch=not getattr(args, "reactive", False),
+    )
+    flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
+    return design, flow.run()
+
+
+def _cmd_flow(args, out) -> int:
+    _, result = _run_flow(args)
+    print(result.report(), file=out)
+    return 0
+
+
+def _cmd_table1(args, out) -> int:
+    design, result = _run_flow(args)
+    print(table1_report(design.library, flow=result), file=out)
+    return 0
+
+
+def _cmd_macrocode(args, out) -> int:
+    _, result = _run_flow(args)
+    print(result.executive.render(), file=out)
+    return 0
+
+
+def _cmd_graph_dump(args, out) -> int:
+    from repro.dfg import io as dfg_io
+    from repro.mccdma.casestudy import build_mccdma_graph
+
+    text = dfg_io.dumps(build_mccdma_graph())
+    if args.out:
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def _cmd_board_dump(args, out) -> int:
+    from repro.arch import io as arch_io
+    from repro.arch.boards import sundance_board
+
+    text = arch_io.dumps(sundance_board())
+    if args.out:
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def _cmd_export(args, out) -> int:
+    from repro.flows.export import export_build_directory
+
+    _, result = _run_flow(args)
+    written = export_build_directory(result, args.out)
+    for path in written:
+        print(f"wrote {path}", file=out)
+    print(f"{len(written)} artefacts under {args.out}", file=out)
+    return 0
+
+
+def _cmd_vhdl(args, out) -> int:
+    _, result = _run_flow(args)
+    target = pathlib.Path(args.out)
+    target.mkdir(parents=True, exist_ok=True)
+    files = dict(result.generated.files)
+    files.update(generate_all_testbenches(result.generated.files))
+    files["top.ucf"] = result.modular.ucf
+    for name, text in sorted(files.items()):
+        (target / name).write_text(text)
+        print(f"wrote {target / name}", file=out)
+    return 0
+
+
+def _make_snr(pattern: str, n: int):
+    if pattern == "step":
+        return SnrTrace.step(low_db=8.0, high_db=22.0, period=max(1, n // 4), n=n)
+    if pattern == "walk":
+        return SnrTrace.random_walk(start_db=14.0, step_db=1.2, n=n, seed=0)
+    if pattern == "sinus":
+        return SnrTrace.sinusoid(mean_db=14.0, amplitude_db=6.0, period=max(2, n // 3), n=n)
+    raise ValueError(f"unknown SNR pattern {pattern!r}")
+
+
+def _cmd_simulate(args, out) -> int:
+    _, result = _run_flow(args)
+    snr = _make_snr(args.pattern, args.iterations)
+    state = make_case_study_bindings(snr, seed=args.seed)
+    policy = _POLICIES[args.policy]()
+    runtime = SystemSimulation(
+        result,
+        n_iterations=args.iterations,
+        bindings=state.bindings,
+        policy=policy,
+        capture={"dac"},
+    ).run()
+    print(runtime.summary(), file=out)
+    plan = ", ".join(m.value for m in state.selected)
+    print(f"modulation plan: {plan}", file=out)
+    if args.gantt:
+        print(runtime.execution.trace.gantt(width=72), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-down design flow for partial/dynamic FPGA reconfiguration "
+        "(Berthelot et al., IPDPS 2006) — case-study driver.",
+    )
+    parser.add_argument(
+        "--architecture", choices=sorted(_ARCHITECTURES), default="case_a",
+        help="Fig. 2 reconfiguration architecture (default: case_a, standalone ICAP)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("flow", help="run the full design flow and print the report")
+    sub.add_parser("table1", help="regenerate the paper's Table 1")
+    sub.add_parser("macrocode", help="print the synchronized executive")
+
+    p_gd = sub.add_parser("graph-dump", help="serialize the case-study algorithm graph")
+    p_gd.add_argument("--out", default=None, help="output file (default: stdout)")
+    p_bd = sub.add_parser("board-dump", help="serialize the Sundance board description")
+    p_bd.add_argument("--out", default=None, help="output file (default: stdout)")
+
+    p_vhdl = sub.add_parser("vhdl", help="write generated VHDL, testbenches and UCF")
+    p_vhdl.add_argument("--out", required=True, help="output directory")
+
+    p_exp = sub.add_parser(
+        "export", help="write the complete build directory (HDL, UCF, executive, bitstreams, reports)"
+    )
+    p_exp.add_argument("--out", required=True, help="output directory")
+
+    p_sim = sub.add_parser("simulate", help="runtime simulation with real MC-CDMA data")
+    p_sim.add_argument("-n", "--iterations", type=int, default=24)
+    p_sim.add_argument("--pattern", choices=("step", "walk", "sinus"), default="step")
+    p_sim.add_argument("--policy", choices=sorted(_POLICIES), default="none")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--reactive", action="store_true", help="reconfiguration-blind executive")
+    p_sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    return parser
+
+
+_COMMANDS = {
+    "flow": _cmd_flow,
+    "table1": _cmd_table1,
+    "macrocode": _cmd_macrocode,
+    "graph-dump": _cmd_graph_dump,
+    "board-dump": _cmd_board_dump,
+    "vhdl": _cmd_vhdl,
+    "export": _cmd_export,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out if out is not None else sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""VHDL code generation — the automatic design generation step.
+
+"The translation generates the VHDL code, both for the static and dynamic
+parts of a FPGA.  The final FPGA design is based on several dedicated
+processes to control: communication sequencings, computation sequencings,
+operator behaviour, activation of reading and writing phases of buffers."
+
+- :mod:`repro.codegen.vhdl` — VHDL text construction helpers,
+- :mod:`repro.codegen.generator` — executive macro-code → VHDL modules
+  (static part, one module per dynamic variant, bus macros),
+- :mod:`repro.codegen.constraints` — UCF-style placement constraints file,
+- :mod:`repro.codegen.checker` — a small VHDL lexer and structural checker
+  standing in for a VHDL front-end in the tests.
+"""
+
+from repro.codegen.vhdl import VhdlWriter, vhdl_identifier
+from repro.codegen.generator import GeneratedDesign, generate_design, generate_operator_vhdl
+from repro.codegen.constraints import generate_ucf
+from repro.codegen.checker import VhdlCheckError, check_vhdl, lex_vhdl
+
+__all__ = [
+    "VhdlWriter",
+    "vhdl_identifier",
+    "GeneratedDesign",
+    "generate_design",
+    "generate_operator_vhdl",
+    "generate_ucf",
+    "VhdlCheckError",
+    "check_vhdl",
+    "lex_vhdl",
+]

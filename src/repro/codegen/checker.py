@@ -1,0 +1,183 @@
+"""A small VHDL lexer and structural checker.
+
+Stands in for a VHDL front-end so tests can assert that generated code is
+structurally sound: balanced design units, matched ``process``/``end
+process``, balanced parentheses, legal port directions, and that every
+instantiated component entity exists in the design set.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["Token", "VhdlCheckError", "lex_vhdl", "check_vhdl", "entity_ports"]
+
+
+class VhdlCheckError(ValueError):
+    """Structural problem in generated VHDL; carries all problems found."""
+
+    def __init__(self, problems: list[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # "ident" | "number" | "string" | "punct"
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>--[^\n]*)
+  | (?P<string>"(?:[^"]|"")*")
+  | (?P<char>'(?:[^']|'')'?)
+  | (?P<number>\d[\d_.#a-fA-F]*)
+  | (?P<ident>[a-zA-Z][a-zA-Z0-9_]*)
+  | (?P<punct><=|=>|:=|/=|>=|[();:,.&'<>=+\-*/|])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+def lex_vhdl(text: str) -> list[Token]:
+    """Tokenize; raises on characters VHDL does not allow."""
+    tokens: list[Token] = []
+    line = 1
+    problems: list[str] = []
+    for m in _TOKEN_RE.finditer(text):
+        kind = m.lastgroup
+        value = m.group()
+        line += value.count("\n")
+        if kind in ("comment", "ws"):
+            continue
+        if kind == "bad":
+            problems.append(f"line {line}: illegal character {value!r}")
+            continue
+        if kind == "char":
+            kind = "string"
+        tokens.append(Token(kind=kind or "punct", text=value, line=line))
+    if problems:
+        raise VhdlCheckError(problems)
+    return tokens
+
+
+def _lowered(tokens: list[Token]) -> list[str]:
+    return [t.text.lower() if t.kind == "ident" else t.text for t in tokens]
+
+
+def entity_ports(text: str, entity: str) -> list[tuple[str, str]]:
+    """Extract ``(port_name, direction)`` pairs of ``entity`` from VHDL text."""
+    tokens = lex_vhdl(text)
+    words = _lowered(tokens)
+    try:
+        start = next(
+            i for i in range(len(words) - 2)
+            if words[i] == "entity" and words[i + 1] == entity.lower() and words[i + 2] == "is"
+        )
+    except StopIteration:
+        raise VhdlCheckError([f"entity {entity!r} not found"]) from None
+    # Find "port (" after the entity keyword.
+    i = start
+    while i < len(words) and words[i] != "port":
+        i += 1
+    if i >= len(words):
+        return []
+    i += 1  # at "("
+    depth = 0
+    ports: list[tuple[str, str]] = []
+    pending: list[str] = []
+    j = i
+    while j < len(words):
+        w = words[j]
+        if w == "(":
+            depth += 1
+        elif w == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        elif depth == 1:
+            if w == ":":
+                direction = words[j + 1] if j + 1 < len(words) else "?"
+                for name in pending:
+                    ports.append((name, direction))
+                pending = []
+            elif w in (";", ","):
+                pass
+            elif tokens[j].kind == "ident" and (not ports or words[j - 1] in ("(", ";", ",")):
+                pending.append(w)
+        j += 1
+    return ports
+
+
+def check_vhdl(files: dict[str, str]) -> None:
+    """Check a set of VHDL files as one design; raises with all problems."""
+    problems: list[str] = []
+    entities: set[str] = set()
+    components_used: list[tuple[str, str]] = []  # (file, component entity)
+
+    for fname, text in files.items():
+        try:
+            tokens = lex_vhdl(text)
+        except VhdlCheckError as err:
+            problems.extend(f"{fname}: {p}" for p in err.problems)
+            continue
+        words = _lowered(tokens)
+
+        # Parenthesis balance.
+        depth = 0
+        for t in tokens:
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+                if depth < 0:
+                    problems.append(f"{fname}: line {t.line}: unbalanced ')'")
+                    depth = 0
+        if depth > 0:
+            problems.append(f"{fname}: {depth} unclosed '('")
+
+        # Design-unit pairing.
+        for unit in ("entity", "architecture", "process"):
+            opens = 0
+            closes = 0
+            for i, w in enumerate(words):
+                if w == unit and (i == 0 or words[i - 1] != "end"):
+                    # "process" appears both as statement and in "end process".
+                    if unit == "entity" and i + 2 < len(words) and words[i + 2] != "is":
+                        continue  # entity reference like "entity work.foo"
+                    opens += 1
+                if w == unit and i > 0 and words[i - 1] == "end":
+                    closes += 1
+            if opens != closes:
+                problems.append(
+                    f"{fname}: {opens} '{unit}' opened but {closes} 'end {unit}' found"
+                )
+
+        # Collect declared entities and used components.
+        for i, w in enumerate(words):
+            if w == "entity" and (i == 0 or words[i - 1] != "end") and i + 2 < len(words) and words[i + 2] == "is":
+                entities.add(words[i + 1])
+            # "<label> : entity work.<name>" direct instantiation
+            if w == "entity" and i + 2 < len(words) and words[i + 1] == "work" and words[i + 2] == ".":
+                pass
+        for m in re.finditer(r"entity\s+work\.([a-zA-Z][a-zA-Z0-9_]*)", text, re.IGNORECASE):
+            components_used.append((fname, m.group(1).lower()))
+
+        # Port directions must be legal.
+        for m in re.finditer(r":\s*(in|out|inout|buffer|linkage|\w+)\s+std_logic", text, re.IGNORECASE):
+            direction = m.group(1).lower()
+            if direction not in ("in", "out", "inout", "buffer"):
+                problems.append(f"{fname}: illegal port direction {direction!r}")
+
+    for fname, comp in components_used:
+        if comp not in entities:
+            problems.append(f"{fname}: instantiates unknown entity work.{comp}")
+
+    if problems:
+        raise VhdlCheckError(problems)

@@ -1,0 +1,329 @@
+"""Executive → VHDL translation.
+
+Generates, per FPGA operator of the schedule:
+
+- for the **static part**: one module implementing every operation mapped to
+  it — a computation sequencer FSM (one state per operation), a
+  communication sequencer (handshakes per cross-operator edge), and buffer
+  phase-control signals;
+- for each **dynamic operator**: one module *per conditioned variant*, all
+  with the identical region pinout (so any variant drops into the region),
+  plus the ``In_Reconf`` lock-up input and the reconfiguration-request
+  output of the paper's Fig. 4;
+- a ``bus_macro`` entity (the eight 3-state buffers) and a top level that
+  stitches static part, region stubs and bus macros together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.aaa.schedule import Schedule, ScheduledOp
+from repro.arch.operator import Operator, OperatorKind
+from repro.codegen.vhdl import Port, VhdlWriter, vector, vhdl_identifier
+from repro.dfg.graph import AlgorithmGraph, Edge
+
+__all__ = ["GeneratedDesign", "generate_operator_vhdl", "generate_design"]
+
+#: Widest on-chip data path of the generated design (the bus-macro side).
+MAX_DATA_WIDTH = 32
+
+
+def _edge_width(edge: Edge) -> int:
+    """Port width for an edge's streaming interface."""
+    return min(MAX_DATA_WIDTH, edge.size_bits)
+
+
+def _edge_port_name(edge: Edge, incoming: bool) -> str:
+    base = f"{edge.src.name}_{edge.src_port}" if incoming else f"{edge.src.name}_{edge.src_port}"
+    return vhdl_identifier((("din_" if incoming else "dout_") + base))
+
+
+@dataclass
+class GeneratedDesign:
+    """All generated artefacts plus synthesis metadata."""
+
+    files: dict[str, str] = field(default_factory=dict)
+    #: module name -> names of the operations it implements
+    module_ops: dict[str, list[str]] = field(default_factory=dict)
+    #: dynamic variant module -> region name
+    variant_regions: dict[str, str] = field(default_factory=dict)
+    #: module name -> [(port name, width, direction)]
+    module_ports: dict[str, list[tuple[str, int, str]]] = field(default_factory=dict)
+    #: module name -> total inter-op buffer bytes inside the module
+    module_buffer_bytes: dict[str, int] = field(default_factory=dict)
+
+    def file_names(self) -> list[str]:
+        return sorted(self.files)
+
+
+def _cycles(duration_ns: int, clock_mhz: float) -> int:
+    return max(1, round(duration_ns * clock_mhz / 1000.0))
+
+
+def _operator_io(
+    graph: AlgorithmGraph, schedule: Schedule, operator: Operator
+) -> tuple[list[Edge], list[Edge]]:
+    """Cross-operator edges entering / leaving ``operator``."""
+    mapping = schedule.mapping()
+    ins: list[Edge] = []
+    outs: list[Edge] = []
+    for edge in graph.edges:
+        src_here = mapping[edge.src.name] == operator.name
+        dst_here = mapping[edge.dst.name] == operator.name
+        if dst_here and not src_here:
+            ins.append(edge)
+        elif src_here and not dst_here:
+            outs.append(edge)
+    return ins, outs
+
+
+def generate_operator_vhdl(
+    graph: AlgorithmGraph,
+    schedule: Schedule,
+    operator: Operator,
+    ops: Optional[list[ScheduledOp]] = None,
+    module_name: Optional[str] = None,
+) -> str:
+    """VHDL for one FPGA module (static part, or one dynamic variant when
+    ``ops`` restricts to a single conditioned alternative)."""
+    scheduled = ops if ops is not None else schedule.of_operator(operator)
+    if not scheduled:
+        raise ValueError(f"operator {operator.name!r} has no scheduled operations")
+    name = module_name or f"static_{operator.name}"
+    reconfigurable = operator.kind is OperatorKind.FPGA_DYNAMIC
+    op_names = {s.op.name for s in scheduled}
+
+    ins, outs = _operator_io(graph, schedule, operator)
+    ins = [e for e in ins if e.dst.name in op_names]
+    outs = [e for e in outs if e.src.name in op_names]
+
+    ports: list[Port] = [
+        Port("clk", "in", "std_logic"),
+        Port("rst", "in", "std_logic"),
+    ]
+    for e in ins:
+        ports.append(Port(_edge_port_name(e, True), "in", vector(_edge_width(e))))
+        ports.append(Port(_edge_port_name(e, True) + "_stb", "in", "std_logic"))
+        ports.append(Port(_edge_port_name(e, True) + "_ack", "out", "std_logic"))
+    for e in outs:
+        ports.append(Port(_edge_port_name(e, False), "out", vector(_edge_width(e))))
+        ports.append(Port(_edge_port_name(e, False) + "_stb", "out", "std_logic"))
+        ports.append(Port(_edge_port_name(e, False) + "_ack", "in", "std_logic"))
+    if reconfigurable:
+        ports.append(Port("in_reconf", "in", "std_logic"))
+        ports.append(Port("reconf_req", "out", "std_logic"))
+        ports.append(Port("select_val", "in", vector(8)))
+
+    w = VhdlWriter()
+    kindtag = "dynamic variant" if reconfigurable else "static part"
+    w.header(f"{name} — {kindtag} of operator {operator.name} ({operator.clock_mhz:g} MHz)")
+    w.entity(name, ports)
+
+    arch = "rtl"
+    w.begin_architecture(arch, name)
+    states = ["st_idle"] + [f"st_{s.op.name}" for s in scheduled] + ["st_done"]
+    w.declare_state_type("comp_state_t", states)
+    w.declare_signal("comp_state", "comp_state_t", "st_idle")
+    w.declare_signal("cycle_count", "unsigned(31 downto 0)", "(others => '0')")
+    for e in ins:
+        w.declare_signal(f"buf_{_edge_port_name(e, True)}", vector(_edge_width(e)))
+        w.declare_signal(f"buf_{_edge_port_name(e, True)}_full", "std_logic", "'0'")
+    for e in outs:
+        w.declare_signal(f"buf_{_edge_port_name(e, False)}", vector(_edge_width(e)))
+        w.declare_signal(f"buf_{_edge_port_name(e, False)}_full", "std_logic", "'0'")
+    w.declare_signal("comm_phase_write", "std_logic", "'0'")
+    w.begin_body()
+
+    # --- computation sequencer -------------------------------------------------
+    w.comment("computation sequencer: one state per operation, duration counters")
+    w.begin_process("comp_seq", ["clk"])
+    w.line("if rising_edge(clk) then")
+    w.push()
+    w.line("if rst = '1' then")
+    w.push()
+    w.line("comp_state <= st_idle;")
+    w.line("cycle_count <= (others => '0');")
+    w.pop()
+    w.line("else")
+    w.push()
+    w.line("case comp_state is")
+    w.push()
+    w.line("when st_idle =>")
+    w.push()
+    if reconfigurable:
+        w.comment("lock up while the region is being reconfigured")
+        w.line("if in_reconf = '0' then")
+        w.push()
+        w.line(f"comp_state <= st_{vhdl_identifier(scheduled[0].op.name)};")
+        w.pop()
+        w.line("end if;")
+    else:
+        w.line(f"comp_state <= st_{vhdl_identifier(scheduled[0].op.name)};")
+    w.pop()
+    for i, s in enumerate(scheduled):
+        nxt = "st_done" if i == len(scheduled) - 1 else f"st_{scheduled[i + 1].op.name}"
+        cycles = _cycles(s.duration, operator.clock_mhz)
+        w.line(f"when st_{vhdl_identifier(s.op.name)} =>")
+        w.push()
+        w.comment(f"{s.op.kind}: {cycles} cycles")
+        w.line(f"if cycle_count = to_unsigned({cycles - 1}, 32) then")
+        w.push()
+        w.line("cycle_count <= (others => '0');")
+        w.line(f"comp_state <= {vhdl_identifier(nxt)};")
+        w.pop()
+        w.line("else")
+        w.push()
+        w.line("cycle_count <= cycle_count + 1;")
+        w.pop()
+        w.line("end if;")
+        w.pop()
+    w.line("when st_done =>")
+    w.push()
+    w.line("comp_state <= st_idle;")
+    w.pop()
+    w.pop()
+    w.line("end case;")
+    w.pop()
+    w.line("end if;")
+    w.pop()
+    w.line("end if;")
+    w.end_process("comp_seq")
+
+    # --- communication sequencer -------------------------------------------------
+    w.comment("communication sequencer: buffer hand-off with read/write phases")
+    w.begin_process("comm_seq", ["clk"])
+    w.line("if rising_edge(clk) then")
+    w.push()
+    for e in ins:
+        pname = _edge_port_name(e, True)
+        w.line(f"if {pname}_stb = '1' and buf_{pname}_full = '0' then")
+        w.push()
+        w.line(f"buf_{pname} <= {pname};")
+        w.line(f"buf_{pname}_full <= '1';")
+        w.pop()
+        w.line("end if;")
+    for e in outs:
+        pname = _edge_port_name(e, False)
+        w.line(f"if buf_{pname}_full = '1' and {pname}_ack = '1' then")
+        w.push()
+        w.line(f"buf_{pname}_full <= '0';")
+        w.pop()
+        w.line("end if;")
+    w.line("comm_phase_write <= not comm_phase_write;")
+    w.pop()
+    w.line("end if;")
+    w.end_process("comm_seq")
+
+    for e in ins:
+        pname = _edge_port_name(e, True)
+        w.line(f"{pname}_ack <= not buf_{pname}_full;")
+    for e in outs:
+        pname = _edge_port_name(e, False)
+        w.line(f"{pname} <= buf_{pname};")
+        w.line(f"{pname}_stb <= buf_{pname}_full;")
+    if reconfigurable:
+        w.comment("reconfiguration request: raised when the selected module differs")
+        w.line(f"reconf_req <= '1' when select_val /= x\"00\" and comp_state = st_idle else '0';")
+    w.end_architecture(arch)
+    return w.render()
+
+
+def _bus_macro_vhdl() -> str:
+    w = VhdlWriter()
+    w.header("bus_macro — fixed routing bridge (eight 3-state buffers)")
+    w.entity(
+        "bus_macro",
+        [
+            Port("lhs", "in", vector(4)),
+            Port("rhs", "out", vector(4)),
+            Port("enable", "in", "std_logic"),
+        ],
+    )
+    w.begin_architecture("structural", "bus_macro")
+    w.begin_body()
+    w.comment("four data bits, one TBUF pair per bit, straddling the boundary")
+    w.line("rhs <= lhs when enable = '1' else (others => 'Z');")
+    w.end_architecture("structural")
+    return w.render()
+
+
+def generate_design(
+    graph: AlgorithmGraph,
+    schedule: Schedule,
+    architecture,
+) -> GeneratedDesign:
+    """Generate all VHDL files for the FPGA operators of a schedule."""
+    design = GeneratedDesign()
+    mapping = schedule.mapping()
+    fpga_static = [
+        op for op in architecture.operators
+        if op.kind is OperatorKind.FPGA_STATIC and schedule.of_operator(op)
+    ]
+    fpga_dynamic = [
+        op for op in architecture.operators
+        if op.kind is OperatorKind.FPGA_DYNAMIC and schedule.of_operator(op)
+    ]
+
+    for operator in fpga_static:
+        module = f"static_{operator.name}"
+        text = generate_operator_vhdl(graph, schedule, operator, module_name=module)
+        design.files[f"{vhdl_identifier(module).lower()}.vhd"] = text
+        scheduled = schedule.of_operator(operator)
+        design.module_ops[module] = [s.op.name for s in scheduled]
+        design.module_ports[module] = _port_meta(graph, schedule, operator, {s.op.name for s in scheduled})
+        design.module_buffer_bytes[module] = sum(
+            e.size_bytes for e in graph.edges
+            if mapping[e.src.name] == operator.name and mapping[e.dst.name] == operator.name
+        )
+
+    for operator in fpga_dynamic:
+        for s in schedule.of_operator(operator):
+            module = f"dyn_{operator.region}_{s.op.name}"
+            text = generate_operator_vhdl(
+                graph, schedule, operator, ops=[s], module_name=module
+            )
+            design.files[f"{vhdl_identifier(module).lower()}.vhd"] = text
+            design.module_ops[module] = [s.op.name]
+            design.variant_regions[module] = operator.region or operator.name
+            design.module_ports[module] = _port_meta(graph, schedule, operator, {s.op.name})
+            design.module_buffer_bytes[module] = 0
+
+    design.files["bus_macro.vhd"] = _bus_macro_vhdl()
+    design.files["top.vhd"] = _top_vhdl(design, fpga_static, fpga_dynamic)
+    return design
+
+
+def _port_meta(graph, schedule, operator, op_names) -> list[tuple[str, int, str]]:
+    ins, outs = _operator_io(graph, schedule, operator)
+    meta: list[tuple[str, int, str]] = []
+    for e in ins:
+        if e.dst.name in op_names:
+            meta.append((_edge_port_name(e, True), _edge_width(e), "in"))
+    for e in outs:
+        if e.src.name in op_names:
+            meta.append((_edge_port_name(e, False), _edge_width(e), "out"))
+    return meta
+
+
+def _top_vhdl(design: GeneratedDesign, fpga_static, fpga_dynamic) -> str:
+    w = VhdlWriter()
+    w.header("top — static part, reconfigurable regions and bus macros")
+    w.entity("top", [Port("clk", "in", "std_logic"), Port("rst", "in", "std_logic")])
+    w.begin_architecture("structural", "top")
+    w.declare_signal("bm_enable", "std_logic", "'1'")
+    n_macros = max(1, len(fpga_dynamic))
+    for i in range(n_macros):
+        w.declare_signal(f"bm{i}_l", vector(4))
+        w.declare_signal(f"bm{i}_r", vector(4))
+    w.begin_body()
+    w.comment("reconfigurable region contents are loaded at run time; the")
+    w.comment("default variant is instantiated for the initial full bitstream")
+    for i in range(n_macros):
+        w.line(f"bm{i} : entity work.bus_macro")
+        w.push()
+        w.line(f"port map (lhs => bm{i}_l, rhs => bm{i}_r, enable => bm_enable);")
+        w.pop()
+    w.end_architecture("structural")
+    return w.render()

@@ -1,0 +1,47 @@
+"""Algorithm data-flow graphs (the SynDEx *algorithm graph*).
+
+The paper models the application as a data-flow graph "to exhibit the
+potential parallelism between operations.  An operation is executed as soon
+as its inputs are available, and is infinitely repeated."  This package
+provides:
+
+- :mod:`repro.dfg.types` — token data types and ports,
+- :mod:`repro.dfg.operations` — operations (vertices),
+- :mod:`repro.dfg.graph` — the graph itself plus structural queries,
+- :mod:`repro.dfg.conditions` — conditional execution (SynDEx conditioning,
+  the ``Select`` input of the MC-CDMA transmitter),
+- :mod:`repro.dfg.library` — operation characterization (durations per
+  operator class, implementation metadata consumed by synthesis),
+- :mod:`repro.dfg.validate` — whole-graph validation,
+- :mod:`repro.dfg.generators` — synthetic graph generators for benchmarks.
+"""
+
+from repro.dfg.types import BIT, BYTE, CPLX16, DataType, Direction, Port, SAMPLE16, WORD32
+from repro.dfg.operations import Operation
+from repro.dfg.graph import AlgorithmGraph, Edge
+from repro.dfg.conditions import Condition, ConditionGroup
+from repro.dfg.library import OperationLibrary, OperationSpec
+from repro.dfg.validate import GraphValidationError, validate_graph
+from repro.dfg.retrofit import RetrofitError, retrofit_alternatives
+
+__all__ = [
+    "BIT",
+    "BYTE",
+    "CPLX16",
+    "SAMPLE16",
+    "WORD32",
+    "DataType",
+    "Direction",
+    "Port",
+    "Operation",
+    "AlgorithmGraph",
+    "Edge",
+    "Condition",
+    "ConditionGroup",
+    "OperationLibrary",
+    "OperationSpec",
+    "GraphValidationError",
+    "validate_graph",
+    "RetrofitError",
+    "retrofit_alternatives",
+]

@@ -1,0 +1,98 @@
+"""Conditional execution (SynDEx conditioning).
+
+The MC-CDMA transmitter's ``Select`` input chooses, per OFDM symbol, whether
+the *modulation* block runs as QPSK or QAM-16.  SynDEx models this as a
+conditioned vertex: a control value selects exactly one alternative subgraph
+per iteration.
+
+We model a :class:`ConditionGroup` as a named selector (an operation output
+that produces the control value) plus a set of *cases*; each case is a list
+of operations that execute only when the selector equals the case's value.
+Operations of different cases of the same group are **mutually exclusive** —
+precisely the property that lets them share one reconfigurable region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+from repro.dfg.operations import Operation
+
+__all__ = ["Condition", "ConditionGroup"]
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """Membership of an operation in one case of a condition group."""
+
+    group: str
+    value: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.group}=={self.value!r}"
+
+
+@dataclass
+class ConditionGroup:
+    """A selector and its mutually-exclusive alternatives."""
+
+    name: str
+    selector: Operation
+    selector_port: str
+    cases: dict[Hashable, list[Operation]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("condition group name must be non-empty")
+        self.selector.port(self.selector_port)  # raises if missing
+
+    def add_case(self, value: Hashable, operations: Iterable[Operation]) -> None:
+        """Register the operations executed when the selector equals ``value``."""
+        if value in self.cases:
+            raise ValueError(f"case {value!r} already present in group {self.name!r}")
+        ops = list(operations)
+        if not ops:
+            raise ValueError(f"case {value!r} of group {self.name!r} is empty")
+        for op in ops:
+            if op.condition is not None:
+                raise ValueError(
+                    f"operation {op.name!r} already conditioned on {op.condition}; "
+                    "operations may belong to at most one condition group"
+                )
+            op.condition = Condition(self.name, value)
+        self.cases[value] = ops
+
+    @property
+    def values(self) -> list[Hashable]:
+        return list(self.cases)
+
+    @property
+    def operations(self) -> list[Operation]:
+        return [op for ops in self.cases.values() for op in ops]
+
+    def alternatives_of(self, op: Operation) -> list[Operation]:
+        """Operations exclusive with ``op`` (other cases of this group)."""
+        if op.condition is None or op.condition.group != self.name:
+            raise ValueError(f"{op.name!r} is not conditioned by group {self.name!r}")
+        return [
+            other
+            for value, ops in self.cases.items()
+            if value != op.condition.value
+            for other in ops
+        ]
+
+    def exclusive(self, a: Operation, b: Operation) -> bool:
+        """True if ``a`` and ``b`` can never execute in the same iteration."""
+        return (
+            a.condition is not None
+            and b.condition is not None
+            and a.condition.group == self.name == b.condition.group
+            and a.condition.value != b.condition.value
+        )
+
+    def case_of(self, value: Hashable) -> list[Operation]:
+        try:
+            return self.cases[value]
+        except KeyError:
+            raise KeyError(f"group {self.name!r} has no case {value!r}") from None

@@ -1,0 +1,134 @@
+"""Synthetic algorithm-graph generators for scheduler benchmarks.
+
+The paper evaluates on one application; scheduler and prefetch benchmarks
+need families of graphs with controlled shape.  All generators are seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.dfg.graph import AlgorithmGraph
+from repro.dfg.types import WORD32
+
+__all__ = ["chain_graph", "fork_join_graph", "layered_random_graph", "conditioned_chain_graph"]
+
+_GENERIC_KINDS = ("generic_small", "generic_medium", "generic_large")
+
+
+def _add_generic(graph: AlgorithmGraph, name: str, kind: str, n_in: int, n_out: int, tokens: int = 16):
+    op = graph.add_operation(name, kind)
+    for i in range(n_in):
+        op.add_input(f"i{i}", WORD32, tokens)
+    for i in range(n_out):
+        op.add_output(f"o{i}", WORD32, tokens)
+    return op
+
+
+def chain_graph(length: int, kind: str = "generic_medium", tokens: int = 16) -> AlgorithmGraph:
+    """A linear pipeline of ``length`` operations."""
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    g = AlgorithmGraph(f"chain{length}")
+    prev = _add_generic(g, "n0", kind, 0, 1, tokens)
+    for i in range(1, length):
+        cur = _add_generic(g, f"n{i}", kind, 1, 1 if i < length - 1 else 0, tokens)
+        g.connect(prev, "o0", cur, "i0")
+        prev = cur
+    return g
+
+
+def fork_join_graph(width: int, kind: str = "generic_medium", tokens: int = 16) -> AlgorithmGraph:
+    """A source fanning out to ``width`` parallel branches joined by a sink."""
+    if width < 1:
+        raise ValueError("fork width must be >= 1")
+    g = AlgorithmGraph(f"forkjoin{width}")
+    src = _add_generic(g, "src", "generic_small", 0, width, tokens)
+    sink = _add_generic(g, "sink", "generic_small", width, 0, tokens)
+    for i in range(width):
+        branch = _add_generic(g, f"b{i}", kind, 1, 1, tokens)
+        g.connect(src, f"o{i}", branch, "i0")
+        g.connect(branch, "o0", sink, f"i{i}")
+    return g
+
+
+def layered_random_graph(
+    layers: int,
+    width: int,
+    seed: int = 0,
+    kinds: Sequence[str] = _GENERIC_KINDS,
+    density: float = 0.5,
+    tokens: int = 16,
+) -> AlgorithmGraph:
+    """A layered DAG: each node takes inputs from a random subset of the
+    previous layer (at least one, to keep every input driven)."""
+    if layers < 2 or width < 1:
+        raise ValueError("need layers >= 2 and width >= 1")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+    rng = random.Random(seed)
+    g = AlgorithmGraph(f"layered{layers}x{width}s{seed}")
+    previous: list = []
+    for layer in range(layers):
+        current = []
+        for w in range(width):
+            kind = rng.choice(list(kinds))
+            if layer == 0:
+                op = _add_generic(g, f"l0w{w}", kind, 0, 1, tokens)
+                # fan-out ports added lazily below
+            else:
+                fan_in = [p for p in previous if rng.random() < density]
+                if not fan_in:
+                    fan_in = [rng.choice(previous)]
+                op = g.add_operation(f"l{layer}w{w}", kind)
+                for i in range(len(fan_in)):
+                    op.add_input(f"i{i}", WORD32, tokens)
+                if layer < layers - 1:
+                    op.add_output("o0", WORD32, tokens)
+                for i, parent in enumerate(fan_in):
+                    out_name = f"o{len(g.out_edges(parent))}"
+                    if out_name not in parent.ports:
+                        parent.add_output(out_name, WORD32, tokens)
+                    g.connect(parent, out_name, op, f"i{i}")
+            current.append(op)
+        previous = current
+    return g
+
+
+def conditioned_chain_graph(
+    length: int, alternatives: int, seed: int = 0, tokens: int = 16
+) -> AlgorithmGraph:
+    """A pipeline whose middle stage is a condition group with
+    ``alternatives`` mutually-exclusive implementations — the canonical
+    dynamic-reconfiguration workload (generalized MC-CDMA modulation stage)."""
+    if length < 3:
+        raise ValueError("need length >= 3 to host a conditioned middle stage")
+    if alternatives < 2:
+        raise ValueError("need at least two alternatives")
+    g = AlgorithmGraph(f"condchain{length}x{alternatives}")
+    sel = g.add_operation("select", "select_source")
+    sel.add_output("value", WORD32, 1)
+
+    prev = _add_generic(g, "stage0", "generic_small", 0, 1, tokens)
+    mid = length // 2
+    for i in range(1, length):
+        if i == mid:
+            group = g.condition_group("alt", sel, "value")
+            joined = _add_generic(g, f"stage{i + 1}_join", "generic_small", alternatives, 1, tokens)
+            for a in range(alternatives):
+                alt = _add_generic(g, f"alt{a}", _GENERIC_KINDS[a % len(_GENERIC_KINDS)], 1, 1, tokens)
+                # Fan the same upstream value to each alternative.
+                out_name = f"o{len(g.out_edges(prev))}"
+                if out_name not in prev.ports:
+                    prev.add_output(out_name, WORD32, tokens)
+                g.connect(prev, out_name, alt, "i0")
+                g.connect(alt, "o0", joined, f"i{a}")
+                group.add_case(a, [alt])
+            prev = joined
+        else:
+            cur = _add_generic(g, f"stage{i}", "generic_medium", 1, 1 if i < length - 1 else 0, tokens)
+            g.connect(prev, "o0", cur, "i0")
+            prev = cur
+    return g

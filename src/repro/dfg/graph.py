@@ -1,0 +1,206 @@
+"""The algorithm graph: operations connected by typed data-flow edges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+import networkx as nx
+
+from repro.dfg.conditions import ConditionGroup
+from repro.dfg.operations import Operation
+from repro.dfg.types import Direction, Port
+
+__all__ = ["Edge", "AlgorithmGraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A data dependency: ``src.src_port`` drives ``dst.dst_port``."""
+
+    src: Operation
+    src_port: str
+    dst: Operation
+    dst_port: str
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes transferred per iteration over this edge."""
+        return self.src.port(self.src_port).size_bytes
+
+    @property
+    def size_bits(self) -> int:
+        return self.src.port(self.src_port).size_bits
+
+    def __str__(self) -> str:
+        return f"{self.src.name}.{self.src_port} -> {self.dst.name}.{self.dst_port}"
+
+
+class AlgorithmGraph:
+    """A data-flow graph of infinitely-repeated operations.
+
+    The graph must be a DAG within one iteration (inter-iteration feedback
+    would be modelled with explicit delay operations, which the MC-CDMA
+    transmitter does not need).
+    """
+
+    def __init__(self, name: str = "algorithm"):
+        self.name = name
+        self._ops: dict[str, Operation] = {}
+        self._edges: list[Edge] = []
+        self._groups: dict[str, ConditionGroup] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, op: Operation) -> Operation:
+        if op.name in self._ops:
+            raise ValueError(f"duplicate operation name {op.name!r}")
+        self._ops[op.name] = op
+        return op
+
+    def add_operation(self, name: str, kind: str, **params) -> Operation:
+        """Create, register and return a fresh operation."""
+        return self.add(Operation(name=name, kind=kind, params=params))
+
+    def connect(self, src: Operation | str, src_port: str, dst: Operation | str, dst_port: str) -> Edge:
+        """Add a data-flow edge; validates port existence and compatibility."""
+        src_op = self._resolve(src)
+        dst_op = self._resolve(dst)
+        sp = src_op.port(src_port)
+        dp = dst_op.port(dst_port)
+        if sp.direction is not Direction.OUT:
+            raise ValueError(f"{src_op.name}.{src_port} is not an output port")
+        if dp.direction is not Direction.IN:
+            raise ValueError(f"{dst_op.name}.{dst_port} is not an input port")
+        if not sp.compatible_with(dp):
+            raise ValueError(
+                f"incompatible edge {src_op.name}.{src_port} ({sp.dtype}[{sp.tokens}]) -> "
+                f"{dst_op.name}.{dst_port} ({dp.dtype}[{dp.tokens}])"
+            )
+        for e in self._edges:
+            if e.dst is dst_op and e.dst_port == dst_port:
+                raise ValueError(f"input {dst_op.name}.{dst_port} already driven by {e.src.name}.{e.src_port}")
+        edge = Edge(src_op, src_port, dst_op, dst_port)
+        self._edges.append(edge)
+        return edge
+
+    def disconnect(self, edge: Edge) -> None:
+        """Remove a data-flow edge (used by graph-surgery utilities)."""
+        try:
+            self._edges.remove(edge)
+        except ValueError:
+            raise KeyError(f"edge {edge} not in graph {self.name!r}") from None
+
+    def condition_group(
+        self, name: str, selector: Operation | str, selector_port: str
+    ) -> ConditionGroup:
+        """Declare a condition group driven by ``selector.selector_port``."""
+        if name in self._groups:
+            raise ValueError(f"duplicate condition group {name!r}")
+        sel = self._resolve(selector)
+        group = ConditionGroup(name=name, selector=sel, selector_port=selector_port)
+        self._groups[name] = group
+        return group
+
+    def _resolve(self, op: Operation | str) -> Operation:
+        if isinstance(op, Operation):
+            if self._ops.get(op.name) is not op:
+                raise KeyError(f"operation {op.name!r} is not part of graph {self.name!r}")
+            return op
+        try:
+            return self._ops[op]
+        except KeyError:
+            raise KeyError(f"graph {self.name!r} has no operation {op!r}") from None
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def operations(self) -> list[Operation]:
+        return list(self._ops.values())
+
+    @property
+    def edges(self) -> list[Edge]:
+        return list(self._edges)
+
+    @property
+    def condition_groups(self) -> dict[str, ConditionGroup]:
+        return dict(self._groups)
+
+    def operation(self, name: str) -> Operation:
+        return self._resolve(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def in_edges(self, op: Operation | str) -> list[Edge]:
+        target = self._resolve(op)
+        return [e for e in self._edges if e.dst is target]
+
+    def out_edges(self, op: Operation | str) -> list[Edge]:
+        source = self._resolve(op)
+        return [e for e in self._edges if e.src is source]
+
+    def predecessors(self, op: Operation | str) -> list[Operation]:
+        seen: dict[str, Operation] = {}
+        for e in self.in_edges(op):
+            seen.setdefault(e.src.name, e.src)
+        return list(seen.values())
+
+    def successors(self, op: Operation | str) -> list[Operation]:
+        seen: dict[str, Operation] = {}
+        for e in self.out_edges(op):
+            seen.setdefault(e.dst.name, e.dst)
+        return list(seen.values())
+
+    def sources(self) -> list[Operation]:
+        return [op for op in self._ops.values() if not self.in_edges(op)]
+
+    def sinks(self) -> list[Operation]:
+        return [op for op in self._ops.values() if not self.out_edges(op)]
+
+    # -- structure ---------------------------------------------------------------
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Lossless export for graph algorithms."""
+        g = nx.MultiDiGraph(name=self.name)
+        for op in self._ops.values():
+            g.add_node(op.name, operation=op)
+        for e in self._edges:
+            g.add_edge(e.src.name, e.dst.name, edge=e, bytes=e.size_bytes)
+        return g
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.to_networkx())
+
+    def topological_order(self) -> list[Operation]:
+        """Operations in dependency order (stable across runs)."""
+        g = self.to_networkx()
+        try:
+            order = list(nx.lexicographical_topological_sort(g))
+        except nx.NetworkXUnfeasible:
+            raise ValueError(f"graph {self.name!r} contains a dependency cycle") from None
+        return [self._ops[n] for n in order]
+
+    def exclusive(self, a: Operation, b: Operation) -> bool:
+        """True if ``a`` and ``b`` never execute in the same iteration."""
+        return any(g.exclusive(a, b) for g in self._groups.values())
+
+    def critical_path_length(self, duration_of) -> int:
+        """Longest path with node weights ``duration_of(op)`` (ignores comms)."""
+        longest: dict[str, int] = {}
+        for op in self.topological_order():
+            base = max((longest[p.name] for p in self.predecessors(op)), default=0)
+            longest[op.name] = base + duration_of(op)
+        return max(longest.values(), default=0)
+
+    def summary(self) -> str:
+        lines = [f"AlgorithmGraph {self.name!r}: {len(self._ops)} operations, {len(self._edges)} edges"]
+        for op in self.topological_order():
+            cond = f"  [if {op.condition}]" if op.condition else ""
+            lines.append(f"  {op.name} ({op.kind}){cond}")
+        for g in self._groups.values():
+            lines.append(f"  group {g.name}: cases {sorted(map(repr, g.cases))}")
+        return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Algorithm-graph serialization (JSON).
+
+SynDEx keeps its algorithm/architecture models in files; this module gives
+the reproduction the same persistence: a stable, versioned JSON format for
+:class:`~repro.dfg.graph.AlgorithmGraph` including data types, ports, edges
+and condition groups.  ``loads(dumps(g))`` is an exact structural round
+trip (verified by property tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.dfg.graph import AlgorithmGraph
+from repro.dfg.operations import Operation
+from repro.dfg.types import DataType, Direction
+
+__all__ = ["GraphFormatError", "dumps", "loads", "save", "load"]
+
+FORMAT_VERSION = 1
+
+
+class GraphFormatError(ValueError):
+    """Malformed serialized graph."""
+
+
+def _condition_value_to_json(value: Any) -> Any:
+    """Condition values must survive JSON: primitives pass through, enums
+    and other objects are tagged by repr for stable round trip."""
+    import enum
+
+    if isinstance(value, enum.Enum):
+        return {"__enum__": f"{type(value).__module__}.{type(value).__qualname__}", "value": value.value}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise GraphFormatError(f"unserializable condition value {value!r}")
+
+
+def _condition_value_from_json(data: Any) -> Any:
+    if isinstance(data, dict) and "__enum__" in data:
+        module_name, _, qualname = data["__enum__"].rpartition(".")
+        import importlib
+
+        try:
+            cls = getattr(importlib.import_module(module_name), qualname)
+            return cls(data["value"])
+        except (ImportError, AttributeError, ValueError) as err:
+            raise GraphFormatError(f"cannot restore enum {data['__enum__']}: {err}") from err
+    return data
+
+
+def to_dict(graph: AlgorithmGraph) -> dict:
+    """The graph as a JSON-ready dictionary."""
+    dtypes: dict[str, int] = {}
+    ops = []
+    for op in graph.operations:
+        ports = []
+        for port in op.ports.values():
+            dtypes.setdefault(port.dtype.name, port.dtype.bits)
+            if dtypes[port.dtype.name] != port.dtype.bits:
+                raise GraphFormatError(
+                    f"two data types named {port.dtype.name!r} with different widths"
+                )
+            ports.append(
+                {
+                    "name": port.name,
+                    "direction": port.direction.value,
+                    "dtype": port.dtype.name,
+                    "tokens": port.tokens,
+                }
+            )
+        ops.append({"name": op.name, "kind": op.kind, "params": dict(op.params), "ports": ports})
+    edges = [
+        {"src": e.src.name, "src_port": e.src_port, "dst": e.dst.name, "dst_port": e.dst_port}
+        for e in graph.edges
+    ]
+    groups = []
+    for group in graph.condition_groups.values():
+        groups.append(
+            {
+                "name": group.name,
+                "selector": group.selector.name,
+                "selector_port": group.selector_port,
+                "cases": [
+                    {
+                        "value": _condition_value_to_json(value),
+                        "operations": [op.name for op in case_ops],
+                    }
+                    for value, case_ops in group.cases.items()
+                ],
+            }
+        )
+    return {
+        "format": "repro-algorithm-graph",
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "dtypes": dtypes,
+        "operations": ops,
+        "edges": edges,
+        "condition_groups": groups,
+    }
+
+
+def from_dict(data: dict) -> AlgorithmGraph:
+    """Rebuild a graph from :func:`to_dict` output."""
+    if data.get("format") != "repro-algorithm-graph":
+        raise GraphFormatError("not a repro algorithm-graph document")
+    if data.get("version") != FORMAT_VERSION:
+        raise GraphFormatError(f"unsupported format version {data.get('version')!r}")
+    dtypes = {name: DataType(name, bits) for name, bits in data.get("dtypes", {}).items()}
+    graph = AlgorithmGraph(data.get("name", "algorithm"))
+    for op_data in data.get("operations", []):
+        op = Operation(name=op_data["name"], kind=op_data["kind"], params=dict(op_data.get("params", {})))
+        for port in op_data.get("ports", []):
+            try:
+                dtype = dtypes[port["dtype"]]
+            except KeyError:
+                raise GraphFormatError(f"port references unknown dtype {port['dtype']!r}") from None
+            op.add_port(port["name"], Direction(port["direction"]), dtype, port["tokens"])
+        graph.add(op)
+    for edge in data.get("edges", []):
+        graph.connect(edge["src"], edge["src_port"], edge["dst"], edge["dst_port"])
+    for group_data in data.get("condition_groups", []):
+        group = graph.condition_group(
+            group_data["name"], group_data["selector"], group_data["selector_port"]
+        )
+        for case in group_data.get("cases", []):
+            value = _condition_value_from_json(case["value"])
+            group.add_case(value, [graph.operation(n) for n in case["operations"]])
+    return graph
+
+
+def dumps(graph: AlgorithmGraph, indent: int = 2) -> str:
+    return json.dumps(to_dict(graph), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> AlgorithmGraph:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise GraphFormatError(f"invalid JSON: {err}") from err
+    return from_dict(data)
+
+
+def save(graph: AlgorithmGraph, path) -> None:
+    from pathlib import Path
+
+    Path(path).write_text(dumps(graph))
+
+
+def load(path) -> AlgorithmGraph:
+    from pathlib import Path
+
+    return loads(Path(path).read_text())

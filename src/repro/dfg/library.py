@@ -1,0 +1,143 @@
+"""Operation characterization library.
+
+AAA needs, for every operation kind, its execution duration on every operator
+class that can host it (the paper: "a heuristic which takes into account
+durations of computations and inter-component communications").  Synthesis
+additionally needs an implementation-cost estimate for FPGA targets.
+
+Durations are stored in *cycles of the hosting operator's clock*; the cost
+model converts to nanoseconds with the operator's frequency, so the same
+library entry serves a 200 MHz C6201 and a 100 MHz FPGA design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = ["OperationSpec", "OperationLibrary", "default_library"]
+
+#: Operator classes referenced by the paper's platform.
+DSP_CLASS = "c6x_dsp"
+FPGA_CLASS = "virtex2"
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """Characterization of one operation kind.
+
+    ``cycles`` maps operator class → cycles per firing.  A kind absent from
+    an operator class cannot be mapped there (e.g. the DAC interface exists
+    only on the FPGA).
+
+    ``fpga_resources`` is the synthesis estimate of the bare datapath
+    (LUTs/FFs/BRAMs/multipliers) before the generated control structure is
+    added — the paper's Table 1 overhead comes from that generated structure,
+    which :mod:`repro.fabric.synthesis` adds on top.
+    """
+
+    kind: str
+    cycles: Mapping[str, int]
+    fpga_resources: Mapping[str, int] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("operation kind must be non-empty")
+        if not self.cycles:
+            raise ValueError(f"kind {self.kind!r} must support at least one operator class")
+        for cls, cyc in self.cycles.items():
+            if cyc < 0:
+                raise ValueError(f"kind {self.kind!r}: negative cycle count on {cls!r}")
+
+    def supports(self, operator_class: str) -> bool:
+        return operator_class in self.cycles
+
+    def cycles_on(self, operator_class: str) -> int:
+        try:
+            return self.cycles[operator_class]
+        except KeyError:
+            raise KeyError(f"kind {self.kind!r} cannot run on operator class {operator_class!r}") from None
+
+
+class OperationLibrary:
+    """Registry of :class:`OperationSpec` entries."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, OperationSpec] = {}
+
+    def register(self, spec: OperationSpec) -> OperationSpec:
+        if spec.kind in self._specs:
+            raise ValueError(f"kind {spec.kind!r} already registered")
+        self._specs[spec.kind] = spec
+        return spec
+
+    def define(
+        self,
+        kind: str,
+        cycles: Mapping[str, int],
+        fpga_resources: Optional[Mapping[str, int]] = None,
+        description: str = "",
+    ) -> OperationSpec:
+        return self.register(
+            OperationSpec(kind=kind, cycles=dict(cycles), fpga_resources=dict(fpga_resources or {}), description=description)
+        )
+
+    def get(self, kind: str) -> OperationSpec:
+        try:
+            return self._specs[kind]
+        except KeyError:
+            raise KeyError(f"operation kind {kind!r} not in library") from None
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._specs
+
+    def kinds(self) -> list[str]:
+        return sorted(self._specs)
+
+    def supports(self, kind: str, operator_class: str) -> bool:
+        return self.get(kind).supports(operator_class)
+
+    def cycles(self, kind: str, operator_class: str) -> int:
+        return self.get(kind).cycles_on(operator_class)
+
+
+def default_library() -> OperationLibrary:
+    """The characterization used by the MC-CDMA case study.
+
+    Cycle counts are engineering estimates consistent with the paper's
+    platform (C6201 @ 200 MHz, Virtex-II design @ 50 MHz): the FPGA executes
+    the streaming blocks in a few cycles per sample thanks to pipelining,
+    while the DSP needs tens of cycles per sample.  FPGA resource vectors are
+    sized so the dynamic module lands at the paper's ≈8 % of an XC2V2000.
+    """
+    lib = OperationLibrary()
+    D, F = DSP_CLASS, FPGA_CLASS
+
+    # Sources / sinks (per OFDM-symbol firing; 64 subcarriers, 16-chip codes).
+    lib.define("bit_source", {D: 600}, description="MAC-layer bit source on the DSP")
+    lib.define("select_source", {D: 80}, description="SNR-driven modulation selector (Select)")
+    lib.define("dac_sink", {F: 80}, {"luts": 60, "ffs": 90}, "DAC / RF front-end interface")
+
+    # Static transmitter blocks (FPGA-only in the paper's final mapping,
+    # DSP timings provided so adequation can trade mappings off).
+    lib.define("channel_coder", {D: 2400, F: 140}, {"luts": 210, "ffs": 180}, "convolutional coder")
+    lib.define("interleaver", {D: 1800, F: 130}, {"luts": 150, "ffs": 160, "brams": 1}, "block interleaver")
+    lib.define("qpsk_mod", {D: 1500, F: 96}, {"luts": 120, "ffs": 100}, "QPSK symbol mapper")
+    lib.define("qam16_mod", {D: 2600, F: 150}, {"luts": 260, "ffs": 190}, "QAM-16 symbol mapper")
+    lib.define("spreader", {D: 5200, F: 170}, {"luts": 310, "ffs": 260}, "Walsh-Hadamard spreading")
+    lib.define("chip_mapper", {D: 1200, F: 110}, {"luts": 140, "ffs": 150}, "chip-to-subcarrier mapping")
+    lib.define("ifft64", {D: 9800, F: 420}, {"luts": 1450, "ffs": 1280, "brams": 3, "mults": 4}, "64-point IFFT")
+    lib.define("cyclic_prefix", {D: 900, F: 90}, {"luts": 110, "ffs": 130, "brams": 1}, "cyclic prefix insertion")
+    lib.define("framer", {D: 1100, F: 100}, {"luts": 130, "ffs": 140}, "OFDM symbol framing")
+    lib.define("interface_in_out", {F: 60}, {"luts": 180, "ffs": 210, "brams": 1}, "SHB bus interface (Interface IN OUT)")
+
+    # Conditional merge: forwards whichever alternative fired (the implicit
+    # SynDEx conditioning multiplexer, made explicit in our graphs).
+    lib.define("cond_merge", {D: 40, F: 8}, {"luts": 30, "ffs": 20}, "conditional output multiplexer")
+
+    # Generic kinds for synthetic benchmark graphs.
+    lib.define("generic_small", {D: 800, F: 90}, {"luts": 100, "ffs": 90})
+    lib.define("generic_medium", {D: 3200, F: 260}, {"luts": 420, "ffs": 380, "brams": 1})
+    lib.define("generic_large", {D: 12000, F: 900}, {"luts": 1600, "ffs": 1400, "brams": 4, "mults": 4})
+    return lib

@@ -1,0 +1,105 @@
+"""Operations — vertices of the algorithm graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.dfg.types import DataType, Direction, Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.conditions import Condition
+
+__all__ = ["Operation"]
+
+
+@dataclass
+class Operation:
+    """A data-flow operation.
+
+    An operation fires when all its input tokens are available, consumes them,
+    runs for a library-defined duration on the operator it was mapped to, and
+    produces its output tokens.  It repeats infinitely (the executive wraps
+    the whole graph in an endless loop).
+
+    ``kind`` names an entry of the :class:`~repro.dfg.library.OperationLibrary`
+    (e.g. ``"qpsk_mod"``); ``params`` carries instance parameters (e.g. FFT
+    size).  ``condition`` is set when the operation belongs to a conditioned
+    alternative (see :mod:`repro.dfg.conditions`).
+    """
+
+    name: str
+    kind: str
+    ports: dict[str, Port] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+    condition: Optional["Condition"] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operation name must be non-empty")
+        if not self.kind:
+            raise ValueError(f"operation {self.name!r} must name a library kind")
+
+    # -- port management -----------------------------------------------------
+
+    def add_port(self, name: str, direction: Direction, dtype: DataType, tokens: int = 1) -> Port:
+        """Declare a port; returns it for convenience."""
+        if name in self.ports:
+            raise ValueError(f"duplicate port {name!r} on operation {self.name!r}")
+        port = Port(name, direction, dtype, tokens)
+        self.ports[name] = port
+        return port
+
+    def add_input(self, name: str, dtype: DataType, tokens: int = 1) -> Port:
+        return self.add_port(name, Direction.IN, dtype, tokens)
+
+    def add_output(self, name: str, dtype: DataType, tokens: int = 1) -> Port:
+        return self.add_port(name, Direction.OUT, dtype, tokens)
+
+    def port(self, name: str) -> Port:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise KeyError(f"operation {self.name!r} has no port {name!r}") from None
+
+    @property
+    def inputs(self) -> list[Port]:
+        return [p for p in self.ports.values() if p.direction is Direction.IN]
+
+    @property
+    def outputs(self) -> list[Port]:
+        return [p for p in self.ports.values() if p.direction is Direction.OUT]
+
+    @property
+    def is_source(self) -> bool:
+        """No data inputs — e.g. a sensor or the DSP bit source."""
+        return not self.inputs
+
+    @property
+    def is_sink(self) -> bool:
+        """No data outputs — e.g. the DAC / antenna interface."""
+        return not self.outputs
+
+    @property
+    def is_conditioned(self) -> bool:
+        return self.condition is not None
+
+    def input_bytes(self) -> int:
+        """Total bytes consumed per firing."""
+        return sum(p.size_bytes for p in self.inputs)
+
+    def output_bytes(self) -> int:
+        """Total bytes produced per firing."""
+        return sum(p.size_bytes for p in self.outputs)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Operation):
+            return NotImplemented
+        return self.name == other.name
+
+    def __repr__(self) -> str:
+        cond = f" if {self.condition}" if self.condition else ""
+        return f"Operation({self.name}:{self.kind}{cond})"

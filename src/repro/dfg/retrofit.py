@@ -1,0 +1,123 @@
+"""Retrofitting dynamic reconfiguration onto a fixed design.
+
+The paper's closing claim: "This methodology can easily be used to
+introduce dynamic reconfiguration over already developed fixed design as
+well as for IP block integration."  This module is that capability as graph
+surgery: take an operation of an existing (fixed) algorithm graph and turn
+it into one case of a new condition group, adding alternative
+implementations (e.g. third-party IP blocks) with the same interface.
+
+The transformation:
+
+1. adds a selector operation producing the condition value,
+2. for every new alternative, clones the target's port interface,
+3. fans the target's inputs out to every alternative (producers grow one
+   extra output port per alternative),
+4. inserts a ``cond_merge`` operation in front of the target's consumers,
+5. registers target + alternatives as mutually exclusive cases.
+
+The result validates under :func:`repro.dfg.validate.validate_graph` and
+runs through the complete design flow unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.dfg.conditions import ConditionGroup
+from repro.dfg.graph import AlgorithmGraph
+from repro.dfg.operations import Operation
+from repro.dfg.types import Direction, WORD32
+
+__all__ = ["RetrofitError", "retrofit_alternatives"]
+
+
+class RetrofitError(ValueError):
+    """The target cannot be made dynamic as requested."""
+
+
+def retrofit_alternatives(
+    graph: AlgorithmGraph,
+    target: Operation | str,
+    new_alternatives: Mapping[object, str],
+    group_name: str,
+    base_value: object = "base",
+    selector_name: str | None = None,
+    selector_kind: str = "select_source",
+    merge_kind: str = "cond_merge",
+) -> ConditionGroup:
+    """Make ``target`` runtime-swappable against ``new_alternatives``.
+
+    ``new_alternatives`` maps condition values to operation *kinds* (the IP
+    blocks' library entries); the original target becomes case
+    ``base_value``.  Returns the created condition group.
+    """
+    target_op = graph.operation(target if isinstance(target, str) else target.name)
+    if target_op.condition is not None:
+        raise RetrofitError(f"{target_op.name!r} is already conditioned")
+    if not new_alternatives:
+        raise RetrofitError("need at least one new alternative")
+    if base_value in new_alternatives:
+        raise RetrofitError(f"base value {base_value!r} collides with a new alternative")
+    if not target_op.outputs:
+        raise RetrofitError(f"{target_op.name!r} has no outputs; nothing to merge")
+
+    # 1. Selector.
+    sel_name = selector_name or f"{group_name}_select"
+    if sel_name in graph:
+        raise RetrofitError(f"selector name {sel_name!r} already used")
+    selector = graph.add_operation(sel_name, selector_kind)
+    selector.add_output("value", WORD32, 1)
+
+    in_edges = graph.in_edges(target_op)
+    out_edges = graph.out_edges(target_op)
+
+    # 2. Clone the interface per alternative.
+    alternatives: dict[object, Operation] = {}
+    for value, kind in new_alternatives.items():
+        alt_name = f"{target_op.name}_{value}"
+        if alt_name in graph:
+            raise RetrofitError(f"alternative name {alt_name!r} already used")
+        alt = graph.add_operation(alt_name, kind)
+        for port in target_op.ports.values():
+            alt.add_port(port.name, port.direction, port.dtype, port.tokens)
+        alternatives[value] = alt
+
+    # 3. Fan inputs out to every alternative.
+    for edge in in_edges:
+        producer = edge.src
+        for value, alt in alternatives.items():
+            fan_port = f"{edge.src_port}_{group_name}_{value}"
+            if fan_port in producer.ports:
+                raise RetrofitError(
+                    f"producer {producer.name!r} already has a port {fan_port!r}"
+                )
+            src_port = producer.port(edge.src_port)
+            producer.add_port(fan_port, Direction.OUT, src_port.dtype, src_port.tokens)
+            graph.connect(producer, fan_port, alt, edge.dst_port)
+
+    # 4. Merge outputs in front of the original consumers.
+    for out_port in target_op.outputs:
+        consumers = [e for e in out_edges if e.src_port == out_port.name]
+        if not consumers:
+            continue
+        merge_name = f"{target_op.name}_{out_port.name}_{group_name}_merge"
+        merge = graph.add_operation(merge_name, merge_kind)
+        merge.add_input(f"from_{base_value}", out_port.dtype, out_port.tokens)
+        for value in alternatives:
+            merge.add_input(f"from_{value}", out_port.dtype, out_port.tokens)
+        for edge in consumers:
+            graph.disconnect(edge)
+            merge_out = f"o{len(merge.outputs)}"
+            merge.add_output(merge_out, out_port.dtype, out_port.tokens)
+            graph.connect(merge, merge_out, edge.dst, edge.dst_port)
+        graph.connect(target_op, out_port.name, merge, f"from_{base_value}")
+        for value, alt in alternatives.items():
+            graph.connect(alt, out_port.name, merge, f"from_{value}")
+
+    # 5. The condition group: original block + new IP alternatives.
+    group = graph.condition_group(group_name, selector, "value")
+    group.add_case(base_value, [target_op])
+    for value, alt in alternatives.items():
+        group.add_case(value, [alt])
+    return group

@@ -1,0 +1,90 @@
+"""Token data types and operation ports."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["DataType", "Direction", "Port", "BIT", "BYTE", "WORD32", "SAMPLE16", "CPLX16"]
+
+
+@dataclass(frozen=True, slots=True)
+class DataType:
+    """A token type flowing on data-flow edges.
+
+    ``bits`` is the size of one token; media durations and buffer sizes are
+    derived from it.
+    """
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"data type {self.name!r} must have positive width")
+
+    @property
+    def bytes(self) -> int:
+        """Size of one token in bytes (rounded up to whole bytes)."""
+        return -(-self.bits // 8)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Single bit (uncoded binary data).
+BIT = DataType("bit", 1)
+#: One octet.
+BYTE = DataType("byte", 8)
+#: 32-bit word (DSP native).
+WORD32 = DataType("word32", 32)
+#: 16-bit real sample (fixed point).
+SAMPLE16 = DataType("sample16", 16)
+#: Complex sample, 16-bit I + 16-bit Q.
+CPLX16 = DataType("cplx16", 32)
+
+
+class Direction(enum.Enum):
+    """Port direction, from the operation's point of view."""
+
+    IN = "in"
+    OUT = "out"
+
+
+@dataclass(frozen=True, slots=True)
+class Port:
+    """A typed operation port producing/consuming ``tokens`` tokens per firing."""
+
+    name: str
+    direction: Direction
+    dtype: DataType
+    tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("port name must be non-empty")
+        if self.tokens <= 0:
+            raise ValueError(f"port {self.name!r} must carry a positive token count")
+
+    @property
+    def size_bits(self) -> int:
+        """Data volume per firing in bits."""
+        return self.tokens * self.dtype.bits
+
+    @property
+    def size_bytes(self) -> int:
+        """Data volume per firing in bytes (rounded up)."""
+        return -(-self.size_bits // 8)
+
+    def compatible_with(self, other: "Port") -> bool:
+        """True if this OUT port can drive ``other`` IN port."""
+        return (
+            self.direction is Direction.OUT
+            and other.direction is Direction.IN
+            and self.dtype == other.dtype
+            and self.tokens == other.tokens
+        )
+
+    def __str__(self) -> str:
+        arrow = "->" if self.direction is Direction.OUT else "<-"
+        return f"{self.name}{arrow}{self.dtype}[{self.tokens}]"

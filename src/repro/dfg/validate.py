@@ -1,0 +1,89 @@
+"""Whole-graph validation.
+
+Run before adequation; catches the classes of specification error the paper's
+flow would reject at the SynDEx level (dangling inputs, cycles, inconsistent
+conditioning) plus library coverage (every kind characterized somewhere).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dfg.graph import AlgorithmGraph
+from repro.dfg.library import OperationLibrary
+
+__all__ = ["GraphValidationError", "validate_graph"]
+
+
+class GraphValidationError(ValueError):
+    """Raised when an algorithm graph is not implementable.
+
+    Collects every problem found so users can fix them in one pass.
+    """
+
+    def __init__(self, problems: list[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+def validate_graph(graph: AlgorithmGraph, library: Optional[OperationLibrary] = None) -> None:
+    """Raise :class:`GraphValidationError` listing every defect of ``graph``."""
+    problems: list[str] = []
+
+    if not graph.operations:
+        problems.append("graph has no operations")
+
+    # 1. Every input port driven exactly once (connect() enforces <=1; check >=1).
+    for op in graph.operations:
+        driven = {e.dst_port for e in graph.in_edges(op)}
+        for port in op.inputs:
+            if port.name not in driven:
+                problems.append(f"input {op.name}.{port.name} is not driven")
+
+    # 2. Acyclicity within one iteration.
+    if graph.operations and not graph.is_acyclic():
+        problems.append("graph contains a dependency cycle (no delay operations declared)")
+
+    # 3. Condition-group consistency.
+    for group in graph.condition_groups.values():
+        if len(group.cases) < 2:
+            problems.append(f"condition group {group.name!r} needs at least two cases")
+        if group.selector.name not in graph:
+            problems.append(f"selector {group.selector.name!r} of group {group.name!r} not in graph")
+        if group.selector.condition is not None:
+            problems.append(f"selector of group {group.name!r} must itself be unconditioned")
+        for value, ops in group.cases.items():
+            for op in ops:
+                if op.name not in graph:
+                    problems.append(f"conditioned operation {op.name!r} (case {value!r}) not in graph")
+                elif graph.operation(op.name) is not op:
+                    problems.append(f"conditioned operation {op.name!r} shadows a different graph operation")
+
+    # 3b. Alternatives of one group should have matching interfaces so they
+    # can substitute for each other inside one reconfigurable region.
+    for group in graph.condition_groups.values():
+        signatures = {}
+        for value, ops in group.cases.items():
+            sig = tuple(
+                sorted(
+                    (p.name, p.direction.value, p.dtype.name, p.tokens)
+                    for op in ops
+                    for p in op.ports.values()
+                )
+            )
+            signatures[value] = sig
+        distinct = {s for s in signatures.values()}
+        if len(distinct) > 1:
+            problems.append(
+                f"condition group {group.name!r}: cases have differing port interfaces; "
+                "alternatives cannot share a reconfigurable region"
+            )
+
+    # 4. Library coverage.
+    if library is not None:
+        for op in graph.operations:
+            if op.kind not in library:
+                problems.append(f"operation {op.name!r}: kind {op.kind!r} not characterized in library")
+
+    if problems:
+        raise GraphValidationError(problems)

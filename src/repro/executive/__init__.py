@@ -1,0 +1,47 @@
+"""Synchronized executives (the SynDEx macro-code).
+
+"The result is a synchronized executive represented by a macro-code for each
+vertices of the architecture."  This package defines that macro-code, builds
+it from an adequation schedule, and interprets it on the discrete-event
+simulator:
+
+- :mod:`repro.executive.macrocode` — the instruction set and per-vertex
+  programs,
+- :mod:`repro.executive.generator` — schedule → executive translation,
+- :mod:`repro.executive.interpreter` — concurrent execution of the programs
+  with real data values (the flow's "dynamic verification" step).
+"""
+
+from repro.executive.macrocode import (
+    ComputeInstr,
+    ExecutiveProgram,
+    Instruction,
+    MacroCodeError,
+    RecvInstr,
+    ReconfigureInstr,
+    SendInstr,
+    TransferInstr,
+)
+from repro.executive.generator import generate_executive
+from repro.executive.interpreter import (
+    ConditionContext,
+    ExecutionReport,
+    ExecutiveRunner,
+    FixedLatencyConfigService,
+)
+
+__all__ = [
+    "ComputeInstr",
+    "ExecutiveProgram",
+    "Instruction",
+    "MacroCodeError",
+    "RecvInstr",
+    "ReconfigureInstr",
+    "SendInstr",
+    "TransferInstr",
+    "generate_executive",
+    "ConditionContext",
+    "ExecutionReport",
+    "ExecutiveRunner",
+    "FixedLatencyConfigService",
+]

@@ -1,0 +1,137 @@
+"""Executive generation: adequation schedule → macro-code programs.
+
+"Once mapping and scheduling of the algorithm are performed, macro-code is
+automatically generated" — this module is that step.  The per-operator
+programs follow the schedule's start order; communication instructions are
+inserted around computations; dynamic operators get an explicit
+``reconfigure_`` macro ahead of each conditioned module.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.aaa.schedule import Schedule
+from repro.dfg.graph import AlgorithmGraph, Edge
+from repro.executive.macrocode import (
+    ComputeInstr,
+    ExecutiveProgram,
+    Instruction,
+    RecvInstr,
+    ReconfigureInstr,
+    SendInstr,
+    TransferInstr,
+)
+
+__all__ = ["edge_id_of", "generate_executive"]
+
+
+def edge_id_of(edge: Edge) -> str:
+    """Stable identifier of a data-flow edge."""
+    return f"{edge.src.name}.{edge.src_port}->{edge.dst.name}.{edge.dst_port}"
+
+
+def _edge_condition(edge: Edge) -> tuple[Optional[str], Hashable]:
+    """The condition guarding an edge's traffic: a conditioned endpoint means
+    the transfer only happens in that endpoint's case."""
+    if edge.src.condition is not None:
+        return edge.src.condition.group, edge.src.condition.value
+    if edge.dst.condition is not None:
+        return edge.dst.condition.group, edge.dst.condition.value
+    return None, None
+
+
+def generate_executive(graph: AlgorithmGraph, schedule: Schedule) -> ExecutiveProgram:
+    """Translate a validated schedule into the synchronized executive."""
+    program = ExecutiveProgram()
+    mapping = schedule.mapping()
+
+    # Which groups does each operation decide?
+    decides: dict[str, str] = {}
+    for group in graph.condition_groups.values():
+        decides[group.selector.name] = group.name
+        program.condition_groups[group.name] = list(group.cases)
+
+    # Cross-operator edges and their hop counts; input-source map for data.
+    cross_edges: dict[str, Edge] = {}
+    for edge in graph.edges:
+        eid = edge_id_of(edge)
+        sources = program.input_sources.setdefault(edge.dst.name, {})
+        if mapping[edge.src.name] != mapping[edge.dst.name]:
+            cross_edges[eid] = edge
+            hops = {t.hop for t in schedule.transfers_of_edge(edge)}
+            program.edge_hops[eid] = len(hops)
+            sources[edge.dst_port] = ("edge", eid)
+        else:
+            sources[edge.dst_port] = ("local", f"{edge.src.name}.{edge.src_port}")
+
+    # Per-operator code, in schedule order.
+    for operator_name in schedule.operators_used():
+        code: list[Instruction] = []
+        for s in schedule.of_operator(operator_name):
+            op = s.op
+            group, value = (op.condition.group, op.condition.value) if op.condition else (None, None)
+            reconf_instr = None
+            if s.operator.is_reconfigurable and op.condition is not None:
+                assert s.operator.region is not None
+                reconf_instr = ReconfigureInstr(
+                    condition_group=group, condition_value=value,
+                    region=s.operator.region, module=op.name,
+                )
+                regions = program.selector_regions.setdefault(op.condition.group, [])
+                if s.operator.region not in regions:
+                    regions.append(s.operator.region)
+                program.case_modules.setdefault(op.condition.group, {}).setdefault(
+                    op.condition.value, {}
+                )[s.operator.region] = op.name
+            # Prefetch placement: when the adequation scheduled the swap ahead
+            # of the data (prefetched reconfiguration), the request macro runs
+            # *before* the data reception, so loading overlaps the upstream
+            # pipeline.  Reactive schedules request only once the data is in.
+            prefetched = any(
+                r.module == op.name and r.prefetched
+                for r in schedule.reconfigs_of(s.operator)
+            )
+            if reconf_instr is not None and prefetched:
+                code.append(reconf_instr)
+            for edge in graph.in_edges(op):
+                if mapping[edge.src.name] == operator_name:
+                    continue
+                g, v = _edge_condition(edge)
+                code.append(
+                    RecvInstr(condition_group=g, condition_value=v,
+                              edge_id=edge_id_of(edge), size_bytes=edge.size_bytes)
+                )
+            if reconf_instr is not None and not prefetched:
+                code.append(reconf_instr)
+            code.append(
+                ComputeInstr(
+                    condition_group=group, condition_value=value,
+                    op_name=op.name, kind=op.kind, duration_ns=s.duration,
+                    params=dict(op.params), decides_group=decides.get(op.name),
+                )
+            )
+            for edge in graph.out_edges(op):
+                if mapping[edge.dst.name] == operator_name:
+                    continue
+                g, v = _edge_condition(edge)
+                code.append(
+                    SendInstr(condition_group=g, condition_value=v,
+                              edge_id=edge_id_of(edge), size_bytes=edge.size_bytes)
+                )
+        program.operator_code[operator_name] = code
+
+    # Per-medium code, in schedule order.
+    for t in sorted(schedule.transfers, key=lambda t: (t.start, t.end, t.hop)):
+        eid = edge_id_of(t.edge)
+        g, v = _edge_condition(t.edge)
+        program.medium_code.setdefault(t.medium.name, []).append(
+            TransferInstr(
+                condition_group=g, condition_value=v,
+                edge_id=eid, hop=t.hop, size_bytes=t.edge.size_bytes,
+                duration_ns=t.duration,
+            )
+        )
+
+    program.validate()
+    return program

@@ -1,0 +1,174 @@
+"""Executive serialization (JSON).
+
+The synchronized executive is the flow's hand-off artefact (SynDEx writes
+macro-code files the target toolchains consume).  This module round-trips
+:class:`~repro.executive.macrocode.ExecutiveProgram` through a versioned
+JSON document so executives can be stored next to the graphs that produced
+them and re-simulated later without re-running adequation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.dfg.io import _condition_value_from_json, _condition_value_to_json
+from repro.executive.macrocode import (
+    ComputeInstr,
+    ExecutiveProgram,
+    Instruction,
+    MacroCodeError,
+    RecvInstr,
+    ReconfigureInstr,
+    SendInstr,
+    TransferInstr,
+)
+
+__all__ = ["ExecutiveFormatError", "dumps", "loads", "save", "load"]
+
+FORMAT_VERSION = 1
+
+_INSTR_TYPES = {
+    "compute": ComputeInstr,
+    "send": SendInstr,
+    "recv": RecvInstr,
+    "transfer": TransferInstr,
+    "reconfigure": ReconfigureInstr,
+}
+_TYPE_NAMES = {cls: name for name, cls in _INSTR_TYPES.items()}
+
+
+class ExecutiveFormatError(ValueError):
+    """Malformed serialized executive."""
+
+
+def _instr_to_json(instr: Instruction) -> dict[str, Any]:
+    data: dict[str, Any] = {"type": _TYPE_NAMES[type(instr)]}
+    if instr.is_conditioned:
+        data["condition_group"] = instr.condition_group
+        data["condition_value"] = _condition_value_to_json(instr.condition_value)
+    if isinstance(instr, ComputeInstr):
+        data.update(op_name=instr.op_name, kind=instr.kind, duration_ns=instr.duration_ns)
+        if instr.params:
+            data["params"] = dict(instr.params)
+        if instr.decides_group:
+            data["decides_group"] = instr.decides_group
+    elif isinstance(instr, (SendInstr, RecvInstr)):
+        data.update(edge_id=instr.edge_id, size_bytes=instr.size_bytes)
+    elif isinstance(instr, TransferInstr):
+        data.update(
+            edge_id=instr.edge_id, hop=instr.hop,
+            size_bytes=instr.size_bytes, duration_ns=instr.duration_ns,
+        )
+    elif isinstance(instr, ReconfigureInstr):
+        data.update(region=instr.region, module=instr.module)
+    return data
+
+
+def _instr_from_json(data: dict[str, Any]) -> Instruction:
+    try:
+        cls = _INSTR_TYPES[data["type"]]
+    except KeyError:
+        raise ExecutiveFormatError(f"unknown instruction type {data.get('type')!r}") from None
+    kwargs: dict[str, Any] = {
+        k: v for k, v in data.items() if k not in ("type", "condition_value", "condition_group")
+    }
+    if "condition_group" in data:
+        kwargs["condition_group"] = data["condition_group"]
+        kwargs["condition_value"] = _condition_value_from_json(data["condition_value"])
+    try:
+        return cls(**kwargs)
+    except (TypeError, MacroCodeError) as err:
+        raise ExecutiveFormatError(f"bad {data['type']} instruction: {err}") from err
+
+
+def to_dict(program: ExecutiveProgram) -> dict:
+    return {
+        "format": "repro-executive",
+        "version": FORMAT_VERSION,
+        "operator_code": {
+            name: [_instr_to_json(i) for i in code]
+            for name, code in program.operator_code.items()
+        },
+        "medium_code": {
+            name: [_instr_to_json(i) for i in code]
+            for name, code in program.medium_code.items()
+        },
+        "edge_hops": dict(program.edge_hops),
+        "selector_regions": {k: list(v) for k, v in program.selector_regions.items()},
+        "condition_groups": {
+            group: [_condition_value_to_json(v) for v in values]
+            for group, values in program.condition_groups.items()
+        },
+        "input_sources": {
+            op: {port: list(source) for port, source in ports.items()}
+            for op, ports in program.input_sources.items()
+        },
+        "case_modules": {
+            group: [
+                {"value": _condition_value_to_json(value), "regions": dict(regions)}
+                for value, regions in cases.items()
+            ]
+            for group, cases in program.case_modules.items()
+        },
+    }
+
+
+def from_dict(data: dict) -> ExecutiveProgram:
+    if data.get("format") != "repro-executive":
+        raise ExecutiveFormatError("not a repro executive document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ExecutiveFormatError(f"unsupported format version {data.get('version')!r}")
+    program = ExecutiveProgram(
+        operator_code={
+            name: [_instr_from_json(i) for i in code]
+            for name, code in data.get("operator_code", {}).items()
+        },
+        medium_code={
+            name: [_instr_from_json(i) for i in code]  # type: ignore[misc]
+            for name, code in data.get("medium_code", {}).items()
+        },
+        edge_hops=dict(data.get("edge_hops", {})),
+        selector_regions={k: list(v) for k, v in data.get("selector_regions", {}).items()},
+        condition_groups={
+            group: [_condition_value_from_json(v) for v in values]
+            for group, values in data.get("condition_groups", {}).items()
+        },
+        input_sources={
+            op: {port: tuple(source) for port, source in ports.items()}
+            for op, ports in data.get("input_sources", {}).items()
+        },
+        case_modules={
+            group: {
+                _condition_value_from_json(case["value"]): dict(case["regions"])
+                for case in cases
+            }
+            for group, cases in data.get("case_modules", {}).items()
+        },
+    )
+    program.validate()
+    return program
+
+
+def dumps(program: ExecutiveProgram, indent: int = 2) -> str:
+    return json.dumps(to_dict(program), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> ExecutiveProgram:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ExecutiveFormatError(f"invalid JSON: {err}") from err
+    return from_dict(data)
+
+
+def save(program: ExecutiveProgram, path) -> None:
+    from pathlib import Path
+
+    Path(path).write_text(dumps(program))
+
+
+def load(path) -> ExecutiveProgram:
+    from pathlib import Path
+
+    return loads(Path(path).read_text())

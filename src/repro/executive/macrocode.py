@@ -1,0 +1,208 @@
+"""The macro-code instruction set.
+
+A SynDEx executive is, per architecture vertex, a totally ordered list of
+macros wrapped in an infinite loop, with inter-vertex synchronization.  Our
+instruction set mirrors the macros the paper's VHDL generator consumes:
+
+- :class:`ComputeInstr` — run one operation (the computation sequencer step),
+- :class:`SendInstr` / :class:`RecvInstr` — hand a buffer to / take a buffer
+  from a communication channel (the communication sequencer steps, with the
+  buffer read/write phase control),
+- :class:`TransferInstr` — one hop of a data transfer on a medium,
+- :class:`ReconfigureInstr` — ask the configuration manager to load a module
+  (only on dynamic operators).
+
+Every instruction may be *conditioned*: it executes only in iterations where
+its condition group has the matching value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+__all__ = [
+    "MacroCodeError",
+    "Instruction",
+    "ComputeInstr",
+    "SendInstr",
+    "RecvInstr",
+    "TransferInstr",
+    "ReconfigureInstr",
+    "ExecutiveProgram",
+]
+
+
+class MacroCodeError(ValueError):
+    """Malformed executive program."""
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """Base: every instruction may be conditioned on (group, value)."""
+
+    condition_group: Optional[str] = None
+    condition_value: Hashable = None
+
+    @property
+    def is_conditioned(self) -> bool:
+        return self.condition_group is not None
+
+
+@dataclass(frozen=True, slots=True)
+class ComputeInstr(Instruction):
+    """Execute operation ``op_name`` for ``duration_ns``."""
+
+    op_name: str = ""
+    kind: str = ""
+    duration_ns: int = 0
+    params: dict = field(default_factory=dict, hash=False, compare=False)
+    #: Set when the operation is the selector of a condition group: its
+    #: output decides that group's value for the iteration.
+    decides_group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.op_name:
+            raise MacroCodeError("compute instruction needs an operation name")
+        if self.duration_ns < 0:
+            raise MacroCodeError(f"compute {self.op_name!r}: negative duration")
+
+
+@dataclass(frozen=True, slots=True)
+class SendInstr(Instruction):
+    """Deposit the buffer of ``edge_id`` for its first transfer hop."""
+
+    edge_id: str = ""
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.edge_id:
+            raise MacroCodeError("send instruction needs an edge id")
+
+
+@dataclass(frozen=True, slots=True)
+class RecvInstr(Instruction):
+    """Wait for the buffer of ``edge_id`` to arrive from its last hop."""
+
+    edge_id: str = ""
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.edge_id:
+            raise MacroCodeError("recv instruction needs an edge id")
+
+
+@dataclass(frozen=True, slots=True)
+class TransferInstr(Instruction):
+    """Move the buffer of ``edge_id`` across one medium hop."""
+
+    edge_id: str = ""
+    hop: int = 0
+    size_bytes: int = 0
+    duration_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.edge_id:
+            raise MacroCodeError("transfer instruction needs an edge id")
+        if self.duration_ns < 0:
+            raise MacroCodeError(f"transfer {self.edge_id!r}: negative duration")
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigureInstr(Instruction):
+    """Ensure module ``module`` is configured before the next compute."""
+
+    region: str = ""
+    module: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.region or not self.module:
+            raise MacroCodeError("reconfigure instruction needs region and module")
+
+
+@dataclass
+class ExecutiveProgram:
+    """The complete synchronized executive for a design.
+
+    ``operator_code[name]`` and ``medium_code[name]`` are the per-vertex
+    macro-code sequences (one iteration each; the runtime loops them).
+    ``edge_hops[edge_id]`` records how many medium hops each cross-operator
+    edge takes (sizing the channel chain), and ``selector_regions`` maps a
+    condition group to the dynamic regions hosting its cases (for prefetch
+    notification).
+    """
+
+    operator_code: dict[str, list[Instruction]] = field(default_factory=dict)
+    medium_code: dict[str, list[TransferInstr]] = field(default_factory=dict)
+    edge_hops: dict[str, int] = field(default_factory=dict)
+    selector_regions: dict[str, list[str]] = field(default_factory=dict)
+    condition_groups: dict[str, list[Hashable]] = field(default_factory=dict)
+    #: op name -> input port -> ("local", "srcop.srcport") | ("edge", edge_id);
+    #: lets the interpreter thread real data values through the executive.
+    input_sources: dict[str, dict[str, tuple[str, str]]] = field(default_factory=dict)
+    #: group -> condition value -> region -> module to configure; translates
+    #: a selector decision into concrete prefetch targets.
+    case_modules: dict[str, dict[Hashable, dict[str, str]]] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Structural checks: every sent edge is transferred and received."""
+        problems: list[str] = []
+        sends: dict[str, int] = {}
+        recvs: dict[str, int] = {}
+        for name, code in self.operator_code.items():
+            for instr in code:
+                if isinstance(instr, SendInstr):
+                    sends[instr.edge_id] = sends.get(instr.edge_id, 0) + 1
+                elif isinstance(instr, RecvInstr):
+                    recvs[instr.edge_id] = recvs.get(instr.edge_id, 0) + 1
+        transfers: dict[str, set[int]] = {}
+        for name, code in self.medium_code.items():
+            for t in code:
+                transfers.setdefault(t.edge_id, set()).add(t.hop)
+        for edge_id, hops in self.edge_hops.items():
+            if sends.get(edge_id, 0) != 1:
+                problems.append(f"edge {edge_id!r}: expected exactly one send")
+            if recvs.get(edge_id, 0) != 1:
+                problems.append(f"edge {edge_id!r}: expected exactly one recv")
+            if transfers.get(edge_id, set()) != set(range(hops)):
+                problems.append(f"edge {edge_id!r}: transfer hops incomplete")
+        for edge_id in set(sends) | set(recvs):
+            if edge_id not in self.edge_hops:
+                problems.append(f"edge {edge_id!r}: send/recv without hop declaration")
+        if problems:
+            raise MacroCodeError("; ".join(problems))
+
+    def render(self) -> str:
+        """Human-readable macro-code listing (the paper's generated macro-code)."""
+        lines = ["; synchronized executive"]
+        for name in sorted(self.operator_code):
+            lines.append(f"operator {name}:")
+            lines.append("  loop_")
+            for instr in self.operator_code[name]:
+                lines.append(f"    {_render_instr(instr)}")
+            lines.append("  endloop_")
+        for name in sorted(self.medium_code):
+            lines.append(f"medium {name}:")
+            lines.append("  loop_")
+            for instr in self.medium_code[name]:
+                lines.append(f"    {_render_instr(instr)}")
+            lines.append("  endloop_")
+        return "\n".join(lines)
+
+
+def _render_instr(instr: Instruction) -> str:
+    cond = ""
+    if instr.is_conditioned:
+        cond = f" when {instr.condition_group}=={instr.condition_value!r}"
+    if isinstance(instr, ComputeInstr):
+        decides = f" decides({instr.decides_group})" if instr.decides_group else ""
+        return f"compute_ {instr.op_name} ({instr.kind}, {instr.duration_ns} ns){decides}{cond}"
+    if isinstance(instr, SendInstr):
+        return f"send_ {instr.edge_id} [{instr.size_bytes} B]{cond}"
+    if isinstance(instr, RecvInstr):
+        return f"recv_ {instr.edge_id} [{instr.size_bytes} B]{cond}"
+    if isinstance(instr, TransferInstr):
+        return f"transfer_ {instr.edge_id} hop{instr.hop} [{instr.size_bytes} B, {instr.duration_ns} ns]{cond}"
+    if isinstance(instr, ReconfigureInstr):
+        return f"reconfigure_ {instr.region} <- {instr.module}{cond}"
+    return repr(instr)  # pragma: no cover

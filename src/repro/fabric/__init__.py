@@ -1,0 +1,71 @@
+"""Virtex-II fabric model and the Xilinx Modular Design back-end substitute.
+
+The paper implements its flow with the Xilinx Modular Design tools on a
+Virtex-II XC2V2000.  This package replaces that proprietary back-end with an
+executable model:
+
+- :mod:`repro.fabric.resources` — resource vectors (slices/LUTs/FFs/TBUFs/BRAMs/MULTs),
+- :mod:`repro.fabric.device` — device geometry and configuration-frame model,
+- :mod:`repro.fabric.netlist` — post-synthesis netlist abstraction,
+- :mod:`repro.fabric.synthesis` — macro-code → netlist resource estimation
+  (including the generated control-structure overhead behind Table 1),
+- :mod:`repro.fabric.busmacro` — the 8-TBUF bus macros bridging static and
+  dynamic parts,
+- :mod:`repro.fabric.floorplan` — modular floorplanner enforcing the paper's
+  placement rules (full device height, width multiple of 4 slices),
+- :mod:`repro.fabric.par` — placement feasibility and routing checks,
+- :mod:`repro.fabric.bitstream` — frame-addressed full and partial
+  bitstreams with CRC.
+"""
+
+from repro.fabric.resources import ResourceVector
+from repro.fabric.device import (
+    VirtexIIDevice,
+    XC2V1000,
+    XC2V2000,
+    XC2V3000,
+    device_by_name,
+)
+from repro.fabric.netlist import Netlist, NetlistModule
+from repro.fabric.busmacro import BusMacro, plan_bus_macros
+from repro.fabric.floorplan import Floorplan, FloorplanError, ModulePlacement, Floorplanner
+from repro.fabric.bitstream import (
+    Bitstream,
+    BitstreamError,
+    Frame,
+    generate_full_bitstream,
+    generate_partial_bitstream,
+)
+from repro.fabric.synthesis import PortSpec, SynthesisError, SynthesisReport, Synthesizer
+from repro.fabric.par import PARReport, PlaceAndRoute
+from repro.fabric.power import EnergyBreakdown, PowerModel
+
+__all__ = [
+    "ResourceVector",
+    "VirtexIIDevice",
+    "XC2V1000",
+    "XC2V2000",
+    "XC2V3000",
+    "device_by_name",
+    "Netlist",
+    "NetlistModule",
+    "BusMacro",
+    "plan_bus_macros",
+    "Floorplan",
+    "FloorplanError",
+    "ModulePlacement",
+    "Floorplanner",
+    "Bitstream",
+    "BitstreamError",
+    "Frame",
+    "generate_full_bitstream",
+    "generate_partial_bitstream",
+    "PortSpec",
+    "SynthesisError",
+    "SynthesisReport",
+    "Synthesizer",
+    "PARReport",
+    "PlaceAndRoute",
+    "EnergyBreakdown",
+    "PowerModel",
+]

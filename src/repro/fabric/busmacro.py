@@ -1,0 +1,103 @@
+"""Bus macros — fixed routing bridges between static and dynamic parts.
+
+From the paper: "The communications between static and dynamic parts use a
+special bus macro.  This bus is a fixed routing bridge between two sides and
+is pre-routed.  The current implementation of the bus macro uses eight
+3-state buffers, their position exactly straddles the dividing line between
+designs."
+
+One :class:`BusMacro` therefore carries **4 data bits** (8 TBUFs: each bit
+needs a driver on either side of the boundary) in one direction.  Planning
+bus macros for a region means counting the signal bits that cross its
+boundary and stacking enough macros along the dividing column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.fabric.device import VirtexIIDevice
+from repro.fabric.resources import ResourceVector
+
+__all__ = ["BusMacro", "BusMacroError", "plan_bus_macros", "BITS_PER_MACRO", "TBUFS_PER_MACRO"]
+
+#: Eight 3-state buffers per macro, two per signal bit.
+TBUFS_PER_MACRO = 8
+#: Data bits carried by one macro.
+BITS_PER_MACRO = 4
+
+
+class BusMacroError(ValueError):
+    """Raised when the boundary cannot host the required macros."""
+
+
+@dataclass(frozen=True, slots=True)
+class BusMacro:
+    """One placed bus macro.
+
+    ``column`` is the dividing CLB column the macro straddles (its TBUFs sit
+    in columns ``column-1`` and ``column``); ``row`` is the CLB row of the
+    macro; ``direction`` tells whether data flows into or out of the region.
+    """
+
+    name: str
+    column: int
+    row: int
+    direction: Literal["into_region", "out_of_region"]
+
+    @property
+    def tbufs(self) -> int:
+        return TBUFS_PER_MACRO
+
+    @property
+    def data_bits(self) -> int:
+        return BITS_PER_MACRO
+
+    def resources(self) -> ResourceVector:
+        return ResourceVector(tbufs=TBUFS_PER_MACRO)
+
+
+def macros_needed(bits: int) -> int:
+    """Macros required to carry ``bits`` signal bits one way."""
+    if bits < 0:
+        raise ValueError(f"bit count must be >= 0, got {bits}")
+    return -(-bits // BITS_PER_MACRO)
+
+
+def plan_bus_macros(
+    device: VirtexIIDevice,
+    region_name: str,
+    boundary_column: int,
+    bits_in: int,
+    bits_out: int,
+) -> list[BusMacro]:
+    """Stack bus macros along ``boundary_column`` for a region's boundary.
+
+    Macros occupy successive CLB rows from the bottom.  Raises
+    :class:`BusMacroError` when the device height cannot host them (each
+    macro takes one CLB row on the dividing line) or the column is not a
+    legal internal boundary.
+    """
+    if not 0 < boundary_column < device.clb_cols:
+        raise BusMacroError(
+            f"boundary column {boundary_column} is not internal to {device.name} "
+            f"(must be 1..{device.clb_cols - 1})"
+        )
+    n_in = macros_needed(bits_in)
+    n_out = macros_needed(bits_out)
+    total = n_in + n_out
+    if total > device.clb_rows:
+        raise BusMacroError(
+            f"region {region_name!r} needs {total} bus macros on column {boundary_column}, "
+            f"device height is {device.clb_rows} rows"
+        )
+    macros: list[BusMacro] = []
+    row = 0
+    for i in range(n_in):
+        macros.append(BusMacro(f"{region_name}_bm_in{i}", boundary_column, row, "into_region"))
+        row += 1
+    for i in range(n_out):
+        macros.append(BusMacro(f"{region_name}_bm_out{i}", boundary_column, row, "out_of_region"))
+        row += 1
+    return macros

@@ -1,0 +1,215 @@
+"""Virtex-II device geometry and configuration-frame model.
+
+Geometry (CLB array, slices, BRAM/multiplier columns) follows the Xilinx
+DS031 data sheet.  The configuration model captures what matters for partial
+reconfiguration latency:
+
+- configuration data is organized in **vertical frames** spanning the full
+  device height (hence the paper's rule that reconfigurable modules occupy
+  the full height of the device);
+- a module covering ``w`` CLB columns needs the frames of those columns, so
+  its partial bitstream is ≈ ``w / clb_cols`` of the full bitstream plus a
+  fixed command header.
+
+The per-column frame count (22 frames per CLB column) is the documented
+Virtex-II value; frame size is derived from the full-bitstream size so the
+model stays self-consistent per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fabric.resources import ResourceVector
+
+__all__ = [
+    "VirtexIIDevice",
+    "XC2V1000",
+    "XC2V2000",
+    "XC2V3000",
+    "device_by_name",
+    "SLICES_PER_CLB",
+    "LUTS_PER_SLICE",
+    "FRAMES_PER_CLB_COLUMN",
+]
+
+#: Virtex-II architecture constants (DS031).
+SLICES_PER_CLB = 4
+LUTS_PER_SLICE = 2
+FFS_PER_SLICE = 2
+TBUFS_PER_CLB = 4
+#: Configuration frames addressing one CLB column (UG002 minor addresses).
+FRAMES_PER_CLB_COLUMN = 22
+#: Command header/footer of a partial bitstream (sync word, FAR writes,
+#: CRC, desync), modelled as a flat overhead.
+PARTIAL_HEADER_BITS = 1_024
+
+
+@dataclass(frozen=True)
+class VirtexIIDevice:
+    """One Virtex-II part.
+
+    ``bram_cols`` holds the x-positions (in CLB-column coordinates, 0-based,
+    position means "immediately left of CLB column i") of the block-RAM /
+    multiplier column pairs.
+    """
+
+    name: str
+    clb_rows: int
+    clb_cols: int
+    full_bitstream_bits: int
+    bram_cols: tuple[int, ...]
+    brams_per_col: int
+
+    def __post_init__(self) -> None:
+        if self.clb_rows <= 0 or self.clb_cols <= 0:
+            raise ValueError(f"{self.name}: CLB array must be positive")
+        if self.full_bitstream_bits <= 0:
+            raise ValueError(f"{self.name}: bitstream size must be positive")
+        for c in self.bram_cols:
+            if not 0 <= c <= self.clb_cols:
+                raise ValueError(f"{self.name}: BRAM column {c} outside device")
+
+    # -- capacity ---------------------------------------------------------------
+
+    @property
+    def slices(self) -> int:
+        return self.clb_rows * self.clb_cols * SLICES_PER_CLB
+
+    @property
+    def luts(self) -> int:
+        return self.slices * LUTS_PER_SLICE
+
+    @property
+    def ffs(self) -> int:
+        return self.slices * FFS_PER_SLICE
+
+    @property
+    def tbufs(self) -> int:
+        return self.clb_rows * self.clb_cols * TBUFS_PER_CLB
+
+    @property
+    def brams(self) -> int:
+        return len(self.bram_cols) * self.brams_per_col
+
+    @property
+    def mults(self) -> int:
+        # Virtex-II pairs one MULT18X18 with every BRAM.
+        return self.brams
+
+    def capacity(self) -> ResourceVector:
+        """The whole device as a resource vector."""
+        return ResourceVector(
+            slices=self.slices,
+            luts=self.luts,
+            ffs=self.ffs,
+            tbufs=self.tbufs,
+            brams=self.brams,
+            mults=self.mults,
+        )
+
+    def column_span_capacity(self, col0: int, width: int) -> ResourceVector:
+        """Resources available in CLB columns ``[col0, col0+width)``, full height."""
+        self._check_span(col0, width)
+        clbs = self.clb_rows * width
+        brams = sum(self.brams_per_col for c in self.bram_cols if col0 < c <= col0 + width)
+        return ResourceVector(
+            slices=clbs * SLICES_PER_CLB,
+            luts=clbs * SLICES_PER_CLB * LUTS_PER_SLICE,
+            ffs=clbs * SLICES_PER_CLB * FFS_PER_SLICE,
+            tbufs=clbs * TBUFS_PER_CLB,
+            brams=brams,
+            mults=brams,
+        )
+
+    def _check_span(self, col0: int, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"column span width must be positive, got {width}")
+        if col0 < 0 or col0 + width > self.clb_cols:
+            raise ValueError(
+                f"{self.name}: span [{col0}, {col0 + width}) outside 0..{self.clb_cols}"
+            )
+
+    # -- configuration frames -----------------------------------------------------
+
+    @property
+    def total_frames(self) -> int:
+        """Modelled frame count: CLB column frames plus IOB/clock/BRAM frames."""
+        non_clb = 64 + 4 * len(self.bram_cols)
+        return FRAMES_PER_CLB_COLUMN * self.clb_cols + non_clb
+
+    @property
+    def frame_bits(self) -> int:
+        """Bits per configuration frame (full bitstream / frame count, ceil)."""
+        return -(-self.full_bitstream_bits // self.total_frames)
+
+    def frames_for_span(self, col0: int, width: int) -> int:
+        """Frames to reconfigure CLB columns ``[col0, col0+width)`` including
+        the BRAM columns inside the span."""
+        self._check_span(col0, width)
+        brams_inside = sum(1 for c in self.bram_cols if col0 < c <= col0 + width)
+        return FRAMES_PER_CLB_COLUMN * width + 4 * brams_inside
+
+    def partial_bitstream_bits(self, col0: int, width: int) -> int:
+        """Size of a partial bitstream covering the span, header included."""
+        return self.frames_for_span(col0, width) * self.frame_bits + PARTIAL_HEADER_BITS
+
+    def partial_bitstream_bytes(self, col0: int, width: int) -> int:
+        return -(-self.partial_bitstream_bits(col0, width) // 8)
+
+    def area_fraction(self, width: int) -> float:
+        """Fraction of the CLB array covered by a full-height, ``width``-column module."""
+        if not 0 < width <= self.clb_cols:
+            raise ValueError(f"width {width} outside device")
+        return width / self.clb_cols
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.clb_rows}x{self.clb_cols} CLBs, {self.slices} slices)"
+
+
+def _evenly_spaced_bram_cols(clb_cols: int, n: int) -> tuple[int, ...]:
+    """BRAM column x-positions, evenly distributed like the real parts."""
+    return tuple(round((i + 1) * clb_cols / (n + 1)) for i in range(n))
+
+
+#: XC2V1000: 40x32 CLBs, 5120 slices, 40 BRAMs, 4.1 Mb bitstream (DS031).
+XC2V1000 = VirtexIIDevice(
+    name="xc2v1000",
+    clb_rows=40,
+    clb_cols=32,
+    full_bitstream_bits=4_082_592,
+    bram_cols=_evenly_spaced_bram_cols(32, 4),
+    brams_per_col=10,
+)
+
+#: XC2V2000: 56x48 CLBs, 10752 slices, 56 BRAMs, 8.4 Mb bitstream (DS031).
+#: This is the paper's device (Sundance board).
+XC2V2000 = VirtexIIDevice(
+    name="xc2v2000",
+    clb_rows=56,
+    clb_cols=48,
+    full_bitstream_bits=8_391_936,
+    bram_cols=_evenly_spaced_bram_cols(48, 4),
+    brams_per_col=14,
+)
+
+#: XC2V3000: 64x56 CLBs, 14336 slices, 96 BRAMs, 10.5 Mb bitstream (DS031).
+XC2V3000 = VirtexIIDevice(
+    name="xc2v3000",
+    clb_rows=64,
+    clb_cols=56,
+    full_bitstream_bits=10_494_368,
+    bram_cols=_evenly_spaced_bram_cols(56, 6),
+    brams_per_col=16,
+)
+
+_CATALOG = {d.name: d for d in (XC2V1000, XC2V2000, XC2V3000)}
+
+
+def device_by_name(name: str) -> VirtexIIDevice:
+    """Look up a catalogued device (case-insensitive)."""
+    try:
+        return _CATALOG[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(_CATALOG)}") from None

@@ -1,0 +1,159 @@
+"""Post-synthesis netlist abstraction.
+
+The paper synthesizes "the VHDL code of the static part and of each dynamic
+part separately in order to obtain separate netlists".  We model exactly that
+granularity: a :class:`Netlist` is a set of :class:`NetlistModule` instances
+(one static, zero or more reconfigurable) plus the inter-module signals that
+must cross a reconfigurable boundary through bus macros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.fabric.resources import ResourceVector
+
+__all__ = ["NetlistPort", "NetlistModule", "InterModuleNet", "Netlist"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetlistPort:
+    """A module-level port: name and bit width."""
+
+    name: str
+    width: int
+    direction: str  # "in" | "out"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"port {self.name!r} must have positive width")
+        if self.direction not in ("in", "out"):
+            raise ValueError(f"port {self.name!r}: direction must be 'in' or 'out'")
+
+
+@dataclass
+class NetlistModule:
+    """One separately-synthesized module."""
+
+    name: str
+    resources: ResourceVector
+    ports: list[NetlistPort] = field(default_factory=list)
+    reconfigurable: bool = False
+    #: For reconfigurable modules: the region they are a variant of.
+    region: Optional[str] = None
+    #: Source operations implemented by the module (traceability).
+    implements: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.reconfigurable and not self.region:
+            raise ValueError(f"reconfigurable module {self.name!r} must name its region")
+        names = [p.name for p in self.ports]
+        if len(names) != len(set(names)):
+            raise ValueError(f"module {self.name!r} has duplicate port names")
+
+    def port(self, name: str) -> NetlistPort:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        raise KeyError(f"module {self.name!r} has no port {name!r}")
+
+    @property
+    def boundary_bits(self) -> int:
+        """Total signal bits crossing the module boundary."""
+        return sum(p.width for p in self.ports)
+
+
+@dataclass(frozen=True, slots=True)
+class InterModuleNet:
+    """A signal between two modules (by module and port name)."""
+
+    src_module: str
+    src_port: str
+    dst_module: str
+    dst_port: str
+    width: int
+
+    def crosses(self, a: str, b: str) -> bool:
+        return {self.src_module, self.dst_module} == {a, b}
+
+
+class Netlist:
+    """The whole design: modules plus inter-module nets."""
+
+    def __init__(self, top: str):
+        self.top = top
+        self._modules: dict[str, NetlistModule] = {}
+        self._nets: list[InterModuleNet] = []
+
+    def add_module(self, module: NetlistModule) -> NetlistModule:
+        if module.name in self._modules:
+            raise ValueError(f"duplicate module {module.name!r}")
+        self._modules[module.name] = module
+        return module
+
+    def connect(self, src_module: str, src_port: str, dst_module: str, dst_port: str) -> InterModuleNet:
+        src = self.module(src_module).port(src_port)
+        dst = self.module(dst_module).port(dst_port)
+        if src.direction != "out":
+            raise ValueError(f"{src_module}.{src_port} is not an output")
+        if dst.direction != "in":
+            raise ValueError(f"{dst_module}.{dst_port} is not an input")
+        if src.width != dst.width:
+            raise ValueError(
+                f"width mismatch {src_module}.{src_port}({src.width}) -> {dst_module}.{dst_port}({dst.width})"
+            )
+        net = InterModuleNet(src_module, src_port, dst_module, dst_port, src.width)
+        self._nets.append(net)
+        return net
+
+    def module(self, name: str) -> NetlistModule:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise KeyError(f"netlist {self.top!r} has no module {name!r}") from None
+
+    @property
+    def modules(self) -> list[NetlistModule]:
+        return list(self._modules.values())
+
+    @property
+    def nets(self) -> list[InterModuleNet]:
+        return list(self._nets)
+
+    def static_modules(self) -> list[NetlistModule]:
+        return [m for m in self._modules.values() if not m.reconfigurable]
+
+    def reconfigurable_modules(self, region: Optional[str] = None) -> list[NetlistModule]:
+        mods = [m for m in self._modules.values() if m.reconfigurable]
+        if region is not None:
+            mods = [m for m in mods if m.region == region]
+        return mods
+
+    def regions(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for m in self._modules.values():
+            if m.reconfigurable and m.region:
+                seen.setdefault(m.region)
+        return list(seen)
+
+    def boundary_bits_between(self, a: str, b: str) -> int:
+        """Signal bits that cross between modules ``a`` and ``b``."""
+        return sum(n.width for n in self._nets if n.crosses(a, b))
+
+    def boundary_bits_of_region(self, region: str) -> int:
+        """Worst-case signal bits crossing into/out of a region over all its
+        variants (bus macros are sized for the worst variant)."""
+        worst = 0
+        for variant in self.reconfigurable_modules(region):
+            bits = 0
+            for net in self._nets:
+                if variant.name in (net.src_module, net.dst_module):
+                    other = net.dst_module if net.src_module == variant.name else net.src_module
+                    if self.module(other).region != region:
+                        bits += net.width
+            worst = max(worst, bits)
+        return worst
+
+    def total_resources(self) -> ResourceVector:
+        return ResourceVector.sum(m.resources for m in self._modules.values())

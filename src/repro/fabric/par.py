@@ -1,0 +1,128 @@
+"""Place-and-route feasibility checks.
+
+The real flow runs Xilinx PAR per module under the constraints file; our
+substitute verifies the same contract a PAR run enforces and produces a
+report with an achievable-clock estimate:
+
+- every region's worst variant fits its placed span (with bus-macro TBUFs
+  deducted),
+- the static part fits the remaining columns,
+- every region has a legal internal boundary column and enough rows for its
+  bus macros,
+- congestion heuristic: achievable clock degrades as slice utilization of
+  the binding module approaches 100 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fabric.floorplan import Floorplan
+from repro.fabric.netlist import Netlist
+from repro.fabric.resources import ResourceVector
+
+__all__ = ["PARReport", "PlaceAndRoute"]
+
+#: Clock the generated design closes timing at when utilization is low.
+BASE_CLOCK_MHZ = 66.0
+#: Clock floor under heavy congestion.
+MIN_CLOCK_MHZ = 25.0
+#: Utilization above which timing starts degrading.
+CONGESTION_KNEE = 0.60
+
+
+@dataclass
+class PARReport:
+    """Outcome of the feasibility analysis."""
+
+    ok: bool
+    problems: list[str]
+    clock_mhz: float
+    module_utilization: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        status = "PASSED" if self.ok else "FAILED"
+        lines = [f"PAR check {status} — est. clock {self.clock_mhz:.1f} MHz"]
+        for name, util in sorted(self.module_utilization.items()):
+            lines.append(f"  {name}: {100 * util:.1f}% of its span")
+        for p in self.problems:
+            lines.append(f"  ERROR: {p}")
+        return "\n".join(lines)
+
+
+def _derate_clock(worst_utilization: float) -> float:
+    """Congestion model: linear derating past the knee."""
+    if worst_utilization <= CONGESTION_KNEE:
+        return BASE_CLOCK_MHZ
+    over = min(1.0, worst_utilization) - CONGESTION_KNEE
+    span = 1.0 - CONGESTION_KNEE
+    derated = BASE_CLOCK_MHZ - (BASE_CLOCK_MHZ - MIN_CLOCK_MHZ) * (over / span)
+    return max(MIN_CLOCK_MHZ, derated)
+
+
+class PlaceAndRoute:
+    """Feasibility checker for a floorplan + netlist pair."""
+
+    def __init__(self, floorplan: Floorplan, netlist: Netlist):
+        self.floorplan = floorplan
+        self.netlist = netlist
+
+    def check(self) -> PARReport:
+        problems: list[str] = []
+        utilizations: dict[str, float] = {}
+
+        # Regions referenced by modules must be placed, and vice versa.
+        netlist_regions = set(self.netlist.regions())
+        placed_regions = set(self.floorplan.placements)
+        for missing in sorted(netlist_regions - placed_regions):
+            problems.append(f"region {missing!r} has variants but no placement")
+        for orphan in sorted(placed_regions - netlist_regions):
+            problems.append(f"placement {orphan!r} has no module variants")
+
+        # Each variant fits its region capacity.
+        for region in sorted(netlist_regions & placed_regions):
+            capacity = self.floorplan.region_capacity(region)
+            for variant in self.netlist.reconfigurable_modules(region):
+                util = variant.resources.dominant_utilization(capacity)
+                utilizations[variant.name] = util
+                if not variant.resources.fits_in(capacity):
+                    over = {
+                        k: -v for k, v in variant.resources.headroom(capacity).items() if v < 0
+                    }
+                    problems.append(
+                        f"variant {variant.name!r} exceeds region {region!r} capacity by {over}"
+                    )
+            # Bus macros must exist when signals cross the boundary.
+            bits = self.netlist.boundary_bits_of_region(region)
+            macros = self.floorplan.bus_macros.get(region, [])
+            carried = sum(m.data_bits for m in macros)
+            if bits > carried:
+                problems.append(
+                    f"region {region!r}: boundary needs {bits} bits but bus macros carry {carried}"
+                )
+            boundary = self.floorplan.boundary_column(region)
+            for m in macros:
+                if m.column != boundary:
+                    problems.append(
+                        f"bus macro {m.name!r} placed on column {m.column}, boundary is {boundary}"
+                    )
+                if not 0 <= m.row < self.floorplan.device.clb_rows:
+                    problems.append(f"bus macro {m.name!r} row {m.row} outside device")
+
+        # Static part fits what is left.
+        static_need = ResourceVector.sum(m.resources for m in self.netlist.static_modules())
+        static_cap = self.floorplan.static_capacity()
+        util = static_need.dominant_utilization(static_cap)
+        utilizations["<static>"] = util
+        if not static_need.fits_in(static_cap):
+            over = {k: -v for k, v in static_need.headroom(static_cap).items() if v < 0}
+            problems.append(f"static part exceeds remaining capacity by {over}")
+
+        worst = max(utilizations.values(), default=0.0)
+        return PARReport(
+            ok=not problems,
+            problems=problems,
+            clock_mhz=_derate_clock(worst),
+            module_utilization=utilizations,
+        )

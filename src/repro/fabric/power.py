@@ -1,0 +1,116 @@
+"""Virtex-II power and energy model.
+
+The paper motivates reconfigurable hardware with the mobile-terminal
+constraint triangle: "high performance, low power consumption and
+flexibility" (§2).  This model quantifies the power side of the fix-vs-
+dynamic trade-off:
+
+- **static (leakage) power** scales with the logic actually configured —
+  a dynamic design instantiates one alternative at a time, a fixed design
+  leaks through every alternative it carries;
+- **dynamic (switching) power** scales with active resources, clock
+  frequency and toggle activity;
+- **reconfiguration energy** is the configuration-port power integrated
+  over the ≈4 ms load — the price of each switch.
+
+Coefficients are order-of-magnitude figures for 150 nm Virtex-II class
+parts (XPE-era rules of thumb), documented per constant; every benchmark
+that uses them compares *schemes under the same coefficients*, so only the
+ratios matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.resources import ResourceVector
+
+__all__ = ["PowerModel", "EnergyBreakdown"]
+
+#: Leakage per configured slice (mW) — Virtex-II class, 1.5 V core.
+LEAKAGE_MW_PER_SLICE = 0.012
+#: Device-level fixed leakage (clock tree, config logic, I/O banks), mW.
+LEAKAGE_MW_BASE = 45.0
+#: Dynamic power per active slice per MHz at the reference toggle rate, mW.
+DYNAMIC_MW_PER_SLICE_MHZ = 0.0065
+#: Dynamic power per BRAM per MHz, mW.
+DYNAMIC_MW_PER_BRAM_MHZ = 0.12
+#: Dynamic power per multiplier per MHz, mW.
+DYNAMIC_MW_PER_MULT_MHZ = 0.09
+#: Configuration-port power while loading (ICAP + memory traffic), mW.
+RECONFIG_MW = 180.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one operating interval, in microjoules."""
+
+    static_uj: float
+    dynamic_uj: float
+    reconfig_uj: float
+
+    @property
+    def total_uj(self) -> float:
+        return self.static_uj + self.dynamic_uj + self.reconfig_uj
+
+    def render(self) -> str:
+        return (
+            f"static {self.static_uj:.1f} uJ + dynamic {self.dynamic_uj:.1f} uJ "
+            f"+ reconfig {self.reconfig_uj:.1f} uJ = {self.total_uj:.1f} uJ"
+        )
+
+
+class PowerModel:
+    """Power/energy estimates for configured and active resource sets."""
+
+    def __init__(self, clock_mhz: float, activity: float = 0.25):
+        if clock_mhz <= 0:
+            raise ValueError("clock must be positive")
+        if not 0.0 < activity <= 1.0:
+            raise ValueError("activity must be in (0, 1]")
+        self.clock_mhz = clock_mhz
+        self.activity = activity
+
+    # -- power -------------------------------------------------------------------
+
+    def static_mw(self, configured: ResourceVector) -> float:
+        """Leakage of the logic currently configured on the fabric."""
+        return LEAKAGE_MW_BASE + LEAKAGE_MW_PER_SLICE * configured.slices
+
+    def dynamic_mw(self, active: ResourceVector) -> float:
+        """Switching power of the logic actually toggling."""
+        per_mhz = (
+            DYNAMIC_MW_PER_SLICE_MHZ * active.slices
+            + DYNAMIC_MW_PER_BRAM_MHZ * active.brams
+            + DYNAMIC_MW_PER_MULT_MHZ * active.mults
+        )
+        return per_mhz * self.clock_mhz * self.activity
+
+    def operating_mw(self, configured: ResourceVector, active: ResourceVector) -> float:
+        return self.static_mw(configured) + self.dynamic_mw(active)
+
+    # -- energy ------------------------------------------------------------------
+
+    def reconfiguration_energy_uj(self, load_ns: int) -> float:
+        """Energy of one partial reconfiguration of duration ``load_ns``."""
+        if load_ns < 0:
+            raise ValueError("load duration must be >= 0")
+        return RECONFIG_MW * load_ns / 1e6  # mW * ms = uJ
+
+    def interval_energy(
+        self,
+        configured: ResourceVector,
+        active: ResourceVector,
+        duration_ns: int,
+        n_reconfigs: int = 0,
+        reconfig_ns: int = 0,
+    ) -> EnergyBreakdown:
+        """Energy over an interval with ``n_reconfigs`` module swaps."""
+        if duration_ns < 0 or n_reconfigs < 0:
+            raise ValueError("duration and reconfiguration count must be >= 0")
+        ms = duration_ns / 1e6
+        return EnergyBreakdown(
+            static_uj=self.static_mw(configured) * ms,
+            dynamic_uj=self.dynamic_mw(active) * ms,
+            reconfig_uj=n_reconfigs * self.reconfiguration_energy_uj(reconfig_ns),
+        )

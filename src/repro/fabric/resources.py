@@ -1,0 +1,95 @@
+"""FPGA resource vectors.
+
+A :class:`ResourceVector` counts the Virtex-II primitives a design consumes:
+slices, 4-input LUTs, flip-flops, 3-state buffers (TBUFs), block RAMs and
+18×18 multipliers — exactly the rows of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable, Mapping
+
+__all__ = ["ResourceVector"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceVector:
+    """An immutable count of fabric primitives; supports vector arithmetic."""
+
+    slices: int = 0
+    luts: int = 0
+    ffs: int = 0
+    tbufs: int = 0
+    brams: int = 0
+    mults: int = 0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if not isinstance(v, int):
+                raise TypeError(f"{f.name} must be an int, got {type(v).__name__}")
+            if v < 0:
+                raise ValueError(f"{f.name} must be >= 0, got {v}")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, counts: Mapping[str, int]) -> "ResourceVector":
+        """Build from a dict; unknown keys are rejected loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(counts) - known
+        if unknown:
+            raise KeyError(f"unknown resource keys: {sorted(unknown)}")
+        return cls(**{k: int(v) for k, v in counts.items()})
+
+    @classmethod
+    def sum(cls, vectors: Iterable["ResourceVector"]) -> "ResourceVector":
+        total = cls()
+        for v in vectors:
+            total = total + v
+        return total
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(**{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)})
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(**{f.name: getattr(self, f.name) - getattr(other, f.name) for f in fields(self)})
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        """Ceil-scaled copy (used for safety margins)."""
+        return ResourceVector(**{f.name: int(-(-getattr(self, f.name) * factor // 1)) for f in fields(self)})
+
+    # -- queries ---------------------------------------------------------------
+
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        return all(getattr(self, f.name) <= getattr(capacity, f.name) for f in fields(self))
+
+    def headroom(self, capacity: "ResourceVector") -> dict[str, int]:
+        """Remaining capacity per resource (may be negative if over budget)."""
+        return {f.name: getattr(capacity, f.name) - getattr(self, f.name) for f in fields(self)}
+
+    def utilization(self, capacity: "ResourceVector") -> dict[str, float]:
+        out = {}
+        for f in fields(self):
+            cap = getattr(capacity, f.name)
+            used = getattr(self, f.name)
+            out[f.name] = used / cap if cap else 0.0
+        return out
+
+    def dominant_utilization(self, capacity: "ResourceVector") -> float:
+        """The binding constraint: max utilization across resource types."""
+        return max(self.utilization(capacity).values(), default=0.0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def is_zero(self) -> bool:
+        return all(getattr(self, f.name) == 0 for f in fields(self))
+
+    def __str__(self) -> str:
+        parts = [f"{name}={v}" for name, v in self.as_dict().items() if v]
+        return "ResourceVector(" + (", ".join(parts) or "0") + ")"

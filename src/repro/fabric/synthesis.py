@@ -1,0 +1,187 @@
+"""Synthesis-level resource estimation.
+
+Stands in for the VHDL synthesis step of the paper's flow.  For each module
+(static part or one variant of a dynamic region) it combines:
+
+1. the **datapath** cost of the operations it implements (from the operation
+   library's characterization),
+2. the **generated control structure**: the computation sequencer, the
+   communication sequencer and the buffer read/write phase control that the
+   SynDEx-driven VHDL generator emits around the datapath, and
+3. **buffers** (BRAM above a threshold, LUT-RAM below).
+
+Item 2 is the origin of Table 1's observation that "FPGA resources…are more
+important with a dynamic reconfiguration scheme.  This overhead is due to
+the generic VHDL structure generation, based on the macro code description":
+a reconfigurable variant always carries the full generated harness (plus the
+reconfiguration handshake), while a hand-fused fixed design shares one
+harness across all its operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.dfg.library import FPGA_CLASS, OperationLibrary
+from repro.dfg.operations import Operation
+from repro.fabric.netlist import NetlistModule, NetlistPort
+from repro.fabric.resources import ResourceVector
+
+__all__ = ["SynthesisError", "PortSpec", "SynthesisReport", "Synthesizer"]
+
+# -- generated-structure cost model (LUTs/FFs per element) --------------------
+
+#: Computation sequencer: FSM states + firing logic per operation.
+CTRL_PER_OP = ResourceVector(luts=25, ffs=22)
+#: Communication sequencer: handshake + word counters per external data port.
+COMM_PER_PORT = ResourceVector(luts=32, ffs=28)
+#: Fixed harness of any generated module (clock/reset, status registers).
+MODULE_BASE = ResourceVector(luts=45, ffs=60)
+#: Extra harness of a reconfigurable variant: In_Reconf lock-up logic,
+#: reconfiguration request generation, bus-macro interfacing registers.
+DYNAMIC_EXTRA = ResourceVector(luts=70, ffs=85)
+
+#: Buffers larger than this go to block RAM; smaller ones to LUT-RAM.
+BRAM_THRESHOLD_BYTES = 256
+#: Usable bytes per Virtex-II 18 Kb block RAM (data bits only).
+BRAM_BYTES = 2048
+#: A LUT configured as 16x1 distributed RAM stores 2 bytes.
+LUT_RAM_BYTES = 2
+
+#: Slice packing: LUTs and FFs pair into slices with imperfect packing.
+SLICE_PACKING = 1.12
+
+
+class SynthesisError(ValueError):
+    """Raised for inconsistent synthesis requests."""
+
+
+@dataclass(frozen=True, slots=True)
+class PortSpec:
+    """An external data port of a module: name, bit width, direction."""
+
+    name: str
+    width: int
+    direction: str  # "in" | "out"
+
+
+@dataclass
+class SynthesisReport:
+    """Per-module breakdown, in the spirit of an ISE map report."""
+
+    module: str
+    datapath: ResourceVector
+    control: ResourceVector
+    buffers: ResourceVector
+    total: ResourceVector
+    reconfigurable: bool
+
+    def render(self, capacity: Optional[ResourceVector] = None) -> str:
+        lines = [
+            f"Synthesis report: {self.module}" + (" (reconfigurable)" if self.reconfigurable else ""),
+            f"  datapath : {self.datapath}",
+            f"  control  : {self.control}",
+            f"  buffers  : {self.buffers}",
+            f"  total    : {self.total}",
+        ]
+        if capacity is not None:
+            util = self.total.utilization(capacity)
+            pretty = ", ".join(f"{k} {100 * v:.1f}%" for k, v in util.items() if v)
+            lines.append(f"  utilization: {pretty or '0%'}")
+        return "\n".join(lines)
+
+
+def _slices_for(luts: int, ffs: int) -> int:
+    from repro.fabric.device import LUTS_PER_SLICE
+
+    raw = max(-(-luts // LUTS_PER_SLICE), -(-ffs // LUTS_PER_SLICE))
+    return int(-(-raw * SLICE_PACKING // 1))
+
+
+def _with_slices(vec: ResourceVector) -> ResourceVector:
+    return ResourceVector(
+        slices=_slices_for(vec.luts, vec.ffs),
+        luts=vec.luts,
+        ffs=vec.ffs,
+        tbufs=vec.tbufs,
+        brams=vec.brams,
+        mults=vec.mults,
+    )
+
+
+class Synthesizer:
+    """Estimates post-synthesis resources of generated modules."""
+
+    def __init__(self, library: OperationLibrary):
+        self.library = library
+
+    # -- pieces -----------------------------------------------------------------
+
+    def datapath_of(self, ops: Sequence[Operation]) -> ResourceVector:
+        """Sum of the library's datapath estimates for ``ops``."""
+        total = ResourceVector()
+        for op in ops:
+            spec = self.library.get(op.kind)
+            if not spec.supports(FPGA_CLASS):
+                raise SynthesisError(f"operation {op.name!r} ({op.kind}) has no FPGA implementation")
+            total = total + ResourceVector.from_mapping(dict(spec.fpga_resources))
+        return total
+
+    def control_of(self, n_ops: int, n_ports: int, reconfigurable: bool) -> ResourceVector:
+        """Generated sequencers and harness."""
+        if n_ops < 0 or n_ports < 0:
+            raise SynthesisError("operation/port counts must be >= 0")
+        total = MODULE_BASE
+        for _ in range(n_ops):
+            total = total + CTRL_PER_OP
+        for _ in range(n_ports):
+            total = total + COMM_PER_PORT
+        if reconfigurable:
+            total = total + DYNAMIC_EXTRA
+        return total
+
+    def buffers_of(self, buffer_bytes: int) -> ResourceVector:
+        """Inter-operation buffers: BRAM when large, LUT-RAM when small."""
+        if buffer_bytes < 0:
+            raise SynthesisError("buffer bytes must be >= 0")
+        if buffer_bytes == 0:
+            return ResourceVector()
+        if buffer_bytes > BRAM_THRESHOLD_BYTES:
+            return ResourceVector(brams=-(-buffer_bytes // BRAM_BYTES))
+        return ResourceVector(luts=-(-buffer_bytes // LUT_RAM_BYTES))
+
+    # -- whole module --------------------------------------------------------------
+
+    def synthesize_module(
+        self,
+        name: str,
+        ops: Sequence[Operation],
+        ports: Sequence[PortSpec],
+        buffer_bytes: int = 0,
+        reconfigurable: bool = False,
+        region: Optional[str] = None,
+        implements: Iterable[str] = (),
+    ) -> tuple[NetlistModule, SynthesisReport]:
+        """Synthesize one module; returns the netlist module and the report."""
+        datapath = self.datapath_of(ops)
+        control = self.control_of(len(ops), len(ports), reconfigurable)
+        buffers = self.buffers_of(buffer_bytes)
+        total = _with_slices(datapath + control + buffers)
+        module = NetlistModule(
+            name=name,
+            resources=total,
+            ports=[NetlistPort(p.name, p.width, p.direction) for p in ports],
+            reconfigurable=reconfigurable,
+            region=region,
+            implements=tuple(implements) or tuple(op.name for op in ops),
+        )
+        report = SynthesisReport(
+            module=name,
+            datapath=_with_slices(datapath),
+            control=_with_slices(control),
+            buffers=buffers,
+            total=total,
+            reconfigurable=reconfigurable,
+        )
+        return module, report

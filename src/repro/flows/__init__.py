@@ -1,0 +1,43 @@
+"""Top-down flow orchestration (the paper's Fig. 3).
+
+Modelisation (graphs + constraints) → adequation (SynDEx) → VHDL +
+constraints-file generation → Modular Design back-end (floorplan, PAR,
+bitstreams) → dynamic verification (executive simulation with the runtime
+reconfiguration manager).
+
+- :mod:`repro.flows.constraints` — the dynamic-module constraints file
+  (loading, unloading, area sharing, exclusion),
+- :mod:`repro.flows.modular` — the Modular-Design back-end driver,
+- :mod:`repro.flows.flow` — the complete design flow,
+- :mod:`repro.flows.runtime` — runtime system simulation,
+- :mod:`repro.flows.report` — textual reports (Table 1 regeneration).
+"""
+
+from repro.flows.constraints import (
+    ConstraintsError,
+    DynamicConstraints,
+    ModuleConstraint,
+    parse_constraints,
+)
+from repro.flows.modular import ModularDesignResult, run_modular_backend
+from repro.flows.flow import DesignFlow, FlowResult, TimingConstraintError
+from repro.flows.runtime import RuntimeResult, SystemSimulation
+from repro.flows.report import table1_report
+from repro.flows.designspace import DesignPoint, explore_design_space
+
+__all__ = [
+    "ConstraintsError",
+    "DynamicConstraints",
+    "ModuleConstraint",
+    "parse_constraints",
+    "ModularDesignResult",
+    "run_modular_backend",
+    "DesignFlow",
+    "FlowResult",
+    "TimingConstraintError",
+    "RuntimeResult",
+    "SystemSimulation",
+    "table1_report",
+    "DesignPoint",
+    "explore_design_space",
+]

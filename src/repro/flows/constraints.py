@@ -1,0 +1,210 @@
+"""The dynamic-module constraints file.
+
+"A constraints file will contain the definition of each dynamic module and
+the associated constraints (loading, unloading, sharing area, dynamic
+relations, exclusion)."
+
+Format (INI-like, order-insensitive)::
+
+    [module mod_qpsk]
+    region    = D1
+    operation = mod_qpsk
+    loading   = runtime          # runtime | startup
+    unloading = on_switch        # on_switch | explicit
+
+    [module mod_qam16]
+    region    = D1
+    operation = mod_qam16
+
+    [region D1]
+    sharing   = true
+    exclusive = mod_qpsk, mod_qam16
+
+The parser validates the declarations against an algorithm graph: modules
+sharing one region must be mutually exclusive (different cases of one
+condition group), every referenced operation must exist, and every region's
+module set must be closed under its exclusivity list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dfg.graph import AlgorithmGraph
+
+__all__ = ["ConstraintsError", "ModuleConstraint", "RegionConstraint", "DynamicConstraints", "parse_constraints"]
+
+VALID_LOADING = ("runtime", "startup")
+VALID_UNLOADING = ("on_switch", "explicit")
+
+
+class ConstraintsError(ValueError):
+    """Malformed or inconsistent constraints file."""
+
+
+@dataclass
+class ModuleConstraint:
+    """One dynamic module declaration."""
+
+    name: str
+    region: str
+    operation: str
+    loading: str = "runtime"
+    unloading: str = "on_switch"
+
+    def __post_init__(self) -> None:
+        if self.loading not in VALID_LOADING:
+            raise ConstraintsError(f"module {self.name!r}: bad loading {self.loading!r}")
+        if self.unloading not in VALID_UNLOADING:
+            raise ConstraintsError(f"module {self.name!r}: bad unloading {self.unloading!r}")
+
+
+@dataclass
+class RegionConstraint:
+    """One reconfigurable-region declaration."""
+
+    name: str
+    sharing: bool = True
+    exclusive: list[str] = field(default_factory=list)
+
+
+@dataclass
+class DynamicConstraints:
+    """The whole parsed file."""
+
+    modules: dict[str, ModuleConstraint] = field(default_factory=dict)
+    regions: dict[str, RegionConstraint] = field(default_factory=dict)
+
+    def modules_of_region(self, region: str) -> list[ModuleConstraint]:
+        return [m for m in self.modules.values() if m.region == region]
+
+    def validate_against(self, graph: AlgorithmGraph) -> None:
+        """Check declarations against the algorithm graph."""
+        problems: list[str] = []
+        for module in self.modules.values():
+            if module.operation not in graph:
+                problems.append(f"module {module.name!r}: unknown operation {module.operation!r}")
+                continue
+            op = graph.operation(module.operation)
+            if op.condition is None:
+                problems.append(
+                    f"module {module.name!r}: operation {module.operation!r} is not conditioned; "
+                    "it can never be swapped out"
+                )
+        # Modules sharing a region must be pairwise exclusive.
+        for region_name in {m.region for m in self.modules.values()}:
+            sharing = self.regions.get(region_name, RegionConstraint(region_name)).sharing
+            members = self.modules_of_region(region_name)
+            if len(members) > 1 and not sharing:
+                problems.append(f"region {region_name!r}: multiple modules but sharing disabled")
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    if a.operation not in graph or b.operation not in graph:
+                        continue
+                    op_a = graph.operation(a.operation)
+                    op_b = graph.operation(b.operation)
+                    if not graph.exclusive(op_a, op_b):
+                        problems.append(
+                            f"region {region_name!r}: modules {a.name!r} and {b.name!r} share the "
+                            "area but are not mutually exclusive"
+                        )
+        # Exclusivity lists must reference declared modules.
+        for region in self.regions.values():
+            for name in region.exclusive:
+                if name not in self.modules:
+                    problems.append(f"region {region.name!r}: exclusive list names unknown module {name!r}")
+                elif self.modules[name].region != region.name:
+                    problems.append(
+                        f"region {region.name!r}: module {name!r} is declared in region "
+                        f"{self.modules[name].region!r}"
+                    )
+        if problems:
+            raise ConstraintsError("; ".join(problems))
+
+    def render(self) -> str:
+        """Re-serialize to the file format."""
+        lines: list[str] = []
+        for m in self.modules.values():
+            lines += [
+                f"[module {m.name}]",
+                f"region    = {m.region}",
+                f"operation = {m.operation}",
+                f"loading   = {m.loading}",
+                f"unloading = {m.unloading}",
+                "",
+            ]
+        for r in self.regions.values():
+            lines += [
+                f"[region {r.name}]",
+                f"sharing   = {'true' if r.sharing else 'false'}",
+            ]
+            if r.exclusive:
+                lines.append(f"exclusive = {', '.join(r.exclusive)}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def parse_constraints(text: str) -> DynamicConstraints:
+    """Parse the constraints-file format; raises on malformed input."""
+    result = DynamicConstraints()
+    section: Optional[tuple[str, str]] = None
+    pending: dict[str, str] = {}
+
+    def flush() -> None:
+        nonlocal pending, section
+        if section is None:
+            return
+        kind, name = section
+        if kind == "module":
+            for required in ("region", "operation"):
+                if required not in pending:
+                    raise ConstraintsError(f"module {name!r}: missing key {required!r}")
+            if name in result.modules:
+                raise ConstraintsError(f"duplicate module {name!r}")
+            result.modules[name] = ModuleConstraint(
+                name=name,
+                region=pending["region"],
+                operation=pending["operation"],
+                loading=pending.get("loading", "runtime"),
+                unloading=pending.get("unloading", "on_switch"),
+            )
+        else:
+            if name in result.regions:
+                raise ConstraintsError(f"duplicate region {name!r}")
+            sharing_text = pending.get("sharing", "true").lower()
+            if sharing_text not in ("true", "false"):
+                raise ConstraintsError(f"region {name!r}: sharing must be true/false")
+            exclusive = [
+                item.strip() for item in pending.get("exclusive", "").split(",") if item.strip()
+            ]
+            result.regions[name] = RegionConstraint(
+                name=name, sharing=sharing_text == "true", exclusive=exclusive
+            )
+        pending = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ConstraintsError(f"line {lineno}: unterminated section header")
+            header = line[1:-1].split()
+            if len(header) != 2 or header[0] not in ("module", "region"):
+                raise ConstraintsError(f"line {lineno}: expected '[module NAME]' or '[region NAME]'")
+            flush()
+            section = (header[0], header[1])
+        else:
+            if section is None:
+                raise ConstraintsError(f"line {lineno}: key outside any section")
+            if "=" not in line:
+                raise ConstraintsError(f"line {lineno}: expected 'key = value'")
+            key, value = (part.strip() for part in line.split("=", 1))
+            if not key or not value:
+                raise ConstraintsError(f"line {lineno}: empty key or value")
+            if key in pending:
+                raise ConstraintsError(f"line {lineno}: duplicate key {key!r}")
+            pending[key] = value
+    flush()
+    return result

@@ -1,0 +1,110 @@
+"""Design-space exploration over devices and reconfiguration architectures.
+
+Automates the question a platform architect asks before committing to a
+part: for a given application, how do region area, partial-bitstream size,
+reconfiguration latency and iteration period move across candidate FPGAs
+and Fig. 2 manager/builder placements?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.arch.boards import Board, sundance_board
+from repro.dfg.graph import AlgorithmGraph
+from repro.dfg.library import OperationLibrary
+from repro.fabric.device import VirtexIIDevice, XC2V1000, XC2V2000, XC2V3000
+from repro.fabric.floorplan import FloorplanError
+from repro.flows.constraints import DynamicConstraints
+from repro.flows.flow import DesignFlow, FlowResult
+from repro.reconfig.architectures import ReconfigArchitecture, case_a_standalone, case_b_processor
+
+__all__ = ["DesignPoint", "explore_design_space"]
+
+
+@dataclass
+class DesignPoint:
+    """One (device, reconfiguration architecture) evaluation."""
+
+    device: str
+    architecture: str
+    fits: bool
+    error: Optional[str] = None
+    region_area: dict[str, float] = field(default_factory=dict)
+    bitstream_bytes: dict[str, int] = field(default_factory=dict)
+    reconfig_latency_ns: dict[str, int] = field(default_factory=dict)
+    clock_mhz: float = 0.0
+    makespan_ns: int = 0
+    flow_result: Optional[FlowResult] = None
+
+    def render(self) -> str:
+        if not self.fits:
+            return f"{self.device:<10} {self.architecture:<20} DOES NOT FIT: {self.error}"
+        regions = ", ".join(
+            f"{r}={100 * a:.1f}%/{self.reconfig_latency_ns[r] / 1e6:.2f}ms"
+            for r, a in sorted(self.region_area.items())
+        )
+        return (
+            f"{self.device:<10} {self.architecture:<20} {regions} "
+            f"clock={self.clock_mhz:.0f}MHz iter={self.makespan_ns / 1e3:.1f}us"
+        )
+
+
+def explore_design_space(
+    graph: AlgorithmGraph,
+    library: OperationLibrary,
+    devices: Sequence[VirtexIIDevice] = (XC2V1000, XC2V2000, XC2V3000),
+    architectures: Sequence[ReconfigArchitecture] = (),
+    board_factory: Callable[[VirtexIIDevice], Board] = lambda dev: sundance_board(device=dev),
+    dynamic_constraints: Optional[DynamicConstraints] = None,
+    configure_flow: Optional[Callable[[DesignFlow], None]] = None,
+    keep_flow_results: bool = False,
+) -> list[DesignPoint]:
+    """Run the full flow at every (device, architecture) point.
+
+    Points that do not fit (floorplanning fails) are reported, not raised.
+    ``configure_flow`` may pin mappings or set deadlines per flow;
+    ``keep_flow_results`` attaches the complete :class:`FlowResult` to each
+    fitting point (memory-heavy for large sweeps).
+    """
+    archs = list(architectures) or [case_a_standalone(), case_b_processor()]
+    points: list[DesignPoint] = []
+    for device in devices:
+        for arch in archs:
+            board = board_factory(device)
+            flow = DesignFlow(
+                graph=graph,
+                board=board,
+                library=library,
+                dynamic_constraints=dynamic_constraints,
+                reconfig_architecture=arch,
+            )
+            if configure_flow is not None:
+                configure_flow(flow)
+            try:
+                result = flow.run()
+            except FloorplanError as err:
+                points.append(
+                    DesignPoint(device=device.name, architecture=arch.name, fits=False, error=str(err))
+                )
+                continue
+            regions = result.modular.floorplan.placements
+            points.append(
+                DesignPoint(
+                    device=device.name,
+                    architecture=arch.name,
+                    fits=True,
+                    region_area={
+                        r: result.modular.region_area_fraction(r) for r in regions
+                    },
+                    bitstream_bytes={
+                        r: result.modular.floorplan.partial_bitstream_bytes(r) for r in regions
+                    },
+                    reconfig_latency_ns=dict(result.modular.reconfig_latency_ns),
+                    clock_mhz=result.modular.par_report.clock_mhz,
+                    makespan_ns=result.makespan_ns,
+                    flow_result=result if keep_flow_results else None,
+                )
+            )
+    return points

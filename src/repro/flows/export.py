@@ -1,0 +1,83 @@
+"""Flow artefact export: write a complete build directory.
+
+What a downstream team receives from the flow: the generated VHDL and
+testbenches, the UCF constraints, the partial bitstreams (binary), the
+macro-code executive (human-readable listing + machine-readable JSON), the
+serialized graph/board models, and the textual reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional
+
+from repro.codegen.testbench import generate_all_testbenches
+from repro.flows.flow import FlowResult
+
+__all__ = ["export_build_directory"]
+
+
+def export_build_directory(
+    result: FlowResult,
+    target: pathlib.Path | str,
+    include_bitstreams: bool = True,
+    include_testbenches: bool = True,
+) -> list[pathlib.Path]:
+    """Write every flow artefact under ``target``; returns the paths written."""
+    base = pathlib.Path(target)
+    written: list[pathlib.Path] = []
+
+    def write_text(relative: str, text: str) -> None:
+        path = base / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        written.append(path)
+
+    def write_bytes(relative: str, payload: bytes) -> None:
+        path = base / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload)
+        written.append(path)
+
+    # HDL + constraints.
+    for name, text in sorted(result.generated.files.items()):
+        write_text(f"hdl/{name}", text)
+    if include_testbenches:
+        for name, text in sorted(generate_all_testbenches(result.generated.files).items()):
+            write_text(f"hdl/{name}", text)
+    write_text("constraints/top.ucf", result.modular.ucf)
+
+    # Executive: listing + JSON.
+    from repro.executive import io as executive_io
+
+    write_text("executive/macrocode.txt", result.executive.render())
+    write_text("executive/executive.json", executive_io.dumps(result.executive))
+
+    # Models.
+    from repro.arch import io as arch_io
+    from repro.dfg import io as dfg_io
+
+    write_text("models/algorithm.json", dfg_io.dumps(result.graph))
+    write_text("models/board.json", arch_io.dumps(result.board))
+    if result.dynamic_constraints is not None:
+        write_text("models/dynamic.constraints", result.dynamic_constraints.render())
+
+    # Partial bitstreams: raw frame payloads, one file per (region, module).
+    if include_bitstreams:
+        for (region, module), bitstream in sorted(result.modular.bitstreams.items()):
+            payload = b"".join(
+                frame.address().to_bytes(4, "big") + frame.payload
+                for frame in bitstream.frames
+            )
+            write_bytes(f"bitstreams/{region}_{module}.bit", payload)
+
+    # Reports.
+    write_text("reports/flow.txt", result.report())
+    write_text("reports/schedule.txt", result.adequation.report())
+    write_text("reports/floorplan.txt", result.modular.floorplan.summary())
+    synth_lines = [
+        report.render() for _name, report in sorted(result.modular.synthesis_reports.items())
+    ]
+    write_text("reports/synthesis.txt", "\n\n".join(synth_lines))
+    write_text("reports/par.txt", result.modular.par_report.render())
+    return written

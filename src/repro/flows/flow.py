@@ -1,0 +1,230 @@
+"""The complete top-down design flow (Fig. 3).
+
+``DesignFlow.run()`` executes every stage of the paper's methodology:
+
+1. **Modelisation** — validate the algorithm graph, architecture graph and
+   the dynamic-module constraints file;
+2. **Adequation** — SynDEx-style mapping/scheduling (reconfiguration-aware),
+   first with the pre-floorplan latency estimate;
+3. **VHDL generation** — static part, dynamic variants, bus macros, UCF;
+4. **Modular Design back-end** — synthesis estimation, floorplanning, PAR
+   checks, partial bitstreams, measured reconfiguration latency;
+5. **Adequation refinement** — re-run the scheduler with the measured
+   latencies (the feedback arrow of Fig. 3);
+6. **Executive generation** — the synchronized macro-code, ready for the
+   dynamic-verification simulation (:mod:`repro.flows.runtime`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Type
+
+from repro.aaa.adequation import AdequationResult, adequate
+from repro.aaa.mapping import MappingConstraints
+from repro.aaa.recon_aware import ReconfigAwareScheduler
+from repro.aaa.scheduler import ListSchedulerBase
+from repro.arch.boards import Board
+from repro.arch.operator import OperatorKind
+from repro.codegen.generator import GeneratedDesign, generate_design
+from repro.dfg.graph import AlgorithmGraph
+from repro.dfg.library import OperationLibrary
+from repro.dfg.validate import validate_graph
+from repro.executive.generator import generate_executive
+from repro.executive.macrocode import ExecutiveProgram
+from repro.flows.constraints import DynamicConstraints
+from repro.flows.modular import ModularDesignResult, run_modular_backend
+from repro.reconfig.architectures import ReconfigArchitecture, case_a_standalone
+
+__all__ = ["TimingConstraintError", "DesignFlow", "FlowResult"]
+
+
+class TimingConstraintError(RuntimeError):
+    """The adequation could not satisfy the iteration deadline.
+
+    AAA "aims at finding the best matching between an algorithm and an
+    architecture while satisfying time constraints" — when the best schedule
+    still misses the deadline, the flow fails loudly with both numbers."""
+
+    def __init__(self, makespan_ns: int, deadline_ns: int):
+        self.makespan_ns = makespan_ns
+        self.deadline_ns = deadline_ns
+        super().__init__(
+            f"iteration period {makespan_ns} ns exceeds the deadline {deadline_ns} ns "
+            f"({makespan_ns / deadline_ns:.2f}x)"
+        )
+
+
+@dataclass
+class FlowResult:
+    """Artefacts of one complete flow run."""
+
+    graph: AlgorithmGraph
+    board: Board
+    library: OperationLibrary
+    adequation: AdequationResult
+    generated: GeneratedDesign
+    modular: ModularDesignResult
+    executive: ExecutiveProgram
+    first_pass_makespan_ns: int
+    dynamic_constraints: Optional[DynamicConstraints] = None
+    iteration_deadline_ns: Optional[int] = None
+
+    @property
+    def meets_deadline(self) -> bool:
+        """True when no deadline was set or the final makespan honours it."""
+        return self.iteration_deadline_ns is None or self.makespan_ns <= self.iteration_deadline_ns
+
+    def startup_modules(self) -> dict[str, str]:
+        """region -> operation preloaded at power-up (``loading = startup``)."""
+        out: dict[str, str] = {}
+        if self.dynamic_constraints is not None:
+            for module in self.dynamic_constraints.modules.values():
+                if module.loading == "startup":
+                    out[module.region] = module.operation
+        return out
+
+    @property
+    def makespan_ns(self) -> int:
+        return self.adequation.makespan_ns
+
+    def region_latency_ns(self, region: str) -> int:
+        return self.modular.reconfig_latency_ns[region]
+
+    def report(self) -> str:
+        lines = [
+            f"=== Design flow report: {self.graph.name} on {self.board.name} ===",
+            f"operations: {len(self.graph.operations)}, edges: {len(self.graph.edges)}",
+            f"first-pass makespan : {self.first_pass_makespan_ns} ns",
+            f"final makespan      : {self.makespan_ns} ns "
+            f"({self.adequation.throughput_iterations_per_s():.1f} iterations/s)",
+            *(
+                [
+                    f"time constraint     : {self.iteration_deadline_ns} ns — "
+                    + ("satisfied" if self.meets_deadline else "VIOLATED")
+                ]
+                if self.iteration_deadline_ns is not None
+                else []
+            ),
+            self.modular.summary(),
+            f"generated VHDL files: {', '.join(self.generated.file_names())}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class DesignFlow:
+    """Configurable driver for the whole methodology."""
+
+    graph: AlgorithmGraph
+    board: Board
+    library: OperationLibrary
+    mapping: MappingConstraints = field(default_factory=MappingConstraints)
+    dynamic_constraints: Optional[DynamicConstraints] = None
+    scheduler: Type[ListSchedulerBase] = ReconfigAwareScheduler
+    reconfig_architecture: ReconfigArchitecture = field(default_factory=case_a_standalone)
+    prefetch: bool = True
+    #: Optional AAA time constraint on the iteration period.
+    iteration_deadline_ns: Optional[int] = None
+    #: When True (default), a violated deadline raises TimingConstraintError.
+    strict_deadline: bool = True
+
+    @classmethod
+    def from_design(cls, design, **overrides) -> "DesignFlow":
+        """Build from a :class:`~repro.mccdma.casestudy.CaseStudyDesign`."""
+        return cls(graph=design.graph, board=design.board, library=design.library, **overrides)
+
+    # -- constraint plumbing -----------------------------------------------------
+
+    def _apply_dynamic_constraints(self) -> None:
+        """Pin each declared dynamic module onto its region's operator."""
+        if self.dynamic_constraints is None:
+            return
+        self.dynamic_constraints.validate_against(self.graph)
+        by_region = {
+            op.region: op for op in self.board.architecture.dynamic_operators() if op.region
+        }
+        for module in self.dynamic_constraints.modules.values():
+            operator = by_region.get(module.region)
+            if operator is None:
+                from repro.flows.constraints import ConstraintsError
+
+                raise ConstraintsError(
+                    f"module {module.name!r}: region {module.region!r} not present on board "
+                    f"{self.board.name!r}"
+                )
+            self.mapping.pin(module.operation, operator.name)
+
+    # -- the flow --------------------------------------------------------------------
+
+    def run(self) -> FlowResult:
+        validate_graph(self.graph, self.library)
+        self.board.architecture.validate()
+        self._apply_dynamic_constraints()
+
+        scheduler_kwargs = {}
+        if self.scheduler is ReconfigAwareScheduler:
+            scheduler_kwargs["prefetch"] = self.prefetch
+
+        # Pass 1: pre-floorplan latency estimate.
+        first = adequate(
+            self.graph,
+            self.board.architecture,
+            self.library,
+            constraints=self.mapping,
+            scheduler=self.scheduler,
+            validate=False,
+            **scheduler_kwargs,
+        )
+
+        # VHDL generation from the first-pass schedule.
+        generated = generate_design(self.graph, first.schedule, self.board.architecture)
+
+        # Back-end on the FPGA hosting the dynamic operators (or any FPGA).
+        device = self._fpga_device()
+        modular = run_modular_backend(
+            self.graph,
+            generated,
+            self.library,
+            device,
+            reconfig_architecture=self.reconfig_architecture,
+        )
+
+        # Pass 2: refine with measured latencies.
+        refined = adequate(
+            self.graph,
+            self.board.architecture,
+            self.library,
+            constraints=self.mapping,
+            scheduler=self.scheduler,
+            reconfig_ns=dict(modular.reconfig_latency_ns),
+            validate=False,
+            **scheduler_kwargs,
+        )
+
+        if (
+            self.iteration_deadline_ns is not None
+            and self.strict_deadline
+            and refined.makespan_ns > self.iteration_deadline_ns
+        ):
+            raise TimingConstraintError(refined.makespan_ns, self.iteration_deadline_ns)
+
+        executive = generate_executive(self.graph, refined.schedule)
+        return FlowResult(
+            graph=self.graph,
+            board=self.board,
+            library=self.library,
+            adequation=refined,
+            generated=generated,
+            modular=modular,
+            executive=executive,
+            first_pass_makespan_ns=first.makespan_ns,
+            dynamic_constraints=self.dynamic_constraints,
+            iteration_deadline_ns=self.iteration_deadline_ns,
+        )
+
+    def _fpga_device(self):
+        for operator in self.board.architecture.operators:
+            if operator.kind in (OperatorKind.FPGA_STATIC, OperatorKind.FPGA_DYNAMIC):
+                return self.board.fpga_device_of(operator.name)
+        raise ValueError(f"board {self.board.name!r} has no FPGA operator")

@@ -1,0 +1,141 @@
+"""The Modular-Design back-end driver.
+
+"We synthesize the VHDL code of the static part and of each dynamic part
+separately in order to obtain separate netlists.  The Xilinx Modular
+back-end flow is used to place and route each module and to generate the
+associated bitstream, resulting in a typical floorplan."
+
+This driver performs that pipeline on our substitutes: synthesis estimation
+per generated module → netlist → floorplan → PAR feasibility → partial
+bitstreams → per-region reconfiguration latency (for the chosen Fig. 2
+architecture).
+
+The default floorplan ``margin`` of 2.0 reflects Modular-Design practice:
+reconfigurable regions are deliberately oversized (≈50 % target utilization)
+so each variant places and routes inside the fixed column range with the bus
+macros pinned on its boundary.  With the case-study modulators this sizes
+D1 at 4 CLB columns — the paper's ≈8 % of the XC2V2000 and ≈4 ms partial
+bitstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.codegen.constraints import generate_ucf
+from repro.codegen.generator import GeneratedDesign
+from repro.dfg.graph import AlgorithmGraph
+from repro.dfg.library import OperationLibrary
+from repro.fabric.bitstream import Bitstream, generate_partial_bitstream
+from repro.fabric.device import VirtexIIDevice
+from repro.fabric.floorplan import Floorplan, Floorplanner
+from repro.fabric.netlist import Netlist
+from repro.fabric.par import PARReport, PlaceAndRoute
+from repro.fabric.synthesis import PortSpec, SynthesisReport, Synthesizer
+from repro.reconfig.architectures import ReconfigArchitecture, case_a_standalone
+
+__all__ = ["ModularDesignResult", "run_modular_backend"]
+
+
+@dataclass
+class ModularDesignResult:
+    """Everything the back-end produced."""
+
+    netlist: Netlist
+    synthesis_reports: dict[str, SynthesisReport]
+    floorplan: Floorplan
+    par_report: PARReport
+    bitstreams: dict[tuple[str, str], Bitstream]  # (region, module) -> partial bitstream
+    ucf: str
+    reconfig_architecture: ReconfigArchitecture
+    #: region -> end-to-end reconfiguration latency (ns)
+    reconfig_latency_ns: dict[str, int] = field(default_factory=dict)
+
+    def region_area_fraction(self, region: str) -> float:
+        return self.floorplan.area_fraction(region)
+
+    def summary(self) -> str:
+        lines = [self.floorplan.summary(), self.par_report.render()]
+        for region, latency in sorted(self.reconfig_latency_ns.items()):
+            lines.append(
+                f"  {region}: reconfiguration {latency / 1e6:.2f} ms via "
+                f"{self.reconfig_architecture.name}"
+            )
+        return "\n".join(lines)
+
+
+def run_modular_backend(
+    graph: AlgorithmGraph,
+    generated: GeneratedDesign,
+    library: OperationLibrary,
+    device: VirtexIIDevice,
+    reconfig_architecture: Optional[ReconfigArchitecture] = None,
+    margin: float = 2.0,
+) -> ModularDesignResult:
+    """Synthesize, floorplan, check and generate bitstreams for a design."""
+    arch = reconfig_architecture or case_a_standalone()
+    synthesizer = Synthesizer(library)
+    netlist = Netlist("top")
+    reports: dict[str, SynthesisReport] = {}
+
+    for module_name, op_names in generated.module_ops.items():
+        ops = [graph.operation(n) for n in op_names]
+        ports = [
+            PortSpec(name, width, direction)
+            for name, width, direction in generated.module_ports.get(module_name, [])
+        ]
+        region = generated.variant_regions.get(module_name)
+        module, report = synthesizer.synthesize_module(
+            module_name,
+            ops,
+            ports,
+            buffer_bytes=generated.module_buffer_bytes.get(module_name, 0),
+            reconfigurable=region is not None,
+            region=region,
+        )
+        netlist.add_module(module)
+        reports[module_name] = report
+
+    # Wire region variants to the static part so bus-macro sizing sees the
+    # boundary traffic (one net per data port of each variant).
+    static_names = [m.name for m in netlist.static_modules()]
+    anchor = static_names[0] if static_names else None
+    if anchor is not None:
+        for variant in netlist.reconfigurable_modules():
+            for port in variant.ports:
+                # Synthesize matching anchor-side ports lazily.
+                peer = f"{variant.name}_{port.name}_peer"
+                peer_dir = "out" if port.direction == "in" else "in"
+                netlist.module(anchor).ports.append(
+                    type(port)(name=peer, width=port.width, direction=peer_dir)
+                )
+                if port.direction == "in":
+                    netlist.connect(anchor, peer, variant.name, port.name)
+                else:
+                    netlist.connect(variant.name, port.name, anchor, peer)
+
+    floorplan = Floorplanner(device, margin=margin).plan(netlist)
+    par_report = PlaceAndRoute(floorplan, netlist).check()
+
+    bitstreams: dict[tuple[str, str], Bitstream] = {}
+    latencies: dict[str, int] = {}
+    for region in netlist.regions():
+        placement = floorplan.placement(region)
+        for variant in netlist.reconfigurable_modules(region):
+            bitstreams[(region, variant.name)] = generate_partial_bitstream(
+                device, placement, variant.name
+            )
+        size = floorplan.partial_bitstream_bytes(region)
+        latencies[region] = arch.estimate_latency_ns(size)
+
+    return ModularDesignResult(
+        netlist=netlist,
+        synthesis_reports=reports,
+        floorplan=floorplan,
+        par_report=par_report,
+        bitstreams=bitstreams,
+        ucf=generate_ucf(floorplan),
+        reconfig_architecture=arch,
+        reconfig_latency_ns=latencies,
+    )

@@ -1,0 +1,148 @@
+"""Textual reports — in particular the regeneration of the paper's Table 1.
+
+Table 1 ("Fix-Dynamic modulation implementation comparison") compares the
+FPGA resources of the QPSK and QAM-16 modulators implemented (i) as fixed
+blocks and (ii) as runtime-reconfigurable variants of the dynamic region,
+plus the reconfiguration time of each scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dfg.library import OperationLibrary
+from repro.dfg.operations import Operation
+from repro.fabric.device import VirtexIIDevice, XC2V2000
+from repro.fabric.resources import ResourceVector
+from repro.fabric.synthesis import PortSpec, Synthesizer
+from repro.flows.flow import FlowResult
+
+__all__ = ["Table1Row", "Table1Data", "build_table1", "table1_report"]
+
+_STANDARD_PORTS = [PortSpec("din", 32, "in"), PortSpec("dout", 32, "out")]
+
+
+@dataclass
+class Table1Row:
+    """One implementation column of Table 1 (we store rows per scheme)."""
+
+    scheme: str
+    resources: ResourceVector
+    reconfig_time_ms: float
+
+
+@dataclass
+class Table1Data:
+    """All schemes plus device context."""
+
+    rows: list[Table1Row]
+    device: VirtexIIDevice
+    dynamic_area_fraction: Optional[float] = None
+
+    def row(self, scheme: str) -> Table1Row:
+        for r in self.rows:
+            if r.scheme == scheme:
+                return r
+        raise KeyError(f"no scheme {scheme!r}")
+
+    def render(self) -> str:
+        resources = ("slices", "luts", "ffs", "tbufs", "brams")
+        labels = {
+            "slices": "Slices",
+            "luts": "4-input LUTs",
+            "ffs": "Flip-flops",
+            "tbufs": "TBUFs (bus macros)",
+            "brams": "Block RAMs",
+        }
+        header = f"{'Resource':<22}" + "".join(f"{r.scheme:>16}" for r in self.rows)
+        sep = "-" * len(header)
+        lines = [
+            "Table 1 — Fix-Dynamic modulation implementation comparison "
+            f"({self.device.name})",
+            sep,
+            header,
+            sep,
+        ]
+        for key in resources:
+            row = f"{labels[key]:<22}"
+            for r in self.rows:
+                row += f"{getattr(r.resources, key):>16}"
+            lines.append(row)
+        row = f"{'Reconfiguration time':<22}"
+        for r in self.rows:
+            cell = "0" if r.reconfig_time_ms == 0 else f"{r.reconfig_time_ms:.1f} ms"
+            row += f"{cell:>16}"
+        lines.append(row)
+        lines.append(sep)
+        if self.dynamic_area_fraction is not None:
+            lines.append(
+                f"dynamic region: {100 * self.dynamic_area_fraction:.1f}% of the device "
+                "(paper: 8%)"
+            )
+        return "\n".join(lines)
+
+
+def build_table1(
+    library: OperationLibrary,
+    device: VirtexIIDevice = XC2V2000,
+    flow: Optional[FlowResult] = None,
+) -> Table1Data:
+    """Compute the Table 1 schemes.
+
+    - ``QPSK fix`` / ``QAM-16 fix`` — each modulator synthesized inside a
+      fixed design (shares the design's harness: no reconfiguration logic);
+    - ``QPSK dyn`` / ``QAM-16 dyn`` — the generated reconfigurable variants
+      (full generated harness + reconfiguration handshake), taken from the
+      flow result when available so they match the real generated design.
+    """
+    synthesizer = Synthesizer(library)
+    rows: list[Table1Row] = []
+
+    for scheme, kind in (("QPSK fix", "qpsk_mod"), ("QAM-16 fix", "qam16_mod")):
+        module, _ = synthesizer.synthesize_module(
+            scheme, [Operation(kind, kind)], _STANDARD_PORTS, reconfigurable=False
+        )
+        rows.append(Table1Row(scheme=scheme, resources=module.resources, reconfig_time_ms=0.0))
+
+    area = None
+    if flow is not None:
+        latency_ms = {
+            region: ns / 1e6 for region, ns in flow.modular.reconfig_latency_ns.items()
+        }
+        for scheme, op_name in (("QPSK dyn", "mod_qpsk"), ("QAM-16 dyn", "mod_qam16")):
+            variant = next(
+                m for m in flow.modular.netlist.reconfigurable_modules()
+                if op_name in m.implements
+            )
+            assert variant.region is not None
+            # The dynamic scheme also pays the region's bus macros (eight
+            # 3-state buffers each) — a row of the paper's table.
+            macros = flow.modular.floorplan.bus_macros.get(variant.region, [])
+            macro_tbufs = ResourceVector(tbufs=sum(m.tbufs for m in macros))
+            rows.append(
+                Table1Row(
+                    scheme=scheme,
+                    resources=variant.resources + macro_tbufs,
+                    reconfig_time_ms=latency_ms[variant.region],
+                )
+            )
+            area = flow.modular.region_area_fraction(variant.region)
+    else:
+        for scheme, kind in (("QPSK dyn", "qpsk_mod"), ("QAM-16 dyn", "qam16_mod")):
+            module, _ = synthesizer.synthesize_module(
+                scheme, [Operation(kind, kind)], _STANDARD_PORTS,
+                reconfigurable=True, region="D1",
+            )
+            rows.append(Table1Row(scheme=scheme, resources=module.resources, reconfig_time_ms=4.0))
+
+    return Table1Data(rows=rows, device=device, dynamic_area_fraction=area)
+
+
+def table1_report(
+    library: OperationLibrary,
+    device: VirtexIIDevice = XC2V2000,
+    flow: Optional[FlowResult] = None,
+) -> str:
+    """Rendered Table 1 text."""
+    return build_table1(library, device, flow).render()

@@ -1,0 +1,99 @@
+"""SNR-driven adaptive modulation — the source of the ``Select`` signal.
+
+"This adaptive modulation is selected by the conditional entry Select which
+defines the modulation of each OFDM symbol according to the signal to noise
+ratio."  The DSP runs this controller and writes the selection through
+``Interface IN_OUT``; every change triggers a reconfiguration request for
+the dynamic modulation block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.mccdma.modulation import Modulation
+
+__all__ = ["AdaptiveModulationController", "SnrTrace"]
+
+
+@dataclass
+class AdaptiveModulationController:
+    """Threshold policy with hysteresis.
+
+    Above ``threshold_db`` the channel supports QAM-16; below, fall back to
+    QPSK.  ``hysteresis_db`` prevents reconfiguration thrashing when the SNR
+    hovers around the threshold — switches cost ≈4 ms of reconfiguration, so
+    the controller trades a little spectral efficiency for stability.
+    """
+
+    threshold_db: float = 14.0
+    hysteresis_db: float = 1.0
+    initial: Modulation = Modulation.QPSK
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_db < 0:
+            raise ValueError("hysteresis must be >= 0")
+        self._current = self.initial
+
+    @property
+    def current(self) -> Modulation:
+        return self._current
+
+    def select(self, snr_db: float) -> Modulation:
+        """Choose the modulation for the next OFDM symbol."""
+        if self._current is Modulation.QPSK:
+            if snr_db >= self.threshold_db + self.hysteresis_db:
+                self._current = Modulation.QAM16
+        else:
+            if snr_db <= self.threshold_db - self.hysteresis_db:
+                self._current = Modulation.QPSK
+        return self._current
+
+    def plan(self, snrs_db: Sequence[float]) -> list[Modulation]:
+        """The modulation sequence for a whole SNR trace."""
+        return [self.select(s) for s in snrs_db]
+
+    @staticmethod
+    def switch_count(plan: Sequence[Modulation]) -> int:
+        """Number of reconfigurations a plan implies."""
+        return sum(1 for a, b in zip(plan, plan[1:]) if a is not b)
+
+
+class SnrTrace:
+    """Deterministic SNR trace generators (per OFDM symbol)."""
+
+    @staticmethod
+    def constant(value_db: float, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError("length must be >= 0")
+        return np.full(n, value_db, dtype=float)
+
+    @staticmethod
+    def step(low_db: float, high_db: float, period: int, n: int) -> np.ndarray:
+        """Alternating low/high blocks of ``period`` symbols."""
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        idx = (np.arange(n) // period) % 2
+        return np.where(idx == 0, low_db, high_db).astype(float)
+
+    @staticmethod
+    def random_walk(
+        start_db: float, step_db: float, n: int, seed: int = 0,
+        low_clip: float = -5.0, high_clip: float = 35.0,
+    ) -> np.ndarray:
+        """A clipped random walk — a slowly varying mobile channel."""
+        rng = np.random.default_rng(seed)
+        steps = rng.normal(0.0, step_db, size=n)
+        walk = start_db + np.cumsum(steps)
+        return np.clip(walk, low_clip, high_clip)
+
+    @staticmethod
+    def sinusoid(mean_db: float, amplitude_db: float, period: int, n: int) -> np.ndarray:
+        """Periodic fading envelope (vehicular shadowing)."""
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        t = np.arange(n)
+        return mean_db + amplitude_db * np.sin(2.0 * np.pi * t / period)

@@ -1,0 +1,50 @@
+"""Bit sources and bit/byte helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitSource", "bits_to_bytes", "bytes_to_bits"]
+
+
+class BitSource:
+    """Deterministic pseudo-random bit source (the MAC-layer stand-in).
+
+    Uses a seeded PCG64 generator so every experiment is reproducible; the
+    DSP operator of the case study runs this as its ``bit_source`` operation.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self.produced = 0
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` bits as a uint8 array of 0/1."""
+        if n < 0:
+            raise ValueError(f"bit count must be >= 0, got {n}")
+        self.produced += n
+        return self._rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 array MSB-first into bytes (zero-padded to a byte edge)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError("bits must be a 1-D array")
+    if bits.size == 0:
+        return b""
+    pad = (-bits.size) % 8
+    if pad:
+        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+    return np.packbits(bits).tobytes()
+
+
+def bytes_to_bits(data: bytes, nbits: int | None = None) -> np.ndarray:
+    """Unpack bytes MSB-first into a 0/1 array, truncated to ``nbits``."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(arr)
+    if nbits is not None:
+        if nbits > bits.size:
+            raise ValueError(f"asked for {nbits} bits, only {bits.size} available")
+        bits = bits[:nbits]
+    return bits.astype(np.uint8)

@@ -1,0 +1,136 @@
+"""The paper's case study as an executable design description.
+
+Builds the SynDEx algorithm graph of the reconfigurable MC-CDMA transmitter
+(Fig. 4), the Sundance architecture graph (Fig. 1), and the dynamic-module
+constraints — everything :class:`repro.flows.DesignFlow` needs to run the
+complete top-down methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.boards import Board, sundance_board
+from repro.dfg import AlgorithmGraph, BIT, CPLX16, WORD32, validate_graph
+from repro.dfg.library import OperationLibrary, default_library
+from repro.mccdma.modulation import Modulation
+from repro.mccdma.transmitter import MCCDMAConfig
+
+__all__ = ["CaseStudyDesign", "build_mccdma_graph", "build_mccdma_design", "MODULATION_GROUP"]
+
+#: Name of the condition group driving the dynamic modulation block.
+MODULATION_GROUP = "modulation"
+
+#: Per-OFDM-symbol token payloads used in the graph (worst case over the two
+#: modulations, so both alternatives expose identical interfaces).
+INFO_BITS = 16  # information bits entering the coder
+CODED_BITS = 36  # rate-1/2 coded + tail, rounded to the buffer size
+SYMBOLS = 4  # spread symbols per OFDM symbol (64 subcarriers / 16 chips)
+CHIPS = 64  # chips = subcarriers
+SAMPLES = 80  # subcarriers + cyclic prefix
+
+
+def build_mccdma_graph() -> AlgorithmGraph:
+    """The transmitter's algorithm graph with the conditioned modulation stage."""
+    g = AlgorithmGraph("mccdma_tx")
+
+    src = g.add_operation("bit_src", "bit_source")
+    src.add_output("bits", BIT, INFO_BITS)
+
+    sel = g.add_operation("select", "select_source")
+    sel.add_output("value", WORD32, 1)
+
+    iface = g.add_operation("interface_in_out", "interface_in_out")
+    iface.add_input("din", BIT, INFO_BITS)
+    iface.add_output("dout", BIT, INFO_BITS)
+
+    coder = g.add_operation("coder", "channel_coder")
+    coder.add_input("bits", BIT, INFO_BITS)
+    coder.add_output("coded", BIT, CODED_BITS)
+
+    ilv = g.add_operation("interleaver", "interleaver")
+    ilv.add_input("coded", BIT, CODED_BITS)
+    ilv.add_output("out_qpsk", BIT, CODED_BITS)
+    ilv.add_output("out_qam16", BIT, CODED_BITS)
+
+    qpsk = g.add_operation("mod_qpsk", "qpsk_mod")
+    qpsk.add_input("bits", BIT, CODED_BITS)
+    qpsk.add_output("symbols", CPLX16, SYMBOLS)
+
+    qam16 = g.add_operation("mod_qam16", "qam16_mod")
+    qam16.add_input("bits", BIT, CODED_BITS)
+    qam16.add_output("symbols", CPLX16, SYMBOLS)
+
+    merge = g.add_operation("mod_out", "cond_merge")
+    merge.add_input("from_qpsk", CPLX16, SYMBOLS)
+    merge.add_input("from_qam16", CPLX16, SYMBOLS)
+    merge.add_output("symbols", CPLX16, SYMBOLS)
+
+    spread = g.add_operation("spreader", "spreader")
+    spread.add_input("symbols", CPLX16, SYMBOLS)
+    spread.add_output("chips", CPLX16, CHIPS)
+
+    mapper = g.add_operation("chip_map", "chip_mapper")
+    mapper.add_input("chips", CPLX16, CHIPS)
+    mapper.add_output("mapped", CPLX16, CHIPS)
+
+    ifft = g.add_operation("ifft", "ifft64")
+    ifft.add_input("freq", CPLX16, CHIPS)
+    ifft.add_output("time", CPLX16, CHIPS)
+
+    cp = g.add_operation("cyclic_prefix", "cyclic_prefix")
+    cp.add_input("time", CPLX16, CHIPS)
+    cp.add_output("extended", CPLX16, SAMPLES)
+
+    framer = g.add_operation("framer", "framer")
+    framer.add_input("symbol", CPLX16, SAMPLES)
+    framer.add_output("frame", CPLX16, SAMPLES)
+
+    dac = g.add_operation("dac", "dac_sink")
+    dac.add_input("samples", CPLX16, SAMPLES)
+
+    g.connect(src, "bits", iface, "din")
+    g.connect(iface, "dout", coder, "bits")
+    g.connect(coder, "coded", ilv, "coded")
+    g.connect(ilv, "out_qpsk", qpsk, "bits")
+    g.connect(ilv, "out_qam16", qam16, "bits")
+    g.connect(qpsk, "symbols", merge, "from_qpsk")
+    g.connect(qam16, "symbols", merge, "from_qam16")
+    g.connect(merge, "symbols", spread, "symbols")
+    g.connect(spread, "chips", mapper, "chips")
+    g.connect(mapper, "mapped", ifft, "freq")
+    g.connect(ifft, "time", cp, "time")
+    g.connect(cp, "extended", framer, "symbol")
+    g.connect(framer, "frame", dac, "samples")
+
+    group = g.condition_group(MODULATION_GROUP, sel, "value")
+    group.add_case(Modulation.QPSK, [qpsk])
+    group.add_case(Modulation.QAM16, [qam16])
+    return g
+
+
+@dataclass
+class CaseStudyDesign:
+    """Everything the design flow consumes, in one object."""
+
+    graph: AlgorithmGraph
+    board: Board
+    library: OperationLibrary
+    signal_config: MCCDMAConfig = field(default_factory=MCCDMAConfig)
+
+    @property
+    def modulation_group(self) -> str:
+        return MODULATION_GROUP
+
+    def dynamic_alternatives(self) -> list[str]:
+        group = self.graph.condition_groups[MODULATION_GROUP]
+        return [op.name for op in group.operations]
+
+
+def build_mccdma_design(n_dynamic: int = 1) -> CaseStudyDesign:
+    """The complete case study: validated graph + Sundance board + library."""
+    graph = build_mccdma_graph()
+    library = default_library()
+    validate_graph(graph, library)
+    board = sundance_board(n_dynamic=n_dynamic)
+    return CaseStudyDesign(graph=graph, board=board, library=library)

@@ -1,0 +1,77 @@
+"""Channel models: AWGN and flat Rayleigh fading."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AWGNChannel", "RayleighChannel", "snr_db_to_noise_std"]
+
+
+def snr_db_to_noise_std(snr_db: float, signal_power: float = 1.0) -> float:
+    """Per-complex-sample noise standard deviation for a target SNR."""
+    snr_linear = 10.0 ** (snr_db / 10.0)
+    noise_power = signal_power / snr_linear
+    return float(np.sqrt(noise_power))
+
+
+class AWGNChannel:
+    """Additive white Gaussian noise at a configured SNR (per sample)."""
+
+    def __init__(self, snr_db: float, seed: int = 0):
+        self.snr_db = snr_db
+        self._rng = np.random.default_rng(seed)
+
+    def transmit(self, samples: np.ndarray) -> np.ndarray:
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.size == 0:
+            return samples.copy()
+        power = float(np.mean(np.abs(samples) ** 2))
+        std = snr_db_to_noise_std(self.snr_db, power)
+        noise = (
+            self._rng.standard_normal(samples.size) + 1j * self._rng.standard_normal(samples.size)
+        ) * (std / np.sqrt(2.0))
+        return samples + noise
+
+
+class RayleighChannel:
+    """Flat Rayleigh fading per OFDM symbol plus AWGN.
+
+    The complex gain is constant within an OFDM symbol and redrawn across
+    symbols (block fading) — the regime where SNR-adaptive modulation,
+    hence runtime reconfiguration, pays off.
+    """
+
+    def __init__(self, snr_db: float, symbol_len: int, seed: int = 0):
+        if symbol_len < 1:
+            raise ValueError("symbol length must be positive")
+        self.snr_db = snr_db
+        self.symbol_len = symbol_len
+        self._rng = np.random.default_rng(seed)
+        self.last_gains: np.ndarray | None = None
+
+    def transmit(self, samples: np.ndarray) -> np.ndarray:
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.size % self.symbol_len:
+            raise ValueError(
+                f"sample count {samples.size} not a multiple of symbol length {self.symbol_len}"
+            )
+        n_sym = samples.size // self.symbol_len
+        gains = (
+            self._rng.standard_normal(n_sym) + 1j * self._rng.standard_normal(n_sym)
+        ) / np.sqrt(2.0)
+        self.last_gains = gains
+        faded = (samples.reshape(n_sym, self.symbol_len) * gains[:, None]).reshape(-1)
+        power = float(np.mean(np.abs(samples) ** 2))
+        std = snr_db_to_noise_std(self.snr_db, power)
+        noise = (
+            self._rng.standard_normal(samples.size) + 1j * self._rng.standard_normal(samples.size)
+        ) * (std / np.sqrt(2.0))
+        return faded + noise
+
+    def equalize(self, samples: np.ndarray) -> np.ndarray:
+        """Zero-forcing equalization with the true gains (genie-aided)."""
+        if self.last_gains is None:
+            raise RuntimeError("equalize() before any transmit()")
+        n_sym = samples.size // self.symbol_len
+        gains = self.last_gains[:n_sym]
+        return (samples.reshape(n_sym, self.symbol_len) / gains[:, None]).reshape(-1)

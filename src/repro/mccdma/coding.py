@@ -1,0 +1,105 @@
+"""Channel coding: rate-1/2 convolutional code with Viterbi decoding.
+
+The transmitter chain of Fig. 4 contains a channel-coding block ahead of the
+interleaver.  We implement the classic K=3, rate-1/2 code (generators 7, 5
+octal) with zero-termination, plus a hard-decision Viterbi decoder for the
+reference receiver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ConvolutionalCoder"]
+
+
+class ConvolutionalCoder:
+    """K=3 rate-1/2 convolutional code, generators (0o7, 0o5), zero-tailed."""
+
+    CONSTRAINT = 3
+    G = (0b111, 0b101)
+
+    @property
+    def n_states(self) -> int:
+        return 1 << (self.CONSTRAINT - 1)
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode (appends K-1 tail zeros): ``n`` bits → ``2*(n+2)`` bits."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ValueError("bits must be 1-D")
+        if bits.size and bits.max() > 1:
+            raise ValueError("bits must be 0/1")
+        tailed = np.concatenate([bits, np.zeros(self.CONSTRAINT - 1, dtype=np.uint8)])
+        out = np.empty(2 * tailed.size, dtype=np.uint8)
+        state = 0
+        for i, b in enumerate(tailed):
+            reg = (int(b) << (self.CONSTRAINT - 1)) | state
+            out[2 * i] = bin(reg & self.G[0]).count("1") & 1
+            out[2 * i + 1] = bin(reg & self.G[1]).count("1") & 1
+            state = reg >> 1
+        return out
+
+    def decode(self, coded: np.ndarray) -> np.ndarray:
+        """Hard-decision Viterbi decode; returns the information bits."""
+        coded = np.asarray(coded, dtype=np.uint8)
+        if coded.size % 2:
+            raise ValueError("coded length must be even (rate 1/2)")
+        n_steps = coded.size // 2
+        if n_steps < self.CONSTRAINT - 1:
+            raise ValueError("coded sequence shorter than the tail")
+        n_states = self.n_states
+        INF = 1 << 30
+
+        # Precompute transitions: (state, input) -> (next_state, out0, out1)
+        nxt = np.zeros((n_states, 2), dtype=np.int64)
+        outs = np.zeros((n_states, 2, 2), dtype=np.uint8)
+        for s in range(n_states):
+            for b in (0, 1):
+                reg = (b << (self.CONSTRAINT - 1)) | s
+                nxt[s, b] = reg >> 1
+                outs[s, b, 0] = bin(reg & self.G[0]).count("1") & 1
+                outs[s, b, 1] = bin(reg & self.G[1]).count("1") & 1
+
+        metric = np.full(n_states, INF, dtype=np.int64)
+        metric[0] = 0
+        backptr = np.zeros((n_steps, n_states), dtype=np.uint8)
+        prev_state = np.zeros((n_steps, n_states), dtype=np.int64)
+        for t in range(n_steps):
+            r0, r1 = int(coded[2 * t]), int(coded[2 * t + 1])
+            new_metric = np.full(n_states, INF, dtype=np.int64)
+            for s in range(n_states):
+                if metric[s] >= INF:
+                    continue
+                for b in (0, 1):
+                    ns = nxt[s, b]
+                    cost = (outs[s, b, 0] ^ r0) + (outs[s, b, 1] ^ r1)
+                    cand = metric[s] + cost
+                    if cand < new_metric[ns]:
+                        new_metric[ns] = cand
+                        backptr[t, ns] = b
+                        prev_state[t, ns] = s
+            metric = new_metric
+
+        # Zero-termination: trace back from state 0.
+        state = 0
+        decoded = np.empty(n_steps, dtype=np.uint8)
+        for t in range(n_steps - 1, -1, -1):
+            decoded[t] = backptr[t, state]
+            state = prev_state[t, state]
+        return decoded[: n_steps - (self.CONSTRAINT - 1)]  # drop the tail
+
+    def coded_length(self, n_info_bits: int) -> int:
+        """Coded bits produced for ``n_info_bits`` information bits."""
+        if n_info_bits < 0:
+            raise ValueError("bit count must be >= 0")
+        return 2 * (n_info_bits + self.CONSTRAINT - 1)
+
+    def info_length(self, n_coded_bits: int) -> int:
+        """Information bits recoverable from ``n_coded_bits`` coded bits."""
+        if n_coded_bits % 2:
+            raise ValueError("coded length must be even")
+        info = n_coded_bits // 2 - (self.CONSTRAINT - 1)
+        if info < 0:
+            raise ValueError("coded sequence shorter than the tail")
+        return info

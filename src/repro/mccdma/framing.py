@@ -1,0 +1,92 @@
+"""Frame assembly: pilot symbols plus data symbols.
+
+A frame opens with known pilot OFDM symbols (used by the receiver for
+channel estimation under fading) followed by data OFDM symbols.  The frame
+also carries, out of band, the modulation each data symbol used — modelling
+the control information the DSP writes through ``Interface IN OUT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.mccdma.modulation import Modulation
+
+__all__ = ["FrameConfig", "Frame", "FrameBuilder"]
+
+
+@dataclass(frozen=True)
+class FrameConfig:
+    """Shape of a transmit frame."""
+
+    n_pilot_symbols: int = 2
+    n_data_symbols: int = 8
+    n_subcarriers: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_pilot_symbols < 0:
+            raise ValueError("pilot symbol count must be >= 0")
+        if self.n_data_symbols < 1:
+            raise ValueError("need at least one data symbol per frame")
+        if self.n_subcarriers < 2:
+            raise ValueError("need at least two subcarriers")
+
+
+@dataclass
+class Frame:
+    """One assembled frame: time-domain samples plus per-symbol metadata."""
+
+    samples: np.ndarray
+    modulations: tuple[Modulation, ...]
+    n_pilot_symbols: int
+
+    @property
+    def n_data_symbols(self) -> int:
+        return len(self.modulations)
+
+
+class FrameBuilder:
+    """Builds frames from per-symbol sample blocks and generates pilots."""
+
+    def __init__(self, config: FrameConfig, symbol_len: int):
+        if symbol_len < 1:
+            raise ValueError("symbol length must be positive")
+        self.config = config
+        self.symbol_len = symbol_len
+
+    def pilot_samples(self) -> np.ndarray:
+        """Deterministic constant-envelope pilots (Zadoff-Chu-like ramp)."""
+        n = self.config.n_pilot_symbols * self.symbol_len
+        k = np.arange(n)
+        return np.exp(1j * np.pi * k * (k + 1) / max(1, self.symbol_len))
+
+    def build(
+        self, data_symbols: Sequence[np.ndarray], modulations: Sequence[Modulation]
+    ) -> Frame:
+        """Assemble pilots + data symbol blocks into one frame."""
+        if len(data_symbols) != self.config.n_data_symbols:
+            raise ValueError(
+                f"expected {self.config.n_data_symbols} data symbols, got {len(data_symbols)}"
+            )
+        if len(modulations) != len(data_symbols):
+            raise ValueError("one modulation tag per data symbol required")
+        for i, block in enumerate(data_symbols):
+            if np.asarray(block).size != self.symbol_len:
+                raise ValueError(
+                    f"data symbol {i} has {np.asarray(block).size} samples, expected {self.symbol_len}"
+                )
+        payload = np.concatenate([np.asarray(b, dtype=np.complex128) for b in data_symbols])
+        samples = np.concatenate([self.pilot_samples(), payload])
+        return Frame(
+            samples=samples,
+            modulations=tuple(modulations),
+            n_pilot_symbols=self.config.n_pilot_symbols,
+        )
+
+    def split(self, frame: Frame) -> tuple[np.ndarray, np.ndarray]:
+        """Separate a frame back into (pilot samples, data samples)."""
+        n_pilot = frame.n_pilot_symbols * self.symbol_len
+        return frame.samples[:n_pilot], frame.samples[n_pilot:]

@@ -1,0 +1,46 @@
+"""Block interleaving (row-in, column-out)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BlockInterleaver"]
+
+
+class BlockInterleaver:
+    """A rows×cols block interleaver.
+
+    Bits are written row-wise and read column-wise, breaking up burst errors
+    across coded blocks.  ``interleave`` and ``deinterleave`` are exact
+    inverses for inputs whose length is a multiple of ``rows*cols``.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("interleaver dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def block_size(self) -> int:
+        return self.rows * self.cols
+
+    def _check(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise ValueError("interleaver input must be 1-D")
+        if data.size % self.block_size:
+            raise ValueError(
+                f"length {data.size} not a multiple of block size {self.block_size}"
+            )
+        return data
+
+    def interleave(self, data: np.ndarray) -> np.ndarray:
+        data = self._check(data)
+        blocks = data.reshape(-1, self.rows, self.cols)
+        return blocks.transpose(0, 2, 1).reshape(-1)
+
+    def deinterleave(self, data: np.ndarray) -> np.ndarray:
+        data = self._check(data)
+        blocks = data.reshape(-1, self.cols, self.rows)
+        return blocks.transpose(0, 2, 1).reshape(-1)

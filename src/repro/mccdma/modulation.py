@@ -1,0 +1,124 @@
+"""QPSK and QAM-16 Gray-mapped modulators — the paper's dynamic block.
+
+"Block modulation performs either a QPSK or QAM-16 modulation.  This
+adaptive modulation is selected by the conditional entry Select which
+defines the modulation of each OFDM symbol according to the signal to noise
+ratio."
+
+Both constellations are normalized to unit average symbol energy so the
+receiver and channel see a consistent Es regardless of the selected scheme.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["Modulation", "Modulator", "QPSKModulator", "QAM16Modulator", "modulator_for"]
+
+
+class Modulation(enum.Enum):
+    """The two alternatives of the reconfigurable modulation block."""
+
+    QPSK = "qpsk"
+    QAM16 = "qam16"
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return {Modulation.QPSK: 2, Modulation.QAM16: 4}[self]
+
+
+class Modulator(Protocol):
+    """Common interface of the modulation alternatives."""
+
+    modulation: Modulation
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray: ...
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray: ...
+
+
+def _check_bits(bits: np.ndarray, bits_per_symbol: int) -> np.ndarray:
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError("bits must be 1-D")
+    if bits.size % bits_per_symbol:
+        raise ValueError(f"bit count {bits.size} not a multiple of {bits_per_symbol}")
+    if bits.size and bits.max() > 1:
+        raise ValueError("bits must be 0/1")
+    return bits
+
+
+class QPSKModulator:
+    """Gray-mapped QPSK: 2 bits/symbol, constellation (±1 ± 1j)/√2."""
+
+    modulation = Modulation.QPSK
+    _SCALE = 1.0 / np.sqrt(2.0)
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        bits = _check_bits(bits, 2)
+        pairs = bits.reshape(-1, 2)
+        # Gray mapping: bit 0 -> I sign, bit 1 -> Q sign (0 -> +, 1 -> -).
+        i = 1.0 - 2.0 * pairs[:, 0]
+        q = 1.0 - 2.0 * pairs[:, 1]
+        return (i + 1j * q) * self._SCALE
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        bits = np.empty((symbols.size, 2), dtype=np.uint8)
+        bits[:, 0] = (symbols.real < 0).astype(np.uint8)
+        bits[:, 1] = (symbols.imag < 0).astype(np.uint8)
+        return bits.reshape(-1)
+
+
+# Gray-coded 4-PAM levels indexed by the 2-bit label (b_high, b_low):
+# 00 -> +3, 01 -> +1, 11 -> -1, 10 -> -3 (adjacent labels differ by one bit).
+_PAM4_LEVELS = np.array([3.0, 1.0, -3.0, -1.0])
+
+
+def _pam4_bits(levels: np.ndarray) -> np.ndarray:
+    """Hard-decision Gray demap of 4-PAM levels to (b_high, b_low) pairs."""
+    out = np.empty((levels.size, 2), dtype=np.uint8)
+    out[:, 0] = (levels < 0).astype(np.uint8)  # high bit = sign
+    out[:, 1] = (np.abs(levels) < 2).astype(np.uint8)  # low bit = inner ring
+    return out
+
+
+class QAM16Modulator:
+    """Gray-mapped 16-QAM: 4 bits/symbol, unit average energy (scale 1/√10)."""
+
+    modulation = Modulation.QAM16
+    _SCALE = 1.0 / np.sqrt(10.0)
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        bits = _check_bits(bits, 4)
+        quads = bits.reshape(-1, 4)
+        i_idx = quads[:, 0] * 2 + quads[:, 1]
+        q_idx = quads[:, 2] * 2 + quads[:, 3]
+        i = _PAM4_LEVELS[i_idx]
+        q = _PAM4_LEVELS[q_idx]
+        return (i + 1j * q) * self._SCALE
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=np.complex128) / self._SCALE
+        i_bits = _pam4_bits(symbols.real)
+        q_bits = _pam4_bits(symbols.imag)
+        out = np.empty((symbols.size, 4), dtype=np.uint8)
+        out[:, 0:2] = i_bits
+        out[:, 2:4] = q_bits
+        return out.reshape(-1)
+
+
+_MODULATORS = {
+    Modulation.QPSK: QPSKModulator,
+    Modulation.QAM16: QAM16Modulator,
+}
+
+
+def modulator_for(modulation: Modulation | str) -> Modulator:
+    """The modulator implementing ``modulation`` (accepts enum or name)."""
+    if isinstance(modulation, str):
+        modulation = Modulation(modulation.lower())
+    return _MODULATORS[modulation]()

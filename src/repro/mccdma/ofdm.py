@@ -1,0 +1,64 @@
+"""OFDM multiplexing: subcarrier mapping, IFFT and cyclic prefix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OFDMModulator"]
+
+
+class OFDMModulator:
+    """Maps chips onto subcarriers, IFFTs, and inserts the cyclic prefix.
+
+    The transform is normalized (``norm="ortho"``) so time- and frequency-
+    domain powers match, keeping SNR definitions consistent across the chain.
+    """
+
+    def __init__(self, n_subcarriers: int = 64, cp_len: int = 16):
+        if n_subcarriers < 2 or n_subcarriers & (n_subcarriers - 1):
+            raise ValueError(f"subcarrier count must be a power of two, got {n_subcarriers}")
+        if not 0 <= cp_len <= n_subcarriers:
+            raise ValueError(f"cyclic prefix {cp_len} must be within 0..{n_subcarriers}")
+        self.n_subcarriers = n_subcarriers
+        self.cp_len = cp_len
+
+    @property
+    def symbol_len(self) -> int:
+        """Time-domain samples per OFDM symbol, prefix included."""
+        return self.n_subcarriers + self.cp_len
+
+    def modulate(self, chips: np.ndarray) -> np.ndarray:
+        """Frequency-domain chips → time-domain OFDM symbols (with CP).
+
+        ``chips`` length must be a multiple of the subcarrier count; each
+        group of ``n_subcarriers`` chips becomes one OFDM symbol.
+        """
+        chips = np.asarray(chips, dtype=np.complex128)
+        if chips.size % self.n_subcarriers:
+            raise ValueError(
+                f"chip count {chips.size} not a multiple of {self.n_subcarriers} subcarriers"
+            )
+        blocks = chips.reshape(-1, self.n_subcarriers)
+        time = np.fft.ifft(blocks, axis=1, norm="ortho")
+        if self.cp_len:
+            prefix = time[:, -self.cp_len :]
+            time = np.concatenate([prefix, time], axis=1)
+        return time.reshape(-1)
+
+    def demodulate(self, samples: np.ndarray) -> np.ndarray:
+        """Time-domain samples (with CP) → frequency-domain chips."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.size % self.symbol_len:
+            raise ValueError(
+                f"sample count {samples.size} not a multiple of symbol length {self.symbol_len}"
+            )
+        blocks = samples.reshape(-1, self.symbol_len)
+        body = blocks[:, self.cp_len :]
+        freq = np.fft.fft(body, axis=1, norm="ortho")
+        return freq.reshape(-1)
+
+    def n_symbols(self, n_chips: int) -> int:
+        """OFDM symbols needed for ``n_chips`` frequency-domain chips."""
+        if n_chips % self.n_subcarriers:
+            raise ValueError(f"{n_chips} chips do not fill whole OFDM symbols")
+        return n_chips // self.n_subcarriers

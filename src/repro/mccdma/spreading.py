@@ -1,0 +1,78 @@
+"""Walsh-Hadamard spreading (the CDMA component of MC-CDMA).
+
+Each user's symbol stream is multiplied by an orthogonal Walsh code of
+length ``L``; the chips of all users superpose, and one chip per subcarrier
+is transmitted (frequency-domain spreading).  Orthogonality lets the
+receiver separate users with a simple correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["walsh_matrix", "WalshSpreader"]
+
+
+def walsh_matrix(length: int) -> np.ndarray:
+    """The ``length``×``length`` Walsh-Hadamard matrix (entries ±1).
+
+    ``length`` must be a power of two.  Built by Sylvester recursion, so
+    row ``k`` is the k-th Walsh code.
+    """
+    if length < 1 or length & (length - 1):
+        raise ValueError(f"Walsh code length must be a power of two, got {length}")
+    h = np.array([[1.0]])
+    while h.shape[0] < length:
+        h = np.block([[h, h], [h, -h]])
+    return h
+
+
+class WalshSpreader:
+    """Spreads/despreads multi-user symbol blocks with Walsh codes."""
+
+    def __init__(self, length: int, user_codes: list[int] | None = None):
+        self.length = length
+        self.matrix = walsh_matrix(length)
+        if user_codes is None:
+            user_codes = [0]
+        if len(set(user_codes)) != len(user_codes):
+            raise ValueError("user codes must be distinct")
+        for c in user_codes:
+            if not 0 <= c < length:
+                raise ValueError(f"code index {c} outside 0..{length - 1}")
+        self.user_codes = list(user_codes)
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_codes)
+
+    def spread(self, symbols: np.ndarray) -> np.ndarray:
+        """Spread per-user symbols into superposed chips.
+
+        ``symbols`` has shape ``(n_users, n_symbols)``; the result has shape
+        ``(n_symbols * length,)`` — ``length`` chips per symbol period, the
+        sum over users, scaled by 1/√n_users to keep unit average power.
+        """
+        symbols = np.atleast_2d(np.asarray(symbols, dtype=np.complex128))
+        if symbols.shape[0] != self.n_users:
+            raise ValueError(
+                f"expected {self.n_users} user rows, got {symbols.shape[0]}"
+            )
+        codes = self.matrix[self.user_codes]  # (users, L)
+        # chips[u, s, l] = symbols[u, s] * codes[u, l]
+        chips = symbols[:, :, None] * codes[:, None, :]
+        combined = chips.sum(axis=0) / np.sqrt(self.n_users)
+        return combined.reshape(-1)
+
+    def despread(self, chips: np.ndarray) -> np.ndarray:
+        """Recover per-user symbols by correlating against each code."""
+        chips = np.asarray(chips, dtype=np.complex128)
+        if chips.size % self.length:
+            raise ValueError(f"chip count {chips.size} not a multiple of L={self.length}")
+        blocks = chips.reshape(-1, self.length)  # (n_symbols, L)
+        codes = self.matrix[self.user_codes]  # (users, L)
+        symbols = blocks @ codes.T / self.length  # (n_symbols, users)
+        return symbols.T * np.sqrt(self.n_users)
+
+    def chips_per_symbol(self) -> int:
+        return self.length

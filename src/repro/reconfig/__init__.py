@@ -1,0 +1,69 @@
+"""Runtime reconfiguration: manager, protocol builder, ports, prefetching.
+
+The paper splits runtime reconfiguration into "a configuration manager and a
+protocol configuration builder.  A configuration manager is in charge of the
+configuration bitstream which must be loaded on the reconfigurable part by
+sending configuration requests.  Configuration requests are sent to the
+protocol configuration builder which is in charge to construct a valid
+reconfiguration stream in agreement with the used protocol mode (e.g.
+selectmap)."  Fig. 2 enumerates where the two roles can live; §1 announces
+"prefetching technic to minimize reconfiguration latency".
+
+- :mod:`repro.reconfig.ports` — ICAP / SelectMAP / JTAG port models,
+- :mod:`repro.reconfig.memory` — external bitstream memory,
+- :mod:`repro.reconfig.protocol` — the protocol configuration builder,
+- :mod:`repro.reconfig.prefetch` — prefetch policies (none / on-select /
+  Markov history predictor),
+- :mod:`repro.reconfig.manager` — the configuration manager (implements the
+  executive's configuration-service protocol),
+- :mod:`repro.reconfig.architectures` — the Fig. 2 placements (case a:
+  standalone self-reconfiguration; case b: processor-driven via interrupts).
+"""
+
+from repro.reconfig.ports import ConfigPort, ICAP_V2, JTAG, SELECTMAP_66, PortError
+from repro.reconfig.memory import BitstreamStore, StoreError
+from repro.reconfig.protocol import ProtocolConfigurationBuilder, ProtocolError
+from repro.reconfig.prefetch import (
+    HistoryPrefetchPolicy,
+    NoPrefetchPolicy,
+    OnSelectPrefetchPolicy,
+    PrefetchPolicy,
+)
+from repro.reconfig.manager import ManagerStats, ReconfigurationManager, ReconfigError
+from repro.reconfig.scrubbing import ConfigurationScrubber, SEUInjector, ScrubberStats
+from repro.reconfig.architectures import (
+    ReconfigArchitecture,
+    all_cases,
+    case_a_standalone,
+    case_b_processor,
+    case_c_jtag,
+    case_hybrid_mp,
+)
+
+__all__ = [
+    "ConfigPort",
+    "ICAP_V2",
+    "JTAG",
+    "SELECTMAP_66",
+    "PortError",
+    "BitstreamStore",
+    "StoreError",
+    "ProtocolConfigurationBuilder",
+    "ProtocolError",
+    "PrefetchPolicy",
+    "NoPrefetchPolicy",
+    "OnSelectPrefetchPolicy",
+    "HistoryPrefetchPolicy",
+    "ManagerStats",
+    "ReconfigurationManager",
+    "ReconfigError",
+    "ConfigurationScrubber",
+    "SEUInjector",
+    "ScrubberStats",
+    "ReconfigArchitecture",
+    "all_cases",
+    "case_a_standalone",
+    "case_b_processor",
+    "case_c_jtag",
+    "case_hybrid_mp",
+]

@@ -1,0 +1,145 @@
+"""The Fig. 2 reconfiguration architectures.
+
+"Labels M and P show where functionalities 'Configuration manager' and
+'Protocol configuration builder' respectively are implemented.  Locations of
+these functionalities have a direct impact on the reconfiguration latency.
+Case a) shows standalone self reconfigurations where the fixed part of the
+FPGA reconfigures the dynamic area.  Case b) shows the use of a processor to
+perform the reconfiguration.  In this case the FPGA sends reconfiguration
+requests to the processor through hardware interruptions."
+
+Modelling assumptions (documented in DESIGN.md):
+
+- **Case a (standalone)** — M and P in the static part; the builder streams
+  from on-board memory straight into the ICAP.  Request latency is a few
+  FPGA cycles; the transfer runs at the memory's sustained bandwidth.
+- **Case b (processor)** — the FPGA raises a hardware interrupt; the DSP's
+  service routine (interrupt latency + handler) reads the bitstream from its
+  own memory and drives the external SelectMAP through its EMIF.  The
+  CPU-driven byte path sustains less bandwidth than the dedicated on-chip
+  streamer, and every request pays the interrupt round trip.
+- **Case c (JTAG)** — boundary-scan download, for scale: the serial port
+  dominates everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.reconfig.manager import ReconfigurationManager
+from repro.reconfig.memory import BitstreamStore
+from repro.reconfig.ports import ConfigPort, ICAP_V2, JTAG, SELECTMAP_66
+from repro.reconfig.prefetch import PrefetchPolicy
+from repro.reconfig.protocol import ProtocolConfigurationBuilder
+from repro.sim import Simulator, Trace
+
+__all__ = ["ReconfigArchitecture", "case_a_standalone", "case_b_processor", "case_c_jtag", "all_cases"]
+
+
+@dataclass(frozen=True)
+class ReconfigArchitecture:
+    """One placement of the manager (M) and protocol builder (P)."""
+
+    name: str
+    description: str
+    manager_location: str  # "fpga_static" | "processor"
+    builder_location: str
+    port: ConfigPort
+    memory_bandwidth_bytes_per_s: float
+    memory_access_ns: int
+    request_latency_ns: int
+
+    def make_store(self) -> BitstreamStore:
+        return BitstreamStore(
+            bandwidth_bytes_per_s=self.memory_bandwidth_bytes_per_s,
+            access_ns=self.memory_access_ns,
+        )
+
+    def make_builder(
+        self, sim: Simulator, store: BitstreamStore, trace: Optional[Trace] = None
+    ) -> ProtocolConfigurationBuilder:
+        return ProtocolConfigurationBuilder(sim, self.port, store, trace=trace)
+
+    def make_manager(
+        self,
+        sim: Simulator,
+        store: BitstreamStore,
+        policy: Optional[PrefetchPolicy] = None,
+        trace: Optional[Trace] = None,
+    ) -> ReconfigurationManager:
+        builder = self.make_builder(sim, store, trace=trace)
+        return ReconfigurationManager(
+            sim, builder, policy=policy, request_latency_ns=self.request_latency_ns, trace=trace
+        )
+
+    def estimate_latency_ns(self, nbytes: int) -> int:
+        """Analytic end-to-end latency for an ``nbytes`` partial bitstream."""
+        store = self.make_store()
+        sim = Simulator()
+        builder = self.make_builder(sim, store)
+        return self.request_latency_ns + builder.estimate_ns(nbytes)
+
+
+def case_a_standalone() -> ReconfigArchitecture:
+    """Fig. 2a: the static part reconfigures the dynamic area via ICAP."""
+    return ReconfigArchitecture(
+        name="case_a_standalone",
+        description="M+P in FPGA static part, on-board memory -> ICAP",
+        manager_location="fpga_static",
+        builder_location="fpga_static",
+        port=ICAP_V2,
+        memory_bandwidth_bytes_per_s=BitstreamStore.DEFAULT_BANDWIDTH,
+        memory_access_ns=1_000,
+        request_latency_ns=500,
+    )
+
+
+def case_b_processor() -> ReconfigArchitecture:
+    """Fig. 2b: the DSP performs the reconfiguration on hardware interrupt."""
+    return ReconfigArchitecture(
+        name="case_b_processor",
+        description="M+P on the DSP, interrupt request, EMIF -> SelectMAP",
+        manager_location="processor",
+        builder_location="processor",
+        port=SELECTMAP_66,
+        # CPU-driven byte path: interrupt handler + EMIF writes sustain less
+        # than the dedicated streamer.
+        memory_bandwidth_bytes_per_s=14_000_000.0,
+        memory_access_ns=4_000,
+        request_latency_ns=20_000,  # interrupt latency + service entry
+    )
+
+
+def case_hybrid_mp() -> ReconfigArchitecture:
+    """M on the DSP, P in the static part: the processor *decides* (after an
+    interrupt round trip) but the on-chip builder moves the data.  Isolates
+    the request-path cost of case b from its data-path cost."""
+    return ReconfigArchitecture(
+        name="case_hybrid_mp",
+        description="M on the DSP (interrupt), P in FPGA static part -> ICAP",
+        manager_location="processor",
+        builder_location="fpga_static",
+        port=ICAP_V2,
+        memory_bandwidth_bytes_per_s=BitstreamStore.DEFAULT_BANDWIDTH,
+        memory_access_ns=1_000,
+        request_latency_ns=20_000,
+    )
+
+
+def case_c_jtag() -> ReconfigArchitecture:
+    """Boundary-scan download (comparison point: serial port dominates)."""
+    return ReconfigArchitecture(
+        name="case_c_jtag",
+        description="external JTAG download (debug path)",
+        manager_location="processor",
+        builder_location="processor",
+        port=JTAG,
+        memory_bandwidth_bytes_per_s=BitstreamStore.DEFAULT_BANDWIDTH,
+        memory_access_ns=1_000,
+        request_latency_ns=20_000,
+    )
+
+
+def all_cases() -> list[ReconfigArchitecture]:
+    return [case_a_standalone(), case_hybrid_mp(), case_b_processor(), case_c_jtag()]

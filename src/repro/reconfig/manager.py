@@ -1,0 +1,291 @@
+"""The runtime configuration manager.
+
+Monitors the dynamic regions, queues configuration requests, consults the
+prefetch policy, and drives the protocol configuration builder.  Implements
+the executive's configuration-service protocol (``ensure_loaded`` /
+``notify_select``), so an :class:`~repro.executive.interpreter.ExecutiveRunner`
+can use it directly as its ``config_service``.
+
+Per region the manager also drives an ``In_Reconf`` signal — the paper's
+lock-up of the receiving interface during partial reconfiguration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.reconfig.memory import BitstreamStore
+from repro.reconfig.prefetch import HistoryPrefetchPolicy, NoPrefetchPolicy, PrefetchPolicy
+from repro.reconfig.protocol import ProtocolConfigurationBuilder, ProtocolError
+from repro.sim import Event, Mailbox, Signal, Simulator, Trace
+
+__all__ = ["ReconfigError", "ManagerStats", "ReconfigurationManager"]
+
+
+class ReconfigError(RuntimeError):
+    """Manager misuse or unrecoverable configuration failure."""
+
+
+@dataclass
+class ManagerStats:
+    """Counters for the benchmarks."""
+
+    demand_requests: int = 0
+    demand_loads: int = 0
+    prefetch_loads: int = 0
+    useful_prefetches: int = 0
+    wasted_prefetches: int = 0
+    instant_hits: int = 0
+    stall_ns: int = 0
+    crc_failures: int = 0
+    readback_failures: int = 0
+    load_retries: int = 0
+
+    def mean_stall_ns(self) -> float:
+        return self.stall_ns / self.demand_requests if self.demand_requests else 0.0
+
+
+@dataclass
+class _Job:
+    region: str
+    module: str
+    demand: bool
+    done: Event
+    cancelled: bool = False
+
+
+@dataclass
+class _RegionState:
+    loaded: Optional[str] = None
+    loading: Optional[str] = None
+    load_started_at: int = 0
+    load_done: Optional[Event] = None
+    queue: Optional[Mailbox] = None
+    history: list[str] = field(default_factory=list)
+    #: module that was prefetched but not yet demanded (for waste accounting)
+    unclaimed_prefetch: Optional[str] = None
+    #: last module demanded (the history predictor learns demand transitions,
+    #: self-transitions included — otherwise it would always predict a switch)
+    last_demand: Optional[str] = None
+
+
+class ReconfigurationManager:
+    """Configuration manager + prefetching over a protocol builder."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        builder: ProtocolConfigurationBuilder,
+        policy: Optional[PrefetchPolicy] = None,
+        request_latency_ns: int = 1_000,
+        trace: Optional[Trace] = None,
+        strict_crc: bool = True,
+        verify_readback: bool = False,
+        max_load_retries: int = 2,
+    ):
+        if request_latency_ns < 0:
+            raise ReconfigError("request latency must be >= 0")
+        if max_load_retries < 0:
+            raise ReconfigError("retry count must be >= 0")
+        self.sim = sim
+        self.builder = builder
+        self.policy = policy or NoPrefetchPolicy()
+        self.request_latency_ns = request_latency_ns
+        self.trace = trace
+        self.strict_crc = strict_crc
+        #: When True, every load is followed by a configuration readback and
+        #: compared against the golden bitstream (≈ doubles the latency);
+        #: mismatches are retried up to ``max_load_retries`` times.
+        self.verify_readback = verify_readback
+        self.max_load_retries = max_load_retries
+        self.stats = ManagerStats()
+        self.in_reconf: dict[str, Signal] = {}
+        self._regions: dict[str, _RegionState] = {}
+        for region in builder.store.regions():
+            self._region(region)
+
+    # -- region bookkeeping -----------------------------------------------------
+
+    def _region(self, region: str) -> _RegionState:
+        if region not in self._regions:
+            state = _RegionState(queue=Mailbox(self.sim, name=f"reconfq.{region}"))
+            self._regions[region] = state
+            self.in_reconf[region] = Signal(self.sim, value=False, name=f"In_Reconf.{region}")
+            self.sim.process(self._region_proc(region), name=f"mgr:{region}")
+        return self._regions[region]
+
+    def loaded_module(self, region: str) -> Optional[str]:
+        return self._region(region).loaded
+
+    def preload(self, region: str, module: str) -> None:
+        """Mark ``module`` as configured at power-up (part of the initial
+        full bitstream; the constraints file's ``loading = startup``)."""
+        if not self._known(region, module):
+            raise ReconfigError(f"no bitstream registered for {region}/{module}")
+        state = self._region(region)
+        if state.loaded is not None or state.loading is not None:
+            raise ReconfigError(f"region {region!r} already configured; preload must come first")
+        state.loaded = module
+        state.history.append(module)
+
+    # -- the executive-facing protocol --------------------------------------------
+
+    def notify_select(self, region: str, module: str) -> None:
+        """The selector announced the next configuration (prefetch hint)."""
+        state = self._region(region)
+        target = self.policy.on_select(region, module)
+        if target is None:
+            return
+        if target == state.loaded or target == state.loading:
+            return
+        if not self._known(region, target):
+            return
+        self._enqueue(region, target, demand=False)
+
+    def ensure_loaded(self, region: str, module: str) -> Event:
+        """Event firing once ``module`` is active on ``region``."""
+        if not self._known(region, module):
+            raise ReconfigError(f"no bitstream registered for {region}/{module}")
+        state = self._region(region)
+        self.stats.demand_requests += 1
+        called_at = self.sim.now
+        if isinstance(self.policy, HistoryPrefetchPolicy):
+            self.policy.observe(state.last_demand, module)
+        state.last_demand = module
+
+        if state.loaded == module and state.loading is None:
+            if state.unclaimed_prefetch == module:
+                self.stats.useful_prefetches += 1
+                state.unclaimed_prefetch = None
+            self.stats.instant_hits += 1
+            ev = self.sim.event(name=f"hit:{region}/{module}")
+            ev.succeed()
+            if len(state.queue or ()) == 0:
+                self._speculate(region)
+            return ev
+
+        if state.loading == module and state.load_done is not None:
+            # Piggyback on the in-flight (prefetch) load.
+            ev = self.sim.event(name=f"join:{region}/{module}")
+            state.unclaimed_prefetch = None
+            self.stats.useful_prefetches += 1
+            self._chain_stall(state.load_done, ev, called_at)
+            return ev
+
+        # Cancel queued speculation for other modules; queue a demand load.
+        job = self._enqueue(region, module, demand=True)
+        ev = self.sim.event(name=f"demand:{region}/{module}")
+        self._chain_stall(job.done, ev, called_at)
+        return ev
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _known(self, region: str, module: str) -> bool:
+        try:
+            self.builder.store.get(region, module)
+            return True
+        except KeyError:
+            return False
+
+    def _chain_stall(self, source: Event, target: Event, called_at: int) -> None:
+        def on_done(ev: Event) -> None:
+            self.stats.stall_ns += self.sim.now - called_at
+            if ev.ok:
+                target.succeed()
+            else:
+                target.fail(ev._exc or ReconfigError("configuration failed"))
+
+        if source.processed:
+            on_done(source)
+        else:
+            source.callbacks.append(on_done)
+
+    def _enqueue(self, region: str, module: str, demand: bool) -> _Job:
+        state = self._region(region)
+        if demand:
+            # A pending speculative job for a different module is now useless.
+            for pending in list(state.queue._items):  # type: ignore[union-attr]
+                if isinstance(pending, _Job) and not pending.demand and pending.module != module:
+                    pending.cancelled = True
+        job = _Job(region=region, module=module, demand=demand,
+                   done=self.sim.event(name=f"load:{region}/{module}"))
+        assert state.queue is not None
+        state.queue.post(job)
+        return job
+
+    def _region_proc(self, region: str):
+        state = self._regions[region]
+        assert state.queue is not None
+        while True:
+            job: _Job = yield state.queue.get()
+            if job.cancelled or job.module == state.loaded:
+                if job.demand and job.module == state.loaded and state.unclaimed_prefetch == job.module:
+                    self.stats.useful_prefetches += 1
+                    state.unclaimed_prefetch = None
+                job.done.succeed()
+                if job.demand and len(state.queue) == 0:
+                    self._speculate(region)
+                continue
+            # The request travels to the manager/builder (Fig. 2 placement).
+            yield self.sim.timeout(self.request_latency_ns)
+            state.loading = job.module
+            state.load_started_at = self.sim.now
+            state.load_done = job.done
+            self.in_reconf[region].set(True)
+            if self.trace:
+                self.trace.record(self.sim.now, f"mgr.{region}", "load_start",
+                                  detail=job.module, payload="demand" if job.demand else "prefetch")
+            previous = state.loaded
+            try:
+                yield self.sim.process(self.builder.load(region, job.module))
+                if self.verify_readback:
+                    attempts = 0
+                    while True:
+                        ok = yield self.sim.process(self.builder.readback(region, job.module))
+                        if ok:
+                            break
+                        self.stats.readback_failures += 1
+                        if attempts >= self.max_load_retries:
+                            raise ProtocolError(
+                                f"readback verification failed for {region}/{job.module} "
+                                f"after {attempts + 1} attempts"
+                            )
+                        attempts += 1
+                        self.stats.load_retries += 1
+                        yield self.sim.process(self.builder.load(region, job.module))
+            except ProtocolError as err:
+                self.stats.crc_failures += 1
+                state.loading = None
+                state.load_done = None
+                self.in_reconf[region].set(False)
+                if self.strict_crc:
+                    job.done.fail(ReconfigError(str(err)))
+                else:
+                    job.done.fail(err)
+                continue
+            # Swap complete.
+            if state.unclaimed_prefetch is not None and state.unclaimed_prefetch == previous:
+                self.stats.wasted_prefetches += 1
+                state.unclaimed_prefetch = None
+            state.loaded = job.module
+            state.loading = None
+            state.load_done = None
+            state.history.append(job.module)
+            self.in_reconf[region].set(False)
+            if job.demand:
+                self.stats.demand_loads += 1
+            else:
+                self.stats.prefetch_loads += 1
+                state.unclaimed_prefetch = job.module
+            job.done.succeed()
+            # Idle speculation opportunity — only after demand activity, so
+            # speculation never chains on speculation (bounded lookahead).
+            if job.demand and len(state.queue) == 0:
+                self._speculate(region)
+
+    def _speculate(self, region: str) -> None:
+        state = self._region(region)
+        target = self.policy.on_idle(region, state.loaded, state.history)
+        if target and target not in (state.loaded, state.loading) and self._known(region, target):
+            self._enqueue(region, target, demand=False)

@@ -1,0 +1,61 @@
+"""Configuration port models (ICAP, SelectMAP, JTAG).
+
+A port is characterized by its data width, clock, and per-transaction
+overhead.  Virtex-II numbers per DS031/UG002: ICAP and SelectMAP are 8-bit
+parallel ports clocked up to 66 MHz (66 MB/s peak); JTAG is serial at
+33 Mb/s.  The port is an exclusive resource — one configuration at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import cycles_to_ns
+
+__all__ = ["PortError", "ConfigPort", "ICAP_V2", "SELECTMAP_66", "JTAG"]
+
+
+class PortError(ValueError):
+    """Invalid port configuration or use."""
+
+
+@dataclass(frozen=True)
+class ConfigPort:
+    """One configuration access port."""
+
+    name: str
+    width_bits: int
+    clock_mhz: float
+    #: Fixed per-configuration overhead (sync, startup sequence), ns.
+    setup_ns: int = 0
+    #: True when the port is inside the FPGA (usable for self-reconfiguration).
+    internal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width_bits not in (1, 8, 16, 32):
+            raise PortError(f"port {self.name!r}: unsupported width {self.width_bits}")
+        if self.clock_mhz <= 0:
+            raise PortError(f"port {self.name!r}: clock must be positive")
+        if self.setup_ns < 0:
+            raise PortError(f"port {self.name!r}: setup must be >= 0")
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.clock_mhz * 1e6 * self.width_bits / 8.0
+
+    def write_ns(self, nbytes: int) -> int:
+        """Time to clock ``nbytes`` of configuration data into the port."""
+        if nbytes < 0:
+            raise PortError(f"byte count must be >= 0, got {nbytes}")
+        cycles = -(-nbytes * 8 // self.width_bits)
+        return self.setup_ns + cycles_to_ns(cycles, self.clock_mhz)
+
+
+#: Internal Configuration Access Port of Virtex-II: 8-bit @ 66 MHz, on-chip.
+ICAP_V2 = ConfigPort(name="icap", width_bits=8, clock_mhz=66.0, setup_ns=500, internal=True)
+
+#: External SelectMAP port: 8-bit @ 66 MHz, driven by an external master.
+SELECTMAP_66 = ConfigPort(name="selectmap", width_bits=8, clock_mhz=66.0, setup_ns=2_000, internal=False)
+
+#: Boundary-scan configuration: serial, 33 MHz TCK (slow; for comparison).
+JTAG = ConfigPort(name="jtag", width_bits=1, clock_mhz=33.0, setup_ns=5_000, internal=False)

@@ -1,0 +1,118 @@
+"""Configuration prefetching policies.
+
+"The run-time reconfiguration manager … uses prefetching technic to minimize
+reconfiguration latency of runtime reconfiguration."  The manager consults a
+policy at two moments:
+
+- ``on_select(region, module)`` — the DSP announced the next configuration
+  (the ``Select`` value was written): should we start loading now?
+- ``on_idle(region, loaded, history)`` — the region is idle with no pending
+  request: is there a module worth speculatively loading?
+
+Policies:
+
+- :class:`NoPrefetchPolicy` — reactive baseline: load only on demand.
+- :class:`OnSelectPrefetchPolicy` — start loading the moment the selection
+  is known (the paper's prefetching: the Select register is written ahead of
+  the data entering the modulation block).
+- :class:`HistoryPrefetchPolicy` — first-order Markov predictor over the
+  observed module sequence; speculates when the selection is not yet known.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional, Protocol, Sequence
+
+__all__ = [
+    "PrefetchPolicy",
+    "NoPrefetchPolicy",
+    "OnSelectPrefetchPolicy",
+    "HistoryPrefetchPolicy",
+]
+
+
+class PrefetchPolicy(Protocol):
+    """Strategy interface consulted by the configuration manager."""
+
+    name: str
+
+    def on_select(self, region: str, module: str) -> Optional[str]:
+        """Module to start loading when the selection becomes known."""
+
+    def on_idle(self, region: str, loaded: Optional[str], history: Sequence[str]) -> Optional[str]:
+        """Module to speculatively load while the region is idle."""
+
+
+class NoPrefetchPolicy:
+    """Reactive: never loads ahead of a demand request."""
+
+    name = "none"
+
+    def on_select(self, region: str, module: str) -> Optional[str]:
+        return None
+
+    def on_idle(self, region: str, loaded: Optional[str], history: Sequence[str]) -> Optional[str]:
+        return None
+
+
+class OnSelectPrefetchPolicy:
+    """Loads as soon as the next configuration is announced."""
+
+    name = "on_select"
+
+    def on_select(self, region: str, module: str) -> Optional[str]:
+        return module
+
+    def on_idle(self, region: str, loaded: Optional[str], history: Sequence[str]) -> Optional[str]:
+        return None
+
+
+class HistoryPrefetchPolicy:
+    """First-order Markov predictor over the *demand* history.
+
+    A pure idle-time speculator: it never acts on select announcements
+    (acting early from outside the region's program order can evict a module
+    an in-flight iteration still needs) and only speculates when the
+    predicted successor differs from the loaded module with enough
+    confidence.  Self-transitions are learned too, so steady selections
+    predict "stay" and produce no churn.
+
+    ``min_confidence`` guards against speculating from noise: the predicted
+    successor must account for at least that fraction of observed
+    transitions out of the current module.
+    """
+
+    name = "history"
+
+    def __init__(self, min_confidence: float = 0.5):
+        if not 0.0 < min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in (0, 1]")
+        self.min_confidence = min_confidence
+        self._transitions: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    def observe(self, prev: Optional[str], nxt: str) -> None:
+        """Record a configuration transition (manager calls on each swap)."""
+        if prev is not None:
+            self._transitions[prev][nxt] += 1
+
+    def predict(self, current: Optional[str]) -> Optional[str]:
+        if current is None:
+            return None
+        counts = self._transitions.get(current)
+        if not counts:
+            return None
+        total = sum(counts.values())
+        best, best_count = max(counts.items(), key=lambda kv: (kv[1], kv[0]))
+        if best_count / total < self.min_confidence:
+            return None
+        return best
+
+    def on_select(self, region: str, module: str) -> Optional[str]:
+        return None
+
+    def on_idle(self, region: str, loaded: Optional[str], history: Sequence[str]) -> Optional[str]:
+        prediction = self.predict(loaded if loaded is not None else (history[-1] if history else None))
+        if prediction is not None and prediction != loaded:
+            return prediction
+        return None

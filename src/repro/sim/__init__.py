@@ -1,0 +1,55 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, dependency-free discrete-event simulator in the style
+of SimPy, used to execute the synchronized executives produced by the AAA
+adequation step and to model runtime reconfiguration latency.
+
+Time is integral (nanoseconds by convention, see :mod:`repro.sim.units`), so
+simulations are exactly reproducible across platforms.
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.channels import Channel, Mailbox, Resource, Semaphore, Signal
+from repro.sim.trace import Trace, TraceRecord, Span
+from repro.sim.metrics import (
+    Accumulator,
+    UtilizationTracker,
+    busy_time,
+    interval_union,
+    stall_time,
+)
+from repro.sim import units
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "Channel",
+    "Mailbox",
+    "Resource",
+    "Semaphore",
+    "Signal",
+    "Trace",
+    "TraceRecord",
+    "Span",
+    "Accumulator",
+    "UtilizationTracker",
+    "busy_time",
+    "interval_union",
+    "stall_time",
+    "units",
+]

@@ -1,0 +1,238 @@
+"""Synchronization and communication primitives built on the kernel.
+
+These model the hardware objects the generated executives use:
+
+- :class:`Semaphore` — the ``Pre_``/``Suc_`` synchronization of SynDEx
+  executives (producer/consumer buffer hand-off).
+- :class:`Channel` — a bounded FIFO, modelling a communication medium's
+  buffer (e.g. the SHB bus interface FIFO).
+- :class:`Mailbox` — an unbounded message queue (interrupt requests from the
+  FPGA to the DSP in Fig. 2 case b).
+- :class:`Resource` — a mutex with FIFO queueing (exclusive media, the single
+  configuration port).
+- :class:`Signal` — a level-sensitive value with edge events (``In_Reconf``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+__all__ = ["Semaphore", "Channel", "Mailbox", "Resource", "Signal"]
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup order."""
+
+    def __init__(self, sim: Simulator, value: int = 0, name: str = ""):
+        if value < 0:
+            raise ValueError(f"initial semaphore value must be >= 0, got {value}")
+        self.sim = sim
+        self.name = name or "sem"
+        self._count = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def release(self) -> None:
+        """V operation (SynDEx ``Suc_``): wake one waiter or bank a permit."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.abandoned:
+                waiter.succeed()
+                return
+        self._count += 1
+
+    def acquire(self) -> Event:
+        """P operation (SynDEx ``Pre_``): event that fires once a permit is held."""
+        ev = Event(self.sim, name=f"{self.name}.acquire")
+        if self._count > 0:
+            self._count -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+
+class Channel:
+    """Bounded FIFO channel; put blocks when full, get blocks when empty."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"channel capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name or "chan"
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @staticmethod
+    def _next_live(queue: Deque) -> "Event | None":
+        """Pop and return the first non-abandoned waiter event, or None."""
+        while queue:
+            ev = queue.popleft()
+            if not getattr(ev, "abandoned", False):
+                return ev
+        return None
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` entered the FIFO."""
+        ev = Event(self.sim, name=f"{self.name}.put")
+        getter = self._next_live(self._getters)
+        if getter is not None:
+            # Direct hand-off keeps FIFO semantics with zero queue residency.
+            getter.succeed(item)
+            ev.succeed()
+        elif not self.is_full:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        ev = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            while self._putters:
+                put_ev, pending = self._putters.popleft()
+                if put_ev.abandoned:
+                    continue
+                self._items.append(pending)
+                put_ev.succeed()
+                break
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class Mailbox:
+    """Unbounded message queue — put never blocks."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name or "mbox"
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def post(self, item: Any) -> None:
+        getter = Channel._next_live(self._getters)
+        if getter is not None:
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class Resource:
+    """Mutex with FIFO grant order; models exclusive hardware (a bus, a port).
+
+    Usage from a process::
+
+        grant = yield resource.request()
+        try:
+            ...
+        finally:
+            resource.release(grant)
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name or "res"
+        self._holder: Optional[object] = None
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def busy(self) -> bool:
+        return self._holder is not None
+
+    def request(self) -> Event:
+        """Event firing with a grant token once the resource is held."""
+        ev = Event(self.sim, name=f"{self.name}.request")
+        if self._holder is None:
+            token = object()
+            self._holder = token
+            ev.succeed(token)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self, token: object) -> None:
+        if token is not self._holder:
+            raise SimulationError(f"release of {self.name} with a stale grant token")
+        waiter = Channel._next_live(self._waiters)
+        if waiter is not None:
+            new_token = object()
+            self._holder = new_token
+            waiter.succeed(new_token)
+        else:
+            self._holder = None
+
+    def use(self, duration: int) -> Generator[Event, Any, None]:
+        """Convenience process body: hold the resource for ``duration`` ticks."""
+        token = yield self.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(token)
+
+
+class Signal:
+    """Level-sensitive value with events on change — e.g. ``In_Reconf``."""
+
+    def __init__(self, sim: Simulator, value: Any = None, name: str = ""):
+        self.sim = sim
+        self.name = name or "sig"
+        self._value = value
+        self._watchers: list[Event] = []
+        self.history: list[tuple[int, Any]] = [(sim.now, value)]
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def set(self, value: Any) -> None:
+        """Drive a new value; fires change events only on actual change."""
+        if value == self._value:
+            return
+        self._value = value
+        self.history.append((self.sim.now, value))
+        watchers, self._watchers = self._watchers, []
+        for ev in watchers:
+            ev.succeed(value)
+
+    def changed(self) -> Event:
+        """Event firing at the next value change."""
+        ev = Event(self.sim, name=f"{self.name}.changed")
+        self._watchers.append(ev)
+        return ev
+
+    def wait_for(self, predicate) -> Generator[Event, Any, Any]:
+        """Process body: wait until ``predicate(value)`` holds; returns value."""
+        while not predicate(self._value):
+            yield self.changed()
+        return self._value

@@ -1,0 +1,362 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel follows the classic event-calendar design: a priority queue of
+``(time, priority, sequence, event)`` entries guarantees a total, reproducible
+order even for simultaneous events.  Coroutines (plain generators) model
+concurrent hardware processes; they ``yield`` events to wait on them.
+
+Only the features needed by this reproduction are implemented — timeouts,
+process join, any/all composition, interrupts — which keeps the kernel small
+enough to reason about and to property-test exhaustively.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+]
+
+#: Priority used for normal events.
+PRIORITY_NORMAL = 1
+#: Priority used for urgent (kernel-internal) events such as interrupts.
+PRIORITY_URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, running an empty calendar…)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value given by the interrupter.  Used
+    by the reconfiguration manager to model pre-emption of a dynamic region
+    and by failure-injection tests.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    Life-cycle: *pending* → *triggered* (value or exception decided, queued on
+    the calendar) → *processed* (callbacks ran).  Triggering twice is an
+    error; waiting on a processed event resumes immediately.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "processed", "name", "abandoned")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self.triggered = False
+        self.processed = False
+        self.name = name
+        #: Set when the waiter was interrupted away: queue owners (channels,
+        #: semaphores) must skip abandoned events instead of satisfying them.
+        self.abandoned = False
+
+    @property
+    def ok(self) -> bool:
+        """True once the event was triggered successfully."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError(f"value of untriggered event {self!r}")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._enqueue(self, delay=0, priority=priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception, propagated to waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self.triggered = True
+        self._exc = exc
+        self.sim._enqueue(self, delay=0, priority=priority)
+        return self
+
+    def _process(self) -> None:
+        self.processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        label = self.name or type(self).__name__
+        return f"<{label} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` ticks after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim, name=name or f"timeout({delay})")
+        self.triggered = True
+        self._value = value
+        sim._enqueue(self, delay=delay, priority=PRIORITY_NORMAL)
+
+
+class Process(Event):
+    """Runs a generator; triggers (as an event) when the generator returns.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    fails, its exception is thrown into the generator, so processes can
+    ``try/except`` failures of sub-operations.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any], name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once the simulator starts (or immediately if running).
+        init = Event(sim, name=f"init:{self.name}")
+        init.callbacks.append(self._resume)
+        init.succeed(priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        target = self._waiting_on
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            if not target.triggered:
+                target.abandoned = True
+            self._waiting_on = None
+        kick = Event(self.sim, name=f"interrupt:{self.name}")
+        kick.callbacks.append(lambda ev: self._throw(Interrupt(cause)))
+        kick.succeed(priority=PRIORITY_URGENT)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value, priority=PRIORITY_URGENT)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate to waiters
+            self.fail(err, priority=PRIORITY_URGENT)
+            return
+        self._wait_on(target)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._exc is not None:
+                target = self._gen.throw(event._exc)
+            else:
+                target = self._gen.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value, priority=PRIORITY_URGENT)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate to waiters
+            self.fail(err, priority=PRIORITY_URGENT)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._throw(SimulationError(f"process {self.name} yielded non-event {target!r}"))
+            return
+        if target.processed:
+            # Already settled: resume at the current time, preserving order.
+            kick = Event(self.sim, name=f"rewake:{self.name}")
+            kick._value = target._value
+            kick._exc = target._exc
+            kick.callbacks.append(self._resume)
+            kick.triggered = True
+            self.sim._enqueue(kick, delay=0, priority=PRIORITY_NORMAL)
+            self._waiting_on = kick
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name=name)
+        self.events = tuple(events)
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"{name} requires events, got {ev!r}")
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_settle(ev)
+            else:
+                ev.callbacks.append(self._on_settle)
+            if self.triggered:
+                break
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.processed and ev._exc is None}
+
+    def _on_settle(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of ``events`` settles."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, "AnyOf")
+
+    def _on_settle(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when all ``events`` settle (fails fast on first failure)."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, "AllOf")
+
+    def _on_settle(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The event calendar and simulation clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._now = 0
+        self._seq = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in ticks (nanoseconds)."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None, name: str = "") -> Timeout:
+        """An event that fires ``delay`` ticks from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start running generator ``gen`` as a concurrent process."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- calendar ----------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: int, priority: int) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def step(self) -> None:
+        """Process the single next event; advances the clock."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event calendar")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by construction
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._process()
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the calendar is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run events until the calendar drains, ``until`` ticks pass, or an
+        ``until`` event triggers.  Returns the event's value in that case."""
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        f"calendar drained before event {sentinel.name or sentinel!r} triggered"
+                    )
+                self.step()
+            return sentinel.value
+        horizon = int(until)
+        if horizon < self._now:
+            raise ValueError(f"cannot run until {horizon}, already at {self._now}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,139 @@
+"""Execution tracing.
+
+Every runtime component (operators, media, configuration ports, the
+reconfiguration manager) records :class:`TraceRecord` entries and
+:class:`Span` activity intervals into a shared :class:`Trace`.  Benchmarks and
+the report generator compute utilization, stall time and Gantt charts from
+these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["TraceRecord", "Span", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """A point event in the trace."""
+
+    time: int
+    actor: str
+    kind: str
+    detail: str = ""
+    payload: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A closed activity interval ``[start, end)`` on an actor."""
+
+    actor: str
+    kind: str
+    start: int
+    end: int
+    detail: str = ""
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class Trace:
+    """Ordered store of records and spans with query helpers."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self.spans: list[Span] = []
+        self._open: dict[tuple[str, str], tuple[int, str]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, time: int, actor: str, kind: str, detail: str = "", payload: Any = None) -> None:
+        self.records.append(TraceRecord(time, actor, kind, detail, payload))
+
+    def begin(self, time: int, actor: str, kind: str, detail: str = "") -> None:
+        """Open an activity span (one open span per (actor, kind))."""
+        key = (actor, kind)
+        if key in self._open:
+            raise ValueError(f"span {key} already open")
+        self._open[key] = (time, detail)
+
+    def end(self, time: int, actor: str, kind: str) -> Span:
+        """Close the matching open span and store it."""
+        key = (actor, kind)
+        if key not in self._open:
+            raise ValueError(f"no open span for {key}")
+        start, detail = self._open.pop(key)
+        if time < start:
+            raise ValueError(f"span {key} ends before it starts ({time} < {start})")
+        span = Span(actor=actor, kind=kind, start=start, end=time, detail=detail)
+        self.spans.append(span)
+        return span
+
+    def add_span(self, span: Span) -> None:
+        if span.end < span.start:
+            raise ValueError(f"negative-duration span {span}")
+        self.spans.append(span)
+
+    # -- queries -----------------------------------------------------------
+
+    def actors(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for rec in self.records:
+            seen.setdefault(rec.actor)
+        for span in self.spans:
+            seen.setdefault(span.actor)
+        return list(seen)
+
+    def spans_of(self, actor: Optional[str] = None, kind: Optional[str] = None) -> list[Span]:
+        out = self.spans
+        if actor is not None:
+            out = [s for s in out if s.actor == actor]
+        if kind is not None:
+            out = [s for s in out if s.kind == kind]
+        return sorted(out, key=lambda s: (s.start, s.end))
+
+    def records_of(self, actor: Optional[str] = None, kind: Optional[str] = None) -> list[TraceRecord]:
+        out = self.records
+        if actor is not None:
+            out = [r for r in out if r.actor == actor]
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        return sorted(out, key=lambda r: r.time)
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> Iterator[TraceRecord]:
+        return (r for r in self.records if predicate(r))
+
+    def end_time(self) -> int:
+        last_rec = max((r.time for r in self.records), default=0)
+        last_span = max((s.end for s in self.spans), default=0)
+        return max(last_rec, last_span)
+
+    # -- presentation --------------------------------------------------------
+
+    def gantt(self, width: int = 72, kinds: Optional[set[str]] = None) -> str:
+        """ASCII Gantt chart of spans, one row per actor."""
+        spans = [s for s in self.spans if kinds is None or s.kind in kinds]
+        if not spans:
+            return "(empty trace)"
+        t_end = max(s.end for s in spans)
+        t_end = max(t_end, 1)
+        rows = []
+        glyphs = {"compute": "#", "comm": "=", "reconfig": "R", "stall": ".", "prefetch": "p"}
+        for actor in sorted({s.actor for s in spans}):
+            line = [" "] * width
+            for s in (x for x in spans if x.actor == actor):
+                a = min(width - 1, s.start * width // t_end)
+                b = min(width - 1, max(a, (s.end * width // t_end) - 1))
+                ch = glyphs.get(s.kind, "*")
+                for i in range(a, b + 1):
+                    line[i] = ch
+            rows.append(f"{actor:>20} |{''.join(line)}|")
+        legend = "  ".join(f"{g}={k}" for k, g in glyphs.items())
+        return "\n".join(rows) + f"\n{'':>20}  {legend}  (t_end={t_end})"

@@ -1,0 +1,77 @@
+"""Time and size units.
+
+All simulation time is kept as integer **nanoseconds** so that event ordering
+is exact and platform independent.  These helpers convert to and from the
+human-facing units used throughout the paper (milliseconds for
+reconfiguration latency, MHz for port clocks, bytes for bitstreams).
+"""
+
+from __future__ import annotations
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+S = 1_000_000_000
+
+KB = 1 << 10
+MB = 1 << 20
+
+KIB = KB
+MIB = MB
+
+
+def ns(value: float) -> int:
+    """Nanoseconds → integer simulation ticks."""
+    return round(value * NS)
+
+
+def us(value: float) -> int:
+    """Microseconds → integer simulation ticks."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Milliseconds → integer simulation ticks."""
+    return round(value * MS)
+
+
+def seconds(value: float) -> int:
+    """Seconds → integer simulation ticks."""
+    return round(value * S)
+
+
+def to_us(ticks: int) -> float:
+    """Integer ticks → microseconds."""
+    return ticks / US
+
+
+def to_ms(ticks: int) -> float:
+    """Integer ticks → milliseconds."""
+    return ticks / MS
+
+
+def to_seconds(ticks: int) -> float:
+    """Integer ticks → seconds."""
+    return ticks / S
+
+
+def cycles_to_ns(cycles: int, freq_mhz: float) -> int:
+    """Duration of ``cycles`` clock cycles at ``freq_mhz`` MHz, in ticks.
+
+    Rounded up so that modelled hardware never finishes early.
+    """
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    period_ps = 1_000_000 / freq_mhz  # picoseconds per cycle
+    total_ps = cycles * period_ps
+    return int(-(-total_ps // 1000))  # ceil division ps -> ns
+
+
+def transfer_time_ns(nbytes: int, bandwidth_bytes_per_s: float) -> int:
+    """Time to move ``nbytes`` at a sustained bandwidth, in ticks (ceil)."""
+    if bandwidth_bytes_per_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bytes_per_s}")
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes}")
+    exact = nbytes * S / bandwidth_bytes_per_s
+    return int(-(-exact // 1))

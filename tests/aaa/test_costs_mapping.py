@@ -1,0 +1,114 @@
+"""Tests for the cost model and mapping constraints."""
+
+import pytest
+
+from repro.aaa import CostError, CostModel, MappingConstraints, MappingError
+from repro.arch import sundance_board
+from repro.dfg.generators import conditioned_chain_graph
+from repro.dfg.library import default_library
+from repro.mccdma.casestudy import build_mccdma_graph
+
+
+@pytest.fixture
+def setup():
+    graph = build_mccdma_graph()
+    board = sundance_board()
+    lib = default_library()
+    return graph, board.architecture, CostModel(graph, board.architecture, lib)
+
+
+def test_duration_scales_with_clock(setup):
+    graph, arch, costs = setup
+    ifft = graph.operation("ifft")
+    f1 = arch.operator("F1")
+    # 420 cycles at 50 MHz = 8400 ns.
+    assert costs.duration(ifft, f1) == 8400
+
+
+def test_dsp_only_kind_not_mappable_to_fpga(setup):
+    graph, arch, costs = setup
+    src = graph.operation("bit_src")
+    assert not costs.can_map(src, arch.operator("F1"))
+    assert costs.can_map(src, arch.operator("DSP"))
+    with pytest.raises(CostError):
+        costs.duration(src, arch.operator("F1"))
+
+
+def test_dynamic_operator_hosts_only_conditioned_ops(setup):
+    graph, arch, costs = setup
+    d1 = arch.operator("D1")
+    spreader = graph.operation("spreader")  # unconditioned
+    qpsk = graph.operation("mod_qpsk")  # conditioned
+    assert not costs.can_map(spreader, d1)
+    assert costs.can_map(qpsk, d1)
+
+
+def test_candidates_and_best_duration(setup):
+    graph, arch, costs = setup
+    qpsk = graph.operation("mod_qpsk")
+    cands = {p.name for p in costs.candidates(qpsk)}
+    assert cands == {"DSP", "F1", "D1"}
+    # FPGA at 50 MHz: 96 cycles -> 1920 ns; DSP at 200 MHz: 1500 cycles -> 7500 ns.
+    assert costs.best_duration(qpsk) == 1920
+
+
+def test_comm_duration_uses_route(setup):
+    graph, arch, costs = setup
+    edge = graph.out_edges("bit_src")[0]
+    dsp, f1 = arch.operator("DSP"), arch.operator("F1")
+    shb = arch.medium("SHB")
+    assert costs.comm_duration(edge, dsp, f1) == shb.transfer_ns(edge.size_bytes)
+    assert costs.comm_duration(edge, dsp, dsp) == 0
+
+
+def test_reconfiguration_latency_default_and_override(setup):
+    graph, arch, costs = setup
+    d1 = arch.operator("D1")
+    assert costs.reconfiguration_ns(d1) == CostModel.DEFAULT_RECONFIG_NS
+    costs.set_reconfiguration_ns("D1", 1_000_000)
+    assert costs.reconfiguration_ns(d1) == 1_000_000
+    with pytest.raises(CostError):
+        costs.reconfiguration_ns(arch.operator("F1"))
+    with pytest.raises(CostError):
+        costs.set_reconfiguration_ns("D1", -1)
+
+
+def test_pin_and_forbid(setup):
+    graph, arch, costs = setup
+    mc = MappingConstraints()
+    mc.pin("ifft", "F1")
+    assert mc.pinned_operator(graph.operation("ifft")) == "F1"
+    assert [p.name for p in mc.candidates(graph.operation("ifft"), costs)] == ["F1"]
+    mc.forbid("spreader", "DSP")
+    cands = {p.name for p in mc.candidates(graph.operation("spreader"), costs)}
+    assert cands == {"F1"}
+
+
+def test_pin_conflicts_detected(setup):
+    graph, arch, costs = setup
+    mc = MappingConstraints().pin("ifft", "F1")
+    with pytest.raises(MappingError):
+        mc.pin("ifft", "DSP")
+    with pytest.raises(MappingError):
+        mc.forbid("ifft", "F1")
+    mc.pin("ifft", "F1")  # re-pinning same target is fine
+    assert len(mc) == 1
+
+
+def test_pin_to_infeasible_operator_raises(setup):
+    graph, arch, costs = setup
+    mc = MappingConstraints().pin("bit_src", "F1")  # DSP-only kind
+    with pytest.raises(MappingError, match="cannot host"):
+        mc.candidates(graph.operation("bit_src"), costs)
+
+
+def test_forbidding_everything_raises():
+    graph = conditioned_chain_graph(5, 2)
+    board = sundance_board()
+    costs = CostModel(graph, board.architecture, default_library())
+    mc = MappingConstraints()
+    op = graph.operation("stage1")
+    for p in costs.candidates(op):
+        mc.forbid(op, p)
+    with pytest.raises(MappingError, match="no feasible operator"):
+        mc.candidates(op, costs)

@@ -1,0 +1,287 @@
+"""Tests for the schedulers and the schedule validator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aaa import (
+    EarliestFinishScheduler,
+    MappingConstraints,
+    RandomMappingScheduler,
+    ReconfigAwareScheduler,
+    Schedule,
+    ScheduleValidationError,
+    SynDExScheduler,
+    adequate,
+)
+from repro.aaa.costs import CostModel
+from repro.aaa.schedule import ScheduledOp
+from repro.arch import sundance_board
+from repro.dfg.generators import chain_graph, conditioned_chain_graph, fork_join_graph, layered_random_graph
+from repro.dfg.library import default_library
+from repro.mccdma.casestudy import build_mccdma_design, build_mccdma_graph
+from repro.mccdma.modulation import Modulation
+
+
+def run_scheduler(graph, scheduler_cls=SynDExScheduler, constraints=None, reconfig_ns=None, **kw):
+    board = sundance_board()
+    result = adequate(
+        graph,
+        board.architecture,
+        default_library(),
+        constraints=constraints,
+        scheduler=scheduler_cls,
+        reconfig_ns=reconfig_ns,
+        **kw,
+    )
+    return result, board
+
+
+def test_chain_schedules_and_validates():
+    result, board = run_scheduler(chain_graph(6))
+    assert len(result.schedule.ops) == 6
+    assert result.makespan_ns > 0
+    # validate() already ran inside adequate(); run again explicitly.
+    result.schedule.validate(chain_graph(6), board.architecture)
+
+
+def test_fork_join_exploits_parallelism():
+    """With two usable operators, a wide fork-join should beat the purely
+    sequential single-operator schedule."""
+    g = fork_join_graph(6, kind="generic_large")
+    result, board = run_scheduler(g)
+    costs = result.costs
+    serial_dsp = sum(
+        costs.duration(op, board.architecture.operator("DSP")) for op in g.operations
+    )
+    assert result.makespan_ns < serial_dsp
+    assert len(result.schedule.operators_used()) >= 2
+
+
+def test_syndex_beats_or_matches_random():
+    g = layered_random_graph(5, 4, seed=3)
+    best, _ = run_scheduler(g, SynDExScheduler)
+    rand, _ = run_scheduler(g, RandomMappingScheduler, seed=11)
+    assert best.makespan_ns <= rand.makespan_ns
+
+
+def test_syndex_no_worse_than_earliest_finish_on_average():
+    better = 0
+    total = 0
+    for seed in range(8):
+        g = layered_random_graph(4, 4, seed=seed)
+        p, _ = run_scheduler(g, SynDExScheduler)
+        e, _ = run_scheduler(g, EarliestFinishScheduler)
+        total += 1
+        if p.makespan_ns <= e.makespan_ns:
+            better += 1
+    assert better >= total // 2
+
+
+def test_transfers_scheduled_for_cross_operator_edges():
+    design = build_mccdma_design()
+    mc = MappingConstraints().pin("bit_src", "DSP").pin("coder", "F1")
+    result = adequate(
+        design.graph, design.board.architecture, design.library, constraints=mc,
+        scheduler=SynDExScheduler,
+    )
+    # bit_src on DSP feeds interface; some edge crosses the SHB.
+    shb_transfers = result.schedule.of_medium("SHB")
+    assert shb_transfers, "expected at least one SHB transfer"
+    for t in shb_transfers:
+        src_pl = result.schedule.placement(t.edge.src.name)
+        dst_pl = result.schedule.placement(t.edge.dst.name)
+        assert t.start >= src_pl.end
+        assert dst_pl.start >= t.end
+
+
+def test_conditioned_alternatives_may_overlap_on_dynamic_operator():
+    design = build_mccdma_design()
+    mc = MappingConstraints().pin("mod_qpsk", "D1").pin("mod_qam16", "D1")
+    result = adequate(
+        design.graph, design.board.architecture, design.library, constraints=mc,
+        scheduler=SynDExScheduler,
+    )
+    qpsk = result.schedule.placement("mod_qpsk")
+    qam = result.schedule.placement("mod_qam16")
+    assert qpsk.operator.name == "D1" and qam.operator.name == "D1"
+    # Validator accepted it (adequate validates); overlap is allowed, not required.
+
+
+def test_selector_scheduled_before_conditioned_ops():
+    g = conditioned_chain_graph(5, 2)
+    result, _ = run_scheduler(g)
+    sel_end = result.schedule.placement("select").end
+    for alt in ("alt0", "alt1"):
+        assert result.schedule.placement(alt).start >= sel_end
+
+
+def test_reconfig_aware_inserts_reconfigs_on_dynamic_operator():
+    design = build_mccdma_design()
+    mc = MappingConstraints().pin("mod_qpsk", "D1").pin("mod_qam16", "D1")
+    result = adequate(
+        design.graph, design.board.architecture, design.library, constraints=mc,
+        scheduler=ReconfigAwareScheduler, reconfig_ns={"D1": 4_000_000},
+    )
+    recs = result.schedule.reconfigs_of("D1")
+    assert len(recs) == 2
+    assert {r.module for r in recs} == {"mod_qpsk", "mod_qam16"}
+    for r in recs:
+        assert r.duration == 4_000_000
+        assert r.prefetched
+        op = result.schedule.placement(r.module)
+        assert op.start >= r.end  # module loaded before it runs
+
+
+def test_prefetch_shortens_makespan_vs_reactive():
+    design = build_mccdma_design()
+    mc = MappingConstraints().pin("mod_qpsk", "D1").pin("mod_qam16", "D1")
+    common = dict(
+        constraints=mc, scheduler=ReconfigAwareScheduler, reconfig_ns={"D1": 4_000_000}
+    )
+    pre = adequate(design.graph, design.board.architecture, design.library, prefetch=True, **common)
+    rea = adequate(design.graph, design.board.architecture, design.library, prefetch=False, **common)
+    assert pre.makespan_ns < rea.makespan_ns
+    # Within one iteration, prefetch pulls the reconfiguration start back to
+    # the moment the Select value is known, instead of the module's own
+    # would-be start time.  (The large cross-iteration gain is measured by
+    # the runtime simulation benchmarks.)
+    for module in ("mod_qpsk", "mod_qam16"):
+        pre_r = next(r for r in pre.schedule.reconfigs if r.module == module)
+        rea_r = next(r for r in rea.schedule.reconfigs if r.module == module)
+        assert pre_r.start < rea_r.start
+
+
+def test_reconfig_aware_with_zero_latency_matches_base():
+    design = build_mccdma_design()
+    mc = MappingConstraints().pin("mod_qpsk", "D1").pin("mod_qam16", "D1")
+    base = adequate(
+        design.graph, design.board.architecture, design.library, constraints=mc,
+        scheduler=SynDExScheduler,
+    )
+    aware = adequate(
+        design.graph, design.board.architecture, design.library, constraints=mc,
+        scheduler=ReconfigAwareScheduler, reconfig_ns={"D1": 0},
+    )
+    assert aware.makespan_ns == base.makespan_ns
+    assert not aware.schedule.reconfigs
+
+
+def test_reconfig_aware_avoids_dynamic_region_when_latency_hurts():
+    """Unpinned, the heuristic should keep the modulators off the dynamic
+    region when reconfiguration is ruinously slow, and the resulting
+    makespan must not exceed the pinned-dynamic one."""
+    design = build_mccdma_design()
+    free = adequate(
+        design.graph, design.board.architecture, design.library,
+        scheduler=ReconfigAwareScheduler, reconfig_ns={"D1": 50_000_000},
+    )
+    pinned = adequate(
+        design.graph, design.board.architecture, design.library,
+        constraints=MappingConstraints().pin("mod_qpsk", "D1").pin("mod_qam16", "D1"),
+        scheduler=ReconfigAwareScheduler, reconfig_ns={"D1": 50_000_000},
+    )
+    assert free.makespan_ns <= pinned.makespan_ns
+    mapping = free.schedule.mapping()
+    assert mapping["mod_qpsk"] != "D1" or mapping["mod_qam16"] != "D1"
+
+
+def test_validator_catches_missing_operation():
+    g = chain_graph(3)
+    board = sundance_board()
+    sched = Schedule()
+    with pytest.raises(ScheduleValidationError, match="not scheduled"):
+        sched.validate(g, board.architecture)
+
+
+def test_validator_catches_overlap():
+    g = chain_graph(2)
+    board = sundance_board()
+    dsp = board.architecture.operator("DSP")
+    a, b = g.operations
+    sched = Schedule(
+        ops=[
+            ScheduledOp(op=a, operator=dsp, start=0, end=100),
+            ScheduledOp(op=b, operator=dsp, start=50, end=150),
+        ]
+    )
+    with pytest.raises(ScheduleValidationError) as err:
+        sched.validate(g, board.architecture)
+    assert any("overlap" in p for p in err.value.problems)
+
+
+def test_validator_catches_missing_transfer():
+    g = chain_graph(2)
+    board = sundance_board()
+    dsp = board.architecture.operator("DSP")
+    f1 = board.architecture.operator("F1")
+    a, b = g.operations
+    sched = Schedule(
+        ops=[
+            ScheduledOp(op=a, operator=dsp, start=0, end=100),
+            ScheduledOp(op=b, operator=f1, start=200, end=300),
+        ]
+    )
+    with pytest.raises(ScheduleValidationError, match="no scheduled transfer"):
+        sched.validate(g, board.architecture)
+
+
+def test_schedule_table_renders():
+    result, _ = run_scheduler(conditioned_chain_graph(5, 2), ReconfigAwareScheduler)
+    text = result.report()
+    assert "makespan" in text and "operator" in text
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    layers=st.integers(min_value=2, max_value=5),
+    width=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_schedules_always_valid(layers, width, seed):
+    """Any generated DAG yields a schedule satisfying every invariant
+    (adequate() runs the validator and would raise)."""
+    g = layered_random_graph(layers, width, seed=seed)
+    result, board = run_scheduler(g, SynDExScheduler)
+    assert result.makespan_ns >= 0
+    assert len(result.schedule.ops) == len(g.operations)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    alternatives=st.integers(min_value=2, max_value=4),
+    latency_ms=st.integers(min_value=0, max_value=8),
+    prefetch=st.booleans(),
+)
+def test_property_reconfig_aware_always_valid(alternatives, latency_ms, prefetch):
+    g = conditioned_chain_graph(6, alternatives)
+    result, _ = run_scheduler(
+        g, ReconfigAwareScheduler, reconfig_ns={"D1": latency_ms * 1_000_000}, prefetch=prefetch
+    )
+    # Reconfigs (when any) always complete before their module runs.
+    for r in result.schedule.reconfigs:
+        assert result.schedule.placement(r.module).start >= r.end
+
+
+def test_case_study_default_flow_mapping():
+    """The full case-study adequation lands the modulators on D1 when the
+    designer pins them there (the paper's final implementation)."""
+    design = build_mccdma_design()
+    mc = (
+        MappingConstraints()
+        .pin("mod_qpsk", "D1")
+        .pin("mod_qam16", "D1")
+        .pin("bit_src", "DSP")
+        .pin("select", "DSP")
+    )
+    result = adequate(
+        design.graph, design.board.architecture, design.library, constraints=mc,
+        scheduler=ReconfigAwareScheduler, reconfig_ns={"D1": 4_000_000},
+    )
+    mapping = result.schedule.mapping()
+    assert mapping["mod_qpsk"] == "D1"
+    assert mapping["mod_qam16"] == "D1"
+    assert mapping["bit_src"] == "DSP"
+    # All the streaming blocks end up on the FPGA static part.
+    for name in ("spreader", "ifft", "cyclic_prefix", "framer", "dac"):
+        assert mapping[name] == "F1"

@@ -1,0 +1,160 @@
+"""Tests for operators, media, architecture graphs and boards."""
+
+import pytest
+
+from repro.arch import (
+    ArchitectureError,
+    ArchitectureGraph,
+    Medium,
+    MediumKind,
+    Operator,
+    OperatorKind,
+    dual_region_board,
+    sundance_board,
+)
+from repro.dfg.library import DSP_CLASS, FPGA_CLASS
+
+
+def op(name, kind=OperatorKind.FPGA_STATIC, clock=50.0, device="xc2v2000", region=None):
+    return Operator(name, kind, FPGA_CLASS, clock, device=device, region=region)
+
+
+def test_operator_validation():
+    with pytest.raises(ValueError, match="non-empty"):
+        Operator("", OperatorKind.PROCESSOR, DSP_CLASS, 200, "c6201")
+    with pytest.raises(ValueError, match="clock"):
+        Operator("x", OperatorKind.PROCESSOR, DSP_CLASS, 0, "c6201")
+    with pytest.raises(ValueError, match="must name its region"):
+        op("d", OperatorKind.FPGA_DYNAMIC)
+    with pytest.raises(ValueError, match="must not name a region"):
+        op("f", OperatorKind.FPGA_STATIC, region="D1")
+
+
+def test_operator_durations():
+    o = op("f", clock=50.0)
+    assert o.cycle_time_ns() == pytest.approx(20.0)
+    assert o.duration_ns(100) == 2000
+    assert o.duration_ns(3) == 60
+
+
+def test_operator_flags():
+    d = op("d", OperatorKind.FPGA_DYNAMIC, region="D1")
+    assert d.is_reconfigurable and not d.is_processor
+    p = Operator("p", OperatorKind.PROCESSOR, DSP_CLASS, 200, "c6201")
+    assert p.is_processor and not p.is_reconfigurable
+
+
+def test_medium_transfer_times():
+    m = Medium("bus", MediumKind.BUS, bandwidth_mbps=100.0, latency_ns=500)
+    assert m.transfer_ns(0) == 500
+    # 1 MB at 100 MB/s = 10 ms = 10_000_000 ns, plus setup.
+    assert m.transfer_ns(1_000_000) == 500 + 10_000_000
+
+
+def test_medium_validation():
+    with pytest.raises(ValueError):
+        Medium("m", MediumKind.BUS, 0.0)
+    with pytest.raises(ValueError):
+        Medium("m", MediumKind.BUS, 10.0, latency_ns=-1)
+
+
+def test_graph_duplicate_names_rejected():
+    g = ArchitectureGraph()
+    g.add_operator(op("x"))
+    with pytest.raises(ArchitectureError):
+        g.add_operator(op("x"))
+    with pytest.raises(ArchitectureError):
+        g.add_medium(Medium("x", MediumKind.BUS, 10))
+
+
+def test_route_single_hop():
+    g = ArchitectureGraph()
+    a = g.add_operator(op("a"))
+    b = g.add_operator(op("b"))
+    bus = g.add_medium(Medium("bus", MediumKind.BUS, 100.0, 100))
+    g.connect(a, bus)
+    g.connect(b, bus)
+    r = g.route("a", "b")
+    assert [m.name for m in r.media] == ["bus"]
+    assert r.transfer_ns(1000) == bus.transfer_ns(1000)
+
+
+def test_route_local_is_free():
+    g = ArchitectureGraph()
+    g.add_operator(op("a"))
+    r = g.route("a", "a")
+    assert r.is_local
+    assert r.transfer_ns(10**6) == 0
+
+
+def test_route_multi_hop():
+    g = ArchitectureGraph()
+    for name in ("a", "b", "c"):
+        g.add_operator(op(name))
+    m1 = g.add_medium(Medium("m1", MediumKind.BUS, 100.0, 100))
+    m2 = g.add_medium(Medium("m2", MediumKind.BUS, 50.0, 200))
+    g.connect("a", "m1")
+    g.connect("b", "m1")
+    g.connect("b", "m2")
+    g.connect("c", "m2")
+    r = g.route("a", "c")
+    assert [m.name for m in r.media] == ["m1", "m2"]
+    assert r.transfer_ns(1000) == m1.transfer_ns(1000) + m2.transfer_ns(1000)
+
+
+def test_route_missing_raises():
+    g = ArchitectureGraph()
+    g.add_operator(op("a"))
+    g.add_operator(op("b"))
+    with pytest.raises(ArchitectureError, match="no route"):
+        g.route("a", "b")
+
+
+def test_validate_detects_dangling_medium():
+    g = ArchitectureGraph()
+    a = g.add_operator(op("a"))
+    m = g.add_medium(Medium("m", MediumKind.BUS, 10))
+    g.connect(a, m)
+    with pytest.raises(ArchitectureError, match="fewer than two"):
+        g.validate()
+
+
+def test_sundance_board_matches_paper():
+    board = sundance_board()
+    arch = board.architecture
+    assert {o.name for o in arch.operators} == {"DSP", "F1", "D1"}
+    assert {m.name for m in arch.media} == {"SHB", "IL"}
+    assert board.dsp.name == "DSP"
+    assert board.regions() == ["D1"]
+    # DSP reaches D1 through SHB then IL (two hops).
+    r = arch.route("DSP", "D1")
+    assert [m.name for m in r.media] == ["SHB", "IL"]
+    # FPGA device is the paper's XC2V2000.
+    assert board.fpga_device_of("F1").name == "xc2v2000"
+    assert board.fpga_device_of("D1").slices == 10_752
+
+
+def test_fpga_device_lookup_fails_for_dsp():
+    board = sundance_board()
+    with pytest.raises(KeyError):
+        board.fpga_device_of("DSP")
+
+
+def test_dual_region_board():
+    board = dual_region_board()
+    assert board.regions() == ["D1", "D2"]
+    # Both dynamic parts share the internal link.
+    ops_on_il = {o.name for o in board.architecture.operators_on("IL")}
+    assert {"F1", "D1", "D2"} <= ops_on_il
+
+
+def test_board_operators_of_device():
+    board = sundance_board()
+    names = {o.name for o in board.architecture.operators_of_device("xc2v2000")}
+    assert names == {"F1", "D1"}
+
+
+def test_summary_text():
+    board = sundance_board()
+    text = board.architecture.summary()
+    assert "DSP" in text and "SHB" in text and "IL" in text

@@ -1,0 +1,84 @@
+"""Tests for architecture/board serialization."""
+
+import pytest
+
+from repro.arch import dual_region_board, sundance_board
+from repro.arch.io import ArchFormatError, dumps, from_dict, load, loads, save, to_dict
+
+
+def boards_equal(a, b) -> bool:
+    if a.name != b.name:
+        return False
+    aa, bb = a.architecture, b.architecture
+    if {str(o) for o in aa.operators} != {str(o) for o in bb.operators}:
+        return False
+    if {str(m) for m in aa.media} != {str(m) for m in bb.media}:
+        return False
+    for medium in aa.media:
+        if {o.name for o in aa.operators_on(medium.name)} != {
+            o.name for o in bb.operators_on(medium.name)
+        }:
+            return False
+    return set(a.fpga_devices) == set(b.fpga_devices)
+
+
+def test_roundtrip_sundance():
+    board = sundance_board()
+    back = loads(dumps(board))
+    assert boards_equal(board, back)
+    # Routing still works after the round trip.
+    route = back.architecture.route("DSP", "D1")
+    assert [m.name for m in route.media] == ["SHB", "IL"]
+    assert back.fpga_device_of("F1").slices == 10_752
+
+
+def test_roundtrip_dual_region():
+    board = dual_region_board()
+    back = loads(dumps(board))
+    assert boards_equal(board, back)
+    assert back.regions() == ["D1", "D2"]
+
+
+def test_save_load_file(tmp_path):
+    board = sundance_board()
+    path = tmp_path / "board.json"
+    save(board, path)
+    assert boards_equal(board, load(path))
+
+
+def test_deterministic_serialization():
+    assert dumps(sundance_board()) == dumps(sundance_board())
+
+
+def test_format_guardrails():
+    with pytest.raises(ArchFormatError, match="invalid JSON"):
+        loads("[")
+    with pytest.raises(ArchFormatError, match="not a repro board"):
+        from_dict({"format": "nope"})
+    with pytest.raises(ArchFormatError, match="version"):
+        from_dict({"format": "repro-board", "version": 42})
+    base = to_dict(sundance_board())
+    bad_kind = dict(base)
+    bad_kind["operators"] = [dict(base["operators"][0], kind="gpu")]
+    with pytest.raises(ArchFormatError, match="operator kind"):
+        from_dict(bad_kind)
+    bad_device = dict(base)
+    bad_device["fpga_devices"] = ["xc9999"]
+    with pytest.raises(ArchFormatError, match="unknown FPGA device"):
+        from_dict(bad_device)
+
+
+def test_loaded_board_usable_in_flow():
+    """A deserialized board drives the full design flow unchanged."""
+    from repro.dfg.library import default_library
+    from repro.flows import DesignFlow
+    from repro.mccdma.casestudy import CaseStudyDesign, build_mccdma_graph
+
+    board = loads(dumps(sundance_board()))
+    design = CaseStudyDesign(
+        graph=build_mccdma_graph(), board=board, library=default_library()
+    )
+    flow = DesignFlow.from_design(design)
+    flow.mapping.pin("mod_qpsk", "D1").pin("mod_qam16", "D1")
+    result = flow.run()
+    assert result.modular.par_report.ok

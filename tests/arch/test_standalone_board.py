@@ -1,0 +1,85 @@
+"""Tests for the FPGA-only (standalone self-reconfiguring) platform."""
+
+import pytest
+
+from repro.arch import standalone_fpga_board
+from repro.dfg import AlgorithmGraph, WORD32
+from repro.dfg.library import FPGA_CLASS, default_library
+from repro.flows import DesignFlow, SystemSimulation
+
+
+def make_library():
+    lib = default_library()
+    # A selector the FPGA itself can evaluate (e.g. an on-chip SNR monitor).
+    lib.define("fpga_select", {FPGA_CLASS: 40}, {"luts": 60, "ffs": 50})
+    return lib
+
+
+def make_graph():
+    g = AlgorithmGraph("fpga_only")
+    sel = g.add_operation("sel", "fpga_select")
+    sel.add_output("value", WORD32, 1)
+    src = g.add_operation("src", "generic_small")
+    src.add_output("o0", WORD32, 16)
+    src.add_output("o1", WORD32, 16)
+    a = g.add_operation("a", "generic_medium")
+    b = g.add_operation("b", "generic_large")
+    for op in (a, b):
+        op.add_input("i", WORD32, 16)
+        op.add_output("o", WORD32, 16)
+    g.connect(src, "o0", a, "i")
+    g.connect(src, "o1", b, "i")
+    merge = g.add_operation("merge", "cond_merge")
+    merge.add_input("x", WORD32, 16)
+    merge.add_input("y", WORD32, 16)
+    merge.add_output("o", WORD32, 16)
+    g.connect(a, "o", merge, "x")
+    g.connect(b, "o", merge, "y")
+    sink = g.add_operation("sink", "generic_small")
+    sink.add_input("i", WORD32, 16)
+    g.connect(merge, "o", sink, "i")
+    grp = g.condition_group("m", sel, "value")
+    grp.add_case(0, [a])
+    grp.add_case(1, [b])
+    return g
+
+
+def test_board_shape():
+    board = standalone_fpga_board()
+    assert {o.name for o in board.architecture.operators} == {"F1", "D1"}
+    assert board.architecture.processors() == []
+    assert board.regions() == ["D1"]
+    with pytest.raises(ValueError, match="no processor"):
+        _ = board.dsp
+    with pytest.raises(ValueError):
+        standalone_fpga_board(n_dynamic=0)
+
+
+def test_full_flow_on_standalone_board():
+    """The pure Fig. 2a deployment: everything, manager included, on chip."""
+    flow = DesignFlow(
+        graph=make_graph(),
+        board=standalone_fpga_board(),
+        library=make_library(),
+    )
+    flow.mapping.pin("a", "D1").pin("b", "D1")
+    result = flow.run()
+    assert result.modular.par_report.ok
+    mapping = result.adequation.schedule.mapping()
+    assert mapping["sel"] == "F1"
+    assert mapping["a"] == "D1" and mapping["b"] == "D1"
+    # Runtime: the on-chip selector drives the swaps.
+    plan = [0, 1, 0, 1]
+    run = SystemSimulation(
+        result, n_iterations=len(plan), selector_values={"m": lambda it: plan[it]},
+    ).run()
+    assert run.switches == 4  # swap every iteration incl. initial load
+
+
+def test_dsp_only_kind_unmappable_on_standalone_board():
+    from repro.aaa import MappingError, adequate
+    from repro.mccdma.casestudy import build_mccdma_graph
+
+    board = standalone_fpga_board()
+    with pytest.raises(MappingError):
+        adequate(build_mccdma_graph(), board.architecture, default_library())

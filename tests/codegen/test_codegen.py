@@ -1,0 +1,187 @@
+"""Tests for VHDL generation, the constraints file and the checker."""
+
+import pytest
+
+from repro.aaa import MappingConstraints, ReconfigAwareScheduler, adequate
+from repro.codegen import (
+    GeneratedDesign,
+    VhdlCheckError,
+    VhdlWriter,
+    check_vhdl,
+    generate_design,
+    generate_ucf,
+    lex_vhdl,
+    vhdl_identifier,
+)
+from repro.codegen.checker import entity_ports
+from repro.codegen.vhdl import Port, vector
+from repro.fabric import Floorplan, XC2V2000, plan_bus_macros
+from repro.mccdma.casestudy import build_mccdma_design
+
+
+@pytest.fixture(scope="module")
+def case_study_codegen():
+    design = build_mccdma_design()
+    mc = (
+        MappingConstraints()
+        .pin("mod_qpsk", "D1").pin("mod_qam16", "D1")
+        .pin("bit_src", "DSP").pin("select", "DSP")
+    )
+    result = adequate(
+        design.graph, design.board.architecture, design.library, constraints=mc,
+        scheduler=ReconfigAwareScheduler, reconfig_ns={"D1": 4_000_000},
+    )
+    gen = generate_design(design.graph, result.schedule, design.board.architecture)
+    return design, result, gen
+
+
+def test_identifier_sanitization():
+    assert vhdl_identifier("mod_qpsk") == "mod_qpsk"
+    assert vhdl_identifier("a.b->c") == "a_b_c"
+    assert vhdl_identifier("select") == "select_i"  # reserved word
+    assert vhdl_identifier("3stage") == "s_3stage"
+
+
+def test_vector_types():
+    assert vector(1) == "std_logic"
+    assert vector(8) == "std_logic_vector(7 downto 0)"
+    with pytest.raises(ValueError):
+        vector(0)
+
+
+def test_writer_balanced_output():
+    w = VhdlWriter()
+    w.header("demo")
+    w.entity("demo", [Port("clk", "in", "std_logic")])
+    w.begin_architecture("rtl", "demo")
+    w.declare_signal("x", "std_logic")
+    w.begin_body()
+    w.begin_process("p", ["clk"])
+    w.line("x <= '0';")
+    w.end_process("p")
+    w.end_architecture("rtl")
+    text = w.render()
+    check_vhdl({"demo.vhd": text})  # no raise
+    assert "entity demo is" in text
+
+
+def test_writer_unbalanced_detected():
+    w = VhdlWriter()
+    w.begin_architecture("rtl", "demo")
+    with pytest.raises(ValueError, match="unbalanced"):
+        w.render()
+
+
+def test_lexer_strips_comments_and_strings():
+    toks = lex_vhdl('signal x : std_logic; -- comment with entity keyword\ny <= "1010";')
+    words = [t.text for t in toks]
+    assert "signal" in words and '"1010"' in words
+    assert not any("comment" in t.text for t in toks if t.kind == "ident")
+
+
+def test_checker_catches_unbalanced_process():
+    bad = """
+    entity e is end entity e;
+    architecture a of e is begin
+      p : process (clk)
+      begin
+        x <= '1';
+    end architecture a;
+    """
+    with pytest.raises(VhdlCheckError, match="process"):
+        check_vhdl({"bad.vhd": bad})
+
+
+def test_checker_catches_unbalanced_parens():
+    bad = "entity e is port ( x : in std_logic; end entity e;"
+    with pytest.raises(VhdlCheckError, match="unclosed"):
+        check_vhdl({"bad.vhd": bad})
+
+
+def test_checker_catches_unknown_component():
+    bad = """
+    entity e is end entity e;
+    architecture a of e is begin
+      u0 : entity work.missing_thing port map (x => y);
+    end architecture a;
+    """
+    with pytest.raises(VhdlCheckError, match="unknown entity"):
+        check_vhdl({"bad.vhd": bad})
+
+
+def test_case_study_generates_expected_modules(case_study_codegen):
+    _, _, gen = case_study_codegen
+    names = gen.file_names()
+    assert "static_f1.vhd" in names
+    assert "dyn_d1_mod_qpsk.vhd" in names
+    assert "dyn_d1_mod_qam16.vhd" in names
+    assert "bus_macro.vhd" in names and "top.vhd" in names
+    assert gen.variant_regions["dyn_D1_mod_qpsk"] == "D1"
+    assert gen.module_ops["dyn_D1_mod_qpsk"] == ["mod_qpsk"]
+    # The static module implements the whole streaming pipeline.
+    for op in ("spreader", "ifft", "cyclic_prefix", "framer", "dac"):
+        assert op in gen.module_ops["static_F1"]
+
+
+def test_generated_vhdl_passes_structure_check(case_study_codegen):
+    _, _, gen = case_study_codegen
+    check_vhdl(gen.files)  # raises on any structural problem
+
+
+def test_dynamic_variants_share_identical_pinout(case_study_codegen):
+    """Any variant must drop into the region: identical entity ports."""
+    _, _, gen = case_study_codegen
+    qpsk_ports = entity_ports(gen.files["dyn_d1_mod_qpsk.vhd"], "dyn_D1_mod_qpsk")
+    qam_ports = entity_ports(gen.files["dyn_d1_mod_qam16.vhd"], "dyn_D1_mod_qam16")
+    normalize = lambda ports: sorted(
+        (n.replace("qam16", "X").replace("qpsk", "X"), d) for n, d in ports
+    )
+    assert normalize(qpsk_ports) == normalize(qam_ports)
+
+
+def test_dynamic_variant_has_reconfig_interface(case_study_codegen):
+    _, _, gen = case_study_codegen
+    text = gen.files["dyn_d1_mod_qpsk.vhd"]
+    assert "in_reconf" in text
+    assert "reconf_req" in text
+    assert "lock up" in text  # the In_Reconf lock-up logic comment
+
+
+def test_static_part_has_sequencer_processes(case_study_codegen):
+    _, _, gen = case_study_codegen
+    text = gen.files["static_f1.vhd"]
+    assert "comp_seq : process" in text
+    assert "comm_seq : process" in text
+    assert "st_ifft" in text  # a state per operation
+
+
+def test_generated_entities_have_clk_rst(case_study_codegen):
+    _, _, gen = case_study_codegen
+    for fname in ("static_f1.vhd", "dyn_d1_mod_qpsk.vhd"):
+        ports = dict(entity_ports(gen.files[fname], fname[:-4]))
+        assert ports.get("clk") == "in"
+        assert ports.get("rst") == "in"
+
+
+def test_ucf_generation():
+    plan = Floorplan(XC2V2000)
+    plan.place("D1", 44, 4)
+    plan.bus_macros["D1"] = plan_bus_macros(XC2V2000, "D1", 44, 16, 16)
+    ucf = generate_ucf(plan)
+    assert 'AREA_GROUP "AG_D1" RANGE = SLICE_X88Y0:SLICE_X95Y111;' in ucf
+    assert 'MODE = RECONFIG' in ucf
+    assert ucf.count("LOC =") == len(plan.bus_macros["D1"])
+    # Bus macros straddle the dividing column (slice X87 is left of column 44).
+    assert 'LOC = "SLICE_X87Y0"' in ucf
+
+
+def test_generate_operator_requires_scheduled_ops():
+    from repro.codegen import generate_operator_vhdl
+    design = build_mccdma_design()
+    result = adequate(
+        design.graph, design.board.architecture, design.library,
+        constraints=MappingConstraints().pin("mod_qpsk", "F1").pin("mod_qam16", "F1"),
+    )
+    d1 = design.board.architecture.operator("D1")
+    with pytest.raises(ValueError, match="no scheduled operations"):
+        generate_operator_vhdl(design.graph, result.schedule, d1)

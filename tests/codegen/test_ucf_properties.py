@@ -1,0 +1,74 @@
+"""Property tests for UCF constraint generation."""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import generate_ucf
+from repro.fabric import Floorplan, XC2V2000, plan_bus_macros
+from repro.fabric.floorplan import MIN_WIDTH_CLB, WIDTH_STEP_CLB
+
+_RANGE_RE = re.compile(r'RANGE = SLICE_X(\d+)Y(\d+):SLICE_X(\d+)Y(\d+);')
+_LOC_RE = re.compile(r'LOC = "SLICE_X(\d+)Y(\d+)"')
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=10).map(lambda w: w * WIDTH_STEP_CLB),
+    offset=st.integers(min_value=0, max_value=40),
+    bits_in=st.integers(min_value=1, max_value=64),
+    bits_out=st.integers(min_value=1, max_value=64),
+)
+def test_ucf_ranges_consistent_with_placement(width, offset, bits_in, bits_out):
+    device = XC2V2000
+    col0 = min(offset, device.clb_cols - width)
+    plan = Floorplan(device)
+    plan.place("D1", col0, width)
+    boundary = plan.boundary_column("D1")
+    plan.bus_macros["D1"] = plan_bus_macros(device, "D1", boundary, bits_in, bits_out)
+    ucf = generate_ucf(plan)
+
+    # AREA_GROUP range covers exactly the placed columns, full height.
+    m = _RANGE_RE.search(ucf)
+    assert m, ucf
+    x0, y0, x1, y1 = map(int, m.groups())
+    assert x0 == 2 * col0
+    assert x1 == 2 * (col0 + width) - 1
+    assert y0 == 0
+    assert y1 == 2 * device.clb_rows - 1
+
+    # Every bus macro LOC straddles the dividing line and sits inside the device.
+    locs = [(int(a), int(b)) for a, b in _LOC_RE.findall(ucf)]
+    assert len(locs) == len(plan.bus_macros["D1"])
+    for x, y in locs:
+        assert x == 2 * boundary - 1
+        assert 0 <= y <= 2 * device.clb_rows - 1
+    # One RECONFIG mode statement per region.
+    assert ucf.count("MODE = RECONFIG") == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    widths=st.lists(
+        st.integers(min_value=1, max_value=4).map(lambda w: w * WIDTH_STEP_CLB),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_ucf_multi_region_sections(widths):
+    device = XC2V2000
+    plan = Floorplan(device)
+    col = 0
+    names = []
+    for i, width in enumerate(widths):
+        if col + width > device.clb_cols:
+            break
+        name = f"R{i}"
+        plan.place(name, col, width)
+        names.append(name)
+        col += width + 2  # leave static gaps
+    ucf = generate_ucf(plan)
+    for name in names:
+        assert f'AREA_GROUP "AG_{name}"' in ucf
+    assert ucf.count("MODE = RECONFIG") == len(names)

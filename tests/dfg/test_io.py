@@ -1,0 +1,111 @@
+"""Tests for algorithm-graph serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg import validate_graph
+from repro.dfg.generators import chain_graph, conditioned_chain_graph, layered_random_graph
+from repro.dfg.io import GraphFormatError, dumps, from_dict, load, loads, save, to_dict
+from repro.dfg.library import default_library
+from repro.mccdma.casestudy import build_mccdma_graph
+from repro.mccdma.modulation import Modulation
+
+
+def graphs_equal(a, b) -> bool:
+    if a.name != b.name or len(a) != len(b):
+        return False
+    for op in a.operations:
+        other = b.operation(op.name)
+        if other.kind != op.kind or other.params != op.params:
+            return False
+        if {str(p) for p in op.ports.values()} != {str(p) for p in other.ports.values()}:
+            return False
+        if (op.condition is None) != (other.condition is None):
+            return False
+        if op.condition is not None and (
+            op.condition.group != other.condition.group
+            or op.condition.value != other.condition.value
+        ):
+            return False
+    return {str(e) for e in a.edges} == {str(e) for e in b.edges}
+
+
+def test_roundtrip_chain():
+    g = chain_graph(5)
+    assert graphs_equal(g, loads(dumps(g)))
+
+
+def test_roundtrip_conditioned():
+    g = conditioned_chain_graph(5, 3)
+    back = loads(dumps(g))
+    assert graphs_equal(g, back)
+    validate_graph(back, default_library())
+    assert set(back.condition_groups) == {"alt"}
+
+
+def test_roundtrip_case_study_with_enum_values():
+    g = build_mccdma_graph()
+    back = loads(dumps(g))
+    assert graphs_equal(g, back)
+    group = back.condition_groups["modulation"]
+    assert set(group.cases) == {Modulation.QPSK, Modulation.QAM16}
+    # The restored values are the real enum members, not strings.
+    assert all(isinstance(v, Modulation) for v in group.cases)
+
+
+def test_save_load_file(tmp_path):
+    g = build_mccdma_graph()
+    path = tmp_path / "tx.json"
+    save(g, path)
+    assert graphs_equal(g, load(path))
+
+
+def test_format_guardrails():
+    with pytest.raises(GraphFormatError, match="invalid JSON"):
+        loads("{nope")
+    with pytest.raises(GraphFormatError, match="not a repro"):
+        from_dict({"format": "something-else"})
+    with pytest.raises(GraphFormatError, match="version"):
+        from_dict({"format": "repro-algorithm-graph", "version": 99})
+    with pytest.raises(GraphFormatError, match="unknown dtype"):
+        from_dict(
+            {
+                "format": "repro-algorithm-graph",
+                "version": 1,
+                "dtypes": {},
+                "operations": [
+                    {"name": "a", "kind": "k",
+                     "ports": [{"name": "o", "direction": "out", "dtype": "ghost", "tokens": 1}]}
+                ],
+                "edges": [],
+                "condition_groups": [],
+            }
+        )
+
+
+def test_unserializable_condition_value_rejected():
+    g = conditioned_chain_graph(5, 2)
+    group = g.condition_groups["alt"]
+    # Sneak in an unserializable case value.
+    op = group.cases[0][0]
+    object.__setattr__(op.condition, "value", object()) if False else None
+    # Direct API check instead: to_dict must reject complex objects.
+    from repro.dfg.io import _condition_value_to_json
+
+    with pytest.raises(GraphFormatError):
+        _condition_value_to_json(object())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    layers=st.integers(min_value=2, max_value=5),
+    width=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_roundtrip_property(layers, width, seed):
+    g = layered_random_graph(layers, width, seed=seed)
+    back = loads(dumps(g))
+    assert graphs_equal(g, back)
+    # Serialization is deterministic.
+    assert dumps(g) == dumps(back)

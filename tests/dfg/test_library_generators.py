@@ -1,0 +1,116 @@
+"""Tests for the operation library and synthetic graph generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg import OperationLibrary, OperationSpec, validate_graph
+from repro.dfg.generators import (
+    chain_graph,
+    conditioned_chain_graph,
+    fork_join_graph,
+    layered_random_graph,
+)
+from repro.dfg.library import DSP_CLASS, FPGA_CLASS, default_library
+
+
+def test_library_register_and_query():
+    lib = OperationLibrary()
+    lib.define("foo", {DSP_CLASS: 100, FPGA_CLASS: 10}, {"luts": 5})
+    assert "foo" in lib
+    assert lib.cycles("foo", DSP_CLASS) == 100
+    assert lib.supports("foo", FPGA_CLASS)
+    assert not lib.supports("foo", "gpu")
+    assert lib.get("foo").fpga_resources["luts"] == 5
+
+
+def test_library_duplicate_kind_rejected():
+    lib = OperationLibrary()
+    lib.define("foo", {DSP_CLASS: 1})
+    with pytest.raises(ValueError):
+        lib.define("foo", {DSP_CLASS: 2})
+
+
+def test_library_unknown_kind_raises():
+    lib = OperationLibrary()
+    with pytest.raises(KeyError):
+        lib.get("nope")
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        OperationSpec(kind="", cycles={DSP_CLASS: 1})
+    with pytest.raises(ValueError):
+        OperationSpec(kind="x", cycles={})
+    with pytest.raises(ValueError):
+        OperationSpec(kind="x", cycles={DSP_CLASS: -1})
+    spec = OperationSpec(kind="x", cycles={DSP_CLASS: 5})
+    with pytest.raises(KeyError):
+        spec.cycles_on(FPGA_CLASS)
+
+
+def test_default_library_covers_mccdma_kinds():
+    lib = default_library()
+    for kind in ("bit_source", "qpsk_mod", "qam16_mod", "spreader", "ifft64", "dac_sink"):
+        assert kind in lib
+    # FPGA faster than DSP on every shared streaming kind.
+    for kind in ("qpsk_mod", "qam16_mod", "spreader", "ifft64"):
+        assert lib.cycles(kind, FPGA_CLASS) < lib.cycles(kind, DSP_CLASS)
+    # Modulators carry resource estimates (needed for Table 1).
+    assert lib.get("qam16_mod").fpga_resources["luts"] > lib.get("qpsk_mod").fpga_resources["luts"]
+
+
+def test_chain_graph_valid():
+    g = chain_graph(5)
+    validate_graph(g, default_library())
+    assert len(g) == 5
+    assert [o.name for o in g.sources()] == ["n0"]
+    assert [o.name for o in g.sinks()] == ["n4"]
+
+
+def test_chain_length_validation():
+    with pytest.raises(ValueError):
+        chain_graph(0)
+
+
+def test_fork_join_graph_valid():
+    g = fork_join_graph(4)
+    validate_graph(g, default_library())
+    assert len(g) == 6
+    assert len(g.successors("src")) == 4
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    layers=st.integers(min_value=2, max_value=6),
+    width=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+    density=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_layered_random_graph_always_valid(layers, width, seed, density):
+    g = layered_random_graph(layers, width, seed=seed, density=density)
+    validate_graph(g, default_library())
+    assert g.is_acyclic()
+    assert len(g) == layers * width
+
+
+def test_layered_random_graph_deterministic():
+    g1 = layered_random_graph(4, 3, seed=7)
+    g2 = layered_random_graph(4, 3, seed=7)
+    assert [str(e) for e in g1.edges] == [str(e) for e in g2.edges]
+
+
+def test_conditioned_chain_graph_valid():
+    g = conditioned_chain_graph(5, 3)
+    validate_graph(g, default_library())
+    group = g.condition_groups["alt"]
+    assert len(group.cases) == 3
+    alts = group.operations
+    assert g.exclusive(alts[0], alts[1])
+
+
+def test_conditioned_chain_graph_validation():
+    with pytest.raises(ValueError):
+        conditioned_chain_graph(2, 2)
+    with pytest.raises(ValueError):
+        conditioned_chain_graph(5, 1)

@@ -1,0 +1,112 @@
+"""Tests for retrofitting dynamic reconfiguration onto fixed designs."""
+
+import pytest
+
+from repro.dfg import AlgorithmGraph, BIT, CPLX16, validate_graph
+from repro.dfg.library import default_library
+from repro.dfg.retrofit import RetrofitError, retrofit_alternatives
+
+
+def fixed_transmitter():
+    """A fixed (no conditioning) mini transmitter: src -> mod -> sink."""
+    g = AlgorithmGraph("fixed_tx")
+    src = g.add_operation("src", "interface_in_out")
+    src.add_input("din", BIT, 36)
+    src.add_output("dout", BIT, 36)
+    feeder = g.add_operation("feeder", "channel_coder")
+    feeder.add_output("coded", BIT, 36)
+    feeder.add_input("bits", BIT, 16)
+    head = g.add_operation("head", "bit_source")
+    head.add_output("bits", BIT, 16)
+    g.connect(head, "bits", feeder, "bits")
+    g.connect(feeder, "coded", src, "din")
+    mod = g.add_operation("mod", "qpsk_mod")
+    mod.add_input("bits", BIT, 36)
+    mod.add_output("symbols", CPLX16, 4)
+    sink = g.add_operation("sink", "spreader")
+    sink.add_input("symbols", CPLX16, 4)
+    sink.add_output("chips", CPLX16, 64)
+    tail = g.add_operation("tail", "dac_sink")
+    tail.add_input("samples", CPLX16, 64)
+    g.connect(src, "dout", mod, "bits")
+    g.connect(mod, "symbols", sink, "symbols")
+    g.connect(sink, "chips", tail, "samples")
+    return g
+
+
+def test_retrofit_creates_valid_conditioned_graph():
+    g = fixed_transmitter()
+    validate_graph(g, default_library())  # fixed design is valid
+    group = retrofit_alternatives(
+        g, "mod", {"qam16": "qam16_mod"}, group_name="modulation"
+    )
+    validate_graph(g, default_library())  # still valid after surgery
+    assert set(group.cases) == {"base", "qam16"}
+    assert g.operation("mod").condition.value == "base"
+    alt = g.operation("mod_qam16")
+    assert alt.condition.value == "qam16"
+    # Alternatives are mutually exclusive and share the interface.
+    assert g.exclusive(g.operation("mod"), alt)
+    assert {str(p) for p in alt.ports.values()} == {
+        str(p) for p in g.operation("mod").ports.values()
+    }
+    # A merge now sits between the alternatives and the old consumer.
+    merge = g.operation("mod_symbols_modulation_merge")
+    assert {e.src.name for e in g.in_edges(merge)} == {"mod", "mod_qam16"}
+    assert [e.dst.name for e in g.out_edges(merge)] == ["sink"]
+
+
+def test_retrofit_multiple_ip_blocks():
+    g = fixed_transmitter()
+    group = retrofit_alternatives(
+        g, "mod", {"qam16": "qam16_mod", "fast": "generic_small"}, group_name="m"
+    )
+    assert len(group.cases) == 3
+    validate_graph(g, default_library())
+
+
+def test_retrofit_guardrails():
+    g = fixed_transmitter()
+    with pytest.raises(RetrofitError, match="at least one"):
+        retrofit_alternatives(g, "mod", {}, group_name="m")
+    with pytest.raises(RetrofitError, match="collides"):
+        retrofit_alternatives(g, "mod", {"base": "qam16_mod"}, group_name="m")
+    with pytest.raises(RetrofitError, match="no outputs"):
+        retrofit_alternatives(g, "tail", {"x": "generic_small"}, group_name="m")
+    retrofit_alternatives(g, "mod", {"qam16": "qam16_mod"}, group_name="m")
+    with pytest.raises(RetrofitError, match="already conditioned"):
+        retrofit_alternatives(g, "mod", {"other": "generic_small"}, group_name="m2")
+
+
+def test_retrofitted_design_runs_the_full_flow():
+    """The paper's claim end to end: a fixed design, made dynamic after the
+    fact, goes through adequation, floorplanning and runtime simulation."""
+    from repro.arch import sundance_board
+    from repro.flows import DesignFlow, SystemSimulation
+
+    g = fixed_transmitter()
+    retrofit_alternatives(g, "mod", {"qam16": "qam16_mod"}, group_name="modulation")
+    flow = DesignFlow(graph=g, board=sundance_board(), library=default_library())
+    flow.mapping.pin("mod", "D1").pin("mod_qam16", "D1")
+    result = flow.run()
+    assert result.modular.par_report.ok
+    assert {m for m in result.generated.variant_regions} == {
+        "dyn_D1_mod", "dyn_D1_mod_qam16"
+    }
+    plan = ["base", "qam16"] * 3
+    run = SystemSimulation(
+        result, n_iterations=len(plan),
+        selector_values={"modulation": lambda it: plan[it]},
+    ).run()
+    assert run.switches == 6  # swap every iteration (incl. initial load)
+    assert run.n_iterations == 6
+
+
+def test_disconnect_unknown_edge_raises():
+    from repro.dfg.graph import Edge
+
+    g = fixed_transmitter()
+    real = g.edges[0]
+    g.disconnect(real)
+    with pytest.raises(KeyError):
+        g.disconnect(real)

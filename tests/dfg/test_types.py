@@ -1,0 +1,49 @@
+"""Tests for data types and ports."""
+
+import pytest
+
+from repro.dfg import BIT, CPLX16, DataType, Direction, Port, WORD32
+
+
+def test_datatype_bytes_rounding():
+    assert BIT.bytes == 1
+    assert DataType("odd", 9).bytes == 2
+    assert WORD32.bytes == 4
+    assert CPLX16.bytes == 4
+
+
+def test_datatype_requires_positive_width():
+    with pytest.raises(ValueError):
+        DataType("bad", 0)
+
+
+def test_port_sizes():
+    p = Port("d", Direction.OUT, WORD32, tokens=16)
+    assert p.size_bits == 512
+    assert p.size_bytes == 64
+
+
+def test_port_bit_packing():
+    p = Port("b", Direction.OUT, BIT, tokens=12)
+    assert p.size_bits == 12
+    assert p.size_bytes == 2  # rounded up
+
+
+def test_port_validation():
+    with pytest.raises(ValueError):
+        Port("", Direction.IN, WORD32)
+    with pytest.raises(ValueError):
+        Port("x", Direction.IN, WORD32, tokens=0)
+
+
+def test_port_compatibility():
+    out = Port("o", Direction.OUT, WORD32, 4)
+    good = Port("i", Direction.IN, WORD32, 4)
+    bad_type = Port("i", Direction.IN, CPLX16, 4)
+    bad_tokens = Port("i", Direction.IN, WORD32, 8)
+    bad_dir = Port("i", Direction.OUT, WORD32, 4)
+    assert out.compatible_with(good)
+    assert not out.compatible_with(bad_type)
+    assert not out.compatible_with(bad_tokens)
+    assert not out.compatible_with(bad_dir)
+    assert not good.compatible_with(out)  # in cannot drive

@@ -1,0 +1,133 @@
+"""Property-based tests: schedule ↔ executive ↔ simulation consistency.
+
+The strongest invariant of the reproduction: for *any* generated algorithm
+graph, the synchronized executive produced from a valid schedule, when
+interpreted on the discrete-event kernel for one iteration, finishes exactly
+at the schedule's makespan — macro-code generation and interpretation
+preserve the adequation's timing model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aaa import EarliestFinishScheduler, SynDExScheduler, adequate
+from repro.arch import sundance_board
+from repro.dfg.generators import (
+    chain_graph,
+    conditioned_chain_graph,
+    fork_join_graph,
+    layered_random_graph,
+)
+from repro.dfg.library import default_library
+from repro.executive import ExecutiveRunner, generate_executive
+from repro.executive.macrocode import ComputeInstr, RecvInstr, SendInstr
+
+
+def adequate_and_generate(graph, scheduler=SynDExScheduler):
+    board = sundance_board()
+    result = adequate(graph, board.architecture, default_library(), scheduler=scheduler)
+    program = generate_executive(graph, result.schedule)
+    return result, program
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    layers=st.integers(min_value=2, max_value=5),
+    width=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=300),
+    scheduler=st.sampled_from([SynDExScheduler, EarliestFinishScheduler]),
+)
+def test_one_iteration_matches_makespan(layers, width, seed, scheduler):
+    graph = layered_random_graph(layers, width, seed=seed)
+    result, program = adequate_and_generate(graph, scheduler)
+    report = ExecutiveRunner(program, n_iterations=1).run()
+    assert report.end_time_ns == result.makespan_ns
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    layers=st.integers(min_value=2, max_value=4),
+    width=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=200),
+    iterations=st.integers(min_value=2, max_value=6),
+)
+def test_iterations_never_faster_than_bottleneck(layers, width, seed, iterations):
+    """n iterations take at least n x (busiest operator's busy time) and at
+    most n x makespan."""
+    graph = layered_random_graph(layers, width, seed=seed)
+    result, program = adequate_and_generate(graph)
+    report = ExecutiveRunner(program, n_iterations=iterations).run()
+    per_operator_busy = {}
+    for s in result.schedule.ops:
+        per_operator_busy.setdefault(s.operator.name, 0)
+        per_operator_busy[s.operator.name] += s.duration
+    bottleneck = max(per_operator_busy.values())
+    assert report.end_time_ns >= iterations * bottleneck
+    assert report.end_time_ns <= iterations * result.makespan_ns
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    length=st.integers(min_value=3, max_value=7),
+    alternatives=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+    iterations=st.integers(min_value=1, max_value=8),
+)
+def test_conditioned_executive_runs_exactly_one_case(length, alternatives, seed, iterations):
+    """In every iteration exactly one alternative of the condition group
+    computes, whatever the selection sequence."""
+    import random
+
+    graph = conditioned_chain_graph(length, alternatives)
+    _, program = adequate_and_generate(graph)
+    rng = random.Random(seed)
+    plan = [rng.randrange(alternatives) for _ in range(iterations)]
+    alt_names = {f"alt{i}" for i in range(alternatives)}
+    report = ExecutiveRunner(
+        program,
+        n_iterations=iterations,
+        selector_values={"alt": lambda it: plan[it]},
+        capture=alt_names,
+    ).run()
+    total_fires = sum(len(v) for v in report.captured.values())
+    assert total_fires == iterations
+    for i in range(alternatives):
+        assert len(report.captured[f"alt{i}"]) == plan.count(i)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    layers=st.integers(min_value=2, max_value=5),
+    width=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=300),
+)
+def test_program_structure_balanced(layers, width, seed):
+    """Every cross-operator edge has exactly one send, one recv, and a full
+    hop chain; every operation computes exactly once per iteration."""
+    graph = layered_random_graph(layers, width, seed=seed)
+    _, program = adequate_and_generate(graph)
+    program.validate()  # raises on imbalance
+    computes = [
+        i.op_name
+        for code in program.operator_code.values()
+        for i in code
+        if isinstance(i, ComputeInstr)
+    ]
+    assert sorted(computes) == sorted(op.name for op in graph.operations)
+
+
+@settings(max_examples=10, deadline=None)
+@given(width=st.integers(min_value=2, max_value=6))
+def test_fork_join_executive_terminates(width):
+    graph = fork_join_graph(width)
+    result, program = adequate_and_generate(graph)
+    report = ExecutiveRunner(program, n_iterations=3).run()
+    assert report.end_time_ns >= result.makespan_ns
+
+
+def test_chain_iteration_ends_strictly_increasing():
+    graph = chain_graph(4)
+    _, program = adequate_and_generate(graph)
+    report = ExecutiveRunner(program, n_iterations=5).run()
+    for ends in report.iteration_ends.values():
+        assert all(b > a for a, b in zip(ends, ends[1:]))

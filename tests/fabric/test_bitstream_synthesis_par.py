@@ -1,0 +1,211 @@
+"""Tests for bitstream generation, synthesis estimation and PAR checks."""
+
+import pytest
+
+from repro.dfg import Operation
+from repro.dfg.library import default_library
+from repro.fabric import (
+    Bitstream,
+    BitstreamError,
+    Netlist,
+    NetlistModule,
+    PlaceAndRoute,
+    PortSpec,
+    ResourceVector,
+    Synthesizer,
+    XC2V2000,
+    generate_full_bitstream,
+    generate_partial_bitstream,
+)
+from repro.fabric.floorplan import Floorplan, ModulePlacement
+from repro.fabric.netlist import NetlistPort
+from repro.fabric.synthesis import SynthesisError
+
+
+PLACEMENT = ModulePlacement("D1", 44, 4)
+
+
+def test_partial_bitstream_size_consistent_with_device_model():
+    bs = generate_partial_bitstream(XC2V2000, PLACEMENT, "qpsk")
+    expected = XC2V2000.partial_bitstream_bits(44, 4)
+    # Byte-quantized frames may add a little slack, never remove data.
+    assert bs.size_bits >= expected
+    assert bs.size_bits < expected * 1.05
+
+
+def test_partial_bitstream_deterministic():
+    a = generate_partial_bitstream(XC2V2000, PLACEMENT, "qpsk")
+    b = generate_partial_bitstream(XC2V2000, PLACEMENT, "qpsk")
+    assert a.crc == b.crc
+    assert [f.payload for f in a.frames] == [f.payload for f in b.frames]
+
+
+def test_partial_bitstreams_differ_by_module():
+    a = generate_partial_bitstream(XC2V2000, PLACEMENT, "qpsk")
+    b = generate_partial_bitstream(XC2V2000, PLACEMENT, "qam16")
+    assert a.crc != b.crc
+
+
+def test_crc_detects_corruption():
+    bs = generate_partial_bitstream(XC2V2000, PLACEMENT, "qpsk")
+    assert bs.verify_crc()
+    bad = bs.corrupted(frame_index=3)
+    assert not bad.verify_crc()
+
+
+def test_corrupted_frame_index_validated():
+    bs = generate_partial_bitstream(XC2V2000, PLACEMENT, "qpsk")
+    with pytest.raises(IndexError):
+        bs.corrupted(frame_index=10**6)
+
+
+def test_frame_addresses_cover_span():
+    bs = generate_partial_bitstream(XC2V2000, PLACEMENT, "qpsk")
+    majors = {f.major for f in bs.frames if f.block == 0}
+    assert majors == set(range(44, 48))
+
+
+def test_words_stream_structure():
+    bs = generate_partial_bitstream(XC2V2000, PLACEMENT, "qpsk")
+    words = list(bs.words())
+    assert words[0] == 0xAA995566  # sync word first
+    assert words[-1] == bs.crc & 0xFFFFFFFF
+
+
+def test_empty_bitstream_rejected():
+    with pytest.raises(BitstreamError):
+        Bitstream("xc2v2000", "m", frames=[], header_bits=0)
+
+
+def test_full_bitstream_larger_than_partial():
+    full = generate_full_bitstream(XC2V2000, "design")
+    part = generate_partial_bitstream(XC2V2000, PLACEMENT, "qpsk")
+    assert full.size_bits > 5 * part.size_bits
+    assert not full.partial
+
+
+def make_ops(*kinds):
+    return [Operation(f"op{i}", k) for i, k in enumerate(kinds)]
+
+
+def test_synthesizer_datapath_sums_library_estimates():
+    lib = default_library()
+    syn = Synthesizer(lib)
+    dp = syn.datapath_of(make_ops("qpsk_mod", "spreader"))
+    exp_luts = lib.get("qpsk_mod").fpga_resources["luts"] + lib.get("spreader").fpga_resources["luts"]
+    assert dp.luts == exp_luts
+
+
+def test_synthesizer_rejects_dsp_only_kind():
+    syn = Synthesizer(default_library())
+    with pytest.raises(SynthesisError, match="no FPGA implementation"):
+        syn.datapath_of(make_ops("bit_source"))
+
+
+def test_dynamic_variant_costs_more_than_fixed_block():
+    """Core of Table 1: the reconfigurable variant of the QPSK modulator
+    uses more resources than the same datapath inside a fixed design."""
+    syn = Synthesizer(default_library())
+    ports = [PortSpec("din", 16, "in"), PortSpec("dout", 16, "out")]
+    fixed, _ = syn.synthesize_module("qpsk_fixed", make_ops("qpsk_mod"), ports)
+    dyn, _ = syn.synthesize_module(
+        "qpsk_dyn", make_ops("qpsk_mod"), ports, reconfigurable=True, region="D1"
+    )
+    assert dyn.resources.luts > fixed.resources.luts
+    assert dyn.resources.ffs > fixed.resources.ffs
+    assert dyn.resources.slices > fixed.resources.slices
+
+
+def test_buffer_mapping_bram_vs_lutram():
+    syn = Synthesizer(default_library())
+    small = syn.buffers_of(64)
+    large = syn.buffers_of(4096)
+    assert small.brams == 0 and small.luts > 0
+    assert large.brams == 2 and large.luts == 0
+    assert syn.buffers_of(0).is_zero
+    with pytest.raises(SynthesisError):
+        syn.buffers_of(-1)
+
+
+def test_synthesis_report_renders():
+    syn = Synthesizer(default_library())
+    _, report = syn.synthesize_module(
+        "mod", make_ops("qam16_mod"), [PortSpec("d", 16, "in")], buffer_bytes=1024,
+        reconfigurable=True, region="D1",
+    )
+    text = report.render(XC2V2000.capacity())
+    assert "datapath" in text and "utilization" in text and "reconfigurable" in text
+
+
+def build_checked_design():
+    lib = default_library()
+    syn = Synthesizer(lib)
+    nl = Netlist("top")
+    ports = [PortSpec("din", 16, "in"), PortSpec("dout", 16, "out")]
+    static, _ = syn.synthesize_module(
+        "static", make_ops("spreader", "ifft64", "cyclic_prefix"), ports, buffer_bytes=2048
+    )
+    nl.add_module(static)
+    for name, kind in (("qpsk", "qpsk_mod"), ("qam16", "qam16_mod")):
+        mod, _ = syn.synthesize_module(name, make_ops(kind), ports, reconfigurable=True, region="D1")
+        nl.add_module(mod)
+    nl.connect("static", "dout", "qpsk", "din")
+    nl.connect("qpsk", "dout", "static", "din")
+    return nl
+
+
+def test_par_check_passes_on_planned_design():
+    from repro.fabric import Floorplanner
+
+    nl = build_checked_design()
+    plan = Floorplanner(XC2V2000).plan(nl)
+    report = PlaceAndRoute(plan, nl).check()
+    assert report.ok, report.problems
+    assert 25.0 <= report.clock_mhz <= 66.0
+    assert "<static>" in report.module_utilization
+
+
+def test_par_detects_unplaced_region():
+    nl = build_checked_design()
+    plan = Floorplan(XC2V2000)  # nothing placed
+    report = PlaceAndRoute(plan, nl).check()
+    assert not report.ok
+    assert any("no placement" in p for p in report.problems)
+
+
+def test_par_detects_overflowing_variant():
+    from repro.fabric import Floorplanner
+
+    nl = build_checked_design()
+    plan = Floorplanner(XC2V2000).plan(nl)
+    # Add a monster variant after planning.
+    nl.add_module(
+        NetlistModule(
+            name="huge",
+            resources=ResourceVector(slices=5000, luts=9000, ffs=9000),
+            ports=[NetlistPort("din", 16, "in"), NetlistPort("dout", 16, "out")],
+            reconfigurable=True,
+            region="D1",
+        )
+    )
+    report = PlaceAndRoute(plan, nl).check()
+    assert not report.ok
+    assert any("exceeds region" in p for p in report.problems)
+
+
+def test_par_detects_missing_bus_macros():
+    nl = build_checked_design()
+    plan = Floorplan(XC2V2000)
+    plan.place("D1", 44, 4)  # no bus macros planned
+    report = PlaceAndRoute(plan, nl).check()
+    assert not report.ok
+    assert any("bus macros carry" in p for p in report.problems)
+
+
+def test_par_report_renders():
+    from repro.fabric import Floorplanner
+
+    nl = build_checked_design()
+    plan = Floorplanner(XC2V2000).plan(nl)
+    text = PlaceAndRoute(plan, nl).check().render()
+    assert "PAR check PASSED" in text

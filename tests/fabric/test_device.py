@@ -1,0 +1,114 @@
+"""Tests for the Virtex-II device model."""
+
+import pytest
+
+from repro.fabric import XC2V1000, XC2V2000, XC2V3000, device_by_name
+from repro.fabric.device import FRAMES_PER_CLB_COLUMN, PARTIAL_HEADER_BITS, VirtexIIDevice
+
+
+def test_xc2v2000_datasheet_capacity():
+    """The paper's device: 56x48 CLBs -> 10752 slices, 21504 LUT/FF, 56 BRAM."""
+    d = XC2V2000
+    assert d.slices == 10_752
+    assert d.luts == 21_504
+    assert d.ffs == 21_504
+    assert d.brams == 56
+    assert d.mults == 56
+    assert d.full_bitstream_bits == 8_391_936
+
+
+def test_catalog_lookup():
+    assert device_by_name("XC2V2000") is XC2V2000
+    assert device_by_name("xc2v1000") is XC2V1000
+    with pytest.raises(KeyError):
+        device_by_name("xc7z020")
+
+
+def test_capacity_vector_consistent():
+    cap = XC2V2000.capacity()
+    assert cap.slices == XC2V2000.slices
+    assert cap.brams == 56
+
+
+def test_column_span_capacity():
+    # 4 columns full height: 56*4 CLBs = 224 CLBs = 896 slices.
+    span = XC2V2000.column_span_capacity(44, 4)
+    assert span.slices == 896
+    assert span.luts == 1792
+    assert span.tbufs == 896
+
+
+def test_column_span_includes_bram_columns():
+    total_brams = sum(
+        XC2V2000.column_span_capacity(c, 1).brams for c in range(XC2V2000.clb_cols)
+    )
+    assert total_brams == XC2V2000.brams
+
+
+def test_column_span_validation():
+    with pytest.raises(ValueError):
+        XC2V2000.column_span_capacity(46, 4)  # runs off the edge
+    with pytest.raises(ValueError):
+        XC2V2000.column_span_capacity(0, 0)
+
+
+def test_area_fraction_8_percent_point():
+    """The paper's dynamic region is 8% of the FPGA; 4 of 48 columns = 8.3%."""
+    assert XC2V2000.area_fraction(4) == pytest.approx(4 / 48)
+    assert 0.07 < XC2V2000.area_fraction(4) < 0.09
+
+
+def test_partial_bitstream_size_matches_paper_scale():
+    """A 4-column module's partial bitstream should be in the tens of KB,
+    consistent with ~4 ms at memory-limited configuration bandwidth."""
+    size = XC2V2000.partial_bitstream_bytes(44, 4)
+    assert 60_000 < size < 110_000  # ~82 KB in our calibration
+
+
+def test_partial_bitstream_monotone_in_width():
+    sizes = [XC2V2000.partial_bitstream_bits(0, w) for w in (2, 4, 8, 16)]
+    assert sizes == sorted(sizes)
+    assert sizes[0] < sizes[-1]
+
+
+def test_partial_bitstream_less_than_full():
+    assert XC2V2000.partial_bitstream_bits(0, 8) < XC2V2000.full_bitstream_bits
+
+
+def test_frames_for_span_counts_bram_frames():
+    # A span containing a BRAM column has 4 extra frames.
+    with_bram = None
+    without_bram = None
+    for c in range(XC2V2000.clb_cols - 1):
+        frames = XC2V2000.frames_for_span(c, 2)
+        if frames == FRAMES_PER_CLB_COLUMN * 2:
+            without_bram = frames
+        elif frames == FRAMES_PER_CLB_COLUMN * 2 + 4:
+            with_bram = frames
+    assert without_bram is not None and with_bram is not None
+
+
+def test_device_validation():
+    with pytest.raises(ValueError):
+        VirtexIIDevice("bad", 0, 10, 1000, (), 0)
+    with pytest.raises(ValueError):
+        VirtexIIDevice("bad", 10, 10, -5, (), 0)
+    with pytest.raises(ValueError):
+        VirtexIIDevice("bad", 10, 10, 1000, (99,), 4)
+
+
+def test_devices_scale_with_size():
+    assert XC2V1000.slices < XC2V2000.slices < XC2V3000.slices
+    assert (
+        XC2V1000.full_bitstream_bits
+        < XC2V2000.full_bitstream_bits
+        < XC2V3000.full_bitstream_bits
+    )
+
+
+def test_frame_bits_positive_and_plausible():
+    for d in (XC2V1000, XC2V2000, XC2V3000):
+        assert d.frame_bits > 0
+        # CLB frames should dominate the stream.
+        clb_bits = d.clb_cols * FRAMES_PER_CLB_COLUMN * d.frame_bits
+        assert clb_bits > 0.7 * d.full_bitstream_bits

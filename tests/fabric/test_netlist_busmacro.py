@@ -1,0 +1,112 @@
+"""Tests for the netlist abstraction and bus-macro planning."""
+
+import pytest
+
+from repro.fabric import BusMacro, Netlist, NetlistModule, ResourceVector, XC2V2000, plan_bus_macros
+from repro.fabric.busmacro import BITS_PER_MACRO, BusMacroError, TBUFS_PER_MACRO, macros_needed
+from repro.fabric.netlist import NetlistPort
+
+
+def make_module(name, reconfigurable=False, region=None, ports=()):
+    return NetlistModule(
+        name=name,
+        resources=ResourceVector(luts=100, ffs=80),
+        ports=[NetlistPort(*p) for p in ports],
+        reconfigurable=reconfigurable,
+        region=region,
+    )
+
+
+def test_port_validation():
+    with pytest.raises(ValueError):
+        NetlistPort("p", 0, "in")
+    with pytest.raises(ValueError):
+        NetlistPort("p", 8, "inout")
+
+
+def test_module_requires_region_when_reconfigurable():
+    with pytest.raises(ValueError):
+        make_module("m", reconfigurable=True, region=None)
+
+
+def test_module_duplicate_ports_rejected():
+    with pytest.raises(ValueError):
+        make_module("m", ports=[("a", 8, "in"), ("a", 4, "out")])
+
+
+def test_netlist_connect_and_queries():
+    nl = Netlist("top")
+    nl.add_module(make_module("static", ports=[("dout", 8, "out"), ("din", 8, "in")]))
+    nl.add_module(
+        make_module("qpsk", True, "D1", ports=[("din", 8, "in"), ("dout", 8, "out")])
+    )
+    nl.add_module(
+        make_module("qam16", True, "D1", ports=[("din", 8, "in"), ("dout", 8, "out")])
+    )
+    nl.connect("static", "dout", "qpsk", "din")
+    nl.connect("qpsk", "dout", "static", "din")
+    assert [m.name for m in nl.static_modules()] == ["static"]
+    assert {m.name for m in nl.reconfigurable_modules("D1")} == {"qpsk", "qam16"}
+    assert nl.regions() == ["D1"]
+    assert nl.boundary_bits_between("static", "qpsk") == 16
+    # Worst-case over variants: qam16 has no nets yet -> worst is qpsk's 16.
+    assert nl.boundary_bits_of_region("D1") == 16
+
+
+def test_netlist_connect_validation():
+    nl = Netlist("top")
+    nl.add_module(make_module("a", ports=[("o", 8, "out")]))
+    nl.add_module(make_module("b", ports=[("i", 4, "in")]))
+    with pytest.raises(ValueError, match="width mismatch"):
+        nl.connect("a", "o", "b", "i")
+    with pytest.raises(ValueError, match="not an output"):
+        nl.connect("b", "i", "a", "o")
+    with pytest.raises(KeyError):
+        nl.connect("a", "o", "zz", "i")
+
+
+def test_netlist_duplicate_module_rejected():
+    nl = Netlist("top")
+    nl.add_module(make_module("a"))
+    with pytest.raises(ValueError):
+        nl.add_module(make_module("a"))
+
+
+def test_macros_needed_rounding():
+    assert macros_needed(0) == 0
+    assert macros_needed(1) == 1
+    assert macros_needed(BITS_PER_MACRO) == 1
+    assert macros_needed(BITS_PER_MACRO + 1) == 2
+
+
+def test_plan_bus_macros_counts_and_rows():
+    macros = plan_bus_macros(XC2V2000, "D1", boundary_column=44, bits_in=16, bits_out=9)
+    ins = [m for m in macros if m.direction == "into_region"]
+    outs = [m for m in macros if m.direction == "out_of_region"]
+    assert len(ins) == 4  # 16 bits / 4
+    assert len(outs) == 3  # ceil(9/4)
+    rows = [m.row for m in macros]
+    assert rows == list(range(len(macros)))  # stacked from the bottom
+    assert all(m.column == 44 for m in macros)
+    assert all(m.tbufs == TBUFS_PER_MACRO for m in macros)
+
+
+def test_plan_bus_macros_boundary_must_be_internal():
+    with pytest.raises(BusMacroError):
+        plan_bus_macros(XC2V2000, "D1", boundary_column=0, bits_in=4, bits_out=4)
+    with pytest.raises(BusMacroError):
+        plan_bus_macros(XC2V2000, "D1", boundary_column=48, bits_in=4, bits_out=4)
+
+
+def test_plan_bus_macros_height_limit():
+    # 56 rows -> at most 56 macros -> at most 224 bits total.
+    too_many = 56 * BITS_PER_MACRO + 1
+    with pytest.raises(BusMacroError, match="bus macros"):
+        plan_bus_macros(XC2V2000, "D1", 44, bits_in=too_many, bits_out=0)
+
+
+def test_eight_tbufs_per_macro_paper_constant():
+    """The paper: 'the bus macro uses eight 3-state buffers'."""
+    m = BusMacro("bm", 44, 0, "into_region")
+    assert m.tbufs == 8
+    assert m.resources().tbufs == 8

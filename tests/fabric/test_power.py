@@ -1,0 +1,69 @@
+"""Tests for the power/energy model."""
+
+import pytest
+
+from repro.fabric import ResourceVector
+from repro.fabric.power import EnergyBreakdown, PowerModel
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PowerModel(clock_mhz=0)
+    with pytest.raises(ValueError):
+        PowerModel(clock_mhz=50, activity=0.0)
+    model = PowerModel(50.0)
+    with pytest.raises(ValueError):
+        model.reconfiguration_energy_uj(-1)
+    with pytest.raises(ValueError):
+        model.interval_energy(ResourceVector(), ResourceVector(), -1)
+
+
+def test_static_power_scales_with_configured_slices():
+    model = PowerModel(50.0)
+    small = model.static_mw(ResourceVector(slices=100))
+    large = model.static_mw(ResourceVector(slices=1000))
+    assert large > small > model.static_mw(ResourceVector()) - 1e-9
+    # Linear in slices above the base.
+    base = model.static_mw(ResourceVector())
+    assert (large - base) == pytest.approx(10 * (small - base))
+
+
+def test_dynamic_power_scales_with_clock_and_activity():
+    active = ResourceVector(slices=500, brams=2, mults=1)
+    slow = PowerModel(25.0).dynamic_mw(active)
+    fast = PowerModel(50.0).dynamic_mw(active)
+    assert fast == pytest.approx(2 * slow)
+    lazy = PowerModel(50.0, activity=0.1).dynamic_mw(active)
+    busy = PowerModel(50.0, activity=0.2).dynamic_mw(active)
+    assert busy == pytest.approx(2 * lazy)
+
+
+def test_reconfiguration_energy():
+    model = PowerModel(50.0)
+    # 4 ms at 180 mW = 720 uJ.
+    assert model.reconfiguration_energy_uj(4_000_000) == pytest.approx(720.0)
+    assert model.reconfiguration_energy_uj(0) == 0.0
+
+
+def test_interval_energy_breakdown():
+    model = PowerModel(50.0)
+    configured = ResourceVector(slices=1000)
+    active = ResourceVector(slices=400)
+    e = model.interval_energy(configured, active, duration_ns=10_000_000,
+                              n_reconfigs=2, reconfig_ns=4_000_000)
+    assert e.static_uj == pytest.approx(model.static_mw(configured) * 10.0)
+    assert e.dynamic_uj == pytest.approx(model.dynamic_mw(active) * 10.0)
+    assert e.reconfig_uj == pytest.approx(2 * 720.0)
+    assert e.total_uj == pytest.approx(e.static_uj + e.dynamic_uj + e.reconfig_uj)
+    assert "uJ" in e.render()
+
+
+def test_dynamic_scheme_leaks_less_than_fixed_with_many_alternatives():
+    """The §2 motivation: the fixed design configures every alternative and
+    leaks through all of them; the dynamic region holds one at a time."""
+    model = PowerModel(50.0)
+    variant = ResourceVector(slices=260)
+    n_alternatives = 4
+    fixed_configured = ResourceVector(slices=variant.slices * n_alternatives)
+    dynamic_configured = ResourceVector(slices=300)  # one variant + harness
+    assert model.static_mw(dynamic_configured) < model.static_mw(fixed_configured)

@@ -1,0 +1,84 @@
+"""Tests for configuration word-stream construction and parsing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import XC2V2000, generate_partial_bitstream
+from repro.fabric.bitstream import BitstreamError, SYNC_WORD, parse_word_stream
+from repro.fabric.floorplan import ModulePlacement
+from repro.reconfig import BitstreamStore, ICAP_V2, ProtocolConfigurationBuilder
+from repro.reconfig.protocol import ProtocolError
+from repro.sim import Simulator
+
+
+def make_stream(module="qpsk", col0=44, width=4):
+    bs = generate_partial_bitstream(XC2V2000, ModulePlacement("D1", col0, width), module)
+    frame_payload_words = -(-(-(-XC2V2000.frame_bits // 8)) // 4)
+    return bs, list(bs.words()), frame_payload_words
+
+
+def test_stream_roundtrip():
+    bs, words, fpw = make_stream()
+    parsed = parse_word_stream(words, fpw)
+    assert parsed["crc"] == bs.crc & 0xFFFFFFFF
+    assert len(parsed["addresses"]) == len(bs.frames)
+    # Addresses decode back to the module's column span.
+    majors = {(a >> 17) & 0xFF for a in parsed["addresses"] if (a >> 25) == 0}
+    assert majors == set(range(44, 48))
+
+
+def test_stream_requires_sync_word():
+    _, words, fpw = make_stream()
+    with pytest.raises(BitstreamError, match="sync"):
+        parse_word_stream(words[1:], fpw)
+    with pytest.raises(BitstreamError, match="empty"):
+        parse_word_stream([], fpw)
+
+
+def test_stream_detects_truncation():
+    _, words, fpw = make_stream()
+    with pytest.raises(BitstreamError, match="truncated"):
+        parse_word_stream(words[:-10], fpw)
+
+
+def test_stream_detects_malformed_address():
+    _, words, fpw = make_stream()
+    # Find the first frame-address word (after sync + command words) and
+    # corrupt its reserved low bits.
+    idx = 1
+    while (words[idx] >> 28) == 0x3:
+        idx += 1
+    corrupted = list(words)
+    corrupted[idx] |= 0x1
+    with pytest.raises(BitstreamError, match="malformed frame address"):
+        parse_word_stream(corrupted, fpw)
+
+
+def test_builder_build_stream():
+    sim = Simulator()
+    store = BitstreamStore()
+    bs, _, fpw = make_stream("qam16")
+    store.register("D1", "qam16", bs)
+    store.register("D1", "size_only", 1_000)
+    builder = ProtocolConfigurationBuilder(sim, ICAP_V2, store)
+    words = builder.build_stream("D1", "qam16")
+    assert words[0] == SYNC_WORD
+    parsed = parse_word_stream(words, fpw)
+    assert parsed["crc"] == bs.crc & 0xFFFFFFFF
+    with pytest.raises(ProtocolError, match="only the size"):
+        builder.build_stream("D1", "size_only")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    col0=st.integers(min_value=0, max_value=44),
+    width=st.integers(min_value=1, max_value=4),
+    name=st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+)
+def test_stream_roundtrip_property(col0, width, name):
+    bs = generate_partial_bitstream(XC2V2000, ModulePlacement("D1", col0, width), name)
+    fpw = -(-(-(-XC2V2000.frame_bits // 8)) // 4)
+    parsed = parse_word_stream(list(bs.words()), fpw)
+    assert len(parsed["addresses"]) == len(bs.frames)
+    assert parsed["crc"] == bs.crc & 0xFFFFFFFF

@@ -1,0 +1,119 @@
+"""Tests for the dynamic-module constraints file."""
+
+import pytest
+
+from repro.flows import ConstraintsError, parse_constraints
+from repro.mccdma.casestudy import build_mccdma_graph
+
+GOOD = """
+# MC-CDMA transmitter dynamic modules
+[module mod_qpsk]
+region    = D1
+operation = mod_qpsk
+loading   = runtime
+unloading = on_switch
+
+[module mod_qam16]
+region    = D1
+operation = mod_qam16
+
+[region D1]
+sharing   = true
+exclusive = mod_qpsk, mod_qam16
+"""
+
+
+def test_parse_good_file():
+    cons = parse_constraints(GOOD)
+    assert set(cons.modules) == {"mod_qpsk", "mod_qam16"}
+    assert cons.modules["mod_qpsk"].loading == "runtime"
+    assert cons.modules["mod_qam16"].unloading == "on_switch"  # default
+    assert cons.regions["D1"].sharing
+    assert cons.regions["D1"].exclusive == ["mod_qpsk", "mod_qam16"]
+    assert [m.name for m in cons.modules_of_region("D1")] == ["mod_qpsk", "mod_qam16"]
+
+
+def test_roundtrip_render_parse():
+    cons = parse_constraints(GOOD)
+    again = parse_constraints(cons.render())
+    assert set(again.modules) == set(cons.modules)
+    assert again.regions["D1"].exclusive == cons.regions["D1"].exclusive
+
+
+def test_validates_against_case_study_graph():
+    cons = parse_constraints(GOOD)
+    cons.validate_against(build_mccdma_graph())  # no raise
+
+
+def test_unknown_operation_rejected():
+    cons = parse_constraints(GOOD.replace("operation = mod_qpsk", "operation = nonexistent"))
+    with pytest.raises(ConstraintsError, match="unknown operation"):
+        cons.validate_against(build_mccdma_graph())
+
+
+def test_unconditioned_operation_rejected():
+    text = """
+[module bad]
+region    = D1
+operation = spreader
+"""
+    cons = parse_constraints(text)
+    with pytest.raises(ConstraintsError, match="not conditioned"):
+        cons.validate_against(build_mccdma_graph())
+
+
+def test_non_exclusive_sharing_rejected():
+    """Two modules in one region must be mutually exclusive alternatives."""
+    text = """
+[module a]
+region    = D1
+operation = mod_qpsk
+
+[module b]
+region    = D1
+operation = spreader
+"""
+    cons = parse_constraints(text)
+    with pytest.raises(ConstraintsError):
+        cons.validate_against(build_mccdma_graph())
+
+
+def test_sharing_disabled_with_multiple_modules_rejected():
+    text = GOOD.replace("sharing   = true", "sharing   = false")
+    cons = parse_constraints(text)
+    with pytest.raises(ConstraintsError, match="sharing disabled"):
+        cons.validate_against(build_mccdma_graph())
+
+
+def test_exclusive_list_membership_checked():
+    text = GOOD + "\n[region D2]\nexclusive = ghost\n"
+    cons = parse_constraints(text)
+    with pytest.raises(ConstraintsError, match="unknown module"):
+        cons.validate_against(build_mccdma_graph())
+
+
+def test_parse_errors():
+    with pytest.raises(ConstraintsError, match="missing key"):
+        parse_constraints("[module x]\nregion = D1\n")
+    with pytest.raises(ConstraintsError, match="outside any section"):
+        parse_constraints("region = D1\n")
+    with pytest.raises(ConstraintsError, match="expected 'key = value'"):
+        parse_constraints("[module x]\nnonsense\n")
+    with pytest.raises(ConstraintsError, match="duplicate key"):
+        parse_constraints("[module x]\nregion = D1\nregion = D2\n")
+    with pytest.raises(ConstraintsError, match="duplicate module"):
+        parse_constraints(
+            "[module x]\nregion = D1\noperation = a\n[module x]\nregion = D1\noperation = b\n"
+        )
+    with pytest.raises(ConstraintsError, match="bad loading"):
+        parse_constraints("[module x]\nregion = D1\noperation = a\nloading = sometimes\n")
+    with pytest.raises(ConstraintsError, match="unterminated"):
+        parse_constraints("[module x\n")
+    with pytest.raises(ConstraintsError, match="sharing must be"):
+        parse_constraints("[region D1]\nsharing = maybe\n")
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "# leading comment\n\n[module m]\nregion = D1  # inline\noperation = op\n"
+    cons = parse_constraints(text)
+    assert cons.modules["m"].region == "D1"

@@ -1,0 +1,45 @@
+"""Tests for the AAA time-constraint support."""
+
+import pytest
+
+from repro.arch import sundance_board
+from repro.dfg.generators import chain_graph
+from repro.dfg.library import default_library
+from repro.flows import DesignFlow
+from repro.flows.flow import TimingConstraintError
+
+
+def make_flow(deadline_ns=None, strict=True):
+    return DesignFlow(
+        graph=chain_graph(4),
+        board=sundance_board(),
+        library=default_library(),
+        iteration_deadline_ns=deadline_ns,
+        strict_deadline=strict,
+    )
+
+
+def test_no_deadline_always_meets():
+    result = make_flow().run()
+    assert result.meets_deadline
+    assert "time constraint" not in result.report()
+
+
+def test_generous_deadline_satisfied():
+    result = make_flow(deadline_ns=1_000_000_000).run()
+    assert result.meets_deadline
+    assert "satisfied" in result.report()
+
+
+def test_impossible_deadline_raises():
+    with pytest.raises(TimingConstraintError) as err:
+        make_flow(deadline_ns=10).run()
+    assert err.value.deadline_ns == 10
+    assert err.value.makespan_ns > 10
+    assert "exceeds the deadline" in str(err.value)
+
+
+def test_non_strict_deadline_reports_violation():
+    result = make_flow(deadline_ns=10, strict=False).run()
+    assert not result.meets_deadline
+    assert "VIOLATED" in result.report()

@@ -1,0 +1,137 @@
+"""Tests for design-space exploration and pilot-based channel estimation."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import XC2V1000, XC2V2000
+from repro.flows import parse_constraints
+from repro.flows.designspace import explore_design_space
+from repro.mccdma import MCCDMAReceiver, MCCDMATransmitter, Modulation, bit_error_rate
+from repro.mccdma.casestudy import build_mccdma_graph
+from repro.dfg.library import default_library
+from repro.reconfig import case_a_standalone, case_b_processor
+
+CONSTRAINTS = parse_constraints("""
+[module mod_qpsk]
+region    = D1
+operation = mod_qpsk
+
+[module mod_qam16]
+region    = D1
+operation = mod_qam16
+
+[region D1]
+sharing   = true
+exclusive = mod_qpsk, mod_qam16
+""")
+
+
+def test_explore_case_study_over_two_devices():
+    points = explore_design_space(
+        build_mccdma_graph(),
+        default_library(),
+        devices=(XC2V1000, XC2V2000),
+        architectures=(case_a_standalone(), case_b_processor()),
+        dynamic_constraints=CONSTRAINTS,
+        configure_flow=lambda flow: flow.mapping.pin("bit_src", "DSP").pin("select", "DSP"),
+    )
+    assert len(points) == 4
+    assert all(p.fits for p in points)
+    by_key = {(p.device, p.architecture): p for p in points}
+    # Smaller device: bigger area fraction but smaller bitstream.
+    small = by_key[("xc2v1000", "case_a_standalone")]
+    big = by_key[("xc2v2000", "case_a_standalone")]
+    assert small.region_area["D1"] > big.region_area["D1"]
+    assert small.bitstream_bytes["D1"] < big.bitstream_bytes["D1"]
+    assert small.reconfig_latency_ns["D1"] < big.reconfig_latency_ns["D1"]
+    # Case b slower than case a on every device.
+    for device in ("xc2v1000", "xc2v2000"):
+        a = by_key[(device, "case_a_standalone")]
+        b = by_key[(device, "case_b_processor")]
+        assert b.reconfig_latency_ns["D1"] > a.reconfig_latency_ns["D1"]
+    # Flow results dropped unless requested.
+    assert all(p.flow_result is None for p in points)
+    assert "clock=" in points[0].render()
+
+
+def test_explore_reports_unfit_points():
+    """A graph too large for the small device is reported, not raised."""
+    from repro.dfg import AlgorithmGraph, WORD32
+
+    g = AlgorithmGraph("huge")
+    sel = g.add_operation("sel", "select_source")
+    sel.add_output("value", WORD32, 1)
+    src = g.add_operation("src", "generic_small")
+    group = g.condition_group("big", sel, "value")
+    alts = []
+    for i in range(2):
+        src.add_output(f"o{i}", WORD32, 16)
+        alt = g.add_operation(f"alt{i}", "generic_large")
+        alt.add_input("i", WORD32, 16)
+        for _ in range(40):  # inflate the variant far beyond any region
+            pass
+        alts.append(alt)
+        g.connect(src, f"o{i}", alt, "i")
+    group.add_case(0, [alts[0]])
+    group.add_case(1, [alts[1]])
+
+    lib = default_library()
+    # A monstrous kind that cannot fit even a full-height region.
+    lib.define("monster", {"virtex2": 100}, {"luts": 50_000, "ffs": 50_000})
+    for alt in alts:
+        alt.kind = "monster"
+
+    points = explore_design_space(
+        g, lib, devices=(XC2V1000,), architectures=(case_a_standalone(),),
+    )
+    assert len(points) == 1
+    assert not points[0].fits
+    assert "DOES NOT FIT" in points[0].render()
+
+
+def test_pilot_channel_estimation_recovers_flat_channel():
+    tx = MCCDMATransmitter()
+    rx = MCCDMAReceiver()
+    plan = [Modulation.QAM16] * tx.config.frame.n_data_symbols
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, size=(1, tx.frame_bits(plan))).astype(np.uint8)
+    frame = tx.transmit_frame(bits, plan)
+    # Apply a flat complex channel (no genie at the receiver).
+    gain = 0.6 * np.exp(1j * 1.1)
+    received = frame.samples * gain
+    estimated = rx.estimate_gain(frame, received)
+    assert abs(estimated - gain) < 1e-9
+    equalized = rx.equalize_with_pilots(frame, received)
+    out = rx.receive_frame(frame, samples=equalized)
+    assert bit_error_rate(bits, out) == 0.0
+
+
+def test_pilot_estimation_under_noise():
+    tx = MCCDMATransmitter()
+    rx = MCCDMAReceiver()
+    plan = [Modulation.QPSK] * tx.config.frame.n_data_symbols
+    rng = np.random.default_rng(1)
+    bits = rng.integers(0, 2, size=(1, tx.frame_bits(plan))).astype(np.uint8)
+    frame = tx.transmit_frame(bits, plan)
+    gain = 1.3 * np.exp(-1j * 0.7)
+    noisy = frame.samples * gain + 0.02 * (
+        rng.standard_normal(frame.samples.size)
+        + 1j * rng.standard_normal(frame.samples.size)
+    )
+    estimated = rx.estimate_gain(frame, noisy)
+    assert abs(estimated - gain) / abs(gain) < 0.05
+    out = rx.receive_frame(frame, samples=rx.equalize_with_pilots(frame, noisy))
+    assert bit_error_rate(bits, out) == 0.0
+
+
+def test_pilot_estimation_guards():
+    from repro.mccdma import FrameConfig, MCCDMAConfig
+
+    cfg = MCCDMAConfig(frame=FrameConfig(n_pilot_symbols=0, n_data_symbols=8))
+    tx = MCCDMATransmitter(cfg)
+    rx = MCCDMAReceiver(cfg)
+    plan = [Modulation.QPSK] * 8
+    bits = np.zeros((1, tx.frame_bits(plan)), dtype=np.uint8)
+    frame = tx.transmit_frame(bits, plan)
+    with pytest.raises(ValueError, match="no pilot"):
+        rx.estimate_gain(frame, frame.samples)

@@ -1,0 +1,70 @@
+"""Static-vs-runtime consistency: the numbers the scheduler plans with are
+the numbers the simulated hardware delivers."""
+
+import pytest
+
+from repro.flows import DesignFlow, SystemSimulation, parse_constraints
+from repro.mccdma import Modulation
+from repro.mccdma.casestudy import build_mccdma_design
+
+CONSTRAINTS = """
+[module mod_qpsk]
+region    = D1
+operation = mod_qpsk
+
+[module mod_qam16]
+region    = D1
+operation = mod_qam16
+
+[region D1]
+sharing   = true
+exclusive = mod_qpsk, mod_qam16
+"""
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    design = build_mccdma_design()
+    flow = DesignFlow.from_design(
+        design, dynamic_constraints=parse_constraints(CONSTRAINTS)
+    )
+    flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
+    return flow.run()
+
+
+def test_scheduled_reconfig_duration_equals_runtime_load(flow_result):
+    """The refined schedule's reconfiguration intervals use exactly the
+    latency the runtime manager then measures per demand load."""
+    scheduled = {r.duration for r in flow_result.adequation.schedule.reconfigs_of("D1")}
+    assert len(scheduled) == 1
+    planned = scheduled.pop()
+
+    plan = [Modulation.QPSK, Modulation.QAM16] * 3
+    run = SystemSimulation(
+        flow_result, n_iterations=len(plan),
+        selector_values={"modulation": lambda it: plan[it]},
+    ).run()
+    # Every demand load stalls for exactly the planned latency (reconfigure_
+    # is issued when Select is known and the region idle, so nothing hides).
+    loads = run.manager_stats.demand_loads
+    assert loads == len(plan)
+    per_load = run.total_stall_ns / loads
+    assert per_load == pytest.approx(planned, rel=0.01)
+
+
+def test_flow_latency_equals_architecture_estimate(flow_result):
+    """FlowResult.region_latency_ns is the Fig. 2 architecture's analytic
+    estimate for the floorplanned bitstream size."""
+    arch = flow_result.modular.reconfig_architecture
+    nbytes = flow_result.modular.floorplan.partial_bitstream_bytes("D1")
+    assert flow_result.region_latency_ns("D1") == arch.estimate_latency_ns(nbytes)
+
+
+def test_runtime_first_iteration_latency_close_to_makespan(flow_result):
+    """One simulated iteration (including its reconfiguration) completes at
+    the scheduled makespan within the request-latency rounding."""
+    run = SystemSimulation(
+        flow_result, n_iterations=1,
+        selector_values={"modulation": lambda it: Modulation.QPSK},
+    ).run()
+    assert run.end_time_ns == pytest.approx(flow_result.makespan_ns, rel=0.02)

@@ -1,0 +1,221 @@
+"""End-to-end transmitter/receiver tests, channels, adaptive control, case study."""
+
+import numpy as np
+import pytest
+
+from repro.mccdma import (
+    AWGNChannel,
+    AdaptiveModulationController,
+    MCCDMAConfig,
+    MCCDMAReceiver,
+    MCCDMATransmitter,
+    Modulation,
+    RayleighChannel,
+    SnrTrace,
+    bit_error_rate,
+    error_vector_magnitude,
+)
+from repro.mccdma.casestudy import build_mccdma_design, build_mccdma_graph
+from repro.dfg import validate_graph
+
+
+def make_bits(tx, modulations, seed=0, n_users=1):
+    rng = np.random.default_rng(seed)
+    total = tx.frame_bits(modulations)
+    return rng.integers(0, 2, size=(n_users, total)).astype(np.uint8)
+
+
+def test_loopback_clean_channel_qpsk():
+    tx = MCCDMATransmitter()
+    rx = MCCDMAReceiver()
+    plan = [Modulation.QPSK] * tx.config.frame.n_data_symbols
+    bits = make_bits(tx, plan)
+    frame = tx.transmit_frame(bits, plan)
+    out = rx.receive_frame(frame)
+    assert np.array_equal(out, bits)
+
+
+def test_loopback_clean_channel_mixed_modulations():
+    tx = MCCDMATransmitter()
+    rx = MCCDMAReceiver()
+    plan = [
+        Modulation.QPSK, Modulation.QAM16, Modulation.QAM16, Modulation.QPSK,
+        Modulation.QAM16, Modulation.QPSK, Modulation.QPSK, Modulation.QAM16,
+    ]
+    bits = make_bits(tx, plan, seed=1)
+    frame = tx.transmit_frame(bits, plan)
+    assert np.array_equal(rx.receive_frame(frame), bits)
+
+
+def test_loopback_multi_user():
+    cfg = MCCDMAConfig(user_codes=(0, 3, 7, 12))
+    tx = MCCDMATransmitter(cfg)
+    rx = MCCDMAReceiver(cfg)
+    plan = [Modulation.QAM16] * cfg.frame.n_data_symbols
+    bits = make_bits(tx, plan, seed=2, n_users=4)
+    frame = tx.transmit_frame(bits, plan)
+    assert np.array_equal(rx.receive_frame(frame), bits)
+
+
+def test_frame_bits_depend_on_plan():
+    tx = MCCDMATransmitter()
+    all_qpsk = [Modulation.QPSK] * 8
+    all_qam = [Modulation.QAM16] * 8
+    assert tx.frame_bits(all_qam) == 2 * tx.frame_bits(all_qpsk)
+
+
+def test_transmit_validates_shapes():
+    tx = MCCDMATransmitter()
+    plan = [Modulation.QPSK] * 8
+    with pytest.raises(ValueError, match="shape"):
+        tx.transmit_frame(np.zeros((1, 3), dtype=np.uint8), plan)
+    with pytest.raises(ValueError, match="plan must cover"):
+        tx.frame_bits([Modulation.QPSK])
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="tile"):
+        MCCDMAConfig(n_subcarriers=64, spread_length=24)
+
+
+def test_awgn_high_snr_error_free():
+    tx = MCCDMATransmitter()
+    rx = MCCDMAReceiver()
+    plan = [Modulation.QAM16] * 8
+    bits = make_bits(tx, plan, seed=3)
+    frame = tx.transmit_frame(bits, plan)
+    noisy = AWGNChannel(snr_db=35.0, seed=0).transmit(frame.samples)
+    out = rx.receive_frame(frame, samples=noisy)
+    assert bit_error_rate(bits, out) == 0.0
+
+
+def test_awgn_ber_monotone_in_snr():
+    tx = MCCDMATransmitter()
+    rx = MCCDMAReceiver()
+    plan = [Modulation.QAM16] * 8
+    bers = []
+    for snr in (0.0, 10.0, 20.0):
+        total_err, total_bits = 0, 0
+        for trial in range(12):
+            bits = make_bits(tx, plan, seed=100 + trial)
+            frame = tx.transmit_frame(bits, plan)
+            noisy = AWGNChannel(snr, seed=trial).transmit(frame.samples)
+            out = rx.receive_frame(frame, samples=noisy)
+            total_err += int(np.sum(out != bits))
+            total_bits += bits.size
+        bers.append(total_err / total_bits)
+    assert bers[0] > bers[1] >= bers[2]
+    assert bers[0] > 0.01  # 0 dB genuinely noisy for QAM-16
+
+
+def test_qpsk_more_robust_than_qam16_at_same_snr():
+    tx = MCCDMATransmitter()
+    rx = MCCDMAReceiver()
+    # Single-user despreading adds ~12 dB of processing gain, so drive the
+    # channel hard to see raw-modulation differences.
+    snr = -6.0
+    results = {}
+    for modulation in (Modulation.QPSK, Modulation.QAM16):
+        plan = [modulation] * 8
+        total_err, total_bits = 0, 0
+        for trial in range(40):
+            bits = make_bits(tx, plan, seed=200 + trial)
+            frame = tx.transmit_frame(bits, plan)
+            noisy = AWGNChannel(snr, seed=50 + trial).transmit(frame.samples)
+            out = rx.receive_frame(frame, samples=noisy)
+            total_err += int(np.sum(out != bits))
+            total_bits += bits.size
+        results[modulation] = total_err / max(1, total_bits)
+    assert results[Modulation.QPSK] < results[Modulation.QAM16]
+
+
+def test_evm_increases_with_noise():
+    tx = MCCDMATransmitter()
+    rx = MCCDMAReceiver()
+    plan = [Modulation.QPSK] * 8
+    bits = make_bits(tx, plan, seed=4)
+    frame = tx.transmit_frame(bits, plan)
+    ideal = rx.symbols_of_frame(frame)
+    evms = []
+    for snr in (30.0, 10.0):
+        noisy = AWGNChannel(snr, seed=9).transmit(frame.samples)
+        measured = rx.symbols_of_frame(frame, samples=noisy)
+        evms.append(error_vector_magnitude(ideal, measured))
+    assert evms[0] < evms[1]
+    assert error_vector_magnitude(ideal, ideal) == 0.0
+
+
+def test_rayleigh_with_equalization_recovers():
+    tx = MCCDMATransmitter()
+    rx = MCCDMAReceiver()
+    plan = [Modulation.QPSK] * 8
+    bits = make_bits(tx, plan, seed=5)
+    frame = tx.transmit_frame(bits, plan)
+    chan = RayleighChannel(snr_db=40.0, symbol_len=tx.ofdm.symbol_len, seed=2)
+    faded = chan.transmit(frame.samples)
+    equalized = chan.equalize(faded)
+    out = rx.receive_frame(frame, samples=equalized)
+    assert bit_error_rate(bits, out) < 0.02
+
+
+def test_rayleigh_equalize_before_transmit_raises():
+    chan = RayleighChannel(10.0, 80)
+    with pytest.raises(RuntimeError):
+        chan.equalize(np.zeros(80, dtype=complex))
+
+
+def test_metric_validation():
+    with pytest.raises(ValueError):
+        bit_error_rate(np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        error_vector_magnitude(np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        error_vector_magnitude(np.zeros(3, dtype=complex), np.ones(3, dtype=complex))
+
+
+def test_adaptive_controller_thresholds():
+    ctl = AdaptiveModulationController(threshold_db=14.0, hysteresis_db=1.0)
+    assert ctl.select(10.0) is Modulation.QPSK
+    assert ctl.select(14.5) is Modulation.QPSK  # inside hysteresis band
+    assert ctl.select(15.5) is Modulation.QAM16
+    assert ctl.select(13.5) is Modulation.QAM16  # inside band, stays
+    assert ctl.select(12.5) is Modulation.QPSK
+
+
+def test_adaptive_controller_hysteresis_reduces_switching():
+    trace = SnrTrace.sinusoid(mean_db=14.0, amplitude_db=0.8, period=8, n=200)
+    loose = AdaptiveModulationController(14.0, hysteresis_db=0.0)
+    tight = AdaptiveModulationController(14.0, hysteresis_db=1.0)
+    n_loose = AdaptiveModulationController.switch_count(loose.plan(trace))
+    n_tight = AdaptiveModulationController.switch_count(tight.plan(trace))
+    assert n_tight < n_loose
+
+
+def test_snr_traces():
+    assert np.all(SnrTrace.constant(10.0, 5) == 10.0)
+    step = SnrTrace.step(5.0, 20.0, period=3, n=12)
+    assert list(step[:6]) == [5.0] * 3 + [20.0] * 3
+    walk = SnrTrace.random_walk(10.0, 1.0, 100, seed=1)
+    assert walk.min() >= -5.0 and walk.max() <= 35.0
+    assert np.array_equal(walk, SnrTrace.random_walk(10.0, 1.0, 100, seed=1))
+    with pytest.raises(ValueError):
+        SnrTrace.step(0, 1, 0, 10)
+
+
+def test_case_study_graph_valid():
+    design = build_mccdma_design()
+    validate_graph(design.graph, design.library)
+    assert design.modulation_group == "modulation"
+    assert set(design.dynamic_alternatives()) == {"mod_qpsk", "mod_qam16"}
+    # The conditioned blocks are mutually exclusive.
+    g = design.graph
+    assert g.exclusive(g.operation("mod_qpsk"), g.operation("mod_qam16"))
+
+
+def test_case_study_graph_shape_matches_figure4():
+    g = build_mccdma_graph()
+    order = [op.name for op in g.topological_order()]
+    # Pipeline order constraints from Fig. 4.
+    assert order.index("coder") < order.index("interleaver") < order.index("mod_qpsk")
+    assert order.index("mod_out") < order.index("spreader") < order.index("ifft")
+    assert order.index("cyclic_prefix") < order.index("framer") < order.index("dac")

@@ -1,0 +1,151 @@
+"""Tests for bit sources, QPSK/QAM-16 modulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mccdma import (
+    BitSource,
+    Modulation,
+    QAM16Modulator,
+    QPSKModulator,
+    bits_to_bytes,
+    bytes_to_bits,
+    modulator_for,
+)
+
+
+def test_bit_source_deterministic():
+    a = BitSource(seed=42).take(1000)
+    b = BitSource(seed=42).take(1000)
+    assert np.array_equal(a, b)
+    assert set(np.unique(a)) <= {0, 1}
+
+
+def test_bit_source_tracks_production():
+    src = BitSource()
+    src.take(10)
+    src.take(20)
+    assert src.produced == 30
+    with pytest.raises(ValueError):
+        src.take(-1)
+
+
+def test_bits_bytes_roundtrip():
+    bits = BitSource(1).take(37)
+    packed = bits_to_bytes(bits)
+    assert len(packed) == 5  # ceil(37/8)
+    back = bytes_to_bits(packed, nbits=37)
+    assert np.array_equal(bits, back)
+
+
+def test_bytes_to_bits_validation():
+    with pytest.raises(ValueError):
+        bytes_to_bits(b"\x00", nbits=9)
+
+
+def test_bits_to_bytes_empty():
+    assert bits_to_bytes(np.array([], dtype=np.uint8)) == b""
+
+
+def test_modulation_enum_bits_per_symbol():
+    assert Modulation.QPSK.bits_per_symbol == 2
+    assert Modulation.QAM16.bits_per_symbol == 4
+
+
+def test_modulator_for_accepts_names():
+    assert modulator_for("qpsk").modulation is Modulation.QPSK
+    assert modulator_for("QAM16").modulation is Modulation.QAM16
+    assert modulator_for(Modulation.QPSK).modulation is Modulation.QPSK
+
+
+def test_qpsk_unit_energy():
+    mod = QPSKModulator()
+    bits = BitSource(3).take(2000)
+    syms = mod.modulate(bits)
+    assert np.mean(np.abs(syms) ** 2) == pytest.approx(1.0, rel=1e-9)
+
+
+def test_qam16_unit_energy():
+    mod = QAM16Modulator()
+    bits = BitSource(4).take(40_000)
+    syms = mod.modulate(bits)
+    assert np.mean(np.abs(syms) ** 2) == pytest.approx(1.0, rel=0.05)
+
+
+def test_qam16_constellation_has_16_points():
+    mod = QAM16Modulator()
+    all_bits = np.array(
+        [[(v >> k) & 1 for k in (3, 2, 1, 0)] for v in range(16)], dtype=np.uint8
+    ).reshape(-1)
+    syms = mod.modulate(all_bits)
+    assert len({(round(s.real, 6), round(s.imag, 6)) for s in syms}) == 16
+
+
+def test_qpsk_roundtrip_exact():
+    mod = QPSKModulator()
+    bits = BitSource(5).take(512)
+    assert np.array_equal(mod.demodulate(mod.modulate(bits)), bits)
+
+
+def test_qam16_roundtrip_exact():
+    mod = QAM16Modulator()
+    bits = BitSource(6).take(512)
+    assert np.array_equal(mod.demodulate(mod.modulate(bits)), bits)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=4, max_size=200))
+def test_qpsk_roundtrip_property(bit_list):
+    bits = np.array(bit_list[: len(bit_list) - len(bit_list) % 2], dtype=np.uint8)
+    if bits.size == 0:
+        return
+    mod = QPSKModulator()
+    assert np.array_equal(mod.demodulate(mod.modulate(bits)), bits)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=4, max_size=200))
+def test_qam16_roundtrip_property(bit_list):
+    bits = np.array(bit_list[: len(bit_list) - len(bit_list) % 4], dtype=np.uint8)
+    if bits.size == 0:
+        return
+    mod = QAM16Modulator()
+    assert np.array_equal(mod.demodulate(mod.modulate(bits)), bits)
+
+
+def test_qam16_gray_mapping_single_bit_neighbours():
+    """Adjacent constellation points along one axis differ by one bit."""
+    mod = QAM16Modulator()
+    levels = {}
+    for v in range(16):
+        bits = np.array([(v >> k) & 1 for k in (3, 2, 1, 0)], dtype=np.uint8)
+        s = mod.modulate(bits)[0]
+        levels[(round(s.real, 6), round(s.imag, 6))] = v
+    points = sorted(levels)
+    for (x, y), v in levels.items():
+        for (x2, y2), v2 in levels.items():
+            same_row = y == y2 and abs(x - x2) < 0.7  # adjacent I level
+            same_col = x == x2 and abs(y - y2) < 0.7  # adjacent Q level
+            if (same_row or same_col) and v != v2:
+                assert bin(v ^ v2).count("1") == 1
+
+
+def test_modulate_rejects_bad_input():
+    mod = QPSKModulator()
+    with pytest.raises(ValueError, match="multiple"):
+        mod.modulate(np.array([1, 0, 1], dtype=np.uint8))
+    with pytest.raises(ValueError, match="0/1"):
+        mod.modulate(np.array([2, 0], dtype=np.uint8))
+    with pytest.raises(ValueError, match="1-D"):
+        mod.modulate(np.zeros((2, 2), dtype=np.uint8))
+
+
+def test_qpsk_robust_to_moderate_noise():
+    mod = QPSKModulator()
+    bits = BitSource(7).take(4000)
+    syms = mod.modulate(bits)
+    rng = np.random.default_rng(0)
+    noisy = syms + 0.1 * (rng.standard_normal(syms.size) + 1j * rng.standard_normal(syms.size))
+    assert np.array_equal(mod.demodulate(noisy), bits)

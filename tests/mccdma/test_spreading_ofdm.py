@@ -1,0 +1,184 @@
+"""Tests for Walsh spreading, OFDM, coding and interleaving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mccdma import OFDMModulator, WalshSpreader, walsh_matrix
+from repro.mccdma.coding import ConvolutionalCoder
+from repro.mccdma.interleaving import BlockInterleaver
+
+
+def test_walsh_matrix_orthogonal():
+    for L in (1, 2, 4, 16, 64):
+        h = walsh_matrix(L)
+        assert np.array_equal(h @ h.T, L * np.eye(L))
+
+
+def test_walsh_matrix_rejects_non_power_of_two():
+    for bad in (0, 3, 6, 12, -4):
+        with pytest.raises(ValueError):
+            walsh_matrix(bad)
+
+
+def test_spread_despread_single_user():
+    sp = WalshSpreader(16, [3])
+    rng = np.random.default_rng(0)
+    syms = (rng.standard_normal(8) + 1j * rng.standard_normal(8)).reshape(1, -1)
+    chips = sp.spread(syms)
+    assert chips.size == 8 * 16
+    back = sp.despread(chips)
+    assert np.allclose(back, syms)
+
+
+def test_spread_despread_multi_user():
+    sp = WalshSpreader(16, [0, 5, 9, 15])
+    rng = np.random.default_rng(1)
+    syms = rng.standard_normal((4, 6)) + 1j * rng.standard_normal((4, 6))
+    back = sp.despread(sp.spread(syms))
+    assert np.allclose(back, syms)
+
+
+def test_spread_unit_power_preserved():
+    """Superposing users must not inflate average chip power."""
+    sp = WalshSpreader(16, list(range(8)))
+    rng = np.random.default_rng(2)
+    syms = (rng.standard_normal((8, 200)) + 1j * rng.standard_normal((8, 200))) / np.sqrt(2)
+    chips = sp.spread(syms)
+    assert np.mean(np.abs(chips) ** 2) == pytest.approx(np.mean(np.abs(syms) ** 2), rel=0.1)
+
+
+def test_spreader_validation():
+    with pytest.raises(ValueError, match="distinct"):
+        WalshSpreader(8, [1, 1])
+    with pytest.raises(ValueError, match="outside"):
+        WalshSpreader(8, [8])
+    sp = WalshSpreader(8, [0, 1])
+    with pytest.raises(ValueError, match="user rows"):
+        sp.spread(np.zeros((3, 4)))
+    with pytest.raises(ValueError, match="multiple"):
+        sp.despread(np.zeros(9, dtype=complex))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    log_len=st.integers(min_value=1, max_value=5),
+    n_syms=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_spread_roundtrip_property(log_len, n_syms, seed):
+    L = 1 << log_len
+    rng = np.random.default_rng(seed)
+    n_users = int(rng.integers(1, L + 1))
+    codes = list(rng.choice(L, size=n_users, replace=False))
+    sp = WalshSpreader(L, codes)
+    syms = rng.standard_normal((n_users, n_syms)) + 1j * rng.standard_normal((n_users, n_syms))
+    assert np.allclose(sp.despread(sp.spread(syms)), syms)
+
+
+def test_ofdm_roundtrip():
+    ofdm = OFDMModulator(64, 16)
+    rng = np.random.default_rng(3)
+    chips = rng.standard_normal(64 * 5) + 1j * rng.standard_normal(64 * 5)
+    t = ofdm.modulate(chips)
+    assert t.size == 5 * 80
+    assert np.allclose(ofdm.demodulate(t), chips)
+
+
+def test_ofdm_cyclic_prefix_is_cyclic():
+    ofdm = OFDMModulator(64, 16)
+    rng = np.random.default_rng(4)
+    chips = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    t = ofdm.modulate(chips)
+    assert np.allclose(t[:16], t[64 : 64 + 16])
+
+
+def test_ofdm_power_preserved():
+    ofdm = OFDMModulator(64, 0)
+    rng = np.random.default_rng(5)
+    chips = rng.standard_normal(64 * 10) + 1j * rng.standard_normal(64 * 10)
+    t = ofdm.modulate(chips)
+    assert np.mean(np.abs(t) ** 2) == pytest.approx(np.mean(np.abs(chips) ** 2), rel=1e-9)
+
+
+def test_ofdm_validation():
+    with pytest.raises(ValueError):
+        OFDMModulator(63, 16)
+    with pytest.raises(ValueError):
+        OFDMModulator(64, 65)
+    ofdm = OFDMModulator(64, 16)
+    with pytest.raises(ValueError, match="multiple"):
+        ofdm.modulate(np.zeros(65, dtype=complex))
+    with pytest.raises(ValueError, match="multiple"):
+        ofdm.demodulate(np.zeros(81, dtype=complex))
+    with pytest.raises(ValueError):
+        ofdm.n_symbols(65)
+    assert ofdm.n_symbols(128) == 2
+
+
+def test_conv_coder_roundtrip_clean():
+    coder = ConvolutionalCoder()
+    rng = np.random.default_rng(6)
+    bits = rng.integers(0, 2, 200).astype(np.uint8)
+    coded = coder.encode(bits)
+    assert coded.size == coder.coded_length(bits.size)
+    assert np.array_equal(coder.decode(coded), bits)
+
+
+def test_conv_coder_corrects_single_errors():
+    coder = ConvolutionalCoder()
+    rng = np.random.default_rng(7)
+    bits = rng.integers(0, 2, 100).astype(np.uint8)
+    coded = coder.encode(bits)
+    # Flip isolated bits far apart; free distance 5 corrects them.
+    corrupted = coded.copy()
+    for pos in (10, 60, 130):
+        corrupted[pos] ^= 1
+    assert np.array_equal(coder.decode(corrupted), bits)
+
+
+def test_conv_coder_lengths():
+    coder = ConvolutionalCoder()
+    assert coder.coded_length(10) == 24
+    assert coder.info_length(24) == 10
+    with pytest.raises(ValueError):
+        coder.info_length(3)
+    with pytest.raises(ValueError):
+        coder.info_length(2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+def test_conv_coder_roundtrip_property(bit_list):
+    coder = ConvolutionalCoder()
+    bits = np.array(bit_list, dtype=np.uint8)
+    assert np.array_equal(coder.decode(coder.encode(bits)), bits)
+
+
+def test_interleaver_roundtrip():
+    ilv = BlockInterleaver(4, 8)
+    data = np.arange(64)
+    assert np.array_equal(ilv.deinterleave(ilv.interleave(data)), data)
+
+
+def test_interleaver_spreads_bursts():
+    """A burst of b consecutive errors lands in b distinct rows."""
+    ilv = BlockInterleaver(8, 8)
+    data = np.zeros(64, dtype=np.uint8)
+    inter = ilv.interleave(data)
+    inter[10:14] ^= 1  # burst of 4 in the interleaved domain
+    recovered = ilv.deinterleave(inter)
+    error_positions = np.flatnonzero(recovered)
+    assert error_positions.size == 4
+    assert np.all(np.diff(error_positions) >= 8 - 1)
+
+
+def test_interleaver_validation():
+    with pytest.raises(ValueError):
+        BlockInterleaver(0, 4)
+    ilv = BlockInterleaver(4, 4)
+    with pytest.raises(ValueError, match="multiple"):
+        ilv.interleave(np.zeros(15))
+    with pytest.raises(ValueError, match="1-D"):
+        ilv.interleave(np.zeros((4, 4)))

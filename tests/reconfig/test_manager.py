@@ -1,0 +1,257 @@
+"""Tests for the configuration manager, prefetch policies and Fig. 2 cases."""
+
+import pytest
+
+from repro.reconfig import (
+    BitstreamStore,
+    HistoryPrefetchPolicy,
+    ICAP_V2,
+    NoPrefetchPolicy,
+    OnSelectPrefetchPolicy,
+    ProtocolConfigurationBuilder,
+    ReconfigError,
+    ReconfigurationManager,
+    all_cases,
+    case_a_standalone,
+    case_b_processor,
+)
+from repro.fabric import XC2V2000, generate_partial_bitstream
+from repro.fabric.floorplan import ModulePlacement
+from repro.sim import Simulator
+
+
+def make_manager(policy=None, size=88_000, request_latency_ns=1_000):
+    sim = Simulator()
+    store = BitstreamStore(bandwidth_bytes_per_s=22_000_000, access_ns=1_000)
+    store.register("D1", "qpsk", size)
+    store.register("D1", "qam16", size)
+    builder = ProtocolConfigurationBuilder(sim, ICAP_V2, store)
+    mgr = ReconfigurationManager(
+        sim, builder, policy=policy, request_latency_ns=request_latency_ns
+    )
+    return sim, mgr, builder
+
+
+def drive(sim, mgr, gen):
+    p = sim.process(gen)
+    return sim.run(until=p)
+
+
+def test_demand_load_pays_full_latency():
+    sim, mgr, builder = make_manager(NoPrefetchPolicy())
+    full = 1_000 + builder.estimate_ns(88_000)
+
+    def proc():
+        yield mgr.ensure_loaded("D1", "qpsk")
+        assert sim.now == full
+        return sim.now
+
+    drive(sim, mgr, proc())
+    assert mgr.stats.demand_loads == 1
+    assert mgr.stats.stall_ns == full
+
+
+def test_repeat_demand_is_instant():
+    sim, mgr, _ = make_manager(NoPrefetchPolicy())
+
+    def proc():
+        yield mgr.ensure_loaded("D1", "qpsk")
+        t = sim.now
+        yield mgr.ensure_loaded("D1", "qpsk")
+        assert sim.now == t
+
+    drive(sim, mgr, proc())
+    assert mgr.stats.instant_hits == 1
+    assert mgr.stats.demand_loads == 1
+
+
+def test_prefetch_hides_latency_completely():
+    sim, mgr, builder = make_manager(OnSelectPrefetchPolicy())
+    load = 1_000 + builder.estimate_ns(88_000)
+
+    def proc():
+        mgr.notify_select("D1", "qam16")
+        # Work elsewhere while the region loads.
+        yield sim.timeout(load + 10_000)
+        t = sim.now
+        yield mgr.ensure_loaded("D1", "qam16")
+        assert sim.now == t  # zero stall
+
+    drive(sim, mgr, proc())
+    assert mgr.stats.prefetch_loads == 1
+    assert mgr.stats.useful_prefetches == 1
+    assert mgr.stats.demand_loads == 0
+    assert mgr.stats.stall_ns == 0
+
+
+def test_prefetch_partial_overlap():
+    sim, mgr, builder = make_manager(OnSelectPrefetchPolicy())
+    load = 1_000 + builder.estimate_ns(88_000)
+    overlap = load // 3
+
+    def proc():
+        mgr.notify_select("D1", "qam16")
+        yield sim.timeout(overlap)
+        start = sim.now
+        yield mgr.ensure_loaded("D1", "qam16")
+        stall = sim.now - start
+        assert 0 < stall < load
+        assert stall == load - overlap
+
+    drive(sim, mgr, proc())
+    assert mgr.stats.useful_prefetches == 1
+
+
+def test_no_prefetch_policy_ignores_select():
+    sim, mgr, _ = make_manager(NoPrefetchPolicy())
+    mgr.notify_select("D1", "qam16")
+    sim.run(until=10_000_000)
+    assert mgr.stats.prefetch_loads == 0
+    assert mgr.loaded_module("D1") is None
+
+
+def test_redundant_select_no_reload():
+    sim, mgr, _ = make_manager(OnSelectPrefetchPolicy())
+
+    def proc():
+        yield mgr.ensure_loaded("D1", "qpsk")
+        mgr.notify_select("D1", "qpsk")  # already loaded
+        yield sim.timeout(20_000_000)
+
+    drive(sim, mgr, proc())
+    assert mgr.stats.prefetch_loads == 0
+
+
+def test_demand_cancels_stale_speculation():
+    sim, mgr, builder = make_manager(OnSelectPrefetchPolicy())
+
+    def proc():
+        yield mgr.ensure_loaded("D1", "qpsk")
+        # Two contradictory hints queue up; a demand for qpsk arrives before
+        # the second speculative load starts.
+        mgr.notify_select("D1", "qam16")
+        mgr.notify_select("D1", "qam16")
+        yield mgr.ensure_loaded("D1", "qam16")
+        return sim.now
+
+    drive(sim, mgr, proc())
+    # Only two actual loads happened (qpsk demand + one qam16).
+    assert len(builder.loads) == 2
+
+
+def test_unknown_module_rejected():
+    sim, mgr, _ = make_manager()
+    with pytest.raises(ReconfigError):
+        mgr.ensure_loaded("D1", "ofdm")
+
+
+def test_in_reconf_signal_toggles():
+    sim, mgr, builder = make_manager()
+    seen = []
+
+    def watcher():
+        v = yield mgr.in_reconf["D1"].changed()
+        seen.append((sim.now, v))
+        v = yield mgr.in_reconf["D1"].changed()
+        seen.append((sim.now, v))
+
+    def proc():
+        yield mgr.ensure_loaded("D1", "qpsk")
+
+    sim.process(watcher())
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert seen[0][1] is True and seen[1][1] is False
+    assert seen[1][0] - seen[0][0] == builder.estimate_ns(88_000)
+
+
+def test_crc_failure_propagates():
+    sim = Simulator()
+    store = BitstreamStore()
+    placement = ModulePlacement("D1", 44, 4)
+    bad = generate_partial_bitstream(XC2V2000, placement, "qpsk").corrupted()
+    store.register("D1", "qpsk", bad)
+    builder = ProtocolConfigurationBuilder(sim, ICAP_V2, store)
+    mgr = ReconfigurationManager(sim, builder)
+    failures = []
+
+    def proc():
+        try:
+            yield mgr.ensure_loaded("D1", "qpsk")
+        except ReconfigError as err:
+            failures.append(str(err))
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert failures and "CRC" in failures[0]
+    assert mgr.stats.crc_failures == 1
+    assert mgr.loaded_module("D1") is None  # old module stays
+
+
+def test_history_policy_learns_alternation():
+    policy = HistoryPrefetchPolicy(min_confidence=0.5)
+    for _ in range(5):
+        policy.observe("qpsk", "qam16")
+        policy.observe("qam16", "qpsk")
+    assert policy.predict("qpsk") == "qam16"
+    assert policy.predict("qam16") == "qpsk"
+    assert policy.predict("unknown") is None
+    assert policy.on_idle("D1", "qpsk", ["qpsk"]) == "qam16"
+
+
+def test_history_policy_confidence_guard():
+    policy = HistoryPrefetchPolicy(min_confidence=0.9)
+    policy.observe("a", "b")
+    policy.observe("a", "c")
+    assert policy.predict("a") is None  # 50% < 90%
+    with pytest.raises(ValueError):
+        HistoryPrefetchPolicy(min_confidence=0.0)
+
+
+def test_history_policy_speculates_after_loads():
+    sim, mgr, builder = make_manager(HistoryPrefetchPolicy(min_confidence=0.5))
+
+    def proc():
+        # Teach the alternation pattern with demand loads.
+        for module in ("qpsk", "qam16", "qpsk", "qam16"):
+            yield mgr.ensure_loaded("D1", module)
+        # After the final load, the policy speculates the next module.
+        yield sim.timeout(builder.estimate_ns(88_000) + 100_000)
+
+    drive(sim, mgr, proc())
+    assert mgr.stats.prefetch_loads >= 1
+    assert mgr.loaded_module("D1") == "qpsk"  # speculated back to qpsk
+
+
+def test_fig2_case_a_faster_than_case_b():
+    """The paper's Fig. 2 point: placement of M and P drives latency.
+    Standalone self-reconfiguration beats interrupt-driven processor
+    reconfiguration for the same module."""
+    nbytes = 88_000
+    a = case_a_standalone().estimate_latency_ns(nbytes)
+    b = case_b_processor().estimate_latency_ns(nbytes)
+    assert a < b
+
+
+def test_fig2_case_ordering_and_scale():
+    nbytes = 88_000
+    latencies = {arch.name: arch.estimate_latency_ns(nbytes) for arch in all_cases()}
+    assert (
+        latencies["case_a_standalone"]
+        < latencies["case_hybrid_mp"]
+        < latencies["case_b_processor"]
+        < latencies["case_c_jtag"]
+    )
+    # The hybrid pays only the interrupt round trip over case a.
+    assert latencies["case_hybrid_mp"] - latencies["case_a_standalone"] < 50_000
+    # Case a is the paper's ~4 ms figure.
+    assert 3.5e6 < latencies["case_a_standalone"] < 4.5e6
+
+
+def test_manager_request_latency_validation():
+    sim = Simulator()
+    store = BitstreamStore()
+    store.register("D1", "m", 10)
+    builder = ProtocolConfigurationBuilder(sim, ICAP_V2, store)
+    with pytest.raises(ReconfigError):
+        ReconfigurationManager(sim, builder, request_latency_ns=-1)

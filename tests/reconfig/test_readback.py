@@ -1,0 +1,112 @@
+"""Tests for configuration readback verification."""
+
+import pytest
+
+from repro.reconfig import (
+    BitstreamStore,
+    ICAP_V2,
+    ProtocolConfigurationBuilder,
+    ReconfigError,
+    ReconfigurationManager,
+)
+from repro.sim import Simulator, Trace
+
+
+def make(verify=True, upsets=(), max_retries=2):
+    """Manager with a scripted upset sequence (True = corrupt that write)."""
+    sim = Simulator()
+    store = BitstreamStore(bandwidth_bytes_per_s=22_000_000, access_ns=0)
+    store.register("D1", "m", 22_000)  # 1 ms load
+    trace = Trace()
+    builder = ProtocolConfigurationBuilder(sim, ICAP_V2, store, trace=trace)
+    script = list(upsets)
+
+    def injector(region, module):
+        return script.pop(0) if script else False
+
+    builder.upset_injector = injector
+    mgr = ReconfigurationManager(
+        sim, builder, request_latency_ns=0,
+        verify_readback=verify, max_load_retries=max_retries,
+    )
+    return sim, mgr, builder, trace
+
+
+def test_readback_doubles_latency_when_clean():
+    sim, mgr, builder, trace = make(verify=True)
+    one_load = builder.estimate_ns(22_000)
+
+    def proc():
+        yield mgr.ensure_loaded("D1", "m")
+        return sim.now
+
+    t = sim.run(until=sim.process(proc()))
+    assert t == 2 * one_load  # write + readback
+    assert mgr.stats.readback_failures == 0
+    assert len(trace.spans_of(kind="readback")) == 1
+
+
+def test_no_readback_when_disabled():
+    sim, mgr, builder, trace = make(verify=False)
+
+    def proc():
+        yield mgr.ensure_loaded("D1", "m")
+        return sim.now
+
+    t = sim.run(until=sim.process(proc()))
+    assert t == builder.estimate_ns(22_000)
+    assert not trace.spans_of(kind="readback")
+
+
+def test_upset_triggers_retry_and_recovers():
+    sim, mgr, builder, _ = make(verify=True, upsets=[True, False])
+
+    def proc():
+        yield mgr.ensure_loaded("D1", "m")
+        return sim.now
+
+    t = sim.run(until=sim.process(proc()))
+    one_load = builder.estimate_ns(22_000)
+    # write(bad) + readback(fail) + write(good) + readback(ok)
+    assert t == 4 * one_load
+    assert mgr.stats.readback_failures == 1
+    assert mgr.stats.load_retries == 1
+    assert mgr.loaded_module("D1") == "m"
+
+
+def test_persistent_upsets_fail_after_retries():
+    sim, mgr, builder, _ = make(verify=True, upsets=[True] * 10, max_retries=2)
+    errors = []
+
+    def proc():
+        try:
+            yield mgr.ensure_loaded("D1", "m")
+        except ReconfigError as err:
+            errors.append(str(err))
+
+    sim.run(until=sim.process(proc()))
+    assert errors and "readback verification failed" in errors[0]
+    assert mgr.stats.readback_failures == 3  # initial + 2 retries
+    assert mgr.loaded_module("D1") is None
+
+
+def test_invalid_retry_count_rejected():
+    sim = Simulator()
+    store = BitstreamStore()
+    store.register("D1", "m", 10)
+    builder = ProtocolConfigurationBuilder(sim, ICAP_V2, store)
+    with pytest.raises(ReconfigError):
+        ReconfigurationManager(sim, builder, max_load_retries=-1)
+
+
+def test_readback_without_prior_load_reports_mismatch():
+    sim = Simulator()
+    store = BitstreamStore()
+    store.register("D1", "m", 1_000)
+    builder = ProtocolConfigurationBuilder(sim, ICAP_V2, store)
+
+    def proc():
+        ok = yield sim.process(builder.readback("D1", "m"))
+        return ok
+
+    assert sim.run(until=sim.process(proc())) is False

@@ -1,0 +1,234 @@
+"""Unit tests for semaphores, channels, resources and signals."""
+
+import pytest
+
+from repro.sim import Channel, Mailbox, Resource, Semaphore, Signal, SimulationError, Simulator
+
+
+def test_semaphore_banked_permit():
+    sim = Simulator()
+    sem = Semaphore(sim, value=1)
+    got = []
+
+    def proc():
+        yield sem.acquire()
+        got.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert got == [0]
+    assert sem.count == 0
+
+
+def test_semaphore_blocks_until_release():
+    sim = Simulator()
+    sem = Semaphore(sim)
+    got = []
+
+    def consumer():
+        yield sem.acquire()
+        got.append(sim.now)
+
+    def producer():
+        yield sim.timeout(25)
+        sem.release()
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [25]
+
+
+def test_semaphore_fifo_order():
+    sim = Simulator()
+    sem = Semaphore(sim)
+    got = []
+
+    def waiter(tag):
+        yield sem.acquire()
+        got.append(tag)
+
+    for tag in "abc":
+        sim.process(waiter(tag))
+
+    def releaser():
+        for _ in range(3):
+            yield sim.timeout(1)
+            sem.release()
+
+    sim.process(releaser())
+    sim.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_semaphore_negative_init_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, value=-1)
+
+
+def test_channel_put_get_roundtrip():
+    sim = Simulator()
+    chan = Channel(sim, capacity=2)
+    got = []
+
+    def producer():
+        for i in range(4):
+            yield chan.put(i)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(4):
+            item = yield chan.get()
+            got.append(item)
+            yield sim.timeout(3)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_channel_put_blocks_when_full():
+    sim = Simulator()
+    chan = Channel(sim, capacity=1)
+    events = []
+
+    def producer():
+        yield chan.put("a")
+        events.append(("put-a", sim.now))
+        yield chan.put("b")
+        events.append(("put-b", sim.now))
+
+    def consumer():
+        yield sim.timeout(10)
+        item = yield chan.get()
+        events.append((f"got-{item}", sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-a", 0) in events
+    put_b = next(t for tag, t in events if tag == "put-b")
+    assert put_b == 10  # unblocked by the consumer's get
+
+
+def test_channel_get_blocks_when_empty():
+    sim = Simulator()
+    chan = Channel(sim)
+    got = []
+
+    def consumer():
+        item = yield chan.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(42)
+        yield chan.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("x", 42)]
+
+
+def test_channel_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Channel(sim, capacity=0)
+
+
+def test_mailbox_never_blocks_poster():
+    sim = Simulator()
+    box = Mailbox(sim)
+    for i in range(100):
+        box.post(i)
+    assert len(box) == 100
+    got = []
+
+    def consumer():
+        for _ in range(100):
+            item = yield box.get()
+            got.append(item)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == list(range(100))
+
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    res = Resource(sim)
+    spans = []
+
+    def user(tag, hold):
+        token = yield res.request()
+        start = sim.now
+        yield sim.timeout(hold)
+        res.release(token)
+        spans.append((tag, start, sim.now))
+
+    sim.process(user("a", 10))
+    sim.process(user("b", 5))
+    sim.process(user("c", 3))
+    sim.run()
+    # FIFO grant order and no overlap.
+    assert [s[0] for s in spans] == ["a", "b", "c"]
+    for (_, s1, e1), (_, s2, _) in zip(spans, spans[1:]):
+        assert s2 >= e1
+
+
+def test_resource_stale_token_rejected():
+    sim = Simulator()
+    res = Resource(sim)
+
+    def user():
+        token = yield res.request()
+        res.release(token)
+        with pytest.raises(SimulationError):
+            res.release(token)
+
+    p = sim.process(user())
+    sim.run(until=p)
+
+
+def test_signal_change_events():
+    sim = Simulator()
+    sig = Signal(sim, value=False, name="In_Reconf")
+    seen = []
+
+    def watcher():
+        v = yield sig.changed()
+        seen.append((sim.now, v))
+
+    def driver():
+        yield sim.timeout(5)
+        sig.set(False)  # no change -> no event
+        yield sim.timeout(5)
+        sig.set(True)
+
+    sim.process(watcher())
+    sim.process(driver())
+    sim.run()
+    assert seen == [(10, True)]
+    assert sig.history == [(0, False), (10, True)]
+
+
+def test_signal_wait_for_predicate():
+    sim = Simulator()
+    sig = Signal(sim, value=0)
+    reached = []
+
+    def watcher():
+        v = yield sim.process(sig.wait_for(lambda x: x >= 3))
+        reached.append((sim.now, v))
+
+    def driver():
+        for i in range(1, 5):
+            yield sim.timeout(10)
+            sig.set(i)
+
+    sim.process(watcher())
+    sim.process(driver())
+    sim.run()
+    assert reached == [(30, 3)]

@@ -1,0 +1,279 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield sim.timeout(10)
+        done.append(sim.now)
+        yield sim.timeout(5)
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [10, 15]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        v = yield sim.timeout(3, value="hello")
+        got.append(v)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_simultaneous_events_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(5)
+        order.append(tag)
+
+    for tag in range(6):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4, 5]
+
+
+def test_process_join_returns_value():
+    sim = Simulator()
+    result = []
+
+    def child():
+        yield sim.timeout(7)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        result.append((sim.now, value))
+
+    sim.process(parent())
+    sim.run()
+    assert result == [(7, 42)]
+
+
+def test_process_exception_propagates_to_parent():
+    sim = Simulator()
+    caught = []
+
+    def child():
+        yield sim.timeout(1)
+        raise RuntimeError("boom")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces_via_run_until():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("nope")
+
+    proc = sim.process(bad())
+    with pytest.raises(ValueError, match="nope"):
+        sim.run(until=proc)
+
+
+def test_event_succeed_once_only():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_run_until_time_stops_exactly():
+    sim = Simulator()
+    ticks = []
+
+    def proc():
+        while True:
+            yield sim.timeout(10)
+            ticks.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=35)
+    assert ticks == [10, 20, 30]
+    assert sim.now == 35
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(4)
+        return "done"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "done"
+    assert sim.now == 4
+
+
+def test_step_on_empty_calendar_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process([])  # type: ignore[arg-type]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        t1 = sim.timeout(5, value="a")
+        t2 = sim.timeout(9, value="b")
+        result = yield AnyOf(sim, [t1, t2])
+        seen.append((sim.now, set(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [(5, {"a"})]
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        t1 = sim.timeout(5, value="a")
+        t2 = sim.timeout(9, value="b")
+        result = yield AllOf(sim, [t1, t2])
+        seen.append((sim.now, sorted(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [(9, ["a", "b"])]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        result = yield AllOf(sim, [])
+        seen.append((sim.now, result))
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [(0, {})]
+
+
+def test_interrupt_wakes_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+            log.append("finished")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def interrupter(target):
+        yield sim.timeout(30)
+        target.interrupt("evict")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [("interrupted", 30, "evict")]
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulator()
+    order = []
+
+    def proc():
+        t = sim.timeout(2, value="x")
+        yield sim.timeout(10)  # t fires and is processed meanwhile
+        v = yield t
+        order.append((sim.now, v))
+
+    sim.process(proc())
+    sim.run()
+    assert order == [(10, "x")]
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    p = sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run(until=p)
+
+
+def test_clock_monotonicity_across_many_processes():
+    sim = Simulator()
+    times = []
+
+    def proc(delay, reps):
+        for _ in range(reps):
+            yield sim.timeout(delay)
+            times.append(sim.now)
+
+    for d in (3, 7, 11, 13):
+        sim.process(proc(d, 20))
+    sim.run()
+    assert times == sorted(times)
+    assert sim.now == max(times)

@@ -1,0 +1,246 @@
+"""Additional kernel edge cases: failure propagation, interrupts on waits,
+condition composition under failure, and determinism."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Channel,
+    Interrupt,
+    Semaphore,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_anyof_propagates_failure():
+    sim = Simulator()
+    caught = []
+
+    def failer():
+        yield sim.timeout(5)
+        raise RuntimeError("inner")
+
+    def waiter():
+        p = sim.process(failer())
+        t = sim.timeout(100)
+        try:
+            yield AnyOf(sim, [p, t])
+        except RuntimeError as err:
+            caught.append((sim.now, str(err)))
+
+    sim.process(waiter())
+    sim.run()
+    assert caught == [(5, "inner")]
+
+
+def test_allof_fails_fast():
+    sim = Simulator()
+    caught = []
+
+    def failer():
+        yield sim.timeout(3)
+        raise ValueError("first")
+
+    def slow():
+        yield sim.timeout(50)
+        return "late"
+
+    def waiter():
+        try:
+            yield AllOf(sim, [sim.process(failer()), sim.process(slow())])
+        except ValueError:
+            caught.append(sim.now)
+
+    sim.process(waiter())
+    sim.run()
+    assert caught == [3]  # did not wait for the slow one
+
+
+def test_interrupt_while_waiting_on_channel():
+    sim = Simulator()
+    chan = Channel(sim)
+    log = []
+
+    def consumer():
+        try:
+            yield chan.get()
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def interrupter(target):
+        yield sim.timeout(42)
+        target.interrupt("abort-recv")
+
+    target = sim.process(consumer())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [("interrupted", 42, "abort-recv")]
+
+
+def test_interrupt_while_waiting_on_semaphore():
+    sim = Simulator()
+    sem = Semaphore(sim)
+    log = []
+
+    def waiter():
+        try:
+            yield sem.acquire()
+        except Interrupt:
+            log.append(sim.now)
+
+    def interrupter(target):
+        yield sim.timeout(7)
+        target.interrupt()
+
+    target = sim.process(waiter())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [7]
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt:
+            log.append(("preempted", sim.now))
+        yield sim.timeout(10)  # resumes with new work
+        log.append(("done", sim.now))
+
+    def interrupter(target):
+        yield sim.timeout(100)
+        target.interrupt()
+
+    target = sim.process(worker())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [("preempted", 100), ("done", 110)]
+
+
+def test_interrupted_getter_does_not_swallow_data():
+    """Regression: an interrupted channel waiter must not consume a later
+    put — the item has to reach the next live consumer."""
+    sim = Simulator()
+    chan = Channel(sim)
+    got = []
+
+    def doomed():
+        yield chan.get()  # interrupted before any data arrives
+
+    def survivor():
+        yield sim.timeout(20)
+        item = yield chan.get()
+        got.append((item, sim.now))
+
+    def director(victim):
+        yield sim.timeout(10)
+        victim.interrupt()
+        yield sim.timeout(20)
+        yield chan.put("payload")
+
+    victim = sim.process(doomed())
+    sim.process(survivor())
+    sim.process(director(victim))
+    sim.run()
+    assert got == [("payload", 30)]
+
+
+def test_interrupted_semaphore_waiter_does_not_steal_permit():
+    sim = Simulator()
+    sem = Semaphore(sim)
+    got = []
+
+    def doomed():
+        yield sem.acquire()
+
+    def survivor():
+        yield sim.timeout(20)
+        yield sem.acquire()
+        got.append(sim.now)
+
+    def director(victim):
+        yield sim.timeout(10)
+        victim.interrupt()
+        yield sim.timeout(20)
+        sem.release()
+
+    victim = sim.process(doomed())
+    sim.process(survivor())
+    sim.process(director(victim))
+    sim.run()
+    assert got == [30]
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_run_until_past_horizon_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run(until=50)
+    with pytest.raises(ValueError):
+        sim.run(until=10)
+
+
+def test_peek_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+
+    def proc():
+        yield sim.timeout(30)
+
+    sim.process(proc())
+    # The bootstrap event is at t=0.
+    assert sim.peek() == 0
+
+
+def test_determinism_across_runs():
+    def scenario():
+        sim = Simulator()
+        order = []
+
+        def proc(tag, delays):
+            for d in delays:
+                yield sim.timeout(d)
+                order.append((tag, sim.now))
+
+        sim.process(proc("a", [3, 3, 3]))
+        sim.process(proc("b", [2, 4, 3]))
+        sim.process(proc("c", [9]))
+        sim.run()
+        return order
+
+    assert scenario() == scenario()
+
+
+def test_nested_process_chain_values():
+    sim = Simulator()
+
+    def level3():
+        yield sim.timeout(1)
+        return 3
+
+    def level2():
+        v = yield sim.process(level3())
+        yield sim.timeout(1)
+        return v + 2
+
+    def level1():
+        v = yield sim.process(level2())
+        return v + 1
+
+    assert sim.run(until=sim.process(level1())) == 6
+    assert sim.now == 2

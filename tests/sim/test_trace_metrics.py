@@ -1,0 +1,132 @@
+"""Tests for tracing, spans, and metric helpers."""
+
+import math
+
+import pytest
+
+from repro.sim import Accumulator, Span, Trace, UtilizationTracker, busy_time, interval_union, stall_time
+from repro.sim import units
+
+
+def test_trace_begin_end_span():
+    tr = Trace()
+    tr.begin(10, "fpga.D1", "compute", detail="qpsk")
+    span = tr.end(25, "fpga.D1", "compute")
+    assert span.duration == 15
+    assert tr.spans_of("fpga.D1") == [span]
+
+
+def test_trace_double_begin_rejected():
+    tr = Trace()
+    tr.begin(0, "a", "compute")
+    with pytest.raises(ValueError):
+        tr.begin(1, "a", "compute")
+
+
+def test_trace_end_without_begin_rejected():
+    tr = Trace()
+    with pytest.raises(ValueError):
+        tr.end(5, "a", "compute")
+
+
+def test_trace_end_before_begin_rejected():
+    tr = Trace()
+    tr.begin(10, "a", "compute")
+    with pytest.raises(ValueError):
+        tr.end(5, "a", "compute")
+
+
+def test_trace_records_query_sorted():
+    tr = Trace()
+    tr.record(5, "m", "request", "cfg2")
+    tr.record(2, "m", "request", "cfg1")
+    tr.record(9, "n", "grant")
+    recs = tr.records_of(actor="m")
+    assert [r.time for r in recs] == [2, 5]
+    assert tr.end_time() == 9
+
+
+def test_span_overlap():
+    a = Span("x", "compute", 0, 10)
+    b = Span("x", "compute", 9, 12)
+    c = Span("x", "compute", 10, 12)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_interval_union_merges():
+    assert interval_union([(0, 5), (3, 8), (10, 12)]) == [(0, 8), (10, 12)]
+    assert interval_union([]) == []
+    assert interval_union([(5, 5)]) == []  # empty interval dropped
+    assert interval_union([(0, 2), (2, 4)]) == [(0, 4)]  # adjacent merge
+
+
+def test_busy_and_stall_time():
+    tr = Trace()
+    tr.add_span(Span("op", "compute", 0, 10))
+    tr.add_span(Span("op", "compute", 5, 12))
+    tr.add_span(Span("op", "stall", 12, 20))
+    assert busy_time(tr.spans_of("op", "compute")) == 12
+    assert stall_time(tr, "op") == 8
+
+
+def test_utilization_tracker():
+    tr = Trace()
+    tr.add_span(Span("op", "compute", 0, 30))
+    tr.add_span(Span("op", "stall", 30, 100))
+    ut = UtilizationTracker(tr, "op")
+    assert ut.utilization(kind="compute") == pytest.approx(0.3)
+    assert ut.utilization(kind="compute", horizon=60) == pytest.approx(0.5)
+
+
+def test_gantt_renders_rows():
+    tr = Trace()
+    tr.add_span(Span("dsp", "compute", 0, 50))
+    tr.add_span(Span("fpga", "reconfig", 50, 100))
+    chart = tr.gantt(width=20)
+    assert "dsp" in chart and "fpga" in chart
+    assert "#" in chart and "R" in chart
+
+
+def test_accumulator_statistics():
+    acc = Accumulator()
+    acc.extend([1.0, 2.0, 3.0, 4.0])
+    assert acc.mean == pytest.approx(2.5)
+    assert acc.stddev == pytest.approx(math.sqrt(1.25))
+    assert acc.minimum == 1.0
+    assert acc.maximum == 4.0
+    assert acc.total == 10.0
+    assert acc.summary()["n"] == 4
+
+
+def test_accumulator_empty():
+    acc = Accumulator()
+    assert acc.mean == 0.0
+    assert acc.variance == 0.0
+    assert acc.summary()["min"] == 0.0
+
+
+def test_units_conversions():
+    assert units.ms(4) == 4_000_000
+    assert units.to_ms(units.ms(4)) == pytest.approx(4.0)
+    assert units.us(1.5) == 1500
+    assert units.seconds(0.001) == units.ms(1)
+
+
+def test_cycles_to_ns_rounds_up():
+    # 3 cycles at 66 MHz = 45.45... ns -> 46
+    assert units.cycles_to_ns(3, 66.0) == 46
+    assert units.cycles_to_ns(0, 66.0) == 0
+    with pytest.raises(ValueError):
+        units.cycles_to_ns(1, 0)
+
+
+def test_transfer_time_ceil():
+    # 1 byte at 1 GB/s = 1 ns exactly
+    assert units.transfer_time_ns(1, 1_000_000_000) == 1
+    # 10 bytes at 3 B/s -> ceil(3.33..s) in ns
+    assert units.transfer_time_ns(10, 3) == math.ceil(10 / 3 * 1e9)
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(-1, 10)
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(1, 0)

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_flow_command():
+    code, text = run_cli("flow")
+    assert code == 0
+    assert "Design flow report" in text
+    assert "final makespan" in text
+
+
+def test_table1_command():
+    code, text = run_cli("table1")
+    assert code == 0
+    assert "Fix-Dynamic modulation implementation comparison" in text
+    assert "QAM-16 dyn" in text
+
+
+def test_macrocode_command():
+    code, text = run_cli("macrocode")
+    assert code == 0
+    assert "loop_" in text and "reconfigure_ D1" in text
+
+
+def test_vhdl_command(tmp_path):
+    code, text = run_cli("vhdl", "--out", str(tmp_path))
+    assert code == 0
+    names = {p.name for p in tmp_path.iterdir()}
+    assert "static_f1.vhd" in names
+    assert "dyn_d1_mod_qpsk.vhd" in names
+    assert "tb_dyn_d1_mod_qpsk.vhd" in names
+    assert "top.ucf" in names
+    # Written files are checkable as a design.
+    from repro.codegen import check_vhdl
+
+    files = {
+        p.name: p.read_text() for p in tmp_path.iterdir() if p.suffix == ".vhd"
+    }
+    check_vhdl(files)
+
+
+def test_simulate_command():
+    code, text = run_cli("simulate", "-n", "12", "--pattern", "step")
+    assert code == 0
+    assert "runtime[" in text
+    assert "modulation plan:" in text
+    assert "qpsk" in text and "qam16" in text
+
+
+def test_simulate_with_gantt_and_policy():
+    code, text = run_cli(
+        "simulate", "-n", "8", "--pattern", "sinus", "--policy", "history", "--gantt"
+    )
+    assert code == 0
+    assert "runtime[history]" in text
+    assert "|" in text  # gantt rows
+
+
+def test_graph_dump_roundtrips(tmp_path):
+    from repro.dfg import io as dfg_io
+
+    path = tmp_path / "g.json"
+    code, text = run_cli("graph-dump", "--out", str(path))
+    assert code == 0 and "wrote" in text
+    graph = dfg_io.load(path)
+    assert "mod_qpsk" in graph and "ifft" in graph
+
+
+def test_board_dump_to_stdout():
+    code, text = run_cli("board-dump")
+    assert code == 0
+    assert '"format": "repro-board"' in text
+    assert "xc2v2000" in text
+
+
+def test_export_command(tmp_path):
+    code, text = run_cli("export", "--out", str(tmp_path))
+    assert code == 0
+    assert "artefacts under" in text
+    assert (tmp_path / "hdl" / "static_f1.vhd").exists()
+    assert (tmp_path / "executive" / "executive.json").exists()
+    assert (tmp_path / "reports" / "flow.txt").exists()
+
+
+def test_case_b_architecture_flag():
+    code, text = run_cli("--architecture", "case_b", "flow")
+    assert code == 0
+    assert "case_b_processor" in text

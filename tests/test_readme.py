@@ -1,0 +1,30 @@
+"""Executes the README's quickstart code block — documentation stays honest."""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).parent.parent / "README.md"
+
+
+def extract_first_python_block(text: str) -> str:
+    m = re.search(r"```python\n(.*?)```", text, re.DOTALL)
+    assert m, "README has no python code block"
+    return m.group(1)
+
+
+def test_readme_quickstart_runs(capsys):
+    code = extract_first_python_block(README.read_text())
+    namespace: dict = {}
+    exec(compile(code, str(README), "exec"), namespace)  # noqa: S102 - our own docs
+    out = capsys.readouterr().out
+    # The quickstart prints the flow report, UCF, macro-code and runtime summary.
+    assert "Design flow report" in out
+    assert "AREA_GROUP" in out
+    assert "loop_" in out
+    assert "runtime[" in out
+
+
+def test_readme_mentions_all_examples():
+    text = README.read_text()
+    for example in pathlib.Path("examples").glob("*.py"):
+        assert example.name in text, f"README does not mention {example.name}"

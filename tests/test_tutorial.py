@@ -1,0 +1,102 @@
+"""Executable version of docs/tutorial.md — keeps the documentation honest."""
+
+from repro.arch import sundance_board
+from repro.dfg import AlgorithmGraph, CPLX16, WORD32
+from repro.dfg.library import DSP_CLASS, FPGA_CLASS, default_library
+from repro.flows import DesignFlow, SystemSimulation, parse_constraints
+
+
+def build_video_design():
+    lib = default_library()
+    lib.define("pixel_source", {DSP_CLASS: 400})
+    lib.define("blur3x3", {DSP_CLASS: 9_000, FPGA_CLASS: 300}, {"luts": 220, "ffs": 180})
+    lib.define(
+        "edge_enhance", {DSP_CLASS: 22_000, FPGA_CLASS: 700},
+        {"luts": 640, "ffs": 420, "mults": 2},
+    )
+    lib.define("pixel_sink", {FPGA_CLASS: 60}, {"luts": 50, "ffs": 60})
+
+    g = AlgorithmGraph("video")
+    sel = g.add_operation("mode", "select_source")
+    sel.add_output("value", WORD32, 1)
+    src = g.add_operation("pixels", "pixel_source")
+    src.add_output("o_blur", CPLX16, 64)
+    src.add_output("o_edge", CPLX16, 64)
+    blur = g.add_operation("blur", "blur3x3")
+    blur.add_input("i", CPLX16, 64)
+    blur.add_output("o", CPLX16, 64)
+    edge = g.add_operation("edge", "edge_enhance")
+    edge.add_input("i", CPLX16, 64)
+    edge.add_output("o", CPLX16, 64)
+    merge = g.add_operation("filtered", "cond_merge")
+    merge.add_input("a", CPLX16, 64)
+    merge.add_input("b", CPLX16, 64)
+    merge.add_output("o", CPLX16, 64)
+    sink = g.add_operation("display", "pixel_sink")
+    sink.add_input("i", CPLX16, 64)
+    g.connect(src, "o_blur", blur, "i")
+    g.connect(src, "o_edge", edge, "i")
+    g.connect(blur, "o", merge, "a")
+    g.connect(edge, "o", merge, "b")
+    g.connect(merge, "o", sink, "i")
+    group = g.condition_group("filter", sel, "value")
+    group.add_case("blur", [blur])
+    group.add_case("edge", [edge])
+
+    constraints = parse_constraints("""
+[module blur]
+region    = D1
+operation = blur
+loading   = startup
+
+[module edge]
+region    = D1
+operation = edge
+
+[region D1]
+sharing   = true
+exclusive = blur, edge
+""")
+    return g, lib, constraints
+
+
+def test_tutorial_flow_and_runtime():
+    g, lib, constraints = build_video_design()
+    flow = DesignFlow(
+        graph=g,
+        board=sundance_board(),
+        library=lib,
+        dynamic_constraints=constraints,
+        iteration_deadline_ns=10_000_000,
+    )
+    result = flow.run()
+    assert result.meets_deadline
+    assert result.modular.par_report.ok
+    assert result.startup_modules() == {"D1": "blur"}
+    assert {m for m in result.generated.variant_regions.values()} == {"D1"}
+
+    plan = ["blur"] * 10 + ["edge"] * 10
+    run = SystemSimulation(
+        result, n_iterations=len(plan),
+        selector_values={"filter": lambda it: plan[it]},
+    ).run()
+    # blur ships at startup: only the blur -> edge swap costs a load.
+    assert run.switches == 1
+    assert run.n_iterations == 20
+    vcd = run.to_vcd()
+    assert "In_Reconf.D1" in vcd
+
+
+def test_tutorial_deadline_violation_raises():
+    import pytest
+
+    from repro.flows.flow import TimingConstraintError
+
+    g, lib, constraints = build_video_design()
+    flow = DesignFlow(
+        graph=g, board=sundance_board(), library=lib,
+        dynamic_constraints=constraints,
+        iteration_deadline_ns=100,  # impossible
+    )
+    with pytest.raises(TimingConstraintError):
+        flow.run()
