@@ -11,7 +11,7 @@ Paper shape: case a (standalone self-reconfiguration via ICAP) beats case b
 
 from conftest import write_result
 
-from repro.reconfig import BitstreamStore, ReconfigurationManager, all_cases
+from repro.reconfig import ReconfigurationManager, all_cases
 from repro.sim import Simulator
 from repro.sim.units import to_ms
 

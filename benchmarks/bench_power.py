@@ -12,10 +12,8 @@ the energy crossover, and the alternative count to show leakage scaling.
 from conftest import write_result
 
 from repro.dfg.operations import Operation
-from repro.fabric import ResourceVector
 from repro.fabric.power import PowerModel
 from repro.fabric.synthesis import PortSpec, Synthesizer
-from repro.mccdma.casestudy import build_mccdma_design
 
 PORTS = [PortSpec("din", 32, "in"), PortSpec("dout", 32, "out")]
 KINDS = ["qpsk_mod", "qam16_mod", "spreader", "chip_mapper", "interleaver", "channel_coder"]

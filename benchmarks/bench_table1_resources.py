@@ -15,7 +15,6 @@ Paper shape to reproduce (absolute counts are model-calibrated):
 from conftest import write_result
 
 from repro.flows.report import build_table1
-from repro.mccdma.casestudy import build_mccdma_design
 
 
 def _shape_checks(data):

@@ -28,8 +28,17 @@ Quickstart::
     flow = DesignFlow.from_design(build_mccdma_design())
     result = flow.run()
     print(result.report())
+
+Library code never writes to stdout: flow progress goes to the standard
+``logging`` channel ``repro.flows`` (silent by default — configure logging
+or pass a :class:`repro.flows.FlowObserver` to see it).
 """
+
+import logging as _logging
 
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]
+
+# Standard library etiquette: no output unless the application opts in.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())

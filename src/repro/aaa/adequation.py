@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Type
 
 from repro.aaa.costs import CostModel
 from repro.aaa.mapping import MappingConstraints
 from repro.aaa.recon_aware import ReconfigAwareScheduler
 from repro.aaa.schedule import Schedule
-from repro.aaa.scheduler import ListSchedulerBase, SynDExScheduler
+from repro.aaa.scheduler import ListSchedulerBase
 from repro.arch.graph import ArchitectureGraph
 from repro.dfg.graph import AlgorithmGraph
 from repro.dfg.library import OperationLibrary

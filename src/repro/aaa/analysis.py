@@ -14,12 +14,11 @@ figures of merit a designer reads off an adequation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.aaa.costs import CostModel
 from repro.aaa.schedule import Schedule
-from repro.arch.operator import Operator
 
 __all__ = ["ScheduleAnalysis", "analyze"]
 

@@ -72,5 +72,16 @@ class MappingConstraints:
             raise MappingError(f"operation {op.name!r} has no feasible operator under constraints")
         return out
 
+    def snapshot(self) -> dict:
+        """JSON-safe view of every pin and filter (stable across processes).
+
+        The flow pipeline fingerprints constraints through this, so two
+        :class:`MappingConstraints` built in any order but carrying the same
+        decisions address the same cached artefacts."""
+        return {
+            "pins": dict(sorted(self._pins.items())),
+            "forbidden": {op: sorted(ops) for op, ops in sorted(self._forbidden.items())},
+        }
+
     def __len__(self) -> int:
         return len(self._pins) + sum(len(v) for v in self._forbidden.values())

@@ -10,7 +10,7 @@ property tests and for the executive generator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Optional
+from typing import Hashable
 
 from repro.arch.graph import ArchitectureGraph
 from repro.arch.media import Medium

@@ -8,7 +8,7 @@ operation at a time; parallelism comes from having several operators.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["OperatorKind", "Operator"]

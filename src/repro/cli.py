@@ -12,13 +12,21 @@ Runs the paper's case study through the flow without writing any code::
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Optional, Sequence
 
 from repro.codegen.testbench import generate_all_testbenches
-from repro.flows import DesignFlow, SystemSimulation, parse_constraints, table1_report
-from repro.mccdma import Modulation, SnrTrace
+from repro.flows import (
+    DesignFlow,
+    JsonLinesObserver,
+    SystemSimulation,
+    parse_constraints,
+    render_profile,
+    table1_report,
+)
+from repro.mccdma import SnrTrace
 from repro.mccdma.bindings import make_case_study_bindings
 from repro.mccdma.casestudy import build_mccdma_design
 from repro.reconfig import (
@@ -58,30 +66,44 @@ _ARCHITECTURES = {
 
 def _run_flow(args) -> "tuple":
     design = build_mccdma_design()
+    log_json = getattr(args, "log_json", None)
     flow = DesignFlow.from_design(
         design,
         dynamic_constraints=parse_constraints(CASE_STUDY_CONSTRAINTS),
         reconfig_architecture=_ARCHITECTURES[args.architecture](),
         prefetch=not getattr(args, "reactive", False),
+        observer=JsonLinesObserver(log_json) if log_json else None,
     )
     flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
     return design, flow.run()
 
 
+def _maybe_profile(args, result, out) -> None:
+    """Print the per-stage profile table when ``--profile`` was given."""
+    if getattr(args, "profile", False):
+        print(render_profile(result.events), file=out)
+
+
 def _cmd_flow(args, out) -> int:
     _, result = _run_flow(args)
-    print(result.report(), file=out)
+    _maybe_profile(args, result, out)
+    if getattr(args, "json", False):
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(result.report(), file=out)
     return 0
 
 
 def _cmd_table1(args, out) -> int:
     design, result = _run_flow(args)
+    _maybe_profile(args, result, out)
     print(table1_report(design.library, flow=result), file=out)
     return 0
 
 
 def _cmd_macrocode(args, out) -> int:
     _, result = _run_flow(args)
+    _maybe_profile(args, result, out)
     print(result.executive.render(), file=out)
     return 0
 
@@ -116,6 +138,7 @@ def _cmd_export(args, out) -> int:
     from repro.flows.export import export_build_directory
 
     _, result = _run_flow(args)
+    _maybe_profile(args, result, out)
     written = export_build_directory(result, args.out)
     for path in written:
         print(f"wrote {path}", file=out)
@@ -125,6 +148,7 @@ def _cmd_export(args, out) -> int:
 
 def _cmd_vhdl(args, out) -> int:
     _, result = _run_flow(args)
+    _maybe_profile(args, result, out)
     target = pathlib.Path(args.out)
     target.mkdir(parents=True, exist_ok=True)
     files = dict(result.generated.files)
@@ -148,6 +172,7 @@ def _make_snr(pattern: str, n: int):
 
 def _cmd_simulate(args, out) -> int:
     _, result = _run_flow(args)
+    _maybe_profile(args, result, out)
     snr = _make_snr(args.pattern, args.iterations)
     state = make_case_study_bindings(snr, seed=args.seed)
     policy = _POLICIES[args.policy]()
@@ -176,9 +201,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--architecture", choices=sorted(_ARCHITECTURES), default="case_a",
         help="Fig. 2 reconfiguration architecture (default: case_a, standalone ICAP)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage pipeline profile (wall time, cache hits) before the output",
+    )
+    parser.add_argument(
+        "--log-json", metavar="PATH", default=None,
+        help="append one JSON line per pipeline stage event to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("flow", help="run the full design flow and print the report")
+    p_flow = sub.add_parser("flow", help="run the full design flow and print the report")
+    p_flow.add_argument(
+        "--json", action="store_true",
+        help="emit the flow result as JSON (FlowResult.to_dict()) instead of the text report",
+    )
     sub.add_parser("table1", help="regenerate the paper's Table 1")
     sub.add_parser("macrocode", help="print the synchronized executive")
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterable, Optional
 
 __all__ = ["Token", "VhdlCheckError", "lex_vhdl", "check_vhdl", "entity_ports"]
 

@@ -225,7 +225,7 @@ def generate_operator_vhdl(
         w.line(f"{pname}_stb <= buf_{pname}_full;")
     if reconfigurable:
         w.comment("reconfiguration request: raised when the selected module differs")
-        w.line(f"reconf_req <= '1' when select_val /= x\"00\" and comp_state = st_idle else '0';")
+        w.line("reconf_req <= '1' when select_val /= x\"00\" and comp_state = st_idle else '0';")
     w.end_architecture(arch)
     return w.render()
 

@@ -15,7 +15,7 @@ precisely the property that lets them share one reconfigurable region.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable
+from typing import Hashable, Iterable
 
 from repro.dfg.operations import Operation
 

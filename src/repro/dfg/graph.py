@@ -3,13 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Optional
 
 import networkx as nx
 
 from repro.dfg.conditions import ConditionGroup
 from repro.dfg.operations import Operation
-from repro.dfg.types import Direction, Port
+from repro.dfg.types import Direction
 
 __all__ = ["Edge", "AlgorithmGraph"]
 

@@ -19,7 +19,7 @@ its condition group has the matching value.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Optional
+from typing import Hashable, Optional
 
 __all__ = [
     "MacroCodeError",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.fabric.device import FRAMES_PER_CLB_COLUMN, PARTIAL_HEADER_BITS, VirtexIIDevice

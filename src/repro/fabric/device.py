@@ -18,8 +18,7 @@ model stays self-consistent per device.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.fabric.resources import ResourceVector
 

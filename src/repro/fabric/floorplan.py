@@ -14,11 +14,10 @@ columns, in steps of 2 CLB columns**.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
 
 from repro.fabric.busmacro import BusMacro, BusMacroError, plan_bus_macros
 from repro.fabric.device import VirtexIIDevice
-from repro.fabric.netlist import Netlist, NetlistModule
+from repro.fabric.netlist import Netlist
 from repro.fabric.resources import ResourceVector
 
 __all__ = ["FloorplanError", "ModulePlacement", "Floorplan", "Floorplanner", "MIN_WIDTH_CLB", "WIDTH_STEP_CLB"]

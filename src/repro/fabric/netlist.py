@@ -10,7 +10,7 @@ must cross a reconfigurable boundary through bus macros.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.fabric.resources import ResourceVector
 

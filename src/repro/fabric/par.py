@@ -16,7 +16,6 @@ report with an achievable-clock estimate:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.fabric.floorplan import Floorplan
 from repro.fabric.netlist import Netlist

@@ -20,7 +20,7 @@ harness across all its operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.dfg.library import FPGA_CLASS, OperationLibrary

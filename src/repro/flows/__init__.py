@@ -8,7 +8,12 @@ reconfiguration manager).
 - :mod:`repro.flows.constraints` — the dynamic-module constraints file
   (loading, unloading, area sharing, exclusion),
 - :mod:`repro.flows.modular` — the Modular-Design back-end driver,
-- :mod:`repro.flows.flow` — the complete design flow,
+- :mod:`repro.flows.pipeline` — staged pipeline with content-addressed
+  artefact caching (fingerprints, :class:`ArtifactCache`, :class:`Stage`,
+  :class:`FlowPipeline`),
+- :mod:`repro.flows.observe` — per-stage flow events and observer sinks,
+- :mod:`repro.flows.flow` — the complete design flow (a façade over the
+  pipeline),
 - :mod:`repro.flows.runtime` — runtime system simulation,
 - :mod:`repro.flows.report` — textual reports (Table 1 regeneration).
 """
@@ -20,7 +25,17 @@ from repro.flows.constraints import (
     parse_constraints,
 )
 from repro.flows.modular import ModularDesignResult, run_modular_backend
-from repro.flows.flow import DesignFlow, FlowResult, TimingConstraintError
+from repro.flows.observe import (
+    CompositeObserver,
+    FlowEvent,
+    FlowObserver,
+    JsonLinesObserver,
+    LoggingObserver,
+    RecordingObserver,
+    render_profile,
+)
+from repro.flows.pipeline import ArtifactCache, CacheStats, FlowPipeline, Stage, fingerprint
+from repro.flows.flow import STAGE_NAMES, DesignFlow, FlowResult, TimingConstraintError
 from repro.flows.runtime import RuntimeResult, SystemSimulation
 from repro.flows.report import table1_report
 from repro.flows.designspace import DesignPoint, explore_design_space
@@ -32,6 +47,19 @@ __all__ = [
     "parse_constraints",
     "ModularDesignResult",
     "run_modular_backend",
+    "FlowEvent",
+    "FlowObserver",
+    "LoggingObserver",
+    "JsonLinesObserver",
+    "RecordingObserver",
+    "CompositeObserver",
+    "render_profile",
+    "ArtifactCache",
+    "CacheStats",
+    "FlowPipeline",
+    "Stage",
+    "fingerprint",
+    "STAGE_NAMES",
     "DesignFlow",
     "FlowResult",
     "TimingConstraintError",

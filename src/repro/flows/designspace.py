@@ -18,6 +18,8 @@ from repro.fabric.device import VirtexIIDevice, XC2V1000, XC2V2000, XC2V3000
 from repro.fabric.floorplan import FloorplanError
 from repro.flows.constraints import DynamicConstraints
 from repro.flows.flow import DesignFlow, FlowResult
+from repro.flows.observe import FlowObserver
+from repro.flows.pipeline import ArtifactCache
 from repro.reconfig.architectures import ReconfigArchitecture, case_a_standalone, case_b_processor
 
 __all__ = ["DesignPoint", "explore_design_space"]
@@ -60,6 +62,9 @@ def explore_design_space(
     dynamic_constraints: Optional[DynamicConstraints] = None,
     configure_flow: Optional[Callable[[DesignFlow], None]] = None,
     keep_flow_results: bool = False,
+    cache: Optional[ArtifactCache] = None,
+    share_cache: bool = True,
+    observer: Optional[FlowObserver] = None,
 ) -> list[DesignPoint]:
     """Run the full flow at every (device, architecture) point.
 
@@ -67,8 +72,17 @@ def explore_design_space(
     ``configure_flow`` may pin mappings or set deadlines per flow;
     ``keep_flow_results`` attaches the complete :class:`FlowResult` to each
     fitting point (memory-heavy for large sweeps).
+
+    All points run through one shared content-addressed
+    :class:`ArtifactCache` (pass ``cache=`` to reuse yours across sweeps, or
+    ``share_cache=False`` to disable caching): stages whose fingerprinted
+    inputs do not involve the swept dimensions — modelisation, first-pass
+    adequation, VHDL generation when only the device changes — execute once
+    for the whole sweep instead of once per point.  ``observer`` sees every
+    stage event of every point.
     """
     archs = list(architectures) or [case_a_standalone(), case_b_processor()]
+    shared_cache = cache if cache is not None else (ArtifactCache() if share_cache else None)
     points: list[DesignPoint] = []
     for device in devices:
         for arch in archs:
@@ -79,6 +93,8 @@ def explore_design_space(
                 library=library,
                 dynamic_constraints=dynamic_constraints,
                 reconfig_architecture=arch,
+                cache=shared_cache,
+                observer=observer,
             )
             if configure_flow is not None:
                 configure_flow(flow)

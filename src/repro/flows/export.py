@@ -9,7 +9,6 @@ serialized graph/board models, and the textual reports.
 from __future__ import annotations
 
 import pathlib
-from typing import Optional
 
 from repro.codegen.testbench import generate_all_testbenches
 from repro.flows.flow import FlowResult

@@ -13,12 +13,20 @@
    latencies (the feedback arrow of Fig. 3);
 6. **Executive generation** — the synchronized macro-code, ready for the
    dynamic-verification simulation (:mod:`repro.flows.runtime`).
+
+Since the staged-pipeline refactor this class is a thin façade over
+:class:`~repro.flows.pipeline.FlowPipeline`: each stage is content-addressed
+by a fingerprint of its inputs (chained through its upstream stages), so a
+flow given a shared :class:`~repro.flows.pipeline.ArtifactCache` re-executes
+only the stages whose inputs actually changed, and every stage reports to a
+pluggable :class:`~repro.flows.observe.FlowObserver`.  The public API is
+unchanged — ``DesignFlow(...).run() -> FlowResult``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Type
+from typing import Any, Mapping, Optional, Type
 
 from repro.aaa.adequation import AdequationResult, adequate
 from repro.aaa.mapping import MappingConstraints
@@ -34,9 +42,34 @@ from repro.executive.generator import generate_executive
 from repro.executive.macrocode import ExecutiveProgram
 from repro.flows.constraints import DynamicConstraints
 from repro.flows.modular import ModularDesignResult, run_modular_backend
+from repro.flows.observe import FlowEvent, FlowObserver
+from repro.flows.pipeline import (
+    ArtifactCache,
+    FlowPipeline,
+    Stage,
+    fingerprint,
+    fingerprint_architecture,
+    fingerprint_device,
+    fingerprint_dynamic_constraints,
+    fingerprint_graph,
+    fingerprint_library,
+    fingerprint_mapping,
+    fingerprint_reconfig_architecture,
+    fingerprint_scheduler,
+)
 from repro.reconfig.architectures import ReconfigArchitecture, case_a_standalone
 
-__all__ = ["TimingConstraintError", "DesignFlow", "FlowResult"]
+__all__ = ["TimingConstraintError", "DesignFlow", "FlowResult", "STAGE_NAMES"]
+
+#: The six Fig. 3 stages, in execution order.
+STAGE_NAMES = (
+    "modelisation",
+    "adequation",
+    "vhdl_generation",
+    "modular_backend",
+    "adequation_refine",
+    "executive",
+)
 
 
 class TimingConstraintError(RuntimeError):
@@ -69,6 +102,8 @@ class FlowResult:
     first_pass_makespan_ns: int
     dynamic_constraints: Optional[DynamicConstraints] = None
     iteration_deadline_ns: Optional[int] = None
+    #: Per-stage pipeline events of the run that produced this result.
+    events: list[FlowEvent] = field(default_factory=list)
 
     @property
     def meets_deadline(self) -> bool:
@@ -111,6 +146,41 @@ class FlowResult:
         ]
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary of the run (the CLI's ``flow --json`` payload).
+
+        Carries everything external tooling usually scrapes from the text
+        report — makespans, per-region geometry/latency, the generated file
+        list — plus the per-stage pipeline events."""
+        regions = sorted(self.modular.floorplan.placements)
+        return {
+            "graph": self.graph.name,
+            "board": self.board.name,
+            "device": self.modular.floorplan.device.name,
+            "operations": len(self.graph.operations),
+            "edges": len(self.graph.edges),
+            "first_pass_makespan_ns": self.first_pass_makespan_ns,
+            "makespan_ns": self.makespan_ns,
+            "throughput_iterations_per_s": self.adequation.throughput_iterations_per_s(),
+            "iteration_deadline_ns": self.iteration_deadline_ns,
+            "meets_deadline": self.meets_deadline,
+            "clock_mhz": self.modular.par_report.clock_mhz,
+            "par_ok": self.modular.par_report.ok,
+            "reconfig_architecture": self.modular.reconfig_architecture.name,
+            "regions": {
+                r: {
+                    "area_fraction": self.modular.region_area_fraction(r),
+                    "partial_bitstream_bytes": self.modular.floorplan.partial_bitstream_bytes(r),
+                    "reconfig_latency_ns": self.modular.reconfig_latency_ns.get(r),
+                }
+                for r in regions
+            },
+            "startup_modules": self.startup_modules(),
+            "generated_files": self.generated.file_names(),
+            "executive_operators": sorted(self.executive.operator_code),
+            "stages": [event.to_dict() for event in self.events],
+        }
+
 
 @dataclass
 class DesignFlow:
@@ -128,6 +198,13 @@ class DesignFlow:
     iteration_deadline_ns: Optional[int] = None
     #: When True (default), a violated deadline raises TimingConstraintError.
     strict_deadline: bool = True
+    #: Optional content-addressed artefact cache; share one across flows to
+    #: skip stages whose fingerprinted inputs are unchanged.  The deadline
+    #: fields are deliberately not part of any fingerprint: they gate the
+    #: result, they do not change the artefacts.
+    cache: Optional[ArtifactCache] = None
+    #: Stage-event sink; defaults to the ``repro.flows`` logging channel.
+    observer: Optional[FlowObserver] = None
 
     @classmethod
     def from_design(cls, design, **overrides) -> "DesignFlow":
@@ -155,53 +232,160 @@ class DesignFlow:
                 )
             self.mapping.pin(module.operation, operator.name)
 
+    # -- the staged pipeline ---------------------------------------------------------
+
+    def _scheduler_kwargs(self) -> dict:
+        if self.scheduler is ReconfigAwareScheduler:
+            return {"prefetch": self.prefetch}
+        return {}
+
+    def build_pipeline(self) -> FlowPipeline:
+        """The six Fig. 3 stages wired through the cache and observer.
+
+        Call :meth:`run` unless you need stage-level control.  Dynamic
+        constraints must already be applied to ``self.mapping`` (``run``
+        does this) so the adequation fingerprint sees the effective pins.
+        """
+        graph, board, library = self.graph, self.board, self.library
+        scheduler_kwargs = self._scheduler_kwargs()
+        device = self._fpga_device()
+
+        fp_graph = fingerprint_graph(graph)
+        fp_arch = fingerprint_architecture(board.architecture)
+        fp_lib = fingerprint_library(library)
+        # The library is a modelisation input too: validate_graph() checks
+        # every operation kind against it.
+        fp_model = fingerprint(
+            "modelisation",
+            fp_graph,
+            fp_arch,
+            fp_lib,
+            fingerprint_dynamic_constraints(self.dynamic_constraints),
+            fingerprint_mapping(self.mapping),
+        )
+        fp_sched = fingerprint_scheduler(self.scheduler, scheduler_kwargs)
+        fp_adeq = fingerprint("adequation", fp_model, fp_lib, fp_sched)
+        fp_vhdl = fingerprint("vhdl_generation", fp_adeq)
+        fp_modular = fingerprint(
+            "modular_backend",
+            fp_vhdl,
+            fp_lib,
+            fingerprint_device(device),
+            fingerprint_reconfig_architecture(self.reconfig_architecture),
+        )
+
+        def run_modelisation(_: Mapping[str, Any]) -> dict:
+            validate_graph(graph, library)
+            board.architecture.validate()
+            if self.dynamic_constraints is not None:
+                self.dynamic_constraints.validate_against(graph)
+            return {
+                "operations": len(graph.operations),
+                "edges": len(graph.edges),
+                "pinned": len(self.mapping),
+            }
+
+        def run_adequation(_: Mapping[str, Any]) -> AdequationResult:
+            return adequate(
+                graph,
+                board.architecture,
+                library,
+                constraints=self.mapping,
+                scheduler=self.scheduler,
+                validate=False,
+                **scheduler_kwargs,
+            )
+
+        def run_vhdl(artifacts: Mapping[str, Any]) -> GeneratedDesign:
+            first: AdequationResult = artifacts["adequation"]
+            return generate_design(graph, first.schedule, board.architecture)
+
+        def run_modular(artifacts: Mapping[str, Any]) -> ModularDesignResult:
+            return run_modular_backend(
+                graph,
+                artifacts["vhdl_generation"],
+                library,
+                device,
+                reconfig_architecture=self.reconfig_architecture,
+            )
+
+        def refine_key(artifacts: Mapping[str, Any]) -> str:
+            # Content-addressed on the *measured latencies*, not the whole
+            # back-end key: two design points whose regions reconfigure in
+            # the same time share the refined schedule.
+            modular: ModularDesignResult = artifacts["modular_backend"]
+            return fingerprint(
+                "adequation_refine", fp_adeq, dict(modular.reconfig_latency_ns)
+            )
+
+        def run_refine(artifacts: Mapping[str, Any]) -> AdequationResult:
+            modular: ModularDesignResult = artifacts["modular_backend"]
+            return adequate(
+                graph,
+                board.architecture,
+                library,
+                constraints=self.mapping,
+                scheduler=self.scheduler,
+                reconfig_ns=dict(modular.reconfig_latency_ns),
+                validate=False,
+                **scheduler_kwargs,
+            )
+
+        def run_executive(artifacts: Mapping[str, Any]) -> ExecutiveProgram:
+            refined: AdequationResult = artifacts["adequation_refine"]
+            return generate_executive(graph, refined.schedule)
+
+        stages = [
+            Stage("modelisation", lambda _: fp_model, run_modelisation, dict),
+            Stage(
+                "adequation",
+                lambda _: fp_adeq,
+                run_adequation,
+                lambda a: {"makespan_ns": a.makespan_ns},
+            ),
+            Stage(
+                "vhdl_generation",
+                lambda _: fp_vhdl,
+                run_vhdl,
+                lambda g: {"files": len(g.files)},
+            ),
+            Stage(
+                "modular_backend",
+                lambda _: fp_modular,
+                run_modular,
+                lambda m: {
+                    "clock_mhz": m.par_report.clock_mhz,
+                    "regions": len(m.floorplan.placements),
+                },
+            ),
+            Stage(
+                "adequation_refine",
+                refine_key,
+                run_refine,
+                lambda a: {"makespan_ns": a.makespan_ns},
+            ),
+            Stage(
+                "executive",
+                lambda artifacts: fingerprint("executive", refine_key(artifacts)),
+                run_executive,
+                lambda p: {"operators": len(p.operator_code)},
+            ),
+        ]
+        return FlowPipeline(
+            stages,
+            cache=self.cache,
+            observer=self.observer,
+            flow_name=f"{graph.name}@{board.name}",
+        )
+
     # -- the flow --------------------------------------------------------------------
 
     def run(self) -> FlowResult:
-        validate_graph(self.graph, self.library)
-        self.board.architecture.validate()
         self._apply_dynamic_constraints()
+        pipeline = self.build_pipeline()
+        artifacts = pipeline.run()
 
-        scheduler_kwargs = {}
-        if self.scheduler is ReconfigAwareScheduler:
-            scheduler_kwargs["prefetch"] = self.prefetch
-
-        # Pass 1: pre-floorplan latency estimate.
-        first = adequate(
-            self.graph,
-            self.board.architecture,
-            self.library,
-            constraints=self.mapping,
-            scheduler=self.scheduler,
-            validate=False,
-            **scheduler_kwargs,
-        )
-
-        # VHDL generation from the first-pass schedule.
-        generated = generate_design(self.graph, first.schedule, self.board.architecture)
-
-        # Back-end on the FPGA hosting the dynamic operators (or any FPGA).
-        device = self._fpga_device()
-        modular = run_modular_backend(
-            self.graph,
-            generated,
-            self.library,
-            device,
-            reconfig_architecture=self.reconfig_architecture,
-        )
-
-        # Pass 2: refine with measured latencies.
-        refined = adequate(
-            self.graph,
-            self.board.architecture,
-            self.library,
-            constraints=self.mapping,
-            scheduler=self.scheduler,
-            reconfig_ns=dict(modular.reconfig_latency_ns),
-            validate=False,
-            **scheduler_kwargs,
-        )
-
+        refined: AdequationResult = artifacts["adequation_refine"]
         if (
             self.iteration_deadline_ns is not None
             and self.strict_deadline
@@ -209,18 +393,19 @@ class DesignFlow:
         ):
             raise TimingConstraintError(refined.makespan_ns, self.iteration_deadline_ns)
 
-        executive = generate_executive(self.graph, refined.schedule)
+        first: AdequationResult = artifacts["adequation"]
         return FlowResult(
             graph=self.graph,
             board=self.board,
             library=self.library,
             adequation=refined,
-            generated=generated,
-            modular=modular,
-            executive=executive,
+            generated=artifacts["vhdl_generation"],
+            modular=artifacts["modular_backend"],
+            executive=artifacts["executive"],
             first_pass_makespan_ns=first.makespan_ns,
             dynamic_constraints=self.dynamic_constraints,
             iteration_deadline_ns=self.iteration_deadline_ns,
+            events=list(pipeline.events),
         )
 
     def _fpga_device(self):

@@ -1,0 +1,173 @@
+"""Flow observability: structured per-stage events and pluggable sinks.
+
+Every stage of the :class:`~repro.flows.pipeline.FlowPipeline` emits one
+:class:`FlowEvent` describing what happened — stage name, wall time, whether
+the content-addressed cache served the artefact, and a few stage-specific
+result metrics.  Consumers subscribe through the :class:`FlowObserver`
+protocol; library code never writes to stdout on its own:
+
+- :class:`LoggingObserver` (the default) routes events to the standard
+  ``logging`` channel ``repro.flows`` — silent unless the application
+  configures a handler;
+- :class:`JsonLinesObserver` appends one JSON object per event to a file or
+  stream, for external tooling and benchmark harnesses;
+- :class:`RecordingObserver` keeps events in memory (tests, profiling);
+- :class:`CompositeObserver` fans one event out to several sinks.
+
+:func:`render_profile` turns a list of events into the per-stage table the
+CLI prints under ``--profile``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Mapping, Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "FlowEvent",
+    "FlowObserver",
+    "LoggingObserver",
+    "JsonLinesObserver",
+    "RecordingObserver",
+    "CompositeObserver",
+    "render_profile",
+]
+
+logger = logging.getLogger("repro.flows")
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One completed pipeline stage."""
+
+    flow: str  #: flow identity, e.g. ``"mccdma_tx@sundance"``
+    stage: str  #: stage name (``modelisation`` … ``executive``)
+    cache_hit: bool  #: True when the artefact came from the ArtifactCache
+    wall_time_s: float  #: wall-clock time spent in the stage (lookup + execute)
+    fingerprint: str  #: content-addressed key of the stage's inputs
+    metrics: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def status(self) -> str:
+        return "hit" if self.cache_hit else "miss"
+
+    def to_dict(self) -> dict:
+        return {
+            "flow": self.flow,
+            "stage": self.stage,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "wall_time_s": self.wall_time_s,
+            "fingerprint": self.fingerprint,
+            "metrics": dict(self.metrics),
+        }
+
+
+@runtime_checkable
+class FlowObserver(Protocol):
+    """Anything that wants to see pipeline stage events."""
+
+    def on_event(self, event: FlowEvent) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class LoggingObserver:
+    """Default sink: the standard ``logging`` channel ``repro.flows``."""
+
+    def __init__(self, level: int = logging.INFO):
+        self.level = level
+
+    def on_event(self, event: FlowEvent) -> None:
+        logger.log(
+            self.level,
+            "[%s] %-18s %-4s %8.2f ms  %s  %s",
+            event.flow,
+            event.stage,
+            event.status,
+            event.wall_time_s * 1e3,
+            event.fingerprint[:12],
+            " ".join(f"{k}={v}" for k, v in sorted(event.metrics.items())),
+        )
+
+
+class JsonLinesObserver:
+    """Append one JSON object per event to ``target`` (path or text stream)."""
+
+    def __init__(self, target: str | Path | IO[str]):
+        self._stream: Optional[IO[str]]
+        if isinstance(target, (str, Path)):
+            self._path: Optional[Path] = Path(target)
+            self._stream = None
+        else:
+            self._path = None
+            self._stream = target
+
+    def on_event(self, event: FlowEvent) -> None:
+        line = json.dumps(event.to_dict(), sort_keys=True)
+        if self._path is not None:
+            with self._path.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        else:
+            assert self._stream is not None
+            self._stream.write(line + "\n")
+
+
+class RecordingObserver:
+    """Keep every event in memory; the workhorse of tests and profiling."""
+
+    def __init__(self) -> None:
+        self.events: list[FlowEvent] = []
+
+    def on_event(self, event: FlowEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def count(self, stage: Optional[str] = None, cache_hit: Optional[bool] = None) -> int:
+        return sum(
+            1
+            for e in self.events
+            if (stage is None or e.stage == stage)
+            and (cache_hit is None or e.cache_hit == cache_hit)
+        )
+
+    def executions(self, stage: Optional[str] = None) -> int:
+        """Stages that actually ran (cache misses)."""
+        return self.count(stage=stage, cache_hit=False)
+
+    def hits(self, stage: Optional[str] = None) -> int:
+        return self.count(stage=stage, cache_hit=True)
+
+
+class CompositeObserver:
+    """Fan one event out to several observers."""
+
+    def __init__(self, *observers: FlowObserver):
+        self.observers = list(observers)
+
+    def on_event(self, event: FlowEvent) -> None:
+        for obs in self.observers:
+            obs.on_event(event)
+
+
+def render_profile(events: Iterable[FlowEvent]) -> str:
+    """Per-stage profile table (the CLI's ``--profile`` output)."""
+    rows = list(events)
+    if not rows:
+        return "flow profile: no stage events recorded"
+    width = max(len(e.stage) for e in rows)
+    lines = [f"{'stage':<{width}}  {'cache':<5}  {'time':>10}  fingerprint"]
+    for e in rows:
+        lines.append(
+            f"{e.stage:<{width}}  {e.status:<5}  {e.wall_time_s * 1e3:>7.2f} ms  {e.fingerprint[:12]}"
+        )
+    total = sum(e.wall_time_s for e in rows)
+    hits = sum(1 for e in rows if e.cache_hit)
+    lines.append(
+        f"{'total':<{width}}  {hits}/{len(rows)} hit  {total * 1e3:>7.2f} ms"
+    )
+    return "\n".join(lines)

@@ -8,7 +8,7 @@ plus the reconfiguration time of each scheme.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dfg.library import OperationLibrary

@@ -16,7 +16,7 @@ from repro.executive.interpreter import ExecutionReport, ExecutiveRunner
 from repro.flows.flow import FlowResult
 from repro.reconfig.manager import ManagerStats, ReconfigurationManager
 from repro.reconfig.memory import BitstreamStore
-from repro.reconfig.prefetch import NoPrefetchPolicy, OnSelectPrefetchPolicy, PrefetchPolicy
+from repro.reconfig.prefetch import NoPrefetchPolicy, PrefetchPolicy
 from repro.sim import Simulator, Trace
 
 __all__ = ["RuntimeResult", "SystemSimulation"]

@@ -16,7 +16,7 @@ cyclic prefix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ the control information the DSP writes through ``Interface IN OUT``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

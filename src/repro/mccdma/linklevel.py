@@ -10,7 +10,7 @@ once the ≈4 ms reconfiguration cost of switching is charged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -18,7 +18,7 @@ import numpy as np
 from repro.mccdma.adaptive import AdaptiveModulationController
 from repro.mccdma.channel import AWGNChannel
 from repro.mccdma.modulation import Modulation
-from repro.mccdma.receiver import MCCDMAReceiver, bit_error_rate
+from repro.mccdma.receiver import MCCDMAReceiver
 from repro.mccdma.transmitter import MCCDMAConfig, MCCDMATransmitter
 
 __all__ = ["LinkResult", "simulate_link", "adaptive_vs_fixed"]

@@ -8,12 +8,11 @@ behaviour under noise.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 
 from repro.mccdma.framing import Frame, FrameBuilder
-from repro.mccdma.modulation import Modulation, modulator_for
+from repro.mccdma.modulation import modulator_for
 from repro.mccdma.transmitter import MCCDMAConfig, MCCDMATransmitter
 
 __all__ = ["MCCDMAReceiver", "bit_error_rate", "error_vector_magnitude"]

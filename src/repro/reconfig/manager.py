@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.reconfig.memory import BitstreamStore
 from repro.reconfig.prefetch import HistoryPrefetchPolicy, NoPrefetchPolicy, PrefetchPolicy
 from repro.reconfig.protocol import ProtocolConfigurationBuilder, ProtocolError
 from repro.sim import Event, Mailbox, Signal, Simulator, Trace

@@ -8,7 +8,7 @@ on the paper's board this, not the 66 MB/s port, bounds the 4 ms figure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.fabric.bitstream import Bitstream

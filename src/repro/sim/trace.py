@@ -9,7 +9,7 @@ these records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
 __all__ = ["TraceRecord", "Span", "Trace"]

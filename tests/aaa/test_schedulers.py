@@ -14,13 +14,11 @@ from repro.aaa import (
     SynDExScheduler,
     adequate,
 )
-from repro.aaa.costs import CostModel
 from repro.aaa.schedule import ScheduledOp
 from repro.arch import sundance_board
 from repro.dfg.generators import chain_graph, conditioned_chain_graph, fork_join_graph, layered_random_graph
 from repro.dfg.library import default_library
-from repro.mccdma.casestudy import build_mccdma_design, build_mccdma_graph
-from repro.mccdma.modulation import Modulation
+from repro.mccdma.casestudy import build_mccdma_design
 
 
 def run_scheduler(graph, scheduler_cls=SynDExScheduler, constraints=None, reconfig_ns=None, **kw):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.aaa import MappingConstraints, ReconfigAwareScheduler, adequate
 from repro.codegen import (
-    GeneratedDesign,
     VhdlCheckError,
     VhdlWriter,
     check_vhdl,

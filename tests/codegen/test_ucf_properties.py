@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.codegen import generate_ucf
 from repro.fabric import Floorplan, XC2V2000, plan_bus_macros
-from repro.fabric.floorplan import MIN_WIDTH_CLB, WIDTH_STEP_CLB
+from repro.fabric.floorplan import WIDTH_STEP_CLB
 
 _RANGE_RE = re.compile(r'RANGE = SLICE_X(\d+)Y(\d+):SLICE_X(\d+)Y(\d+);')
 _LOC_RE = re.compile(r'LOC = "SLICE_X(\d+)Y(\d+)"')

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.dfg import validate_graph
 from repro.dfg.generators import chain_graph, conditioned_chain_graph, layered_random_graph
-from repro.dfg.io import GraphFormatError, dumps, from_dict, load, loads, save, to_dict
+from repro.dfg.io import GraphFormatError, dumps, from_dict, load, loads, save
 from repro.dfg.library import default_library
 from repro.mccdma.casestudy import build_mccdma_graph
 from repro.mccdma.modulation import Modulation

@@ -103,7 +103,6 @@ def test_retrofitted_design_runs_the_full_flow():
 
 
 def test_disconnect_unknown_edge_raises():
-    from repro.dfg.graph import Edge
 
     g = fixed_transmitter()
     real = g.edges[0]

@@ -141,7 +141,7 @@ def test_reconfiguration_stalls_accounted():
         selector_values={"modulation": lambda it: plan[it]},
         config_service=service,
     )
-    report = runner.run()
+    runner.run()
     # Three swaps: initial load (QPSK), ->QAM16, ->QPSK; unchanged iteration 3 free.
     assert service.swap_count == 3
     assert service.stall_ns == 3 * 4_000_000

@@ -20,7 +20,7 @@ from repro.dfg.generators import (
 )
 from repro.dfg.library import default_library
 from repro.executive import ExecutiveRunner, generate_executive
-from repro.executive.macrocode import ComputeInstr, RecvInstr, SendInstr
+from repro.executive.macrocode import ComputeInstr
 
 
 def adequate_and_generate(graph, scheduler=SynDExScheduler):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fabric import XC2V1000, XC2V2000, XC2V3000, device_by_name
-from repro.fabric.device import FRAMES_PER_CLB_COLUMN, PARTIAL_HEADER_BITS, VirtexIIDevice
+from repro.fabric.device import FRAMES_PER_CLB_COLUMN, VirtexIIDevice
 
 
 def test_xc2v2000_datasheet_capacity():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fabric import ResourceVector
-from repro.fabric.power import EnergyBreakdown, PowerModel
+from repro.fabric.power import PowerModel
 
 
 def test_validation():

@@ -1,0 +1,298 @@
+"""The staged flow pipeline: cache correctness and observability.
+
+Covers the content-addressed :class:`ArtifactCache` (LRU + disk tier),
+fingerprint stability across processes, key invalidation when any flow
+input changes, warm-run cache hits for the full case study, the shared
+cache of :func:`explore_design_space`, and the no-stdout guarantee of
+library code.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.dfg.generators import layered_random_graph
+from repro.dfg.library import DSP_CLASS, FPGA_CLASS, OperationLibrary, default_library
+from repro.fabric.device import XC2V1000
+from repro.flows import (
+    STAGE_NAMES,
+    ArtifactCache,
+    DesignFlow,
+    JsonLinesObserver,
+    RecordingObserver,
+    explore_design_space,
+    parse_constraints,
+)
+from repro.aaa.scheduler import SynDExScheduler
+from repro.arch.boards import sundance_board
+from repro.mccdma.casestudy import build_mccdma_design, build_mccdma_graph
+
+CONSTRAINTS = """
+[module mod_qpsk]
+region    = D1
+operation = mod_qpsk
+
+[module mod_qam16]
+region    = D1
+operation = mod_qam16
+
+[region D1]
+sharing   = true
+exclusive = mod_qpsk, mod_qam16
+"""
+
+
+def case_study_flow(**overrides):
+    design = build_mccdma_design()
+    kwargs = dict(dynamic_constraints=parse_constraints(CONSTRAINTS))
+    kwargs.update(overrides)
+    flow = DesignFlow.from_design(design, **kwargs)
+    flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
+    return flow
+
+
+def static_stage_keys(flow):
+    """Derivation keys of the stages whose keys don't need run artefacts."""
+    flow._apply_dynamic_constraints()
+    pipeline = flow.build_pipeline()
+    by_name = {s.name: s for s in pipeline.stages}
+    return {
+        name: by_name[name].key({})
+        for name in ("modelisation", "adequation", "vhdl_generation", "modular_backend")
+    }
+
+
+# -- ArtifactCache -----------------------------------------------------------------
+
+
+def test_cache_lru_eviction_and_stats():
+    cache = ArtifactCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes "a": "b" is now the LRU entry
+    cache.put("c", 3)
+    assert len(cache) == 2
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.stats.evictions == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 3
+    assert 0 < cache.stats.hit_rate() < 1
+
+
+def test_cache_disk_tier_survives_process_state(tmp_path):
+    first = ArtifactCache(disk_dir=tmp_path)
+    first.put("key1", {"makespan": 42})
+    # A brand-new cache over the same directory starts warm.
+    second = ArtifactCache(disk_dir=tmp_path)
+    assert second.get("key1") == {"makespan": 42}
+    assert second.stats.hits == 1
+    assert second.get("missing") is None
+
+
+def test_cache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        ArtifactCache(max_entries=0)
+
+
+# -- fingerprint stability ---------------------------------------------------------
+
+_FINGERPRINT_SNIPPET = """
+from repro.dfg.library import default_library
+from repro.flows.pipeline import fingerprint_architecture, fingerprint_graph, fingerprint_library
+from repro.arch.boards import sundance_board
+from repro.mccdma.casestudy import build_mccdma_graph
+
+print(fingerprint_graph(build_mccdma_graph()))
+print(fingerprint_architecture(sundance_board().architecture))
+print(fingerprint_library(default_library()))
+"""
+
+
+def test_fingerprints_stable_across_processes():
+    """Digests must not depend on process-local state (hash seed, id)."""
+    from repro.flows.pipeline import (
+        fingerprint_architecture,
+        fingerprint_graph,
+        fingerprint_library,
+    )
+
+    local = [
+        fingerprint_graph(build_mccdma_graph()),
+        fingerprint_architecture(sundance_board().architecture),
+        fingerprint_library(default_library()),
+    ]
+    proc = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SNIPPET],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONHASHSEED": "random"},
+        check=True,
+    )
+    assert proc.stdout.split() == local
+
+
+def test_stage_keys_reproducible_between_flow_objects():
+    assert static_stage_keys(case_study_flow()) == static_stage_keys(case_study_flow())
+
+
+# -- key invalidation --------------------------------------------------------------
+
+
+def test_graph_change_invalidates_from_modelisation():
+    board = sundance_board()
+    lib = default_library()
+    k1 = static_stage_keys(
+        DesignFlow(graph=layered_random_graph(4, 3, seed=1), board=board, library=lib)
+    )
+    k2 = static_stage_keys(
+        DesignFlow(graph=layered_random_graph(4, 3, seed=2), board=sundance_board(), library=lib)
+    )
+    assert all(k1[name] != k2[name] for name in k1)
+
+
+def test_library_change_invalidates_adequation():
+    def library(fir_cycles):
+        lib = OperationLibrary()
+        for kind, cycles in (("src", {DSP_CLASS: 100}), ("fir", {FPGA_CLASS: fir_cycles})):
+            lib.define(kind, cycles, {"luts": 10, "ffs": 10})
+        return lib
+
+    graph = layered_random_graph(3, 2, seed=5)
+    flows = [
+        DesignFlow(graph=graph, board=sundance_board(), library=library(c)) for c in (300, 301)
+    ]
+    k1, k2 = (static_stage_keys(f) for f in flows)
+    assert k1["modelisation"] != k2["modelisation"]  # validate_graph reads the library
+    assert k1["adequation"] != k2["adequation"]
+
+
+def test_scheduler_and_prefetch_change_invalidates_adequation_only():
+    base = static_stage_keys(case_study_flow())
+    other_sched = static_stage_keys(case_study_flow(scheduler=SynDExScheduler))
+    no_prefetch = static_stage_keys(case_study_flow(prefetch=False))
+    for changed in (other_sched, no_prefetch):
+        assert changed["modelisation"] == base["modelisation"]
+        assert changed["adequation"] != base["adequation"]
+        assert changed["vhdl_generation"] != base["vhdl_generation"]  # downstream
+
+
+def test_dynamic_constraints_change_invalidates_modelisation():
+    relaxed = parse_constraints(CONSTRAINTS.replace("loading   = runtime", ""))
+    startup = parse_constraints(
+        CONSTRAINTS.replace("operation = mod_qpsk", "operation = mod_qpsk\nloading   = startup")
+    )
+    k1 = static_stage_keys(case_study_flow(dynamic_constraints=relaxed))
+    k2 = static_stage_keys(case_study_flow(dynamic_constraints=startup))
+    assert k1["modelisation"] != k2["modelisation"]
+
+
+def test_device_change_keeps_upstream_keys():
+    """Swapping the FPGA part must invalidate only the modular back-end."""
+    design = build_mccdma_design()
+    small = case_study_flow()
+    big = case_study_flow()
+    big.board = sundance_board(device=XC2V1000)
+    k_small, k_big = static_stage_keys(small), static_stage_keys(big)
+    assert k_small["modelisation"] == k_big["modelisation"]
+    assert k_small["adequation"] == k_big["adequation"]
+    assert k_small["vhdl_generation"] == k_big["vhdl_generation"]
+    assert k_small["modular_backend"] != k_big["modular_backend"]
+    assert design.board.name == big.board.name  # same platform, different part
+
+
+# -- warm runs over the full case study --------------------------------------------
+
+
+def test_warm_rerun_hits_every_stage():
+    cache = ArtifactCache()
+    recorder = RecordingObserver()
+    case_study_flow(cache=cache, observer=recorder).run()
+    assert recorder.executions() == len(STAGE_NAMES)
+    assert recorder.hits() == 0
+
+    recorder.clear()
+    result = case_study_flow(cache=cache, observer=recorder).run()
+    assert [e.stage for e in recorder.events] == list(STAGE_NAMES)
+    assert recorder.hits() == len(STAGE_NAMES)
+    assert recorder.executions() == 0
+    assert result.makespan_ns > 0
+    # The FlowResult carries its own events for profiling.
+    assert all(e.cache_hit for e in result.events)
+
+
+def test_input_change_invalidates_warm_cache_at_runtime():
+    cache = ArtifactCache()
+    case_study_flow(cache=cache).run()
+    recorder = RecordingObserver()
+    case_study_flow(cache=cache, prefetch=False, observer=recorder).run()
+    assert recorder.hits("modelisation") == 1
+    assert recorder.executions("adequation") == 1
+    assert recorder.executions("adequation_refine") == 1
+
+
+# -- shared cache across the design space ------------------------------------------
+
+
+def sweep(share_cache):
+    recorder = RecordingObserver()
+    points = explore_design_space(
+        build_mccdma_graph(),
+        default_library(),
+        dynamic_constraints=parse_constraints(CONSTRAINTS),
+        configure_flow=lambda flow: flow.mapping.pin("bit_src", "DSP").pin("select", "DSP"),
+        share_cache=share_cache,
+        observer=recorder,
+    )
+    return points, recorder
+
+
+def test_designspace_shared_cache_halves_adequation_executions():
+    """Acceptance criterion: >= 2x fewer adequation executions when shared."""
+    cold_points, cold = sweep(share_cache=False)
+    warm_points, warm = sweep(share_cache=True)
+    assert len(cold_points) == len(warm_points) == 6  # stock 3-device x 2-arch grid
+    assert cold.executions("adequation") >= 2 * warm.executions("adequation")
+    assert warm.executions("adequation") == 1  # one first-pass adequation for the sweep
+    assert warm.executions("vhdl_generation") == 1
+    assert warm.executions("modelisation") == 1
+    # Identical results either way.
+    for a, b in zip(cold_points, warm_points):
+        assert (a.device, a.architecture, a.makespan_ns) == (b.device, b.architecture, b.makespan_ns)
+        assert a.reconfig_latency_ns == b.reconfig_latency_ns
+
+
+# -- observability -----------------------------------------------------------------
+
+
+def test_library_code_writes_nothing_to_stdout(capsys):
+    """The observer/logging channel replaces bare prints: a full flow run
+    must leave stdout and stderr untouched."""
+    case_study_flow().run()
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == ""
+
+
+def test_jsonl_observer_writes_one_event_per_stage(tmp_path):
+    target = tmp_path / "events.jsonl"
+    case_study_flow(observer=JsonLinesObserver(target)).run()
+    lines = target.read_text().splitlines()
+    assert len(lines) == len(STAGE_NAMES)
+    events = [json.loads(line) for line in lines]
+    assert [e["stage"] for e in events] == list(STAGE_NAMES)
+    for event in events:
+        assert event["status"] in ("hit", "miss")
+        assert len(event["fingerprint"]) == 64
+
+
+def test_flow_result_to_dict_is_json_safe():
+    result = case_study_flow().run()
+    payload = json.loads(json.dumps(result.to_dict()))
+    assert payload["graph"] == "mccdma_tx"
+    assert payload["regions"]["D1"]["reconfig_latency_ns"] > 0
+    assert len(payload["stages"]) == len(STAGE_NAMES)
+    assert payload["makespan_ns"] == result.makespan_ns

@@ -1,6 +1,5 @@
 """Tests for the link-level adaptive-modulation evaluation."""
 
-import numpy as np
 import pytest
 
 from repro.mccdma import SnrTrace

@@ -123,7 +123,6 @@ def test_qam16_gray_mapping_single_bit_neighbours():
         bits = np.array([(v >> k) & 1 for k in (3, 2, 1, 0)], dtype=np.uint8)
         s = mod.modulate(bits)[0]
         levels[(round(s.real, 6), round(s.imag, 6))] = v
-    points = sorted(levels)
     for (x, y), v in levels.items():
         for (x2, y2), v2 in levels.items():
             same_row = y == y2 and abs(x - x2) < 0.7  # adjacent I level

@@ -122,7 +122,7 @@ def test_builder_serializes_port_access():
     outcomes = []
 
     def proc(region, module):
-        out = yield sim.process(builder.load(region, module))
+        yield sim.process(builder.load(region, module))
         outcomes.append((region, sim.now))
 
     sim.process(proc("D1", "a"))

@@ -3,15 +3,7 @@ condition composition under failure, and determinism."""
 
 import pytest
 
-from repro.sim import (
-    AllOf,
-    AnyOf,
-    Channel,
-    Interrupt,
-    Semaphore,
-    SimulationError,
-    Simulator,
-)
+from repro.sim import AllOf, AnyOf, Channel, Interrupt, Semaphore, Simulator
 
 
 def test_anyof_propagates_failure():

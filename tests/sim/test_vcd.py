@@ -2,7 +2,6 @@
 
 import re
 
-import pytest
 
 from repro.sim import Signal, Simulator, Span, Trace
 from repro.sim.vcd import _identifier, trace_to_vcd

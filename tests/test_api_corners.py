@@ -73,7 +73,7 @@ def test_empty_schedule_throughput_infinite():
     from repro.aaa.schedule import Schedule
 
     g = AlgorithmGraph("empty-ish")
-    op = g.add_operation("only", "generic_small")
+    g.add_operation("only", "generic_small")
     board = sundance_board()
     costs = CostModel(g, board.architecture, default_library())
     result = AdequationResult(schedule=Schedule(), costs=costs, scheduler_name="x")

@@ -25,6 +25,46 @@ def test_flow_command():
     assert "final makespan" in text
 
 
+def test_flow_json_command():
+    import json
+
+    code, text = run_cli("flow", "--json")
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["graph"] == "mccdma_tx"
+    assert payload["board"] == "sundance"
+    assert payload["makespan_ns"] > 0
+    assert "D1" in payload["regions"]
+    assert [s["stage"] for s in payload["stages"]] == [
+        "modelisation",
+        "adequation",
+        "vhdl_generation",
+        "modular_backend",
+        "adequation_refine",
+        "executive",
+    ]
+
+
+def test_flow_profile_flag():
+    code, text = run_cli("--profile", "flow")
+    assert code == 0
+    assert "modelisation" in text
+    assert "adequation_refine" in text
+    assert "miss" in text
+    assert "Design flow report" in text  # report still follows the profile
+
+
+def test_log_json_flag(tmp_path):
+    import json
+
+    target = tmp_path / "events.jsonl"
+    code, text = run_cli("--log-json", str(target), "flow")
+    assert code == 0
+    lines = target.read_text().splitlines()
+    assert len(lines) == 6
+    assert {json.loads(line)["stage"] for line in lines} >= {"modelisation", "executive"}
+
+
 def test_table1_command():
     code, text = run_cli("table1")
     assert code == 0

@@ -10,8 +10,8 @@ from repro.arch import sundance_board
 from repro.dfg.generators import layered_random_graph
 from repro.dfg.library import default_library
 from repro.executive import ExecutiveRunner, generate_executive
-from repro.flows import DesignFlow, SystemSimulation, parse_constraints
-from repro.mccdma import Modulation, SnrTrace
+from repro.flows import ArtifactCache, DesignFlow, SystemSimulation, parse_constraints
+from repro.mccdma import SnrTrace
 from repro.mccdma.bindings import make_case_study_bindings
 from repro.mccdma.casestudy import build_mccdma_design
 
@@ -87,6 +87,38 @@ def test_full_flow_and_runtime_deterministic():
         )
 
     assert run_once() == run_once()
+
+
+def test_cold_and_warm_flow_artefacts_byte_identical():
+    """A cache-served run must reproduce an uncached run exactly: same
+    schedule, same generated VHDL text, same UCF, same executive, same
+    bitstream contents."""
+
+    def make_flow(**kwargs):
+        design = build_mccdma_design()
+        flow = DesignFlow.from_design(
+            design, dynamic_constraints=parse_constraints(CONSTRAINTS), **kwargs
+        )
+        flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
+        return flow
+
+    cold = make_flow().run()  # no cache at all
+    cache = ArtifactCache()
+    make_flow(cache=cache).run()  # populate
+    warm = make_flow(cache=cache).run()  # every stage served from cache
+    assert all(e.cache_hit for e in warm.events)
+
+    assert schedule_fingerprint(cold.adequation.schedule) == schedule_fingerprint(
+        warm.adequation.schedule
+    )
+    assert cold.first_pass_makespan_ns == warm.first_pass_makespan_ns
+    assert cold.generated.files == warm.generated.files  # exact text equality
+    assert cold.modular.ucf == warm.modular.ucf
+    assert cold.executive.render() == warm.executive.render()
+    assert set(cold.modular.bitstreams) == set(warm.modular.bitstreams)
+    for key, bitstream in cold.modular.bitstreams.items():
+        assert list(bitstream.words()) == list(warm.modular.bitstreams[key].words())
+    assert cold.to_dict()["regions"] == warm.to_dict()["regions"]
 
 
 def test_bitstream_generation_deterministic():
