@@ -1,0 +1,86 @@
+"""X2 — parallel sweep engine: serial vs multi-process design-space sweep.
+
+Measures what the engine buys (and costs) on the paper's case-study grid:
+wall time of the identical sweep run serially and across worker processes
+sharing one on-disk artifact cache, plus the aggregate stage-cache traffic.
+The raw rows land in ``results/BENCH_sweep_parallel.json`` so EXPERIMENTS.md
+can quote speedup and hit rates from disk.
+
+Worker processes are spawn-context children importing the full package, so
+the parallel run carries real start-up cost — the benchmark reports it
+honestly instead of warming it away.
+"""
+
+import json
+import time
+
+from conftest import CASE_STUDY_CONSTRAINTS, RESULTS_DIR, write_result
+
+from repro.dfg.library import default_library
+from repro.exec import ParallelSweepEngine
+from repro.fabric.device import XC2V1000, XC2V2000, XC2V3000
+from repro.flows import parse_constraints, sweep_jobs_for_grid
+from repro.mccdma.casestudy import build_mccdma_graph
+from repro.reconfig import case_a_standalone, case_b_processor
+
+PINS = (("bit_src", "DSP"), ("select", "DSP"))
+
+
+def stock_jobs():
+    return sweep_jobs_for_grid(
+        build_mccdma_graph(),
+        default_library(),
+        devices=(XC2V1000, XC2V2000, XC2V3000),
+        architectures=(case_a_standalone(), case_b_processor()),
+        dynamic_constraints=parse_constraints(CASE_STUDY_CONSTRAINTS),
+        pins=PINS,
+    )
+
+
+def run_sweep(jobs: int, cache_dir) -> dict:
+    start = time.perf_counter()
+    report = ParallelSweepEngine(
+        jobs=jobs, timeout_s=600, retries=1, cache_dir=cache_dir
+    ).run(stock_jobs())
+    wall = time.perf_counter() - start
+    assert all(r.ok for r in report.results)
+    return {
+        "jobs": jobs,
+        "wall_s": round(wall, 3),
+        "points": len(report.results),
+        "cache_hits": report.cache_hits(),
+        "cache_lookups": report.cache_lookups(),
+        "cache_hit_rate": round(report.cache_hit_rate(), 3),
+    }
+
+
+def test_parallel_sweep_vs_serial(benchmark, tmp_path):
+    """Stock 3x2 grid: serial baseline, then 2 and 4 workers over a shared cache."""
+    serial = run_sweep(0, tmp_path / "serial")
+    rows = [serial]
+    for n in (2, 4):
+        rows.append(run_sweep(n, tmp_path / f"parallel{n}"))
+
+    # The benchmarked quantity: a 4-worker sweep over a cold shared cache.
+    counter = iter(range(1_000_000))
+
+    def cold_parallel():
+        return run_sweep(4, tmp_path / f"bench{next(counter)}")
+
+    timed = benchmark.pedantic(cold_parallel, rounds=3, iterations=1)
+    payload = {
+        "grid": "3 devices x 2 architectures",
+        "serial_wall_s": serial["wall_s"],
+        "speedup_4_workers": round(serial["wall_s"] / timed["wall_s"], 2),
+        "runs": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_sweep_parallel.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    lines = ["jobs  wall_s  cache_hits/lookups"]
+    for row in rows:
+        lines.append(
+            f"{row['jobs'] or 'serial':>6}  {row['wall_s']:6.2f}  "
+            f"{row['cache_hits']}/{row['cache_lookups']}"
+        )
+    write_result("sweep_parallel", "\n".join(lines))

@@ -133,7 +133,10 @@ class Schedule:
 
     def transfers_of_edge(self, edge: Edge) -> list[ScheduledTransfer]:
         return sorted(
-            (t for t in self.transfers if t.edge is edge), key=lambda t: t.hop
+            # Equality, not identity: the schedule may have crossed a process
+            # or cache boundary, so its Edge objects can be equal copies of
+            # the caller's graph edges.
+            (t for t in self.transfers if t.edge == edge), key=lambda t: t.hop
         )
 
     # -- validation ------------------------------------------------------------

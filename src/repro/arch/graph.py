@@ -106,6 +106,38 @@ class ArchitectureGraph:
         self.operator(op_name)
         return [self._media[m] for o, m in sorted(self._links) if o == op_name]
 
+    def device_neutral(self) -> "ArchitectureGraph":
+        """A copy with every operator's ``device`` field blanked.
+
+        The scheduling stages (adequation, refinement, VHDL generation) are
+        cached under keys that deliberately exclude operator devices — see
+        :func:`repro.flows.pipeline.fingerprint_architecture` — so design
+        points differing only in device share those artifacts.  The shared
+        artifact must then not *embed* a device name either, or its bytes
+        would depend on which design point happened to compute it first.
+        """
+        import copy
+        import dataclasses
+
+        neutral = copy.deepcopy(self)
+        neutral._operators = {
+            name: dataclasses.replace(op, device="")
+            for name, op in neutral._operators.items()
+        }
+        return neutral
+
+    def __getstate__(self) -> dict:
+        # Pickle ``_links`` in sorted order: set iteration depends on the
+        # per-process string hash seed, and cached artifacts must serialize
+        # to identical bytes no matter which worker produced them.
+        state = self.__dict__.copy()
+        state["_links"] = sorted(self._links)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._links = set(state["_links"])
+
     def processors(self) -> list[Operator]:
         return [o for o in self._operators.values() if o.is_processor]
 

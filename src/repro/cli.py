@@ -7,6 +7,7 @@ Runs the paper's case study through the flow without writing any code::
     python -m repro macrocode                    # the synchronized executive
     python -m repro vhdl --out build/            # write VHDL + testbenches + UCF
     python -m repro simulate -n 32 --pattern step --policy history
+    python -m repro sweep --jobs 4 --timeout 120 # parallel design-space sweep
 """
 
 from __future__ import annotations
@@ -160,6 +161,67 @@ def _cmd_vhdl(args, out) -> int:
     return 0
 
 
+def _cmd_sweep(args, out) -> int:
+    from repro.exec.engine import ParallelSweepEngine
+    from repro.fabric.device import device_by_name
+    from repro.flows.designspace import design_point_from_payload, sweep_jobs_for_grid
+    from repro.mccdma.casestudy import build_mccdma_design
+
+    design = build_mccdma_design()
+    try:
+        devices = tuple(device_by_name(name.strip()) for name in args.devices.split(","))
+    except KeyError as err:
+        print(f"error: {err.args[0]}", file=out)
+        return 2
+    unknown = [
+        name.strip()
+        for name in args.sweep_architectures.split(",")
+        if name.strip() not in _ARCHITECTURES
+    ]
+    if unknown:
+        print(
+            f"error: unknown architecture(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(_ARCHITECTURES))}",
+            file=out,
+        )
+        return 2
+    architectures = tuple(
+        _ARCHITECTURES[name.strip()]() for name in args.sweep_architectures.split(",")
+    )
+    jobs = sweep_jobs_for_grid(
+        design.graph,
+        design.library,
+        devices=devices,
+        architectures=architectures,
+        dynamic_constraints=parse_constraints(CASE_STUDY_CONSTRAINTS),
+        pins=(("bit_src", "DSP"), ("select", "DSP")),
+        prefetch=not getattr(args, "reactive", False),
+    )
+    log_json = getattr(args, "log_json", None)
+    engine = ParallelSweepEngine(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        cache_dir=args.cache_dir,
+        observer=JsonLinesObserver(log_json) if log_json else None,
+        sweep_name=f"designspace:{design.graph.name}",
+    )
+    report = engine.run(jobs)
+    if getattr(args, "profile", False):
+        print(render_profile(report.events), file=out)
+    if args.json:
+        payload = report.to_dict()
+        payload["points"] = [
+            design_point_from_payload(r).render() for r in report.results
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        for result in report.results:
+            print(design_point_from_payload(result).render(), file=out)
+        print(report.summary(), file=out)
+    return 0 if not report.failed else 1
+
+
 def _make_snr(pattern: str, n: int):
     if pattern == "step":
         return SnrTrace.step(low_db=8.0, high_db=22.0, period=max(1, n // 4), n=n)
@@ -232,6 +294,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--out", required=True, help="output directory")
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parallel design-space sweep of the case study over devices x architectures",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes (0 = serial in-process; default: 2)",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job timeout in seconds (a hung worker fails only its job)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=1, metavar="K",
+        help="retries per job before it is reported failed (default: 1)",
+    )
+    p_sweep.add_argument(
+        "--devices", default="xc2v1000,xc2v2000,xc2v3000",
+        help="comma-separated Virtex-II parts (default: the stock 3-device grid)",
+    )
+    p_sweep.add_argument(
+        "--architectures", dest="sweep_architectures", default="case_a,case_b",
+        help="comma-separated Fig. 2 architectures (default: case_a,case_b)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="shared on-disk artifact cache for all workers (kept across runs)",
+    )
+    p_sweep.add_argument(
+        "--json", action="store_true",
+        help="emit the sweep report as JSON instead of the point table",
+    )
+    p_sweep.add_argument("--reactive", action="store_true", help="reconfiguration-blind executive")
+
     p_sim = sub.add_parser("simulate", help="runtime simulation with real MC-CDMA data")
     p_sim.add_argument("-n", "--iterations", type=int, default=24)
     p_sim.add_argument("--pattern", choices=("step", "walk", "sinus"), default="step")
@@ -251,6 +347,7 @@ _COMMANDS = {
     "vhdl": _cmd_vhdl,
     "export": _cmd_export,
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
 }
 
 

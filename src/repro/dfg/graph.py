@@ -103,9 +103,13 @@ class AlgorithmGraph:
 
     def _resolve(self, op: Operation | str) -> Operation:
         if isinstance(op, Operation):
-            if self._ops.get(op.name) is not op:
+            # Resolve to the graph's own instance: cached/pickled artifacts
+            # (schedules crossing a worker pipe or the disk cache) carry equal
+            # copies, and edge scans below compare by identity.
+            resident = self._ops.get(op.name)
+            if resident != op:
                 raise KeyError(f"operation {op.name!r} is not part of graph {self.name!r}")
-            return op
+            return resident
         try:
             return self._ops[op]
         except KeyError:

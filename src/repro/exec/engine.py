@@ -1,0 +1,458 @@
+"""The parallel sweep engine: multi-process design-space exploration.
+
+:class:`ParallelSweepEngine` shards :class:`~repro.exec.worker.SweepJob`
+records across a pool of ``multiprocessing`` *spawn* workers, each running
+the ordinary :class:`~repro.flows.flow.DesignFlow` pipeline against a
+shared on-disk :class:`~repro.flows.pipeline.ArtifactCache` (safe for
+concurrent access: atomic write-rename, per-key advisory locks,
+corruption-tolerant reads).  The engine owns the scheduler:
+
+- deterministic sharding — jobs are dispatched in submission order to the
+  first idle worker; results are reported in submission order regardless of
+  completion order (the artifacts are content-addressed, so scheduling
+  cannot change them);
+- per-job timeout — a worker that exceeds ``timeout_s`` on one job is
+  terminated; the job re-enters the queue (or is recorded failed) and a
+  replacement worker is spawned;
+- bounded retry with exponential backoff — a job may fail/crash/time out
+  ``retries`` times before it is recorded as failed; each retry waits
+  ``backoff_s * 2**(attempt-1)``;
+- graceful degradation — a crashed or hung worker fails only its own job;
+  the sweep always completes and reports partial results.
+
+Every worker streams its pipeline stage events and job lifecycle messages
+back over its result pipe; the engine forwards them (and its own
+:class:`~repro.exec.events.SweepEvent` records) to one
+:class:`~repro.flows.observe.FlowObserver`, so ``--profile`` and
+``--log-json`` cover parallel runs exactly as they cover serial ones.
+
+Worker pipes are deliberately one-per-worker (no shared queue): killing a
+hung worker can then never corrupt or deadlock a lock shared with its
+siblings — its pipe simply reads EOF.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+from time import monotonic, perf_counter
+from typing import Any, Optional, Sequence
+
+from repro.exec.events import SweepEvent
+from repro.exec.worker import SweepJob, run_job, worker_main
+from repro.flows.observe import FlowEvent, FlowObserver, LoggingObserver
+from repro.flows.pipeline import ArtifactCache
+
+__all__ = ["SweepJobResult", "SweepReport", "ParallelSweepEngine"]
+
+#: Seconds granted to a stopping/killed worker before escalating.
+_JOIN_GRACE_S = 5.0
+
+
+@dataclass
+class SweepJobResult:
+    """Outcome of one job, after all attempts."""
+
+    job_id: str
+    ok: bool
+    attempts: int
+    wall_time_s: float
+    payload: Optional[dict[str, Any]] = None  #: run_job() result when ok
+    error: Optional[str] = None  #: last failure reason when not ok
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "wall_time_s": self.wall_time_s,
+            "payload": self.payload,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced, results in submission order."""
+
+    sweep: str
+    results: list[SweepJobResult]
+    wall_time_s: float
+    #: Every FlowEvent the engine forwarded: worker stage events plus the
+    #: engine's own ``sweep:*`` lifecycle events, in arrival order.
+    events: list[FlowEvent] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> list[SweepJobResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> list[SweepJobResult]:
+        return [r for r in self.results if not r.ok]
+
+    def stage_events(self) -> list[FlowEvent]:
+        """The per-stage pipeline events (cache traffic) of all workers."""
+        return [e for e in self.events if not e.stage.startswith("sweep:")]
+
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.stage_events() if e.cache_hit)
+
+    def cache_lookups(self) -> int:
+        return len(self.stage_events())
+
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_lookups()
+        return self.cache_hits() / lookups if lookups else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"sweep {self.sweep}: {len(self.succeeded)}/{len(self.results)} jobs ok "
+            f"in {self.wall_time_s:.2f} s, stage cache {self.cache_hits()}/"
+            f"{self.cache_lookups()} hit ({100 * self.cache_hit_rate():.0f}%)"
+        ]
+        for result in self.failed:
+            lines.append(
+                f"  FAILED {result.job_id} after {result.attempts} attempt(s): {result.error}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "sweep": self.sweep,
+            "wall_time_s": self.wall_time_s,
+            "jobs": len(self.results),
+            "succeeded": len(self.succeeded),
+            "failed": len(self.failed),
+            "cache_hits": self.cache_hits(),
+            "cache_lookups": self.cache_lookups(),
+            "cache_hit_rate": self.cache_hit_rate(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+class _WorkerHandle:
+    """Engine-side bookkeeping for one worker process."""
+
+    def __init__(self, worker_id: int, process, conn):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        #: (job, attempt, deadline_monotonic|None, dispatched_at) while busy.
+        self.current: Optional[tuple[SweepJob, int, Optional[float], float]] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+
+class ParallelSweepEngine:
+    """Schedule sweep jobs over a pool of spawn workers; see module docs.
+
+    ``jobs=0`` (or 1 with ``serial_inline=True``) degrades to a fully
+    in-process serial run through the very same :func:`run_job` code path —
+    useful on platforms where process spawn is expensive and as the
+    reference for byte-identity checks.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        backoff_s: float = 0.05,
+        cache_dir: Optional[str | Path] = None,
+        observer: Optional[FlowObserver] = None,
+        sweep_name: str = "sweep",
+    ):
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = serial in-process)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.n_workers = jobs
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.observer = observer if observer is not None else LoggingObserver()
+        self.sweep_name = sweep_name
+        self._events: list[FlowEvent] = []
+        self._worker_seq = itertools.count()
+
+    # -- event plumbing ---------------------------------------------------------
+
+    def _emit_flow(self, event: FlowEvent) -> None:
+        self._events.append(event)
+        self.observer.on_event(event)
+
+    def _emit(self, kind: str, **kwargs) -> None:
+        self._emit_flow(SweepEvent(kind=kind, sweep=self.sweep_name, **kwargs).to_flow_event())
+
+    # -- serial fallback --------------------------------------------------------
+
+    def _run_serial(self, jobs: Sequence[SweepJob]) -> SweepReport:
+        import pickle
+
+        cache = ArtifactCache(disk_dir=self.cache_dir) if self.cache_dir else ArtifactCache()
+        results: list[SweepJobResult] = []
+        sweep_started = perf_counter()
+        for job in jobs:
+            # Cross the same pickle boundary a worker pipe imposes, so the
+            # serial path produces byte-identical artifacts to parallel runs.
+            job = pickle.loads(pickle.dumps(job))
+            last_error = None
+            for attempt in range(1, self.retries + 2):
+                self._emit("job_started", job=job.job_id, attempt=attempt)
+                started = perf_counter()
+                try:
+                    payload = run_job(job, attempt=attempt, cache=cache, observer=self)
+                except Exception as err:
+                    wall = perf_counter() - started
+                    last_error = f"{type(err).__name__}: {err}"
+                    if attempt <= self.retries:
+                        self._emit(
+                            "job_retried", job=job.job_id, attempt=attempt,
+                            wall_time_s=wall, detail=last_error,
+                        )
+                        continue
+                    self._emit(
+                        "job_failed", job=job.job_id, attempt=attempt,
+                        wall_time_s=wall, detail=last_error,
+                    )
+                    results.append(
+                        SweepJobResult(job.job_id, ok=False, attempts=attempt,
+                                       wall_time_s=wall, error=last_error)
+                    )
+                    break
+                wall = perf_counter() - started
+                self._emit("job_finished", job=job.job_id, attempt=attempt, wall_time_s=wall)
+                results.append(
+                    SweepJobResult(job.job_id, ok=True, attempts=attempt,
+                                   wall_time_s=wall, payload=payload)
+                )
+                break
+        return self._finish(jobs, {r.job_id: r for r in results}, sweep_started)
+
+    def on_event(self, event: FlowEvent) -> None:
+        """FlowObserver protocol: the serial path forwards stage events here."""
+        self._emit_flow(event)
+
+    # -- the parallel scheduler -------------------------------------------------
+
+    def run(self, jobs: Sequence[SweepJob]) -> SweepReport:
+        """Run every job; always returns a complete :class:`SweepReport`."""
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate job ids: {ids}")
+        self._events = []
+        if not jobs:
+            return self._finish(jobs, {}, perf_counter())
+        if self.n_workers == 0:
+            return self._run_serial(jobs)
+
+        sweep_started = perf_counter()
+        ctx = multiprocessing.get_context("spawn")
+        #: min-heap of (eligible_at_monotonic, seq, job, attempt)
+        pending: list[tuple[float, int, SweepJob, int]] = []
+        seq = itertools.count()
+        for job in jobs:
+            heapq.heappush(pending, (0.0, next(seq), job, 1))
+        results: dict[str, SweepJobResult] = {}
+        workers: dict[int, _WorkerHandle] = {}
+
+        def spawn_worker() -> None:
+            worker_id = next(self._worker_seq)
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=worker_main,
+                args=(child_conn, worker_id, self.cache_dir),
+                name=f"{self.sweep_name}-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers[worker_id] = _WorkerHandle(worker_id, process, parent_conn)
+            self._emit("worker_spawned", worker=worker_id)
+
+        def remove_worker(handle: _WorkerHandle, *, kill: bool) -> None:
+            workers.pop(handle.worker_id, None)
+            if kill:
+                handle.process.terminate()
+            handle.process.join(_JOIN_GRACE_S)
+            if handle.process.is_alive():  # pragma: no cover - stubborn child
+                handle.process.kill()
+                handle.process.join(_JOIN_GRACE_S)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+
+        def fail_attempt(handle: _WorkerHandle, reason: str, wall: float) -> None:
+            assert handle.current is not None
+            job, attempt, _, _ = handle.current
+            handle.current = None
+            if attempt <= self.retries:
+                eligible = monotonic() + self.backoff_s * (2 ** (attempt - 1))
+                heapq.heappush(pending, (eligible, next(seq), job, attempt + 1))
+                self._emit(
+                    "job_retried", job=job.job_id, worker=handle.worker_id,
+                    attempt=attempt, wall_time_s=wall, detail=reason,
+                )
+            else:
+                results[job.job_id] = SweepJobResult(
+                    job.job_id, ok=False, attempts=attempt, wall_time_s=wall, error=reason
+                )
+                self._emit(
+                    "job_failed", job=job.job_id, worker=handle.worker_id,
+                    attempt=attempt, wall_time_s=wall, detail=reason,
+                )
+
+        def unassigned() -> int:
+            return len(pending)
+
+        def ensure_workers() -> None:
+            while len(workers) < min(self.n_workers, len(workers) + unassigned()):
+                spawn_worker()
+
+        ensure_workers()
+        try:
+            while len(results) < len(jobs):
+                now = monotonic()
+                # 1. dispatch eligible pending jobs to idle workers
+                idle = [h for h in workers.values() if not h.busy]
+                for handle in idle:
+                    if not pending or pending[0][0] > now:
+                        break
+                    _, _, job, attempt = heapq.heappop(pending)
+                    deadline = now + self.timeout_s if self.timeout_s is not None else None
+                    handle.current = (job, attempt, deadline, now)
+                    handle.conn.send(("job", job, attempt))
+                    self._emit(
+                        "job_dispatched", job=job.job_id,
+                        worker=handle.worker_id, attempt=attempt,
+                    )
+
+                # 2. how long may we sleep?
+                wake_times = [
+                    h.current[2] for h in workers.values() if h.busy and h.current[2] is not None
+                ]
+                if pending:
+                    wake_times.append(pending[0][0])
+                timeout = max(0.0, min(wake_times) - monotonic()) if wake_times else None
+
+                # 3. wait for traffic
+                conn_to_handle = {h.conn: h for h in workers.values()}
+                if conn_to_handle:
+                    ready = connection_wait(list(conn_to_handle), timeout)
+                elif pending:  # every worker died; back off until eligibility
+                    if timeout:
+                        import time as _time
+
+                        _time.sleep(min(timeout, 0.1))
+                    ready = []
+                else:  # pragma: no cover - defensive: nothing to wait for
+                    ready = []
+
+                # 4. drain messages
+                for conn in ready:
+                    handle = conn_to_handle[conn]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        wall = monotonic() - handle.current[3] if handle.busy else 0.0
+                        self._emit(
+                            "worker_crashed", worker=handle.worker_id,
+                            detail="connection lost",
+                            job=handle.current[0].job_id if handle.busy else "",
+                        )
+                        if handle.busy:
+                            fail_attempt(handle, "worker crashed (connection lost)", wall)
+                        remove_worker(handle, kill=True)
+                        continue
+                    kind = message[0]
+                    if kind == "ready":
+                        continue
+                    if kind == "started":
+                        _, job_id, attempt = message
+                        self._emit(
+                            "job_started", job=job_id,
+                            worker=handle.worker_id, attempt=attempt,
+                        )
+                    elif kind == "event":
+                        self._emit_flow(message[1])
+                    elif kind == "done":
+                        _, job_id, payload, wall = message
+                        job, attempt, _, _ = handle.current
+                        handle.current = None
+                        results[job_id] = SweepJobResult(
+                            job_id, ok=True, attempts=attempt,
+                            wall_time_s=wall, payload=payload,
+                        )
+                        self._emit(
+                            "job_finished", job=job_id, worker=handle.worker_id,
+                            attempt=attempt, wall_time_s=wall,
+                            metrics={"fits": payload.get("fits")},
+                        )
+                    elif kind == "fail":
+                        _, job_id, error, _tb, wall = message
+                        fail_attempt(handle, error, wall)
+
+                # 5. enforce per-job deadlines
+                now = monotonic()
+                for handle in list(workers.values()):
+                    if not handle.busy:
+                        continue
+                    job, attempt, deadline, dispatched = handle.current
+                    if deadline is not None and now >= deadline:
+                        self._emit(
+                            "job_timeout", job=job.job_id, worker=handle.worker_id,
+                            attempt=attempt, wall_time_s=now - dispatched,
+                            detail=f"exceeded {self.timeout_s} s",
+                        )
+                        fail_attempt(
+                            handle, f"timed out after {self.timeout_s} s", now - dispatched
+                        )
+                        remove_worker(handle, kill=True)
+
+                ensure_workers()
+        finally:
+            for handle in list(workers.values()):
+                try:
+                    handle.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for handle in list(workers.values()):
+                remove_worker(handle, kill=False)
+
+        return self._finish(jobs, results, sweep_started)
+
+    def _finish(
+        self,
+        jobs: Sequence[SweepJob],
+        results: dict[str, SweepJobResult],
+        sweep_started: float,
+    ) -> SweepReport:
+        ordered = [results[job.job_id] for job in jobs if job.job_id in results]
+        report = SweepReport(
+            sweep=self.sweep_name,
+            results=ordered,
+            wall_time_s=perf_counter() - sweep_started,
+            events=list(self._events),
+        )
+        self._emit(
+            "sweep_completed",
+            wall_time_s=report.wall_time_s,
+            metrics={
+                "jobs": len(report.results),
+                "failed": len(report.failed),
+                "cache_hits": report.cache_hits(),
+                "cache_lookups": report.cache_lookups(),
+            },
+        )
+        report.events = list(self._events)
+        return report

@@ -1,0 +1,76 @@
+"""Structured sweep-engine events, bridged into the flow-observer layer.
+
+The :class:`~repro.exec.engine.ParallelSweepEngine` narrates a sweep with
+:class:`SweepEvent` records: one per job lifecycle step (dispatched,
+started, finished, retried, timed out, failed), per worker lifecycle step
+(spawned, crashed, stopped) and one summary when the sweep completes.
+
+Rather than inventing a second observer protocol, every ``SweepEvent``
+converts to a :class:`~repro.flows.observe.FlowEvent` (stage name
+``sweep:<kind>``) via :meth:`SweepEvent.to_flow_event`, so the existing
+sinks — ``JsonLinesObserver`` for ``--log-json``, ``RecordingObserver`` for
+tests, ``render_profile`` for ``--profile`` — cover parallel runs with no
+changes.  Worker processes additionally stream the ordinary per-stage
+``FlowEvent`` records of their pipelines back to the engine, which forwards
+them to the same observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.flows.observe import FlowEvent
+
+__all__ = ["SweepEvent", "SWEEP_EVENT_KINDS"]
+
+#: Every kind a :class:`SweepEvent` may carry.
+SWEEP_EVENT_KINDS = (
+    "job_dispatched",
+    "job_started",
+    "job_finished",
+    "job_failed",
+    "job_retried",
+    "job_timeout",
+    "worker_spawned",
+    "worker_crashed",
+    "worker_stopped",
+    "cache_warning",
+    "sweep_completed",
+)
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One step in the life of a parallel sweep."""
+
+    kind: str  #: one of :data:`SWEEP_EVENT_KINDS`
+    sweep: str = "sweep"  #: sweep identity (the engine's ``sweep_name``)
+    job: str = ""  #: job id, empty for worker/sweep-level events
+    worker: Optional[int] = None  #: worker index, when attributable
+    attempt: int = 0  #: 1-based attempt number for job events
+    wall_time_s: float = 0.0  #: job wall time where known
+    detail: str = ""  #: human-readable context (error text, reason)
+    metrics: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SWEEP_EVENT_KINDS:
+            raise ValueError(f"unknown sweep event kind {self.kind!r}")
+
+    def to_flow_event(self) -> FlowEvent:
+        """The observer-layer rendering of this event."""
+        metrics = dict(self.metrics)
+        if self.worker is not None:
+            metrics.setdefault("worker", self.worker)
+        if self.attempt:
+            metrics.setdefault("attempt", self.attempt)
+        if self.detail:
+            metrics.setdefault("detail", self.detail)
+        return FlowEvent(
+            flow=f"{self.sweep}/{self.job}" if self.job else self.sweep,
+            stage=f"sweep:{self.kind}",
+            cache_hit=False,
+            wall_time_s=self.wall_time_s,
+            fingerprint="",
+            metrics=metrics,
+        )

@@ -1,0 +1,98 @@
+"""Cross-process file primitives for the shared artifact cache.
+
+Two building blocks keep the on-disk :class:`~repro.flows.pipeline.ArtifactCache`
+safe when several worker processes hammer the same directory:
+
+- :class:`FileLock` — a per-key advisory lock (``fcntl.flock`` where
+  available, a documented no-op elsewhere) used to serialize writers of the
+  same cache entry;
+- :func:`atomic_write_bytes` — write-to-unique-temp + ``os.replace`` so a
+  reader never observes a partially written file, even without any lock.
+
+On POSIX ``os.replace`` is atomic within a filesystem, so *readers* need no
+lock at all: they either see the old complete file or the new complete file.
+The advisory lock exists to serialize *writers* (avoiding duplicate work and
+temp-file churn) and to make delete-corrupt-entry safe.  This module has no
+dependencies inside ``repro`` so any layer may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import itertools
+from pathlib import Path
+from typing import Optional
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "atomic_write_bytes"]
+
+#: Process-local counter making concurrent temp names unique within one PID.
+_tmp_counter = itertools.count()
+
+
+class FileLock:
+    """Advisory exclusive lock on ``path`` (created on demand).
+
+    Context manager; re-entrant use is not supported.  Where ``fcntl`` is
+    unavailable the lock degrades to a no-op — correctness is then carried
+    entirely by :func:`atomic_write_bytes`'s write-rename protocol, which
+    never exposes partial files (last writer wins, both writing identical
+    content-addressed bytes).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = None
+
+    @property
+    def locked(self) -> bool:
+        return self._fh is not None
+
+    def acquire(self) -> None:
+        if self._fh is not None:
+            raise RuntimeError(f"lock {self.path} is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.path, "ab")
+        if fcntl is not None:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        self._fh = fh
+
+    def release(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        finally:
+            fh.close()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers never see a partial file.
+
+    The payload lands in a temp file unique to (pid, counter) in the same
+    directory, then ``os.replace`` swaps it in atomically.  Concurrent
+    writers of the same content-addressed entry race harmlessly: both write
+    identical bytes and the last rename wins.
+    """
+    target = Path(path)
+    tmp: Optional[Path] = target.parent / f".{target.name}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+        tmp = None
+    finally:
+        if tmp is not None:
+            tmp.unlink(missing_ok=True)

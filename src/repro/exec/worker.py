@@ -1,0 +1,228 @@
+"""Worker-side half of the parallel sweep engine.
+
+A worker process is spawned with one end of a duplex pipe and loops over a
+simple message protocol:
+
+- engine → worker: ``("job", SweepJob, attempt)`` or ``("stop",)``;
+- worker → engine: ``("ready", worker_id)`` once imports complete,
+  ``("started", job_id, attempt)`` when a job begins,
+  ``("event", FlowEvent)`` for every pipeline stage event (streamed live so
+  the engine's observer sees parallel stage traffic as it happens),
+  ``("done", job_id, payload, wall_time_s)`` on success and
+  ``("fail", job_id, error, traceback, wall_time_s)`` on any exception.
+
+:class:`SweepJob` is the picklable unit of work — it carries real model
+objects (graph, library, device, reconfiguration architecture, parsed
+dynamic constraints), mapping pins as plain pairs instead of a callable,
+and the board factory as an ``"module:attr"`` entrypoint so the spawn
+context can rebuild everything by import.  :func:`run_job` is the pure
+"evaluate one design point" function; the engine's serial fallback and the
+tests call it in-process.
+
+``fault`` is a deliberate fault-injection hook (``raise``, ``exit``,
+``hang``, ``sleep:<s>``, ``fail_below:<n>``) used to validate the engine's
+retry, timeout and graceful-degradation semantics.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+import traceback
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Optional
+
+from repro.arch.boards import Board
+from repro.dfg.graph import AlgorithmGraph
+from repro.dfg.library import OperationLibrary
+from repro.fabric.device import VirtexIIDevice
+from repro.fabric.floorplan import FloorplanError
+from repro.flows.constraints import DynamicConstraints
+from repro.flows.flow import DesignFlow
+from repro.flows.observe import FlowEvent, FlowObserver
+from repro.flows.pipeline import ArtifactCache
+from repro.reconfig.architectures import ReconfigArchitecture
+
+__all__ = ["SweepJob", "run_job", "resolve_entrypoint", "worker_main"]
+
+#: Default board factory entrypoint (the paper's Sundance platform).
+DEFAULT_BOARD_BUILDER = "repro.arch.boards:sundance_board"
+
+
+def resolve_entrypoint(spec: str) -> Callable:
+    """Import ``"package.module:attr"`` and return the attribute."""
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(f"entrypoint must look like 'package.module:attr', got {spec!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError as err:
+        raise ValueError(f"module {module_name!r} has no attribute {attr!r}") from err
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One picklable design-point evaluation.
+
+    Everything a spawn-context worker needs to rebuild the flow: model
+    objects travel by value (all are plain-data and pickle cleanly),
+    callables travel as importable entrypoints or data (``pins`` replaces
+    ``configure_flow``-style lambdas).
+    """
+
+    job_id: str
+    graph: AlgorithmGraph
+    library: OperationLibrary
+    device: VirtexIIDevice
+    architecture: ReconfigArchitecture
+    board_builder: str = DEFAULT_BOARD_BUILDER
+    dynamic_constraints: Optional[DynamicConstraints] = None
+    pins: tuple[tuple[str, str], ...] = ()
+    prefetch: bool = True
+    iteration_deadline_ns: Optional[int] = None
+    #: Fault-injection hook for engine validation; see module docstring.
+    fault: Optional[str] = None
+
+
+def _apply_fault(fault: Optional[str], attempt: int) -> None:
+    if not fault:
+        return
+    if fault == "raise":
+        raise RuntimeError(f"injected fault (attempt {attempt})")
+    if fault == "exit":  # simulate a hard crash (segfault-style death)
+        import os
+
+        os._exit(13)
+    if fault == "hang":
+        time.sleep(3600.0)
+        return
+    if fault.startswith("sleep:"):
+        time.sleep(float(fault.split(":", 1)[1]))
+        return
+    if fault.startswith("fail_below:"):
+        threshold = int(fault.split(":", 1)[1])
+        if attempt < threshold:
+            raise RuntimeError(f"injected fault (attempt {attempt} < {threshold})")
+        return
+    raise ValueError(f"unknown fault spec {fault!r}")
+
+
+def build_board(job: SweepJob) -> Board:
+    return resolve_entrypoint(job.board_builder)(device=job.device)
+
+
+def run_job(
+    job: SweepJob,
+    attempt: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    observer: Optional[FlowObserver] = None,
+) -> dict[str, Any]:
+    """Evaluate one design point; returns a JSON-safe result payload.
+
+    A floorplanning failure is a *result* (``fits: false``), not an error —
+    matching :func:`repro.flows.designspace.explore_design_space`.  Any
+    other exception propagates to the caller (the worker loop reports it to
+    the engine, which retries or records the failure).
+    """
+    _apply_fault(job.fault, attempt)
+    flow = DesignFlow(
+        graph=job.graph,
+        board=build_board(job),
+        library=job.library,
+        dynamic_constraints=job.dynamic_constraints,
+        reconfig_architecture=job.architecture,
+        prefetch=job.prefetch,
+        iteration_deadline_ns=job.iteration_deadline_ns,
+        cache=cache,
+        observer=observer,
+    )
+    for operation, operator in job.pins:
+        flow.mapping.pin(operation, operator)
+    payload: dict[str, Any] = {
+        "job_id": job.job_id,
+        "device": job.device.name,
+        "architecture": job.architecture.name,
+    }
+    try:
+        result = flow.run()
+    except FloorplanError as err:
+        payload.update({"fits": False, "error": str(err)})
+        return payload
+    regions = result.modular.floorplan.placements
+    payload.update(
+        {
+            "fits": True,
+            "error": None,
+            "region_area": {r: result.modular.region_area_fraction(r) for r in regions},
+            "bitstream_bytes": {
+                r: result.modular.floorplan.partial_bitstream_bytes(r) for r in regions
+            },
+            "reconfig_latency_ns": dict(result.modular.reconfig_latency_ns),
+            "clock_mhz": result.modular.par_report.clock_mhz,
+            "makespan_ns": result.makespan_ns,
+            "first_pass_makespan_ns": result.first_pass_makespan_ns,
+            "cache_stats": cache.stats.to_dict() if cache is not None else None,
+        }
+    )
+    return payload
+
+
+@dataclass
+class _PipeObserver:
+    """Streams each pipeline stage event back to the engine live."""
+
+    conn: Any
+    events: list[FlowEvent] = field(default_factory=list)
+
+    def on_event(self, event: FlowEvent) -> None:
+        self.events.append(event)
+        try:
+            self.conn.send(("event", event))
+        except (BrokenPipeError, OSError):  # engine went away; keep computing
+            pass
+
+
+def worker_main(conn, worker_id: int, cache_dir: Optional[str]) -> None:
+    """Process entrypoint: serve jobs from ``conn`` until ``stop`` or EOF.
+
+    The worker keeps one :class:`ArtifactCache` for its whole life, so its
+    in-memory tier stays warm across the jobs it is assigned; with a
+    ``cache_dir`` the disk tier is also shared with every sibling worker.
+    """
+    cache = ArtifactCache(disk_dir=cache_dir) if cache_dir else ArtifactCache()
+    observer = _PipeObserver(conn)
+    try:
+        conn.send(("ready", worker_id))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "stop":
+                break
+            _, job, attempt = message
+            started = perf_counter()
+            conn.send(("started", job.job_id, attempt))
+            try:
+                payload = run_job(job, attempt=attempt, cache=cache, observer=observer)
+            except Exception as err:  # reported to the engine, never fatal here
+                conn.send(
+                    (
+                        "fail",
+                        job.job_id,
+                        f"{type(err).__name__}: {err}",
+                        traceback.format_exc(),
+                        perf_counter() - started,
+                    )
+                )
+            else:
+                conn.send(("done", job.job_id, payload, perf_counter() - started))
+    except (BrokenPipeError, OSError):  # engine died; exit quietly
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

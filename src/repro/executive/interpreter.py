@@ -72,32 +72,49 @@ class ConditionContext:
 
 
 class FixedLatencyConfigService:
-    """Minimal configuration service: fixed swap latency, no prefetch.
+    """Minimal configuration service: fixed swap latency, optional prefetch.
 
     The real runtime reconfiguration manager (:mod:`repro.reconfig.manager`)
     implements this same protocol; this stub lets the executive be tested in
     isolation and doubles as the "no manager intelligence" baseline.
+
+    Prefetch hints (:meth:`notify_select`) are **always counted**
+    (``hints_seen``) so executive-level benchmarks can report hint traffic,
+    and are **acted on only when** the service is built with
+    ``prefetch=True``: the hinted swap starts immediately and a later demand
+    for the same module stalls only for the remaining swap time.  The
+    default (``prefetch=False``) is the documented reactive baseline — hints
+    are observed but deliberately not acted on.
+
+    ``stall_ns`` accounts the *demand-visible* wait: a purely reactive swap
+    contributes its full latency (as before), a prefetched swap only the
+    part that overlaps the demand.
     """
 
-    def __init__(self, sim: Simulator, latency_ns: int, trace: Optional[Trace] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_ns: int,
+        trace: Optional[Trace] = None,
+        prefetch: bool = False,
+    ):
         if latency_ns < 0:
             raise ValueError("latency must be >= 0")
         self.sim = sim
         self.latency_ns = latency_ns
         self.trace = trace
+        self.prefetch = prefetch
         self.loaded: dict[str, Optional[str]] = {}
         self.swap_count = 0
         self.stall_ns = 0
+        self.hints_seen = 0
+        self.prefetch_starts = 0
+        #: region -> (module being configured, completion event, expected end time)
+        self._in_flight: dict[str, tuple[str, Event, int]] = {}
 
-    def notify_select(self, region: str, module: str) -> None:
-        """Prefetch hint — ignored by the fixed-latency stub."""
-
-    def ensure_loaded(self, region: str, module: str) -> Event:
-        """Event that fires once ``module`` is configured on ``region``."""
-        ev = self.sim.event(name=f"cfg:{region}<-{module}")
-        if self.loaded.get(region) == module:
-            ev.succeed()
-            return ev
+    def _start_swap(self, region: str, module: str) -> Event:
+        done = self.sim.event(name=f"swap:{region}<-{module}")
+        self._in_flight[region] = (module, done, self.sim.now + self.latency_ns)
 
         def swap():
             start = self.sim.now
@@ -106,12 +123,60 @@ class FixedLatencyConfigService:
             yield self.sim.timeout(self.latency_ns)
             self.loaded[region] = module
             self.swap_count += 1
-            self.stall_ns += self.sim.now - start
             if self.trace:
                 self.trace.end(self.sim.now, f"region.{region}", "reconfig")
-            ev.succeed()
+            self._in_flight.pop(region, None)
+            done.succeed()
 
         self.sim.process(swap(), name=f"swap:{region}")
+        return done
+
+    def _chain(self, source: Event, target: Event) -> None:
+        def forward():
+            yield source
+            target.succeed()
+
+        self.sim.process(forward(), name="cfg-chain")
+
+    def notify_select(self, region: str, module: str) -> None:
+        """Prefetch hint: counted always, acted on when ``prefetch=True``."""
+        self.hints_seen += 1
+        if not self.prefetch:
+            return
+        if self.loaded.get(region) == module and region not in self._in_flight:
+            return
+        if region in self._in_flight:  # one swap at a time per region
+            return
+        self.prefetch_starts += 1
+        self._start_swap(region, module)
+
+    def ensure_loaded(self, region: str, module: str) -> Event:
+        """Event that fires once ``module`` is configured on ``region``."""
+        ev = self.sim.event(name=f"cfg:{region}<-{module}")
+        in_flight = self._in_flight.get(region)
+        if in_flight is None:
+            if self.loaded.get(region) == module:
+                ev.succeed()
+                return ev
+            self.stall_ns += self.latency_ns
+            self._chain(self._start_swap(region, module), ev)
+            return ev
+        flight_module, done, expected_end = in_flight
+        self.stall_ns += max(0, expected_end - self.sim.now)
+        if flight_module == module:  # demand absorbed by the prefetch in flight
+            self._chain(done, ev)
+            return ev
+
+        # Wrong module mid-swap (mispredicted hint): swap again afterwards.
+        self.stall_ns += self.latency_ns
+
+        def follow():
+            yield done
+            second = self._start_swap(region, module)
+            yield second
+            ev.succeed()
+
+        self.sim.process(follow(), name=f"follow:{region}")
         return ev
 
 

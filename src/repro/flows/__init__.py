@@ -38,7 +38,12 @@ from repro.flows.pipeline import ArtifactCache, CacheStats, FlowPipeline, Stage,
 from repro.flows.flow import STAGE_NAMES, DesignFlow, FlowResult, TimingConstraintError
 from repro.flows.runtime import RuntimeResult, SystemSimulation
 from repro.flows.report import table1_report
-from repro.flows.designspace import DesignPoint, explore_design_space
+from repro.flows.designspace import (
+    DesignPoint,
+    design_point_from_payload,
+    explore_design_space,
+    sweep_jobs_for_grid,
+)
 
 __all__ = [
     "ConstraintsError",
@@ -67,5 +72,7 @@ __all__ = [
     "SystemSimulation",
     "table1_report",
     "DesignPoint",
+    "design_point_from_payload",
     "explore_design_space",
+    "sweep_jobs_for_grid",
 ]

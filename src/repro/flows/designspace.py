@@ -9,7 +9,8 @@ and Fig. 2 manager/builder placements?
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
 
 from repro.arch.boards import Board, sundance_board
 from repro.dfg.graph import AlgorithmGraph
@@ -22,7 +23,12 @@ from repro.flows.observe import FlowObserver
 from repro.flows.pipeline import ArtifactCache
 from repro.reconfig.architectures import ReconfigArchitecture, case_a_standalone, case_b_processor
 
-__all__ = ["DesignPoint", "explore_design_space"]
+__all__ = [
+    "DesignPoint",
+    "explore_design_space",
+    "sweep_jobs_for_grid",
+    "design_point_from_payload",
+]
 
 
 @dataclass
@@ -53,6 +59,97 @@ class DesignPoint:
         )
 
 
+def sweep_jobs_for_grid(
+    graph: AlgorithmGraph,
+    library: OperationLibrary,
+    devices: Sequence[VirtexIIDevice] = (XC2V1000, XC2V2000, XC2V3000),
+    architectures: Sequence[ReconfigArchitecture] = (),
+    dynamic_constraints: Optional[DynamicConstraints] = None,
+    pins: Sequence[tuple[str, str]] = (),
+    board_builder: str = "repro.arch.boards:sundance_board",
+    prefetch: bool = True,
+) -> list:
+    """Picklable :class:`~repro.exec.worker.SweepJob` list for the grid.
+
+    Job ids are ``<device>@<architecture>``, enumerated devices-major —
+    the same order :func:`explore_design_space` evaluates serially, so the
+    engine's submission-ordered results line up with the serial points.
+    """
+    from repro.exec.worker import SweepJob
+
+    archs = list(architectures) or [case_a_standalone(), case_b_processor()]
+    return [
+        SweepJob(
+            job_id=f"{device.name}@{arch.name}",
+            graph=graph,
+            library=library,
+            device=device,
+            architecture=arch,
+            board_builder=board_builder,
+            dynamic_constraints=dynamic_constraints,
+            pins=tuple(pins),
+            prefetch=prefetch,
+        )
+        for device in devices
+        for arch in archs
+    ]
+
+
+def design_point_from_payload(result) -> DesignPoint:
+    """Rebuild a :class:`DesignPoint` from one engine job result."""
+    if not result.ok:
+        device, _, architecture = result.job_id.partition("@")
+        return DesignPoint(
+            device=device,
+            architecture=architecture,
+            fits=False,
+            error=f"job failed after {result.attempts} attempt(s): {result.error}",
+        )
+    payload: dict[str, Any] = result.payload
+    if not payload["fits"]:
+        return DesignPoint(
+            device=payload["device"],
+            architecture=payload["architecture"],
+            fits=False,
+            error=payload["error"],
+        )
+    return DesignPoint(
+        device=payload["device"],
+        architecture=payload["architecture"],
+        fits=True,
+        region_area=dict(payload["region_area"]),
+        bitstream_bytes=dict(payload["bitstream_bytes"]),
+        reconfig_latency_ns=dict(payload["reconfig_latency_ns"]),
+        clock_mhz=payload["clock_mhz"],
+        makespan_ns=payload["makespan_ns"],
+    )
+
+
+def _explore_parallel(
+    graph, library, devices, architectures, dynamic_constraints, pins,
+    jobs, timeout_s, retries, cache_dir, observer,
+) -> list[DesignPoint]:
+    from repro.exec.engine import ParallelSweepEngine
+
+    sweep_jobs = sweep_jobs_for_grid(
+        graph, library,
+        devices=devices,
+        architectures=architectures,
+        dynamic_constraints=dynamic_constraints,
+        pins=pins,
+    )
+    engine = ParallelSweepEngine(
+        jobs=jobs,
+        timeout_s=timeout_s,
+        retries=retries,
+        cache_dir=cache_dir,
+        observer=observer,
+        sweep_name=f"designspace:{graph.name}",
+    )
+    report = engine.run(sweep_jobs)
+    return [design_point_from_payload(r) for r in report.results]
+
+
 def explore_design_space(
     graph: AlgorithmGraph,
     library: OperationLibrary,
@@ -61,17 +158,24 @@ def explore_design_space(
     board_factory: Callable[[VirtexIIDevice], Board] = lambda dev: sundance_board(device=dev),
     dynamic_constraints: Optional[DynamicConstraints] = None,
     configure_flow: Optional[Callable[[DesignFlow], None]] = None,
+    pins: Sequence[tuple[str, str]] = (),
     keep_flow_results: bool = False,
     cache: Optional[ArtifactCache] = None,
     share_cache: bool = True,
     observer: Optional[FlowObserver] = None,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    cache_dir: Optional[str | Path] = None,
 ) -> list[DesignPoint]:
     """Run the full flow at every (device, architecture) point.
 
     Points that do not fit (floorplanning fails) are reported, not raised.
-    ``configure_flow`` may pin mappings or set deadlines per flow;
-    ``keep_flow_results`` attaches the complete :class:`FlowResult` to each
-    fitting point (memory-heavy for large sweeps).
+    ``configure_flow`` may pin mappings or set deadlines per flow (serial
+    only — it cannot cross a process boundary); ``pins`` is its picklable
+    subset, ``(operation, operator)`` pairs applied to every flow in both
+    modes.  ``keep_flow_results`` attaches the complete :class:`FlowResult`
+    to each fitting point (memory-heavy for large sweeps).
 
     All points run through one shared content-addressed
     :class:`ArtifactCache` (pass ``cache=`` to reuse yours across sweeps, or
@@ -80,8 +184,32 @@ def explore_design_space(
     adequation, VHDL generation when only the device changes — execute once
     for the whole sweep instead of once per point.  ``observer`` sees every
     stage event of every point.
+
+    ``jobs > 1`` delegates to the
+    :class:`~repro.exec.engine.ParallelSweepEngine`: the grid is sharded
+    over that many worker processes sharing one crash-safe disk cache
+    (``cache_dir``, or a private in-process cache per worker when omitted),
+    with per-job ``timeout_s`` and up to ``retries`` retries.  The parallel
+    path needs picklable inputs, so ``configure_flow``, a custom
+    ``board_factory`` and ``keep_flow_results`` are rejected — use ``pins``
+    (and, for a custom board, an importable builder via
+    :func:`sweep_jobs_for_grid` + the engine directly).
     """
+    if jobs > 1:
+        if configure_flow is not None:
+            raise ValueError(
+                "configure_flow cannot cross a process boundary; use pins=[...] "
+                "or drive sweep_jobs_for_grid()/ParallelSweepEngine directly"
+            )
+        if keep_flow_results:
+            raise ValueError("keep_flow_results is not supported with jobs > 1")
+        return _explore_parallel(
+            graph, library, devices, architectures, dynamic_constraints, pins,
+            jobs, timeout_s, retries, cache_dir, observer,
+        )
     archs = list(architectures) or [case_a_standalone(), case_b_processor()]
+    if cache is None and cache_dir is not None:
+        cache = ArtifactCache(disk_dir=cache_dir)
     shared_cache = cache if cache is not None else (ArtifactCache() if share_cache else None)
     points: list[DesignPoint] = []
     for device in devices:
@@ -96,6 +224,8 @@ def explore_design_space(
                 cache=shared_cache,
                 observer=observer,
             )
+            for operation, operator in pins:
+                flow.mapping.pin(operation, operator)
             if configure_flow is not None:
                 configure_flow(flow)
             try:

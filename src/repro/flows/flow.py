@@ -249,6 +249,10 @@ class DesignFlow:
         graph, board, library = self.graph, self.board, self.library
         scheduler_kwargs = self._scheduler_kwargs()
         device = self._fpga_device()
+        # The device-keyed stages (modular back-end) get the real device;
+        # the device-independent stages schedule against a neutral copy so
+        # their cached artifacts are pure functions of their cache keys.
+        sched_arch = board.architecture.device_neutral()
 
         fp_graph = fingerprint_graph(graph)
         fp_arch = fingerprint_architecture(board.architecture)
@@ -288,7 +292,7 @@ class DesignFlow:
         def run_adequation(_: Mapping[str, Any]) -> AdequationResult:
             return adequate(
                 graph,
-                board.architecture,
+                sched_arch,
                 library,
                 constraints=self.mapping,
                 scheduler=self.scheduler,
@@ -298,7 +302,7 @@ class DesignFlow:
 
         def run_vhdl(artifacts: Mapping[str, Any]) -> GeneratedDesign:
             first: AdequationResult = artifacts["adequation"]
-            return generate_design(graph, first.schedule, board.architecture)
+            return generate_design(graph, first.schedule, sched_arch)
 
         def run_modular(artifacts: Mapping[str, Any]) -> ModularDesignResult:
             return run_modular_backend(
@@ -322,7 +326,7 @@ class DesignFlow:
             modular: ModularDesignResult = artifacts["modular_backend"]
             return adequate(
                 graph,
-                board.architecture,
+                sched_arch,
                 library,
                 constraints=self.mapping,
                 scheduler=self.scheduler,

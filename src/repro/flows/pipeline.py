@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import pickle
 import threading
 from collections import OrderedDict
@@ -202,6 +203,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    corruptions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -216,6 +218,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "corruptions": self.corruptions,
             "hit_rate": self.hit_rate(),
         }
 
@@ -229,16 +232,43 @@ class ArtifactCache:
     directory starts warm.  Keys are the stage derivation fingerprints, so
     one cache can safely be shared by many flows over many design points —
     identical inputs address identical artefacts.
+
+    The disk tier is safe for **concurrent multi-process access** (the
+    parallel sweep engine points every worker at one directory):
+
+    - writes go through :func:`repro.exec.locks.atomic_write_bytes`
+      (unique temp + ``os.replace``) under a per-key advisory
+      :class:`~repro.exec.locks.FileLock`, so readers never observe a
+      partial file and concurrent writers of the same content-addressed
+      entry race harmlessly;
+    - reads are corruption-tolerant: a truncated or garbage entry (e.g.
+      a crash mid-write on a non-atomic filesystem) is treated as a miss,
+      the bad file is deleted under its key lock, and a warning is
+      recorded (``stats.corruptions``, ``warnings``, the ``repro.flows``
+      logging channel and the optional ``on_warning`` callback) instead of
+      raising into the flow.
+
+    Instances pickle safely (the in-memory tier and thread lock are
+    process-local and dropped), so a cache object may appear inside a
+    spawn-context job description; each process then re-opens the same
+    disk directory with a cold memory tier.
     """
 
-    def __init__(self, max_entries: int = 256, disk_dir: Optional[str | Path] = None):
+    def __init__(
+        self,
+        max_entries: int = 256,
+        disk_dir: Optional[str | Path] = None,
+        on_warning: Optional[Callable[[str], None]] = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.on_warning = on_warning
         self.stats = CacheStats()
+        self.warnings: list[str] = []
         self._entries: OrderedDict[str, Any] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -249,11 +279,49 @@ class ArtifactCache:
         with self._lock:
             return key in self._entries or self._disk_path(key) is not None
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Process-local pieces: the thread lock cannot cross a spawn
+        # boundary and the memory tier should not be shipped wholesale.
+        state["_lock"] = None
+        state["_entries"] = OrderedDict()
+        state["on_warning"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def _disk_path(self, key: str) -> Optional[Path]:
         if self.disk_dir is None:
             return None
         path = self.disk_dir / f"{key}.pkl"
         return path if path.exists() else None
+
+    def _key_lock(self, key: str):
+        from repro.exec.locks import FileLock
+
+        assert self.disk_dir is not None
+        return FileLock(self.disk_dir / ".locks" / f"{key}.lock")
+
+    def _warn(self, message: str) -> None:
+        self.stats.corruptions += 1
+        self.warnings.append(message)
+        logging.getLogger("repro.flows").warning("%s", message)
+        if self.on_warning is not None:
+            self.on_warning(message)
+
+    def _drop_corrupt(self, key: str, path: Path, err: BaseException) -> None:
+        """Delete a bad disk entry (under its key lock) and record a warning."""
+        try:
+            with self._key_lock(key):
+                path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        self._warn(
+            f"artifact cache: dropped corrupt entry {path.name} "
+            f"({type(err).__name__}: {err}); treated as a miss"
+        )
 
     def get(self, key: str) -> Optional[Any]:
         """The artefact for ``key``, or ``None`` on a miss."""
@@ -264,28 +332,58 @@ class ArtifactCache:
                 return self._entries[key]
             path = self._disk_path(key)
             if path is not None:
+                # No read lock needed: writers swap entries in atomically,
+                # so we see either the old or the new complete file.
                 try:
                     value = pickle.loads(path.read_bytes())
-                except (pickle.PickleError, EOFError, OSError):
-                    self.stats.misses += 1
-                    return None
-                self.stats.hits += 1
-                self._insert(key, value)
-                return value
+                except FileNotFoundError:
+                    pass  # raced a concurrent corrupt-entry deletion
+                except Exception as err:  # truncated/garbage pickle: self-heal
+                    self._drop_corrupt(key, path, err)
+                else:
+                    self.stats.hits += 1
+                    self._insert(key, value)
+                    return value
             self.stats.misses += 1
             return None
 
-    def put(self, key: str, value: Any) -> None:
+    def put(self, key: str, value: Any) -> Any:
+        """Store ``value``; returns the cache's canonical copy of it.
+
+        With a disk tier the canonical copy is the pickle round-trip of
+        ``value`` — the same object graph any other process will observe —
+        and the memory tier keeps that copy too.  Consumers (the pipeline)
+        continue with the returned value, so a stage's downstream inputs
+        are identical whether its artefact was computed here, promoted from
+        disk, or computed by a sibling worker: byte-identical artefacts
+        regardless of hit/miss scheduling.  Without a disk tier the value
+        is returned (and kept) as-is.
+        """
+        from repro.exec.locks import atomic_write_bytes
+
         with self._lock:
-            self._insert(key, value)
             self.stats.stores += 1
             if self.disk_dir is not None:
-                tmp = self.disk_dir / f".{key}.tmp"
                 try:
-                    tmp.write_bytes(pickle.dumps(value))
-                    tmp.replace(self.disk_dir / f"{key}.pkl")
-                except (pickle.PickleError, OSError):
-                    tmp.unlink(missing_ok=True)
+                    payload = pickle.dumps(value)
+                except (pickle.PickleError, TypeError, AttributeError) as err:
+                    self._warn(
+                        f"artifact cache: {key[:12]} not persisted "
+                        f"({type(err).__name__}: {err}); kept in memory only"
+                    )
+                    self._insert(key, value)
+                    return value
+                value = pickle.loads(payload)  # canonical round-tripped copy
+                try:
+                    with self._key_lock(key):
+                        atomic_write_bytes(self.disk_dir / f"{key}.pkl", payload)
+                except OSError as err:
+                    self._warn(
+                        f"artifact cache: {key[:12]} not persisted "
+                        f"({type(err).__name__}: {err}); kept in memory only"
+                    )
+            self._insert(key, value)
+            return value
 
     def _insert(self, key: str, value: Any) -> None:
         self._entries[key] = value
@@ -358,7 +456,9 @@ class FlowPipeline:
             if not hit:
                 artifact = stage.execute(artifacts)
                 if self.cache is not None and artifact is not None:
-                    self.cache.put(key, artifact)
+                    # Continue with the cache's canonical copy so downstream
+                    # stages see the same object graph in every process.
+                    artifact = self.cache.put(key, artifact)
             artifacts[stage.name] = artifact
             self.keys[stage.name] = key
             event = FlowEvent(

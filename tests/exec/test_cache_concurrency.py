@@ -1,0 +1,119 @@
+"""Concurrent and corruption behaviour of the ArtifactCache disk tier."""
+
+import pickle
+import threading
+
+from repro.flows.pipeline import ArtifactCache
+
+
+def disk_entry(cache: ArtifactCache, key: str):
+    return cache.disk_dir / f"{key}.pkl"
+
+
+# -- corruption tolerance ----------------------------------------------------------
+
+
+def test_truncated_entry_is_miss_deleted_and_warned(tmp_path):
+    writer = ArtifactCache(disk_dir=tmp_path)
+    writer.put("key", {"payload": list(range(100))})
+    path = disk_entry(writer, "key")
+    path.write_bytes(path.read_bytes()[:10])  # truncate mid-stream
+
+    warnings = []
+    reader = ArtifactCache(disk_dir=tmp_path, on_warning=warnings.append)
+    assert reader.get("key") is None  # miss, not an exception
+    assert not path.exists()  # bad entry self-healed away
+    assert reader.stats.misses == 1
+    assert reader.stats.corruptions == 1
+    assert len(warnings) == 1 and "corrupt" in warnings[0]
+    assert reader.warnings == warnings
+
+
+def test_garbage_entry_is_miss_and_deleted(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    bad = disk_entry(cache, "junk")
+    bad.write_bytes(b"this is not a pickle at all")
+    assert cache.get("junk") is None
+    assert not bad.exists()
+    assert cache.stats.corruptions == 1
+
+
+def test_empty_entry_is_miss_and_deleted(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    disk_entry(cache, "empty").write_bytes(b"")
+    assert cache.get("empty") is None
+    assert not disk_entry(cache, "empty").exists()
+
+
+def test_corrupt_entry_can_be_rewritten_and_read(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    disk_entry(cache, "k").write_bytes(b"\x80garbage")
+    assert cache.get("k") is None
+    cache.put("k", 42)
+    fresh = ArtifactCache(disk_dir=tmp_path)
+    assert fresh.get("k") == 42
+
+
+def test_unpicklable_value_stays_in_memory_with_warning(tmp_path):
+    warnings = []
+    cache = ArtifactCache(disk_dir=tmp_path, on_warning=warnings.append)
+    value = {"fn": lambda: None}  # lambdas don't pickle
+    cache.put("k", value)
+    assert cache.get("k") is value  # memory tier still serves it
+    assert not disk_entry(cache, "k").exists()
+    assert warnings and "not persisted" in warnings[0]
+
+
+# -- cross-process / pickling safety -----------------------------------------------
+
+
+def test_cache_object_pickles_without_lock_or_entries(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.put("k", [1, 2, 3])
+    clone = pickle.loads(pickle.dumps(cache))
+    assert len(clone) == 0  # memory tier is process-local
+    assert clone.get("k") == [1, 2, 3]  # disk tier carries over
+    clone.put("other", "fine")  # lock was recreated
+
+
+def test_two_instances_share_one_directory(tmp_path):
+    a = ArtifactCache(disk_dir=tmp_path)
+    b = ArtifactCache(disk_dir=tmp_path)
+    a.put("from-a", 1)
+    b.put("from-b", 2)
+    assert a.get("from-b") == 2
+    assert b.get("from-a") == 1
+
+
+def test_threaded_hammer_over_shared_directory(tmp_path):
+    """Many writers/readers over one directory: no exception, no bad read."""
+    caches = [ArtifactCache(max_entries=4, disk_dir=tmp_path) for _ in range(4)]
+    errors = []
+
+    def hammer(cache, base):
+        try:
+            for i in range(25):
+                key = f"key-{(base + i) % 10}"
+                cache.put(key, {"key": key})
+                got = cache.get(key)
+                assert got is None or got == {"key": key}
+        except Exception as err:  # pragma: no cover - failure reporting
+            errors.append(err)
+
+    threads = [
+        threading.Thread(target=hammer, args=(cache, n * 3)) for n, cache in enumerate(caches)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert sum(c.stats.corruptions for c in caches) == 0
+
+
+def test_lock_files_do_not_pollute_entry_namespace(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.put("k", 1)
+    cache.get("k")
+    entries = [p.name for p in tmp_path.iterdir() if p.is_file()]
+    assert entries == ["k.pkl"]  # locks live under .locks/, never *.pkl

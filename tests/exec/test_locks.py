@@ -1,0 +1,87 @@
+"""File-lock and atomic-write primitives of the execution subsystem."""
+
+import threading
+
+import pytest
+
+from repro.exec.locks import FileLock, atomic_write_bytes
+
+
+def test_filelock_context_manager(tmp_path):
+    lock = FileLock(tmp_path / "a.lock")
+    assert not lock.locked
+    with lock:
+        assert lock.locked
+        assert (tmp_path / "a.lock").exists()
+    assert not lock.locked
+
+
+def test_filelock_creates_parent_dirs(tmp_path):
+    with FileLock(tmp_path / "deep" / "nested" / "k.lock") as lock:
+        assert lock.locked
+
+
+def test_filelock_rejects_reentrant_acquire(tmp_path):
+    lock = FileLock(tmp_path / "a.lock")
+    lock.acquire()
+    try:
+        with pytest.raises(RuntimeError):
+            lock.acquire()
+    finally:
+        lock.release()
+
+
+def test_filelock_release_is_idempotent(tmp_path):
+    lock = FileLock(tmp_path / "a.lock")
+    lock.acquire()
+    lock.release()
+    lock.release()  # no error
+    assert not lock.locked
+
+
+def test_filelock_serializes_threads(tmp_path):
+    """Two contenders over the same path never hold the lock together."""
+    path = tmp_path / "shared.lock"
+    inside = []
+    overlaps = []
+
+    def contend():
+        for _ in range(10):
+            with FileLock(path):
+                inside.append(1)
+                if len(inside) > 1:
+                    overlaps.append(True)
+                inside.pop()
+
+    threads = [threading.Thread(target=contend) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not overlaps
+
+
+def test_atomic_write_replaces_and_leaves_no_temp(tmp_path):
+    target = tmp_path / "value.pkl"
+    atomic_write_bytes(target, b"one")
+    atomic_write_bytes(target, b"two")
+    assert target.read_bytes() == b"two"
+    assert [p.name for p in tmp_path.iterdir()] == ["value.pkl"]
+
+
+def test_atomic_write_concurrent_writers_leave_complete_file(tmp_path):
+    target = tmp_path / "contended.bin"
+    payloads = [bytes([i]) * 4096 for i in range(8)]
+
+    def write(payload):
+        for _ in range(20):
+            atomic_write_bytes(target, payload)
+
+    threads = [threading.Thread(target=write, args=(p,)) for p in payloads]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    data = target.read_bytes()
+    assert data in payloads  # some complete payload, never interleaved
+    assert [p.name for p in tmp_path.iterdir()] == ["contended.bin"]

@@ -1,0 +1,130 @@
+"""Prefetch-hint semantics of the FixedLatencyConfigService.
+
+The service backs the executive's ``reconfigure_`` macros.  Hints are
+always *counted*; they are *acted on* only when built with
+``prefetch=True``, and ``stall_ns`` accounts the demand-visible wait only
+(a fully absorbed prefetch costs the demand nothing).
+"""
+
+from repro.executive import FixedLatencyConfigService
+from repro.sim import Simulator
+
+LATENCY = 1_000
+
+
+def drive(service, sim, steps):
+    """Run ``steps`` — (time, fn) — inside the simulation and finish it."""
+
+    def script():
+        for at, fn in steps:
+            if at > sim.now:
+                yield sim.timeout(at - sim.now)
+            result = fn()
+            if result is not None:  # an ensure_loaded event: wait for it
+                yield result
+
+    sim.process(script(), name="driver")
+    sim.run()
+
+
+def test_hints_are_counted_even_when_ignored():
+    sim = Simulator()
+    service = FixedLatencyConfigService(sim, latency_ns=LATENCY)  # reactive
+    drive(
+        service,
+        sim,
+        [
+            (0, lambda: service.notify_select("D1", "mod_qpsk")),
+            (0, lambda: service.ensure_loaded("D1", "mod_qpsk")),
+        ],
+    )
+    assert service.hints_seen == 1
+    assert service.prefetch_starts == 0  # observed, deliberately not acted on
+    assert service.swap_count == 1
+    assert service.stall_ns == LATENCY  # full reactive latency
+
+
+def test_early_hint_absorbs_the_swap_latency():
+    sim = Simulator()
+    service = FixedLatencyConfigService(sim, latency_ns=LATENCY, prefetch=True)
+    drive(
+        service,
+        sim,
+        [
+            (0, lambda: service.notify_select("D1", "mod_qpsk")),
+            # Demand arrives after the prefetched swap completed.
+            (LATENCY + 50, lambda: service.ensure_loaded("D1", "mod_qpsk")),
+        ],
+    )
+    assert service.prefetch_starts == 1
+    assert service.swap_count == 1
+    assert service.stall_ns == 0  # fully hidden behind the pipeline
+
+
+def test_late_demand_pays_only_the_remaining_swap_time():
+    sim = Simulator()
+    service = FixedLatencyConfigService(sim, latency_ns=LATENCY, prefetch=True)
+    drive(
+        service,
+        sim,
+        [
+            (0, lambda: service.notify_select("D1", "mod_qpsk")),
+            # Demand mid-swap: 400 ns in, 600 ns still to go.
+            (400, lambda: service.ensure_loaded("D1", "mod_qpsk")),
+        ],
+    )
+    assert service.stall_ns == LATENCY - 400
+    assert service.swap_count == 1
+    assert sim.now == LATENCY  # demand released exactly at swap completion
+
+
+def test_mispredicted_hint_costs_remaining_plus_full_swap():
+    sim = Simulator()
+    service = FixedLatencyConfigService(sim, latency_ns=LATENCY, prefetch=True)
+    drive(
+        service,
+        sim,
+        [
+            (0, lambda: service.notify_select("D1", "mod_qam16")),  # wrong guess
+            (400, lambda: service.ensure_loaded("D1", "mod_qpsk")),
+        ],
+    )
+    # Waits out the wrong swap (600 ns left) then swaps again (1000 ns).
+    assert service.stall_ns == (LATENCY - 400) + LATENCY
+    assert service.swap_count == 2
+    assert service.loaded["D1"] == "mod_qpsk"
+    assert sim.now == 2 * LATENCY
+
+
+def test_hint_for_resident_module_is_free():
+    sim = Simulator()
+    service = FixedLatencyConfigService(sim, latency_ns=LATENCY, prefetch=True)
+    drive(
+        service,
+        sim,
+        [
+            (0, lambda: service.ensure_loaded("D1", "mod_qpsk")),
+            (2 * LATENCY, lambda: service.notify_select("D1", "mod_qpsk")),
+            (2 * LATENCY, lambda: service.ensure_loaded("D1", "mod_qpsk")),
+        ],
+    )
+    assert service.hints_seen == 1
+    assert service.prefetch_starts == 0  # already resident: nothing to do
+    assert service.swap_count == 1
+    assert service.stall_ns == LATENCY  # only the initial reactive load
+
+
+def test_second_hint_during_swap_is_not_queued():
+    sim = Simulator()
+    service = FixedLatencyConfigService(sim, latency_ns=LATENCY, prefetch=True)
+    drive(
+        service,
+        sim,
+        [
+            (0, lambda: service.notify_select("D1", "mod_qpsk")),
+            (100, lambda: service.notify_select("D1", "mod_qam16")),  # mid-swap
+        ],
+    )
+    assert service.hints_seen == 2
+    assert service.prefetch_starts == 1  # one swap at a time per region
+    assert service.loaded["D1"] == "mod_qpsk"

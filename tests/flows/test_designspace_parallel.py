@@ -1,0 +1,107 @@
+"""Parallel design-space exploration: jobs>1 delegates to the sweep engine."""
+
+import pytest
+
+from repro.dfg.library import default_library
+from repro.fabric import XC2V1000, XC2V2000
+from repro.flows import parse_constraints
+from repro.flows.designspace import (
+    design_point_from_payload,
+    explore_design_space,
+    sweep_jobs_for_grid,
+)
+from repro.mccdma.casestudy import build_mccdma_graph
+from repro.reconfig import case_a_standalone, case_b_processor
+
+CONSTRAINTS = parse_constraints("""
+[module mod_qpsk]
+region    = D1
+operation = mod_qpsk
+
+[module mod_qam16]
+region    = D1
+operation = mod_qam16
+
+[region D1]
+sharing   = true
+exclusive = mod_qpsk, mod_qam16
+""")
+
+PINS = (("bit_src", "DSP"), ("select", "DSP"))
+
+
+def explore(**kwargs):
+    return explore_design_space(
+        build_mccdma_graph(),
+        default_library(),
+        devices=(XC2V1000, XC2V2000),
+        architectures=(case_a_standalone(), case_b_processor()),
+        dynamic_constraints=CONSTRAINTS,
+        pins=PINS,
+        **kwargs,
+    )
+
+
+def point_key(p):
+    return (
+        p.device,
+        p.architecture,
+        p.fits,
+        p.makespan_ns,
+        p.clock_mhz,
+        tuple(sorted(p.reconfig_latency_ns.items())),
+        tuple(sorted(p.bitstream_bytes.items())),
+    )
+
+
+def test_parallel_exploration_matches_serial(tmp_path):
+    serial = explore(cache_dir=tmp_path / "serial")
+    parallel = explore(jobs=2, timeout_s=300, cache_dir=tmp_path / "parallel")
+    assert len(parallel) == len(serial) == 4
+    assert [point_key(p) for p in parallel] == [point_key(p) for p in serial]
+    assert all(p.fits for p in parallel)
+
+
+def test_pins_apply_in_serial_mode():
+    points = explore()
+    assert len(points) == 4 and all(p.fits for p in points)
+
+
+def test_parallel_mode_rejects_unpicklable_configuration():
+    with pytest.raises(ValueError, match="configure_flow"):
+        explore(jobs=2, configure_flow=lambda flow: None)
+    with pytest.raises(ValueError, match="keep_flow_results"):
+        explore(jobs=2, keep_flow_results=True)
+
+
+def test_sweep_jobs_enumerate_devices_major():
+    jobs = sweep_jobs_for_grid(
+        build_mccdma_graph(),
+        default_library(),
+        devices=(XC2V1000, XC2V2000),
+        architectures=(case_a_standalone(), case_b_processor()),
+        dynamic_constraints=CONSTRAINTS,
+        pins=PINS,
+    )
+    assert [j.job_id for j in jobs] == [
+        "xc2v1000@case_a_standalone",
+        "xc2v1000@case_b_processor",
+        "xc2v2000@case_a_standalone",
+        "xc2v2000@case_b_processor",
+    ]
+    assert all(j.pins == PINS for j in jobs)
+
+
+def test_failed_job_becomes_unfit_point():
+    class FailedResult:
+        job_id = "xc2v1000@case_a_standalone"
+        ok = False
+        attempts = 2
+        error = "RuntimeError: boom"
+        payload = None
+
+    point = design_point_from_payload(FailedResult())
+    assert point.device == "xc2v1000"
+    assert point.architecture == "case_a_standalone"
+    assert not point.fits
+    assert "2 attempt(s)" in point.error and "boom" in point.error

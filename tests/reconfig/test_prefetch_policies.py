@@ -1,0 +1,109 @@
+"""Edge cases of the prefetch policies (pure policy level, no manager).
+
+Covers the corners the manager tests skate over: empty history, a single
+region's steady state, and the history predictor when its prediction is
+already resident.
+"""
+
+import pytest
+
+from repro.reconfig import (
+    HistoryPrefetchPolicy,
+    NoPrefetchPolicy,
+    OnSelectPrefetchPolicy,
+)
+
+
+# -- empty history -----------------------------------------------------------------
+
+
+def test_policies_with_no_observations_never_speculate():
+    for policy in (NoPrefetchPolicy(), OnSelectPrefetchPolicy(), HistoryPrefetchPolicy()):
+        assert policy.on_idle("D1", None, []) is None
+        assert policy.on_idle("D1", "qpsk", []) is None
+
+
+def test_history_predict_with_nothing_loaded_and_no_history():
+    policy = HistoryPrefetchPolicy()
+    assert policy.predict(None) is None
+    assert policy.on_idle("D1", None, []) is None
+
+
+def test_history_falls_back_to_last_history_entry_when_region_is_empty():
+    policy = HistoryPrefetchPolicy()
+    policy.observe("qpsk", "qam16")
+    # Region empty (loaded=None) but the demand history knows the last module.
+    assert policy.on_idle("D1", None, ["qpsk"]) == "qam16"
+
+
+def test_observe_ignores_the_initial_load():
+    policy = HistoryPrefetchPolicy()
+    policy.observe(None, "qpsk")  # first-ever configuration: no transition
+    assert policy.predict("qpsk") is None
+
+
+# -- single region, steady selection ------------------------------------------------
+
+
+def test_steady_selection_predicts_stay_and_produces_no_churn():
+    policy = HistoryPrefetchPolicy()
+    for _ in range(5):
+        policy.observe("qpsk", "qpsk")
+    # Self-transition dominates: predict "stay", which on_idle suppresses.
+    assert policy.predict("qpsk") == "qpsk"
+    assert policy.on_idle("D1", "qpsk", ["qpsk"] * 5) is None
+
+
+def test_alternating_selection_predicts_the_other_module():
+    policy = HistoryPrefetchPolicy()
+    for _ in range(3):
+        policy.observe("qpsk", "qam16")
+        policy.observe("qam16", "qpsk")
+    assert policy.on_idle("D1", "qpsk", ["qam16", "qpsk"]) == "qam16"
+    assert policy.on_idle("D1", "qam16", ["qpsk", "qam16"]) == "qpsk"
+
+
+# -- predicted module already resident ----------------------------------------------
+
+
+def test_prediction_equal_to_loaded_module_is_suppressed():
+    policy = HistoryPrefetchPolicy()
+    policy.observe("qpsk", "qam16")
+    policy.observe("qam16", "qam16")
+    # From qam16 the best successor is qam16 itself — already resident.
+    assert policy.predict("qam16") == "qam16"
+    assert policy.on_idle("D1", "qam16", ["qpsk", "qam16"]) is None
+
+
+def test_low_confidence_prediction_is_withheld():
+    policy = HistoryPrefetchPolicy(min_confidence=0.8)
+    policy.observe("qpsk", "qam16")
+    policy.observe("qpsk", "qpsk")  # 50/50: below the 0.8 bar
+    assert policy.predict("qpsk") is None
+    assert policy.on_idle("D1", "qpsk", ["qpsk"]) is None
+
+
+def test_prediction_ties_break_deterministically():
+    policy = HistoryPrefetchPolicy(min_confidence=0.5)
+    policy.observe("qpsk", "qam16")
+    policy.observe("qpsk", "bpsk")
+    # Equal counts: highest name wins (stable across runs).
+    assert policy.predict("qpsk") == "qam16"
+
+
+# -- construction ------------------------------------------------------------------
+
+
+def test_min_confidence_is_validated():
+    with pytest.raises(ValueError):
+        HistoryPrefetchPolicy(min_confidence=0.0)
+    with pytest.raises(ValueError):
+        HistoryPrefetchPolicy(min_confidence=1.5)
+    HistoryPrefetchPolicy(min_confidence=1.0)  # inclusive upper bound
+
+
+def test_on_select_policies():
+    assert NoPrefetchPolicy().on_select("D1", "qpsk") is None
+    assert OnSelectPrefetchPolicy().on_select("D1", "qpsk") == "qpsk"
+    # The history policy deliberately ignores selects (program-order safety).
+    assert HistoryPrefetchPolicy().on_select("D1", "qpsk") is None

@@ -142,3 +142,61 @@ def test_case_b_architecture_flag():
     code, text = run_cli("--architecture", "case_b", "flow")
     assert code == 0
     assert "case_b_processor" in text
+
+
+def test_sweep_serial_one_point():
+    code, text = run_cli(
+        "sweep", "--jobs", "0", "--devices", "xc2v1000", "--architectures", "case_a"
+    )
+    assert code == 0
+    assert "xc2v1000" in text and "case_a_standalone" in text
+    assert "1/1 jobs ok" in text
+
+
+def test_sweep_json_report(tmp_path):
+    import json
+
+    code, text = run_cli(
+        "sweep", "--jobs", "0", "--devices", "xc2v1000,xc2v2000",
+        "--architectures", "case_a", "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert code == 0
+    code, text = run_cli(
+        "sweep", "--jobs", "0", "--devices", "xc2v1000,xc2v2000",
+        "--architectures", "case_a", "--cache-dir", str(tmp_path / "cache"), "--json",
+    )
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["succeeded"] == 2 and payload["failed"] == 0
+    assert [r["job_id"] for r in payload["results"]] == [
+        "xc2v1000@case_a_standalone",
+        "xc2v2000@case_a_standalone",
+    ]
+    # Second run over the same cache dir: every stage hits.
+    assert payload["cache_hits"] == payload["cache_lookups"]
+
+
+def test_sweep_profile_covers_parallel_run(tmp_path):
+    code, text = run_cli(
+        "--profile", "--log-json", str(tmp_path / "events.jsonl"),
+        "sweep", "--jobs", "2", "--timeout", "300",
+        "--devices", "xc2v1000", "--architectures", "case_a,case_b",
+    )
+    assert code == 0
+    assert "adequation" in text  # worker stage events reached the profile
+    assert "sweep:job_finished" in text or "sweep:sweep_completed" in text
+    lines = (tmp_path / "events.jsonl").read_text().splitlines()
+    assert any('"sweep:sweep_completed"' in line for line in lines)
+
+
+def test_sweep_unknown_device_is_a_clean_error():
+    code, text = run_cli("sweep", "--jobs", "0", "--devices", "xc9999")
+    assert code == 2
+    assert text.startswith("error:") and "xc9999" in text
+
+
+def test_sweep_unknown_architecture_is_a_clean_error():
+    code, text = run_cli("sweep", "--jobs", "0", "--architectures", "case_z")
+    assert code == 2
+    assert text.startswith("error:") and "case_z" in text
+    assert "case_a" in text  # the error lists the known choices
