@@ -25,7 +25,7 @@ from repro.aaa.schedule import (
     ScheduledReconfig,
     ScheduledTransfer,
 )
-from repro.aaa.scheduler import SynDExScheduler
+from repro.aaa.scheduler import SchedulerStats, SynDExScheduler
 from repro.aaa.insertion import InsertionScheduler
 from repro.aaa.recon_aware import ReconfigAwareScheduler
 from repro.aaa.baselines import EarliestFinishScheduler, RandomMappingScheduler
@@ -42,6 +42,7 @@ __all__ = [
     "ScheduledOp",
     "ScheduledReconfig",
     "ScheduledTransfer",
+    "SchedulerStats",
     "SynDExScheduler",
     "InsertionScheduler",
     "ReconfigAwareScheduler",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Type
 
 from repro.aaa.costs import CostModel
@@ -25,16 +25,23 @@ class AdequationResult:
     schedule: Schedule
     costs: CostModel
     scheduler_name: str
+    #: Placement-evaluation accounting of the run that produced the
+    #: schedule (see :class:`repro.aaa.scheduler.SchedulerStats`); empty for
+    #: results constructed by hand.
+    scheduler_stats: dict = field(default_factory=dict)
 
     @property
     def makespan_ns(self) -> int:
+        # Schedule.makespan() reads the maintained end frontier — O(1) — so
+        # report()/iteration_period_ns/throughput can call it freely instead
+        # of rebuilding three end-lists per call.
         return self.schedule.makespan()
 
     @property
     def iteration_period_ns(self) -> int:
         """The synchronized executive repeats the schedule back to back, so
         the steady-state iteration period equals the makespan."""
-        return self.schedule.makespan()
+        return self.makespan_ns
 
     def throughput_iterations_per_s(self) -> float:
         period = self.iteration_period_ns
@@ -73,5 +80,8 @@ def adequate(
     schedule = sched_obj.run()
     schedule.validate(graph, architecture)
     return AdequationResult(
-        schedule=schedule, costs=costs, scheduler_name=type(sched_obj).__name__
+        schedule=schedule,
+        costs=costs,
+        scheduler_name=type(sched_obj).__name__,
+        scheduler_stats=sched_obj.stats.to_dict(),
     )

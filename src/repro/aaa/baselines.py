@@ -25,9 +25,14 @@ __all__ = ["EarliestFinishScheduler", "RandomMappingScheduler"]
 class EarliestFinishScheduler(ListSchedulerBase):
     """FIFO candidate order + earliest-finish operator choice (myopic)."""
 
-    def __init__(self, costs: CostModel, constraints: Optional[MappingConstraints] = None):
-        super().__init__(costs, constraints)
-        self._order = {op.name: i for i, op in enumerate(self.graph.topological_order())}
+    def __init__(
+        self,
+        costs: CostModel,
+        constraints: Optional[MappingConstraints] = None,
+        incremental: bool = True,
+    ):
+        super().__init__(costs, constraints, incremental=incremental)
+        self._order = {op.name: i for i, op in enumerate(self._topo)}
 
     def _select(self, ready: list[Operation]) -> Operation:
         return min(ready, key=lambda op: self._order[op.name])
@@ -41,15 +46,15 @@ class RandomMappingScheduler(ListSchedulerBase):
         costs: CostModel,
         constraints: Optional[MappingConstraints] = None,
         seed: int = 0,
+        incremental: bool = True,
     ):
-        super().__init__(costs, constraints)
-        self._order = {op.name: i for i, op in enumerate(self.graph.topological_order())}
+        super().__init__(costs, constraints, incremental=incremental)
+        self._order = {op.name: i for i, op in enumerate(self._topo)}
         self._rng = random.Random(seed)
 
     def _select(self, ready: list[Operation]) -> Operation:
         return min(ready, key=lambda op: self._order[op.name])
 
     def _best_placement(self, op: Operation) -> Placement:
-        candidates = self.constraints.candidates(op, self.costs)
-        choice = self._rng.choice(sorted(candidates, key=lambda p: p.name))
-        return self._try_place(op, choice)
+        choice = self._rng.choice(sorted(self._candidates(op), key=lambda p: p.name))
+        return self._placement_for(op, choice)

@@ -44,6 +44,22 @@ class CostModel:
         #: region name -> reconfiguration latency (ns)
         self.reconfig_ns = dict(reconfig_ns or {})
         self._route_cache: dict[tuple[str, str], Route] = {}
+        # All memo keys are *names*: costs must not distinguish resident
+        # objects from cache-round-tripped equal copies.
+        self._duration_cache: dict[tuple[str, str], int] = {}
+        self._best_duration_cache: dict[str, int] = {}
+        self._candidates_cache: dict[str, list[Operator]] = {}
+
+    def __getstate__(self) -> dict:
+        # Memoized lookups are derived state: keep them out of pickled
+        # artifacts so the cached bytes do not depend on which queries a
+        # particular run happened to make.
+        state = self.__dict__.copy()
+        state["_route_cache"] = {}
+        state["_duration_cache"] = {}
+        state["_best_duration_cache"] = {}
+        state["_candidates_cache"] = {}
+        return state
 
     # -- mapping feasibility --------------------------------------------------
 
@@ -62,24 +78,39 @@ class CostModel:
         return True
 
     def candidates(self, op: Operation) -> list[Operator]:
-        """All operators that can host ``op``."""
-        return [p for p in self.architecture.operators if self.can_map(op, p)]
+        """All operators that can host ``op`` (memoized per operation name)."""
+        cached = self._candidates_cache.get(op.name)
+        if cached is None:
+            cached = [p for p in self.architecture.operators if self.can_map(op, p)]
+            self._candidates_cache[op.name] = cached
+        return list(cached)
 
     # -- durations ----------------------------------------------------------------
 
     def duration(self, op: Operation, operator: Operator) -> int:
-        """Execution time of ``op`` on ``operator`` in ns."""
+        """Execution time of ``op`` on ``operator`` in ns (memoized)."""
+        key = (op.name, operator.name)
+        cached = self._duration_cache.get(key)
+        if cached is not None:
+            return cached
         if not self.can_map(op, operator):
             raise CostError(f"operation {op.name!r} cannot run on operator {operator.name!r}")
         cycles = self.library.cycles(op.kind, operator.operator_class)
-        return operator.duration_ns(cycles)
+        value = operator.duration_ns(cycles)
+        self._duration_cache[key] = value
+        return value
 
     def best_duration(self, op: Operation) -> int:
         """The fastest feasible execution time of ``op`` (used for ranks)."""
+        cached = self._best_duration_cache.get(op.name)
+        if cached is not None:
+            return cached
         durations = [self.duration(op, p) for p in self.candidates(op)]
         if not durations:
             raise CostError(f"operation {op.name!r} has no feasible operator")
-        return min(durations)
+        value = min(durations)
+        self._best_duration_cache[op.name] = value
+        return value
 
     def route(self, src: Operator, dst: Operator) -> Route:
         key = (src.name, dst.name)

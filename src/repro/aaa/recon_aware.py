@@ -42,15 +42,24 @@ class ReconfigAwareScheduler(SynDExScheduler):
         costs: CostModel,
         constraints: Optional[MappingConstraints] = None,
         prefetch: bool = True,
+        incremental: bool = True,
     ):
-        super().__init__(costs, constraints)
+        super().__init__(costs, constraints, incremental=incremental)
         self.prefetch = prefetch
+        #: (operation name, operator name) -> control-word arrival time; the
+        #: selector never moves once placed, so this is a constant per pair.
+        self._select_ready_cache: dict[tuple[str, str], int] = {}
 
     # -- selector availability -----------------------------------------------------
 
     def _selector_value_ready(self, op: Operation, operator: Operator) -> int:
         """When the condition value reaches the region's manager."""
         assert op.condition is not None
+        key = (op.name, operator.name)
+        if self.incremental:
+            cached = self._select_ready_cache.get(key)
+            if cached is not None:
+                return cached
         group = self.graph.condition_groups[op.condition.group]
         sel_placed = self._placed.get(group.selector.name)
         if sel_placed is None:
@@ -58,7 +67,10 @@ class ReconfigAwareScheduler(SynDExScheduler):
             # never happens during run(); be conservative if called directly.
             return 0
         route = self.costs.route(sel_placed.operator, operator)
-        return sel_placed.end + route.transfer_ns(SELECT_WORD_BYTES)
+        value = sel_placed.end + route.transfer_ns(SELECT_WORD_BYTES)
+        if self.incremental:
+            self._select_ready_cache[key] = value
+        return value
 
     def _region_free_for_reconfig(self, op: Operation, operator: Operator) -> int:
         """Earliest time the region can start loading ``op``'s module:
@@ -66,13 +78,16 @@ class ReconfigAwareScheduler(SynDExScheduler):
         targeting the *same* case (different-case reconfigurations belong to
         mutually exclusive iterations and may overlap)."""
         assert op.condition is not None
-        ready = 0
-        for s in self.schedule.of_operator(operator):
-            if not self.graph.exclusive(op, s.op):
-                ready = max(ready, s.end)
-        for r in self.schedule.reconfigs_of(operator):
-            if r.condition_value == op.condition.value:
-                ready = max(ready, r.end)
+        # Computation frontier: identical to the base operator-ready query.
+        ready = self._operator_ready(op, operator)
+        if self.incremental:
+            rec = self._rec_frontier.get(operator.name)
+            if rec is not None:
+                ready = max(ready, rec.get(op.condition.value, 0))
+        else:
+            for r in self._naive_reconfigs_of(operator.name):
+                if r.condition_value == op.condition.value:
+                    ready = max(ready, r.end)
         return ready
 
     # -- the setup-time hook ------------------------------------------------------------

@@ -48,6 +48,30 @@ class AlgorithmGraph:
         self._ops: dict[str, Operation] = {}
         self._edges: list[Edge] = []
         self._groups: dict[str, ConditionGroup] = {}
+        self._in: dict[str, list[Edge]] = {}
+        self._out: dict[str, list[Edge]] = {}
+
+    def __getstate__(self) -> dict:
+        # The adjacency indexes are derived; keep the pickle payload (and
+        # therefore every cached artifact embedding a graph) identical to
+        # the index-free representation.
+        return {
+            "name": self.name,
+            "_ops": self._ops,
+            "_edges": self._edges,
+            "_groups": self._groups,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rebuild_adjacency()
+
+    def _rebuild_adjacency(self) -> None:
+        self._in = {}
+        self._out = {}
+        for e in self._edges:
+            self._in.setdefault(e.dst.name, []).append(e)
+            self._out.setdefault(e.src.name, []).append(e)
 
     # -- construction --------------------------------------------------------
 
@@ -76,11 +100,13 @@ class AlgorithmGraph:
                 f"incompatible edge {src_op.name}.{src_port} ({sp.dtype}[{sp.tokens}]) -> "
                 f"{dst_op.name}.{dst_port} ({dp.dtype}[{dp.tokens}])"
             )
-        for e in self._edges:
-            if e.dst is dst_op and e.dst_port == dst_port:
+        for e in self._in.get(dst_op.name, ()):
+            if e.dst_port == dst_port:
                 raise ValueError(f"input {dst_op.name}.{dst_port} already driven by {e.src.name}.{e.src_port}")
         edge = Edge(src_op, src_port, dst_op, dst_port)
         self._edges.append(edge)
+        self._in.setdefault(dst_op.name, []).append(edge)
+        self._out.setdefault(src_op.name, []).append(edge)
         return edge
 
     def disconnect(self, edge: Edge) -> None:
@@ -89,6 +115,8 @@ class AlgorithmGraph:
             self._edges.remove(edge)
         except ValueError:
             raise KeyError(f"edge {edge} not in graph {self.name!r}") from None
+        self._in[edge.dst.name].remove(edge)
+        self._out[edge.src.name].remove(edge)
 
     def condition_group(
         self, name: str, selector: Operation | str, selector_port: str
@@ -139,12 +167,14 @@ class AlgorithmGraph:
         return len(self._ops)
 
     def in_edges(self, op: Operation | str) -> list[Edge]:
+        # Name-keyed adjacency: O(fan-in) instead of an O(E) identity scan,
+        # and indifferent to whether the caller holds a pickled copy.
         target = self._resolve(op)
-        return [e for e in self._edges if e.dst is target]
+        return list(self._in.get(target.name, ()))
 
     def out_edges(self, op: Operation | str) -> list[Edge]:
         source = self._resolve(op)
-        return [e for e in self._edges if e.src is source]
+        return list(self._out.get(source.name, ()))
 
     def predecessors(self, op: Operation | str) -> list[Operation]:
         seen: dict[str, Operation] = {}
@@ -188,8 +218,21 @@ class AlgorithmGraph:
         return [self._ops[n] for n in order]
 
     def exclusive(self, a: Operation, b: Operation) -> bool:
-        """True if ``a`` and ``b`` never execute in the same iteration."""
-        return any(g.exclusive(a, b) for g in self._groups.values())
+        """True if ``a`` and ``b`` never execute in the same iteration.
+
+        O(1): two operations are exclusive exactly when both carry a
+        condition from the same (registered) group with different case
+        values — the per-group scan the schedulers used to pay on every
+        timeline element now reduces to two attribute reads.
+        """
+        ca, cb = a.condition, b.condition
+        return (
+            ca is not None
+            and cb is not None
+            and ca.group == cb.group
+            and ca.value != cb.value
+            and ca.group in self._groups
+        )
 
     def critical_path_length(self, duration_of) -> int:
         """Longest path with node weights ``duration_of(op)`` (ignores comms)."""

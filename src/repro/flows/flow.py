@@ -339,13 +339,19 @@ class DesignFlow:
             refined: AdequationResult = artifacts["adequation_refine"]
             return generate_executive(graph, refined.schedule)
 
+        def adequation_metrics(a: AdequationResult) -> dict:
+            # Makespan plus the scheduler's placement-evaluation accounting
+            # (requested / evaluated / memo hits / commits), so sweeps and
+            # ``--profile`` report how much work the adequation actually did.
+            return {"makespan_ns": a.makespan_ns, **a.scheduler_stats}
+
         stages = [
             Stage("modelisation", lambda _: fp_model, run_modelisation, dict),
             Stage(
                 "adequation",
                 lambda _: fp_adeq,
                 run_adequation,
-                lambda a: {"makespan_ns": a.makespan_ns},
+                adequation_metrics,
             ),
             Stage(
                 "vhdl_generation",
@@ -366,7 +372,7 @@ class DesignFlow:
                 "adequation_refine",
                 refine_key,
                 run_refine,
-                lambda a: {"makespan_ns": a.makespan_ns},
+                adequation_metrics,
             ),
             Stage(
                 "executive",

@@ -160,10 +160,12 @@ def render_profile(events: Iterable[FlowEvent]) -> str:
     if not rows:
         return "flow profile: no stage events recorded"
     width = max(len(e.stage) for e in rows)
-    lines = [f"{'stage':<{width}}  {'cache':<5}  {'time':>10}  fingerprint"]
+    lines = [f"{'stage':<{width}}  {'cache':<5}  {'time':>10}  fingerprint   metrics"]
     for e in rows:
+        metrics = " ".join(f"{k}={v}" for k, v in sorted(e.metrics.items()))
         lines.append(
-            f"{e.stage:<{width}}  {e.status:<5}  {e.wall_time_s * 1e3:>7.2f} ms  {e.fingerprint[:12]}"
+            f"{e.stage:<{width}}  {e.status:<5}  {e.wall_time_s * 1e3:>7.2f} ms  "
+            f"{e.fingerprint[:12]}  {metrics}".rstrip()
         )
     total = sum(e.wall_time_s for e in rows)
     hits = sum(1 for e in rows if e.cache_hit)
