@@ -8,6 +8,7 @@ Runs the paper's case study through the flow without writing any code::
     python -m repro vhdl --out build/            # write VHDL + testbenches + UCF
     python -m repro simulate -n 32 --pattern step --policy history
     python -m repro sweep --jobs 4 --timeout 120 # parallel design-space sweep
+    python -m repro linklevel --snr 0:10:2 --frames 200 --jobs 4
 """
 
 from __future__ import annotations
@@ -20,8 +21,10 @@ from typing import Optional, Sequence
 
 from repro.codegen.testbench import generate_all_testbenches
 from repro.flows import (
+    CompositeObserver,
     DesignFlow,
     JsonLinesObserver,
+    RecordingObserver,
     SystemSimulation,
     parse_constraints,
     render_profile,
@@ -253,6 +256,83 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _parse_snr_grid(spec: str) -> list[float]:
+    """SNR grid: ``start:stop:step`` (stop inclusive) or ``v1,v2,...``."""
+    if ":" in spec:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"SNR range must be start:stop:step, got {spec!r}")
+        start, stop, step = (float(p) for p in parts)
+        if step <= 0:
+            raise ValueError("SNR range step must be positive")
+        points = []
+        value = start
+        while value <= stop + 1e-9:
+            points.append(round(value, 9))
+            value += step
+        return points
+    return [float(p) for p in spec.split(",") if p.strip()]
+
+
+def _cmd_linklevel(args, out) -> int:
+    from repro.mccdma.engine import LinkEngineConfig, LinkSimulationEngine
+    from repro.mccdma.transmitter import MCCDMAConfig
+
+    try:
+        snr_points = _parse_snr_grid(args.snr)
+    except ValueError as err:
+        print(f"error: {err}", file=out)
+        return 2
+    if not snr_points:
+        print("error: empty SNR grid", file=out)
+        return 2
+    strategies = [name.strip() for name in args.strategies.split(",") if name.strip()]
+    unknown = [s for s in strategies if s not in ("qpsk", "qam16", "adaptive")]
+    if unknown:
+        print(f"error: unknown strategy(ies) {', '.join(unknown)}", file=out)
+        return 2
+    recorder = RecordingObserver() if getattr(args, "profile", False) else None
+    log_json = getattr(args, "log_json", None)
+    sinks = [o for o in (recorder, JsonLinesObserver(log_json) if log_json else None) if o]
+    observer = None
+    if sinks:
+        observer = sinks[0] if len(sinks) == 1 else CompositeObserver(*sinks)
+    engine = LinkSimulationEngine(
+        config=MCCDMAConfig(user_codes=tuple(range(args.users))),
+        engine=LinkEngineConfig(
+            batch_frames=args.batch,
+            batched=not args.reference,
+            ci_halfwidth=args.ci_halfwidth,
+        ),
+        observer=observer,
+    )
+    report: dict[str, list[dict]] = {}
+    for strategy in strategies:
+        results = engine.sweep_points(
+            strategy, snr_points, args.frames, seed=args.seed,
+            jobs=args.jobs, timeout_s=args.timeout,
+        )
+        report[strategy] = [
+            {"snr_db": snr, **result.to_dict(), "ber": result.ber}
+            for snr, result in zip(snr_points, results)
+        ]
+    if recorder is not None:
+        print(render_profile(recorder.events), file=out)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        for strategy in strategies:
+            print(f"{strategy}:", file=out)
+            for row in report[strategy]:
+                print(
+                    f"  snr {row['snr_db']:+6.2f} dB  ber {row['ber']:.3e}  "
+                    f"frames {row['n_frames']:4d}  goodput "
+                    f"{row['delivered_bits'] / max(row['n_frames'], 1):.1f} bits/frame",
+                    file=out,
+                )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -328,6 +408,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--reactive", action="store_true", help="reconfiguration-blind executive")
 
+    p_link = sub.add_parser(
+        "linklevel",
+        help="batched Monte-Carlo BER/goodput sweep of the MC-CDMA link",
+    )
+    p_link.add_argument(
+        "--snr", default="-2:10:2",
+        help="SNR grid in dB: start:stop:step (inclusive) or comma list (default: -2:10:2)",
+    )
+    p_link.add_argument(
+        "--strategies", default="qpsk,qam16,adaptive",
+        help="comma-separated strategies to sweep (default: all three)",
+    )
+    p_link.add_argument("--frames", type=int, default=200, help="frames per SNR point")
+    p_link.add_argument("--users", type=int, default=1, help="active Walsh-code users")
+    p_link.add_argument(
+        "--batch", type=int, default=64,
+        help="frames per vectorized batch (and early-stop check; default: 64)",
+    )
+    p_link.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes sharding SNR points (0 = serial in-process)",
+    )
+    p_link.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-point timeout in seconds when sharded",
+    )
+    p_link.add_argument("--seed", type=int, default=0)
+    p_link.add_argument(
+        "--ci-halfwidth", type=float, default=None, metavar="W",
+        help="early-stop a point once the 95%% Wilson half-width on BER drops below W",
+    )
+    p_link.add_argument(
+        "--reference", action="store_true",
+        help="use the per-frame reference path instead of the batched kernels",
+    )
+    p_link.add_argument("--json", action="store_true", help="emit results as JSON")
+
     p_sim = sub.add_parser("simulate", help="runtime simulation with real MC-CDMA data")
     p_sim.add_argument("-n", "--iterations", type=int, default=24)
     p_sim.add_argument("--pattern", choices=("step", "walk", "sinus"), default="step")
@@ -348,6 +465,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "linklevel": _cmd_linklevel,
 }
 
 

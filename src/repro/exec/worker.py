@@ -125,8 +125,17 @@ def run_job(
     matching :func:`repro.flows.designspace.explore_design_space`.  Any
     other exception propagates to the caller (the worker loop reports it to
     the engine, which retries or records the failure).
+
+    Jobs other than :class:`SweepJob` may plug into the sweep machinery by
+    exposing ``job_id`` plus an ``execute(attempt=, cache=, observer=)``
+    method returning the payload (e.g.
+    :class:`repro.mccdma.engine.LinkPointJob`); ``fault`` is honoured for
+    them too when present.
     """
-    _apply_fault(job.fault, attempt)
+    _apply_fault(getattr(job, "fault", None), attempt)
+    execute = getattr(job, "execute", None)
+    if execute is not None:
+        return execute(attempt=attempt, cache=cache, observer=observer)
     flow = DesignFlow(
         graph=job.graph,
         board=build_board(job),

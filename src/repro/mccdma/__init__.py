@@ -24,6 +24,11 @@ Modules:
 - :mod:`repro.mccdma.receiver` — reference receiver and BER/EVM metrics,
 - :mod:`repro.mccdma.adaptive` — SNR-driven modulation selection (the
   ``Select`` conditional input driving reconfiguration),
+- :mod:`repro.mccdma.engine` — batched Monte-Carlo link-simulation engine
+  (vectorized frame batches, collision-free seeding, early stopping,
+  multi-process SNR sweeps),
+- :mod:`repro.mccdma.linklevel` — strategy comparison wrappers over the
+  engine,
 - :mod:`repro.mccdma.casestudy` — the paper's algorithm graph built on
   :mod:`repro.dfg`.
 """
@@ -34,6 +39,7 @@ from repro.mccdma.modulation import (
     QPSKModulator,
     QAM16Modulator,
     modulator_for,
+    modulation_runs,
 )
 from repro.mccdma.spreading import WalshSpreader, walsh_matrix
 from repro.mccdma.ofdm import OFDMModulator
@@ -42,6 +48,15 @@ from repro.mccdma.channel import AWGNChannel, RayleighChannel
 from repro.mccdma.transmitter import MCCDMAConfig, MCCDMATransmitter
 from repro.mccdma.receiver import MCCDMAReceiver, bit_error_rate, error_vector_magnitude
 from repro.mccdma.adaptive import AdaptiveModulationController, SnrTrace
+from repro.mccdma.engine import (
+    LinkEngineConfig,
+    LinkPointJob,
+    LinkResult,
+    LinkSimulationEngine,
+    frame_seed_sequences,
+    wilson_halfwidth,
+)
+from repro.mccdma.linklevel import adaptive_vs_fixed, simulate_link
 
 __all__ = [
     "BitSource",
@@ -65,4 +80,13 @@ __all__ = [
     "error_vector_magnitude",
     "AdaptiveModulationController",
     "SnrTrace",
+    "modulation_runs",
+    "LinkEngineConfig",
+    "LinkPointJob",
+    "LinkResult",
+    "LinkSimulationEngine",
+    "frame_seed_sequences",
+    "wilson_halfwidth",
+    "adaptive_vs_fixed",
+    "simulate_link",
 ]

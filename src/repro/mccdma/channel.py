@@ -15,9 +15,14 @@ def snr_db_to_noise_std(snr_db: float, signal_power: float = 1.0) -> float:
 
 
 class AWGNChannel:
-    """Additive white Gaussian noise at a configured SNR (per sample)."""
+    """Additive white Gaussian noise at a configured SNR (per sample).
 
-    def __init__(self, snr_db: float, seed: int = 0):
+    ``seed`` may be an integer or a :class:`numpy.random.SeedSequence` —
+    the link-level engine hands every frame its own spawned sequence so
+    noise streams never collide across frames or seeds.
+    """
+
+    def __init__(self, snr_db: float, seed: "int | np.random.SeedSequence" = 0):
         self.snr_db = snr_db
         self._rng = np.random.default_rng(seed)
 

@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["BlockInterleaver"]
+
+
+@lru_cache(maxsize=None)
+def _permutations(rows: int, cols: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached (interleave, deinterleave) index permutations for one geometry.
+
+    ``fwd[k]`` is the input index written to output position ``k`` by the
+    row-in/column-out read; ``inv`` is its inverse.  Both are read-only and
+    shared by every interleaver of the same shape, so per-frame construction
+    stops rebuilding them.
+    """
+    fwd = np.arange(rows * cols).reshape(rows, cols).T.ravel()
+    inv = np.empty_like(fwd)
+    inv[fwd] = np.arange(fwd.size)
+    fwd.setflags(write=False)
+    inv.setflags(write=False)
+    return fwd, inv
 
 
 class BlockInterleaver:
@@ -20,6 +39,7 @@ class BlockInterleaver:
             raise ValueError("interleaver dimensions must be positive")
         self.rows = rows
         self.cols = cols
+        self._fwd, self._inv = _permutations(rows, cols)
 
     @property
     def block_size(self) -> int:
@@ -37,10 +57,8 @@ class BlockInterleaver:
 
     def interleave(self, data: np.ndarray) -> np.ndarray:
         data = self._check(data)
-        blocks = data.reshape(-1, self.rows, self.cols)
-        return blocks.transpose(0, 2, 1).reshape(-1)
+        return data.reshape(-1, self.block_size)[:, self._fwd].reshape(-1)
 
     def deinterleave(self, data: np.ndarray) -> np.ndarray:
         data = self._check(data)
-        blocks = data.reshape(-1, self.cols, self.rows)
-        return blocks.transpose(0, 2, 1).reshape(-1)
+        return data.reshape(-1, self.block_size)[:, self._inv].reshape(-1)

@@ -6,72 +6,22 @@ to the channel.  This module quantifies that motivation on the MC-CDMA
 link: bit-error rate and spectral efficiency of fixed-QPSK, fixed-QAM-16
 and SNR-adaptive transmission over a noisy channel, plus the net goodput
 once the ≈4 ms reconfiguration cost of switching is charged.
+
+The Monte-Carlo loop itself lives in :mod:`repro.mccdma.engine`; the
+functions here are thin wrappers kept for API stability.  ``batched=False``
+selects the retained per-frame reference path, which the batched default
+reproduces field-for-field.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.mccdma.adaptive import AdaptiveModulationController
-from repro.mccdma.channel import AWGNChannel
-from repro.mccdma.modulation import Modulation
-from repro.mccdma.receiver import MCCDMAReceiver
-from repro.mccdma.transmitter import MCCDMAConfig, MCCDMATransmitter
+from repro.flows.observe import FlowObserver
+from repro.mccdma.engine import LinkEngineConfig, LinkResult, LinkSimulationEngine
+from repro.mccdma.transmitter import MCCDMAConfig
 
 __all__ = ["LinkResult", "simulate_link", "adaptive_vs_fixed"]
-
-
-@dataclass
-class LinkResult:
-    """Aggregate link statistics for one strategy."""
-
-    strategy: str
-    total_bits: int
-    error_bits: int
-    switches: int
-    n_frames: int
-    #: bits of frames received without any bit error (ARQ model: an errored
-    #: frame is discarded and retransmitted, delivering nothing).
-    delivered_bits: int = 0
-    frames_ok: int = 0
-
-    @property
-    def ber(self) -> float:
-        return self.error_bits / self.total_bits if self.total_bits else 0.0
-
-    @property
-    def frame_success_rate(self) -> float:
-        return self.frames_ok / self.n_frames if self.n_frames else 0.0
-
-    def bits_per_frame(self) -> float:
-        return self.total_bits / self.n_frames if self.n_frames else 0.0
-
-    def goodput_bits_per_frame(self, frame_error_weight: float = 1.0) -> float:
-        """Delivered error-free bits per frame under the ARQ model.
-
-        ``frame_error_weight`` is kept for API compatibility; the ARQ model
-        already zeroes errored frames, so the weight is ignored.
-        """
-        return self.delivered_bits / self.n_frames if self.n_frames else 0.0
-
-
-def _plan_for(
-    strategy: str,
-    snr_db: float,
-    n_data_symbols: int,
-    controller: Optional[AdaptiveModulationController],
-) -> list[Modulation]:
-    if strategy == "qpsk":
-        return [Modulation.QPSK] * n_data_symbols
-    if strategy == "qam16":
-        return [Modulation.QAM16] * n_data_symbols
-    if strategy == "adaptive":
-        assert controller is not None
-        return [controller.select(snr_db) for _ in range(n_data_symbols)]
-    raise ValueError(f"unknown strategy {strategy!r}")
 
 
 def simulate_link(
@@ -81,52 +31,35 @@ def simulate_link(
     seed: int = 0,
     threshold_db: float = 2.0,
     hysteresis_db: float = 1.0,
+    batched: bool = True,
+    batch_frames: int = 64,
+    observer: Optional[FlowObserver] = None,
 ) -> LinkResult:
     """Transmit one frame per SNR-trace entry; returns aggregate stats.
 
     ``threshold_db`` is in *channel* SNR terms (the single-user despreading
     gain of 10·log10(L) dB means QAM-16 is viable well below its textbook
     Es/N0 threshold).
+
+    .. note:: **Seeding compatibility.**  Every frame now derives its data
+       and noise streams from per-frame children of one
+       ``np.random.SeedSequence(seed)`` (see
+       :func:`repro.mccdma.engine.frame_seed_sequences`).  Earlier revisions
+       drew data bits from a single shared generator and seeded the AWGN
+       channel with ``seed * 10_000 + frame_idx``, which collides across
+       seeds once a trace reaches 10 000 frames (seed 0's frame 10 000
+       reused seed 1's frame-0 noise).  Results are therefore numerically
+       different from those revisions, but remain deterministic per seed and
+       identical between the ``batched`` and reference paths.
     """
-    config = config or MCCDMAConfig()
-    tx = MCCDMATransmitter(config)
-    rx = MCCDMAReceiver(config)
-    controller = AdaptiveModulationController(
-        threshold_db=threshold_db, hysteresis_db=hysteresis_db
+    engine = LinkSimulationEngine(
+        config=config,
+        engine=LinkEngineConfig(batch_frames=batch_frames, batched=batched),
+        observer=observer,
+        threshold_db=threshold_db,
+        hysteresis_db=hysteresis_db,
     )
-    rng = np.random.default_rng(seed)
-    total_bits = 0
-    error_bits = 0
-    delivered_bits = 0
-    frames_ok = 0
-    switches = 0
-    previous: Optional[Modulation] = None
-    for frame_idx, snr_db in enumerate(snr_trace_db):
-        plan = _plan_for(strategy, float(snr_db), config.frame.n_data_symbols, controller)
-        for modulation in plan:
-            if previous is not None and modulation is not previous:
-                switches += 1
-            previous = modulation
-        nbits = tx.frame_bits(plan)
-        bits = rng.integers(0, 2, size=(config.n_users, nbits)).astype(np.uint8)
-        frame = tx.transmit_frame(bits, plan)
-        channel = AWGNChannel(float(snr_db), seed=seed * 10_000 + frame_idx)
-        received = rx.receive_frame(frame, samples=channel.transmit(frame.samples))
-        frame_errors = int(np.sum(received != bits))
-        total_bits += bits.size
-        error_bits += frame_errors
-        if frame_errors == 0:
-            delivered_bits += bits.size
-            frames_ok += 1
-    return LinkResult(
-        strategy=strategy,
-        total_bits=total_bits,
-        error_bits=error_bits,
-        switches=switches,
-        n_frames=len(snr_trace_db),
-        delivered_bits=delivered_bits,
-        frames_ok=frames_ok,
-    )
+    return engine.simulate(strategy, snr_trace_db, seed=seed)
 
 
 def adaptive_vs_fixed(
@@ -134,12 +67,15 @@ def adaptive_vs_fixed(
     seed: int = 0,
     threshold_db: float = 2.0,
     hysteresis_db: float = 1.0,
+    batched: bool = True,
+    observer: Optional[FlowObserver] = None,
 ) -> dict[str, LinkResult]:
     """All three strategies over the same channel realization."""
     return {
         strategy: simulate_link(
             strategy, snr_trace_db, seed=seed,
             threshold_db=threshold_db, hysteresis_db=hysteresis_db,
+            batched=batched, observer=observer,
         )
         for strategy in ("qpsk", "qam16", "adaptive")
     }

@@ -12,11 +12,18 @@ receiver and channel see a consistent Es regardless of the selected scheme.
 from __future__ import annotations
 
 import enum
-from typing import Protocol
+from typing import Iterable, Protocol, Sequence
 
 import numpy as np
 
-__all__ = ["Modulation", "Modulator", "QPSKModulator", "QAM16Modulator", "modulator_for"]
+__all__ = [
+    "Modulation",
+    "Modulator",
+    "QPSKModulator",
+    "QAM16Modulator",
+    "modulator_for",
+    "modulation_runs",
+]
 
 
 class Modulation(enum.Enum):
@@ -111,9 +118,11 @@ class QAM16Modulator:
         return out.reshape(-1)
 
 
+#: Shared stateless modulator instances — ``modulate``/``demodulate`` keep no
+#: state, so per-symbol construction was pure overhead on the link hot path.
 _MODULATORS = {
-    Modulation.QPSK: QPSKModulator,
-    Modulation.QAM16: QAM16Modulator,
+    Modulation.QPSK: QPSKModulator(),
+    Modulation.QAM16: QAM16Modulator(),
 }
 
 
@@ -121,4 +130,25 @@ def modulator_for(modulation: Modulation | str) -> Modulator:
     """The modulator implementing ``modulation`` (accepts enum or name)."""
     if isinstance(modulation, str):
         modulation = Modulation(modulation.lower())
-    return _MODULATORS[modulation]()
+    return _MODULATORS[modulation]
+
+
+def modulation_runs(
+    modulations: Sequence[Modulation],
+) -> Iterable[tuple[Modulation, int]]:
+    """Collapse a per-symbol plan into contiguous ``(modulation, count)`` runs.
+
+    The batched transmitter/receiver vectorize over each run at once; an
+    adaptive plan with hysteresis is almost always a handful of long runs.
+    """
+    run_mod: Modulation | None = None
+    count = 0
+    for m in modulations:
+        if m is run_mod:
+            count += 1
+        else:
+            if run_mod is not None:
+                yield run_mod, count
+            run_mod, count = m, 1
+    if run_mod is not None:
+        yield run_mod, count

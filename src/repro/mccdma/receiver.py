@@ -9,10 +9,12 @@ behaviour under noise.
 from __future__ import annotations
 
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.mccdma.framing import Frame, FrameBuilder
-from repro.mccdma.modulation import modulator_for
+from repro.mccdma.modulation import Modulation, modulation_runs, modulator_for
 from repro.mccdma.transmitter import MCCDMAConfig, MCCDMATransmitter
 
 __all__ = ["MCCDMAReceiver", "bit_error_rate", "error_vector_magnitude"]
@@ -97,6 +99,50 @@ class MCCDMAReceiver:
             for u in range(self.config.n_users):
                 per_user_bits[u].append(demod.demodulate(symbols[u]))
         return np.vstack([np.concatenate(chunks) for chunks in per_user_bits])
+
+    def receive_frames(
+        self, modulations: Sequence[Modulation], samples: np.ndarray
+    ) -> np.ndarray:
+        """Recover per-user bits from a batch of frames sharing one plan.
+
+        ``samples`` is the ``(n_frames, n_samples)`` matrix produced by
+        :meth:`~repro.mccdma.transmitter.MCCDMATransmitter.transmit_frames`
+        (possibly after a channel).  The ``(n_frames, n_users, n_bits)``
+        result row ``f`` is bit-identical to ``receive_frame`` on frame
+        ``f``: FFT, despreading and demodulation run over the whole batch,
+        grouped by contiguous same-modulation symbol runs.
+        """
+        rx = np.asarray(samples, dtype=np.complex128)
+        if rx.ndim != 2:
+            raise ValueError(f"samples must be (n_frames, n_samples), got {rx.shape}")
+        modulations = list(modulations)
+        n_frames = rx.shape[0]
+        n_users = self.config.n_users
+        sym_len = self.ofdm.symbol_len
+        spm = self.config.symbols_per_ofdm
+        n_pilot = self.config.frame.n_pilot_symbols * sym_len
+        data = rx[:, n_pilot:]
+        total_bits = sum(
+            self.config.bits_per_ofdm_symbol(m) for m in modulations
+        )
+        out = np.empty((n_frames, n_users, total_bits), dtype=np.uint8)
+        bit_off = 0
+        sym_off = 0
+        for modulation, count in modulation_runs(modulations):
+            block = data[:, sym_off * sym_len : (sym_off + count) * sym_len]
+            sym_off += count
+            chips = self.ofdm.demodulate(np.ascontiguousarray(block).reshape(-1))
+            # despread sees (n_frames*count*spm, L) chip rows; each row is
+            # despread independently, so batching keeps rows bit-identical.
+            symbols = self.spreader.despread(chips)  # (users, frames*count*spm)
+            symbols = symbols.reshape(n_users, n_frames, count * spm)
+            per_frame_user = symbols.transpose(1, 0, 2)  # (frames, users, run symbols)
+            demod = modulator_for(modulation)
+            need = self.config.bits_per_ofdm_symbol(modulation) * count
+            bits = demod.demodulate(np.ascontiguousarray(per_frame_user).reshape(-1))
+            out[:, :, bit_off : bit_off + need] = bits.reshape(n_frames, n_users, need)
+            bit_off += need
+        return out
 
     def symbols_of_frame(self, frame: Frame, samples: np.ndarray | None = None) -> np.ndarray:
         """Despread (pre-demodulation) symbols — used for EVM measurements."""

@@ -4,27 +4,41 @@ Each user's symbol stream is multiplied by an orthogonal Walsh code of
 length ``L``; the chips of all users superpose, and one chip per subcarrier
 is transmitted (frequency-domain spreading).  Orthogonality lets the
 receiver separate users with a simple correlation.
+
+:func:`walsh_matrix` is memoized per length (the matrix is a pure function
+of ``L`` and every transmitter/receiver pair used to rebuild it from
+scratch); the cached array is returned read-only so the shared instance
+cannot be corrupted by a caller.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
 __all__ = ["walsh_matrix", "WalshSpreader"]
 
 
+@lru_cache(maxsize=None)
+def _walsh_matrix_cached(length: int) -> np.ndarray:
+    h = np.array([[1.0]])
+    while h.shape[0] < length:
+        h = np.block([[h, h], [h, -h]])
+    h.setflags(write=False)
+    return h
+
+
 def walsh_matrix(length: int) -> np.ndarray:
     """The ``length``×``length`` Walsh-Hadamard matrix (entries ±1).
 
     ``length`` must be a power of two.  Built by Sylvester recursion, so
-    row ``k`` is the k-th Walsh code.
+    row ``k`` is the k-th Walsh code.  The result is a cached, read-only
+    array shared by every caller — copy it before mutating.
     """
     if length < 1 or length & (length - 1):
         raise ValueError(f"Walsh code length must be a power of two, got {length}")
-    h = np.array([[1.0]])
-    while h.shape[0] < length:
-        h = np.block([[h, h], [h, -h]])
-    return h
+    return _walsh_matrix_cached(length)
 
 
 class WalshSpreader:
@@ -41,6 +55,8 @@ class WalshSpreader:
             if not 0 <= c < length:
                 raise ValueError(f"code index {c} outside 0..{length - 1}")
         self.user_codes = list(user_codes)
+        #: The selected code rows, extracted once instead of per frame.
+        self._codes = self.matrix[self.user_codes]  # (users, L)
 
     @property
     def n_users(self) -> int:
@@ -58,11 +74,28 @@ class WalshSpreader:
             raise ValueError(
                 f"expected {self.n_users} user rows, got {symbols.shape[0]}"
             )
-        codes = self.matrix[self.user_codes]  # (users, L)
+        codes = self._codes  # (users, L)
         # chips[u, s, l] = symbols[u, s] * codes[u, l]
         chips = symbols[:, :, None] * codes[:, None, :]
         combined = chips.sum(axis=0) / np.sqrt(self.n_users)
         return combined.reshape(-1)
+
+    def spread_batch(self, symbols: np.ndarray) -> np.ndarray:
+        """Spread a ``(n_frames, n_users, n_symbols)`` block at once.
+
+        Row ``f`` of the ``(n_frames, n_symbols * length)`` result is
+        bit-identical to ``spread(symbols[f])``: the user-axis reduction
+        visits the same addends in the same order, only with a leading
+        frame axis.
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        if symbols.ndim != 3 or symbols.shape[1] != self.n_users:
+            raise ValueError(
+                f"expected (n_frames, {self.n_users}, n_symbols), got {symbols.shape}"
+            )
+        chips = symbols[:, :, :, None] * self._codes[None, :, None, :]
+        combined = chips.sum(axis=1) / np.sqrt(self.n_users)
+        return combined.reshape(symbols.shape[0], -1)
 
     def despread(self, chips: np.ndarray) -> np.ndarray:
         """Recover per-user symbols by correlating against each code."""
@@ -70,8 +103,10 @@ class WalshSpreader:
         if chips.size % self.length:
             raise ValueError(f"chip count {chips.size} not a multiple of L={self.length}")
         blocks = chips.reshape(-1, self.length)  # (n_symbols, L)
-        codes = self.matrix[self.user_codes]  # (users, L)
-        symbols = blocks @ codes.T / self.length  # (n_symbols, users)
+        # einsum (not BLAS matmul) so each output element is reduced in a
+        # fixed order regardless of how many symbols are batched together —
+        # per-frame and frame-batched despreading stay bit-identical.
+        symbols = np.einsum("sl,ul->su", blocks, self._codes) / self.length
         return symbols.T * np.sqrt(self.n_users)
 
     def chips_per_symbol(self) -> int:

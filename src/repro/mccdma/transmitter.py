@@ -8,7 +8,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.mccdma.framing import Frame, FrameBuilder, FrameConfig
-from repro.mccdma.modulation import Modulation, modulator_for
+from repro.mccdma.modulation import Modulation, modulation_runs, modulator_for
 from repro.mccdma.ofdm import OFDMModulator
 from repro.mccdma.spreading import WalshSpreader
 
@@ -128,3 +128,49 @@ class MCCDMATransmitter:
             chips = self.spread_symbol(symbols)
             blocks.append(self.ofdm_symbol(chips))
         return self.framer.build(blocks, list(modulations))
+
+    def transmit_frames(
+        self, bits: np.ndarray, modulations: Sequence[Modulation]
+    ) -> np.ndarray:
+        """Transmit a batch of frames sharing one modulation plan.
+
+        ``bits`` has shape ``(n_frames, n_users, frame_bits(modulations))``;
+        the result is the ``(n_frames, n_samples)`` matrix of frame samples
+        (pilots included).  Row ``f`` is bit-identical to
+        ``transmit_frame(bits[f], modulations).samples``: every kernel
+        (modulation, spreading, IFFT, cyclic prefix) is applied to the whole
+        batch at once, grouped over contiguous same-modulation symbol runs,
+        but performs the same per-element arithmetic in the same order.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        modulations = list(modulations)
+        total = self.frame_bits(modulations)
+        n_users = self.config.n_users
+        if bits.ndim != 3 or bits.shape[1:] != (n_users, total):
+            raise ValueError(
+                f"bits must have shape (n_frames, {n_users}, {total}), got {bits.shape}"
+            )
+        n_frames = bits.shape[0]
+        sym_len = self.ofdm.symbol_len
+        spm = self.config.symbols_per_ofdm
+        data = np.empty((n_frames, len(modulations) * sym_len), dtype=np.complex128)
+        bit_off = 0
+        sym_off = 0
+        for modulation, count in modulation_runs(modulations):
+            need = self.config.bits_per_ofdm_symbol(modulation) * count
+            chunk = bits[:, :, bit_off : bit_off + need]
+            bit_off += need
+            mod = modulator_for(modulation)
+            # Per-user bit runs are contiguous, so one flat modulate call
+            # covers every (frame, user, OFDM symbol) of the run.
+            symbols = mod.modulate(np.ascontiguousarray(chunk).reshape(-1))
+            symbols = symbols.reshape(n_frames, n_users, count * spm)
+            chips = self.spreader.spread_batch(symbols)  # (frames, count*n_sub)
+            blocks = self.ofdm.modulate(chips.reshape(-1)).reshape(n_frames, count * sym_len)
+            data[:, sym_off * sym_len : (sym_off + count) * sym_len] = blocks
+            sym_off += count
+        pilots = self.framer.pilot_samples()
+        samples = np.empty((n_frames, pilots.size + data.shape[1]), dtype=np.complex128)
+        samples[:, : pilots.size] = pilots
+        samples[:, pilots.size :] = data
+        return samples

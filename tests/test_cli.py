@@ -200,3 +200,53 @@ def test_sweep_unknown_architecture_is_a_clean_error():
     assert code == 2
     assert text.startswith("error:") and "case_z" in text
     assert "case_a" in text  # the error lists the known choices
+
+
+def test_linklevel_table_and_json():
+    import json
+
+    code, text = run_cli(
+        "linklevel", "--snr", "0:8:4", "--frames", "8", "--batch", "4",
+        "--strategies", "qpsk,adaptive",
+    )
+    assert code == 0
+    assert "qpsk:" in text and "adaptive:" in text
+    assert text.count("snr") == 6  # 3 SNR points x 2 strategies
+    code, text = run_cli(
+        "linklevel", "--snr", "0,6", "--frames", "8", "--batch", "4",
+        "--strategies", "qpsk", "--json",
+    )
+    assert code == 0
+    payload = json.loads(text)
+    assert [row["snr_db"] for row in payload["qpsk"]] == [0.0, 6.0]
+    assert all(row["n_frames"] == 8 for row in payload["qpsk"])
+
+
+def test_linklevel_reference_path_matches_batched():
+    import json
+
+    args = ("linklevel", "--snr", "2,5", "--frames", "8", "--batch", "4",
+            "--strategies", "adaptive", "--users", "3", "--json")
+    code_a, batched = run_cli(*args)
+    code_b, reference = run_cli(*args, "--reference")
+    assert code_a == code_b == 0
+    assert json.loads(batched) == json.loads(reference)
+
+
+def test_linklevel_profile_shows_engine_events(tmp_path):
+    code, text = run_cli(
+        "--profile", "--log-json", str(tmp_path / "events.jsonl"),
+        "linklevel", "--snr", "4", "--frames", "8", "--batch", "4",
+        "--strategies", "qpsk",
+    )
+    assert code == 0
+    assert "link:batch" in text and "link:point" in text
+    lines = (tmp_path / "events.jsonl").read_text().splitlines()
+    assert any('"link:point"' in line for line in lines)
+
+
+def test_linklevel_bad_grid_and_strategy_are_clean_errors():
+    code, text = run_cli("linklevel", "--snr", "0:8")
+    assert code == 2 and text.startswith("error:")
+    code, text = run_cli("linklevel", "--strategies", "bpsk")
+    assert code == 2 and "bpsk" in text
