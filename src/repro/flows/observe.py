@@ -94,25 +94,39 @@ class LoggingObserver:
 
 
 class JsonLinesObserver:
-    """Append one JSON object per event to ``target`` (path or text stream)."""
+    """Append one JSON object per event to ``target`` (path or text stream).
+
+    A path target is opened **once** in append mode and kept for the
+    observer's life (the previous open-per-event behaviour turned a 1000-job
+    sweep into 1000 open/close cycles); every line is flushed so external
+    tail readers see events live.  Close explicitly via :meth:`close` or use
+    the observer as a context manager; a stream target is never closed (the
+    caller owns it).
+    """
 
     def __init__(self, target: str | Path | IO[str]):
-        self._stream: Optional[IO[str]]
+        self._stream: IO[str]
         if isinstance(target, (str, Path)):
             self._path: Optional[Path] = Path(target)
-            self._stream = None
+            self._stream = self._path.open("a", encoding="utf-8")
         else:
             self._path = None
             self._stream = target
 
     def on_event(self, event: FlowEvent) -> None:
-        line = json.dumps(event.to_dict(), sort_keys=True)
-        if self._path is not None:
-            with self._path.open("a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
-        else:
-            assert self._stream is not None
-            self._stream.write(line + "\n")
+        self._stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (only when this observer opened it)."""
+        if self._path is not None and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonLinesObserver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class RecordingObserver:
@@ -144,21 +158,44 @@ class RecordingObserver:
 
 
 class CompositeObserver:
-    """Fan one event out to several observers."""
+    """Fan one event out to several observers.
+
+    Sinks are isolated from each other: an observer that raises is logged
+    (with traceback, once per observer — a broken sink would otherwise spam
+    one log record per stage) and the event still reaches the remaining
+    sinks.  Observability must never abort the run it is observing.
+    """
 
     def __init__(self, *observers: FlowObserver):
         self.observers = list(observers)
+        self._failed: set[int] = set()
 
     def on_event(self, event: FlowEvent) -> None:
         for obs in self.observers:
-            obs.on_event(event)
+            try:
+                obs.on_event(event)
+            except Exception:
+                if id(obs) not in self._failed:
+                    self._failed.add(id(obs))
+                    logger.exception(
+                        "observer %s raised on %s/%s; suppressing its further errors",
+                        type(obs).__name__, event.flow, event.stage,
+                    )
 
 
-def render_profile(events: Iterable[FlowEvent]) -> str:
-    """Per-stage profile table (the CLI's ``--profile`` output)."""
+def render_profile(events: Iterable[FlowEvent], aggregate: bool = False) -> str:
+    """Per-stage profile table (the CLI's ``--profile`` output).
+
+    The default layout prints one row per event — right for a single flow,
+    unreadable for a sweep that replays the same stages hundreds of times.
+    ``aggregate=True`` groups events by stage and reports execution count,
+    cache hit rate and total/mean wall time per stage instead.
+    """
     rows = list(events)
     if not rows:
         return "flow profile: no stage events recorded"
+    if aggregate:
+        return _render_profile_aggregate(rows)
     width = max(len(e.stage) for e in rows)
     lines = [f"{'stage':<{width}}  {'cache':<5}  {'time':>10}  fingerprint   metrics"]
     for e in rows:
@@ -171,5 +208,35 @@ def render_profile(events: Iterable[FlowEvent]) -> str:
     hits = sum(1 for e in rows if e.cache_hit)
     lines.append(
         f"{'total':<{width}}  {hits}/{len(rows)} hit  {total * 1e3:>7.2f} ms"
+    )
+    return "\n".join(lines)
+
+
+def _render_profile_aggregate(rows: list[FlowEvent]) -> str:
+    """Per-stage rollup: count / hit rate / total + mean time, busiest first."""
+    groups: dict[str, list[FlowEvent]] = {}
+    for event in rows:
+        groups.setdefault(event.stage, []).append(event)
+    width = max(max(len(stage) for stage in groups), len("stage"))
+    lines = [
+        f"{'stage':<{width}}  {'count':>5}  {'hits':>4}  {'rate':>5}  "
+        f"{'total':>11}  {'mean':>11}"
+    ]
+    ordered = sorted(
+        groups.items(), key=lambda kv: (-sum(e.wall_time_s for e in kv[1]), kv[0])
+    )
+    for stage, events in ordered:
+        total = sum(e.wall_time_s for e in events)
+        hits = sum(1 for e in events if e.cache_hit)
+        lines.append(
+            f"{stage:<{width}}  {len(events):>5}  {hits:>4}  "
+            f"{100 * hits / len(events):>4.0f}%  {total * 1e3:>8.2f} ms  "
+            f"{total / len(events) * 1e3:>8.2f} ms"
+        )
+    grand = sum(e.wall_time_s for e in rows)
+    grand_hits = sum(1 for e in rows if e.cache_hit)
+    lines.append(
+        f"{'total':<{width}}  {len(rows):>5}  {grand_hits:>4}  "
+        f"{100 * grand_hits / len(rows):>4.0f}%  {grand * 1e3:>8.2f} ms"
     )
     return "\n".join(lines)

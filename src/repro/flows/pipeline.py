@@ -446,29 +446,58 @@ class FlowPipeline:
         self.keys: dict[str, str] = {}
 
     def run(self) -> dict[str, Any]:
-        """Execute every stage; returns stage name → artefact."""
+        """Execute every stage; returns stage name → artefact.
+
+        When a recording tracer is installed (:func:`repro.obs.get_tracer`),
+        the run becomes a ``flow:`` span with one ``stage:`` child span per
+        stage and the stage/cache traffic is counted into the ambient
+        metrics registry.  The :class:`FlowEvent` stream is unchanged either
+        way — tracing wraps the events, it never rewrites them.
+        """
+        from repro.obs import get_metrics, get_tracer
+
+        tracer = get_tracer()
         artifacts: dict[str, Any] = {}
-        for stage in self.stages:
-            started = perf_counter()
-            key = stage.key(artifacts)
-            artifact = self.cache.get(key) if self.cache is not None else None
-            hit = artifact is not None
-            if not hit:
-                artifact = stage.execute(artifacts)
-                if self.cache is not None and artifact is not None:
-                    # Continue with the cache's canonical copy so downstream
-                    # stages see the same object graph in every process.
-                    artifact = self.cache.put(key, artifact)
-            artifacts[stage.name] = artifact
-            self.keys[stage.name] = key
-            event = FlowEvent(
-                flow=self.flow_name,
-                stage=stage.name,
-                cache_hit=hit,
-                wall_time_s=perf_counter() - started,
-                fingerprint=key,
-                metrics=dict(stage.metrics(artifact)) if stage.metrics is not None else {},
-            )
-            self.events.append(event)
-            self.observer.on_event(event)
+        with tracer.span(f"flow:{self.flow_name}"):
+            for stage in self.stages:
+                stage_span = tracer.span(f"stage:{stage.name}").start()
+                started = perf_counter()
+                key = stage.key(artifacts)
+                artifact = self.cache.get(key) if self.cache is not None else None
+                hit = artifact is not None
+                if not hit:
+                    artifact = stage.execute(artifacts)
+                    if self.cache is not None and artifact is not None:
+                        # Continue with the cache's canonical copy so downstream
+                        # stages see the same object graph in every process.
+                        artifact = self.cache.put(key, artifact)
+                artifacts[stage.name] = artifact
+                self.keys[stage.name] = key
+                wall_time_s = perf_counter() - started
+                event = FlowEvent(
+                    flow=self.flow_name,
+                    stage=stage.name,
+                    cache_hit=hit,
+                    wall_time_s=wall_time_s,
+                    fingerprint=key,
+                    metrics=dict(stage.metrics(artifact)) if stage.metrics is not None else {},
+                )
+                if tracer.enabled:
+                    stage_span.set_attribute("flow", self.flow_name)
+                    stage_span.set_attribute("cache_hit", hit)
+                    stage_span.set_attribute("fingerprint", key[:16])
+                    for name, value in event.metrics.items():
+                        stage_span.set_attribute(f"metric.{name}", value)
+                    registry = get_metrics()
+                    registry.counter("flow.stages_total").inc()
+                    registry.counter(
+                        "flow.stage_cache_hits" if hit else "flow.stage_cache_misses"
+                    ).inc()
+                    registry.histogram("flow.stage_seconds").observe(wall_time_s)
+                    # Numeric stage metrics (e.g. the adequation stages'
+                    # SchedulerStats placement accounting) become counters.
+                    registry.record_counts(f"stage.{stage.name}", event.metrics)
+                stage_span.end()
+                self.events.append(event)
+                self.observer.on_event(event)
         return artifacts

@@ -14,6 +14,7 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.executive.interpreter import ExecutionReport, ExecutiveRunner
 from repro.flows.flow import FlowResult
+from repro.obs import get_metrics, get_tracer, record_manager_stats, spans_from_sim_trace
 from repro.reconfig.manager import ManagerStats, ReconfigurationManager
 from repro.reconfig.memory import BitstreamStore
 from repro.reconfig.prefetch import NoPrefetchPolicy, PrefetchPolicy
@@ -126,10 +127,23 @@ class SystemSimulation:
             capture=self.capture,
         )
         runner.trace = trace  # share one trace across executive and manager
-        report = runner.run()
+        tracer = get_tracer()
+        with tracer.span("runtime:simulate") as rt_span:
+            report = runner.run()
         # "Switches" = configuration loads actually performed (includes the
         # initial load unless the module shipped in the startup bitstream).
         switches = manager.stats.demand_loads + manager.stats.prefetch_loads
+        if tracer.enabled:
+            # Flush still-open residency intervals into closed spans, then
+            # re-base the kernel's virtual-time trace under this run's span.
+            trace.close_open(report.end_time_ns)
+            rt_span.set_attribute("n_iterations", self.n_iterations)
+            rt_span.set_attribute("switches", switches)
+            rt_span.set_attribute(
+                "policy", getattr(self.policy, "name", type(self.policy).__name__)
+            )
+            tracer.add_spans(spans_from_sim_trace(trace, parent=rt_span.context))
+            record_manager_stats(get_metrics(), manager.stats)
         return RuntimeResult(
             execution=report,
             manager_stats=manager.stats,

@@ -41,6 +41,7 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro.flows.observe import FlowEvent, FlowObserver
+from repro.obs import get_metrics, get_tracer
 from repro.mccdma.adaptive import AdaptiveModulationController
 from repro.mccdma.channel import AWGNChannel
 from repro.mccdma.modulation import Modulation
@@ -346,6 +347,8 @@ class LinkSimulationEngine:
 
     def _run(self, strategy, trace, seed, *, early_stop, run_stage) -> LinkResult:
         cfg = self.engine
+        tracer = get_tracer()
+        run_span = tracer.span(f"{run_stage}:{strategy}").start()
         plans, switches_after = self._plans(strategy, trace)
         streams = frame_seed_sequences(seed, len(trace))
         acc = _Accumulator()
@@ -358,8 +361,14 @@ class LinkSimulationEngine:
         for start in range(0, len(trace), cfg.batch_frames):
             indices = list(range(start, min(start + cfg.batch_frames, len(trace))))
             batch_started = perf_counter()
+            batch_span = tracer.span("link:batch").start() if tracer.enabled else None
             run_batch(indices, trace, plans, streams, acc)
             halfwidth = wilson_halfwidth(acc.error_bits, acc.total_bits, cfg.ci_z)
+            if batch_span is not None:
+                batch_span.set_attribute("frames", len(indices))
+                batch_span.set_attribute("frames_done", acc.n_frames)
+                batch_span.set_attribute("error_bits", acc.error_bits)
+                batch_span.end()
             self._emit(
                 "link:batch",
                 flow,
@@ -403,6 +412,16 @@ class LinkSimulationEngine:
                 "batched": cfg.batched,
             },
         )
+        if tracer.enabled:
+            run_span.set_attribute("strategy", strategy)
+            run_span.set_attribute("frames", result.n_frames)
+            run_span.set_attribute("ber", result.ber)
+            run_span.set_attribute("switches", result.switches)
+            run_span.set_attribute("early_stopped", stopped_early)
+            registry = get_metrics()
+            registry.counter("link.frames_total").inc(result.n_frames)
+            registry.counter("link.error_bits_total").inc(result.error_bits)
+        run_span.end()
         return result
 
     # -- multi-process SNR sweeps ------------------------------------------------

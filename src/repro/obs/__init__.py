@@ -1,0 +1,98 @@
+"""Unified observability: hierarchical tracing, metrics and exporters.
+
+The flow spans many cooperating layers — the staged pipeline, the parallel
+sweep engine and its spawn workers, the adequation schedulers and the
+runtime reconfiguration manager running on the discrete-event kernel.  This
+package gives them one tracing/metrics vocabulary:
+
+- :mod:`repro.obs.tracer` — trace-id/span-id/parent-id spans with attribute
+  bags; a zero-cost no-op tracer is the ambient default
+  (:func:`get_tracer`), a recording :class:`Tracer` is installed per traced
+  run (:func:`use_tracer`).  :class:`SpanContext` pickles cleanly so the
+  sweep engine propagates it over worker pipes and worker stage spans
+  parent under their job span across the process boundary.
+- :mod:`repro.obs.metrics` — counters, gauges and fixed-boundary histograms
+  with deterministic snapshots (:func:`get_metrics` / :func:`use_metrics`).
+- :mod:`repro.obs.bridge` — re-bases the sim kernel's virtual-time trace
+  onto the same span model and feeds the pre-existing stat bags
+  (``SchedulerStats``, ``ManagerStats``/``ReconfigStats``, ``CacheStats``)
+  into the registry.
+- :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable),
+  the Fig. 4 per-region residency Gantt (text and SVG) and run manifests.
+- :mod:`repro.obs.validate` — the trace-schema validator CI gates on.
+"""
+
+from repro.obs.tracer import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    get_tracer,
+    new_trace_id,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.metrics import (
+    STAGE_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.bridge import (
+    record_cache_stats,
+    record_config_service_stats,
+    record_manager_stats,
+    record_scheduler_stats,
+    spans_from_sim_trace,
+)
+from repro.obs.export import (
+    build_manifest,
+    chrome_trace,
+    manifest_path_for,
+    region_timeline,
+    render_region_gantt,
+    render_region_gantt_svg,
+    write_chrome_trace,
+    write_manifest,
+)
+from repro.obs.validate import validate_chrome_trace, validate_trace_file
+
+__all__ = [
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "get_tracer",
+    "new_trace_id",
+    "set_tracer",
+    "use_tracer",
+    "STAGE_SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "record_cache_stats",
+    "record_config_service_stats",
+    "record_manager_stats",
+    "record_scheduler_stats",
+    "spans_from_sim_trace",
+    "build_manifest",
+    "chrome_trace",
+    "manifest_path_for",
+    "region_timeline",
+    "render_region_gantt",
+    "render_region_gantt_svg",
+    "write_chrome_trace",
+    "write_manifest",
+    "validate_chrome_trace",
+    "validate_trace_file",
+]

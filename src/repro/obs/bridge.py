@@ -1,0 +1,131 @@
+"""Bridges between the observability layer and the repo's older islands.
+
+- :func:`spans_from_sim_trace` re-bases the discrete-event kernel's
+  :class:`repro.sim.Trace` spans onto the unified tracer model: every sim
+  :class:`repro.sim.Span` becomes an :class:`repro.obs.Span` in the
+  ``"sim"`` clock domain (virtual nanoseconds), parented under a given span
+  context so runtime-simulation activity hangs off the flow/job that ran it.
+- ``record_*_stats`` feed the pre-existing counter bags —
+  :class:`~repro.aaa.scheduler.SchedulerStats`,
+  :class:`~repro.reconfig.manager.ManagerStats` (a.k.a. ``ReconfigStats``),
+  :class:`~repro.flows.pipeline.CacheStats` and the
+  :class:`~repro.executive.interpreter.FixedLatencyConfigService` counters —
+  into a :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, SpanContext, new_trace_id
+
+__all__ = [
+    "spans_from_sim_trace",
+    "record_scheduler_stats",
+    "record_manager_stats",
+    "record_cache_stats",
+    "record_config_service_stats",
+]
+
+_BRIDGE_SEQ = itertools.count(1)
+
+
+def spans_from_sim_trace(
+    trace,
+    parent: Optional[SpanContext] = None,
+    process: str = "sim",
+    include_kinds: Optional[Sequence[str]] = None,
+) -> list[Span]:
+    """Sim-kernel trace spans as unified ``clock="sim"`` spans.
+
+    ``parent`` (usually the job or simulation span on the wall clock)
+    becomes every bridged span's parent, so the trace tree stays connected
+    across the clock-domain boundary.  ``include_kinds`` filters by sim span
+    kind (``compute``, ``comm``, ``reconfig``, ``prefetch``, ``resident``…).
+    """
+    trace_id = parent.trace_id if parent is not None else new_trace_id()
+    parent_id = parent.span_id if parent is not None else None
+    prefix = f"sim{next(_BRIDGE_SEQ)}-"
+    out: list[Span] = []
+    for i, sim_span in enumerate(trace.spans):
+        if include_kinds is not None and sim_span.kind not in include_kinds:
+            continue
+        attributes = {"actor": sim_span.actor, "kind": sim_span.kind}
+        if sim_span.detail:
+            attributes["detail"] = sim_span.detail
+        # Region-scoped spans (the reconfiguration manager's residency and
+        # load intervals) expose region/module directly for the Gantt view.
+        if sim_span.actor.startswith("region."):
+            attributes["region"] = sim_span.actor[len("region."):]
+            if sim_span.detail:
+                attributes["module"] = sim_span.detail
+        name = f"{sim_span.kind}:{sim_span.detail}" if sim_span.detail else sim_span.kind
+        out.append(
+            Span(
+                name=name,
+                context=SpanContext(
+                    trace_id=trace_id, span_id=f"{prefix}{i + 1}", parent_id=parent_id
+                ),
+                start_ns=sim_span.start,
+                duration_ns=sim_span.duration,
+                clock="sim",
+                process=process,
+                track=sim_span.actor,
+                attributes=attributes,
+            )
+        )
+    return out
+
+
+def record_scheduler_stats(registry: MetricsRegistry, stats, prefix: str = "scheduler") -> None:
+    """Feed :class:`~repro.aaa.scheduler.SchedulerStats` (or its dict) in."""
+    payload = stats.to_dict() if hasattr(stats, "to_dict") else dict(stats)
+    registry.record_counts(prefix, payload)
+
+
+def record_manager_stats(registry: MetricsRegistry, stats, prefix: str = "reconfig") -> None:
+    """Feed :class:`~repro.reconfig.manager.ManagerStats` counters in."""
+    registry.record_counts(
+        prefix,
+        {
+            "demand_requests": stats.demand_requests,
+            "demand_loads": stats.demand_loads,
+            "prefetch_loads": stats.prefetch_loads,
+            "useful_prefetches": stats.useful_prefetches,
+            "wasted_prefetches": stats.wasted_prefetches,
+            "instant_hits": stats.instant_hits,
+            "stall_ns": stats.stall_ns,
+            "crc_failures": stats.crc_failures,
+            "readback_failures": stats.readback_failures,
+            "load_retries": stats.load_retries,
+        },
+    )
+
+
+def record_cache_stats(registry: MetricsRegistry, stats, prefix: str = "cache") -> None:
+    """Feed :class:`~repro.flows.pipeline.CacheStats` counters in."""
+    registry.record_counts(
+        prefix,
+        {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "stores": stats.stores,
+            "evictions": stats.evictions,
+            "corruptions": stats.corruptions,
+        },
+    )
+
+
+def record_config_service_stats(registry: MetricsRegistry, service, prefix: str = "configsvc") -> None:
+    """Feed :class:`~repro.executive.interpreter.FixedLatencyConfigService` counters in."""
+    registry.record_counts(
+        prefix,
+        {
+            "swap_count": service.swap_count,
+            "stall_ns": service.stall_ns,
+            "hints_seen": service.hints_seen,
+            "prefetch_starts": service.prefetch_starts,
+        },
+    )

@@ -1,0 +1,214 @@
+"""Metrics registry: counters, gauges and fixed-boundary histograms.
+
+The registry is the numeric half of the observability layer: span trees
+answer *when*, the registry answers *how much* — cache traffic, scheduler
+placement-evaluation work, reconfiguration prefetch accounting.  Snapshots
+are deterministic: instruments are reported sorted by name and histograms
+use **fixed bucket boundaries** chosen at construction, so two runs over the
+same inputs serialize byte-identically (modulo the measured values
+themselves) and diffs of run manifests stay readable.
+
+Like the tracer, an ambient registry (:func:`get_metrics` /
+:func:`set_metrics` / :func:`use_metrics`) lets library code record without
+plumbing; the default registry is a real (cheap) instance, so recording is
+always safe — a CLI trace session installs a fresh one per run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STAGE_SECONDS_BUCKETS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+#: Fixed boundaries (seconds) for stage/job wall-time histograms.  Chosen to
+#: straddle the observed range from cache hits (~0.1 ms) to full modular
+#: back-end runs (seconds); fixed so exported histograms are deterministic.
+STAGE_SECONDS_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: increment must be >= 0")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative-free, one count per bucket).
+
+    ``boundaries`` are upper bounds of the finite buckets; one overflow
+    bucket catches everything above the last boundary, so ``counts`` has
+    ``len(boundaries) + 1`` entries.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "sum")
+
+    def __init__(self, name: str, boundaries: Sequence[float] = STAGE_SECONDS_BUCKETS):
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ValueError(f"histogram {name!r}: boundaries must be non-empty and sorted")
+        self.name = name
+        self.boundaries = tuple(float(b) for b in boundaries)
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: Union[int, float]) -> None:
+        index = len(self.boundaries)
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create accessors and stable snapshots."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, kind, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(instrument).__name__}, "
+                f"not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, boundaries: Sequence[float] = STAGE_SECONDS_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, boundaries=boundaries)
+
+    def record_counts(self, prefix: str, values: Mapping[str, Union[int, float]]) -> None:
+        """Bulk-add a stats mapping (e.g. a ``to_dict()`` of counters).
+
+        Numeric values land on ``<prefix>.<key>`` counters; non-numeric and
+        negative entries are skipped (rates and derived ratios belong in the
+        snapshot consumer, not the registry).
+        """
+        for key, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if value < 0:
+                continue
+            self.counter(f"{prefix}.{key}").inc(value)
+
+    def snapshot(self) -> dict:
+        """All instruments, sorted by name — the manifest's ``metrics`` block."""
+        return {name: self._instruments[name].to_dict() for name in sorted(self._instruments)}
+
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The sweep engine uses this to adopt worker-side metrics shipped over
+        the result pipe: counters add, gauges take the incoming value, and
+        histograms merge bucket-wise when the boundaries agree (mismatched
+        boundaries raise — mixed-resolution merges would silently lie).
+        """
+        for name, payload in snapshot.items():
+            kind = payload.get("type")
+            if kind == "counter":
+                self.counter(name).inc(payload.get("value", 0))
+            elif kind == "gauge":
+                self.gauge(name).set(payload.get("value", 0))
+            elif kind == "histogram":
+                boundaries = tuple(float(b) for b in payload.get("boundaries", ()))
+                histogram = self.histogram(name, boundaries=boundaries)
+                if histogram.boundaries != boundaries:
+                    raise ValueError(
+                        f"histogram {name!r}: cannot merge boundaries "
+                        f"{boundaries} into {histogram.boundaries}"
+                    )
+                for i, count in enumerate(payload.get("counts", ())):
+                    histogram.counts[i] += count
+                histogram.total += payload.get("count", 0)
+                histogram.sum += payload.get("sum", 0.0)
+            else:
+                raise ValueError(f"metric {name!r}: unknown snapshot type {kind!r}")
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+_current_metrics = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The ambient registry (a default shared instance unless one was set)."""
+    return _current_metrics
+
+
+def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` (``None`` installs a fresh one); returns the previous."""
+    global _current_metrics
+    previous = _current_metrics
+    _current_metrics = registry if registry is not None else MetricsRegistry()
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`set_metrics` (fresh registry by default); restores on exit."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

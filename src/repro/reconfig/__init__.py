@@ -29,7 +29,12 @@ from repro.reconfig.prefetch import (
     OnSelectPrefetchPolicy,
     PrefetchPolicy,
 )
-from repro.reconfig.manager import ManagerStats, ReconfigurationManager, ReconfigError
+from repro.reconfig.manager import (
+    ManagerStats,
+    ReconfigStats,
+    ReconfigurationManager,
+    ReconfigError,
+)
 from repro.reconfig.scrubbing import ConfigurationScrubber, SEUInjector, ScrubberStats
 from repro.reconfig.architectures import (
     ReconfigArchitecture,
@@ -55,6 +60,7 @@ __all__ = [
     "OnSelectPrefetchPolicy",
     "HistoryPrefetchPolicy",
     "ManagerStats",
+    "ReconfigStats",
     "ReconfigurationManager",
     "ReconfigError",
     "ConfigurationScrubber",

@@ -19,7 +19,7 @@ from repro.reconfig.prefetch import HistoryPrefetchPolicy, NoPrefetchPolicy, Pre
 from repro.reconfig.protocol import ProtocolConfigurationBuilder, ProtocolError
 from repro.sim import Event, Mailbox, Signal, Simulator, Trace
 
-__all__ = ["ReconfigError", "ManagerStats", "ReconfigurationManager"]
+__all__ = ["ReconfigError", "ManagerStats", "ReconfigStats", "ReconfigurationManager"]
 
 
 class ReconfigError(RuntimeError):
@@ -44,6 +44,25 @@ class ManagerStats:
     def mean_stall_ns(self) -> float:
         return self.stall_ns / self.demand_requests if self.demand_requests else 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "demand_requests": self.demand_requests,
+            "demand_loads": self.demand_loads,
+            "prefetch_loads": self.prefetch_loads,
+            "useful_prefetches": self.useful_prefetches,
+            "wasted_prefetches": self.wasted_prefetches,
+            "instant_hits": self.instant_hits,
+            "stall_ns": self.stall_ns,
+            "crc_failures": self.crc_failures,
+            "readback_failures": self.readback_failures,
+            "load_retries": self.load_retries,
+        }
+
+
+#: The reconfiguration-side stats bag under the name the observability layer
+#: uses for it (useful/wasted prefetch accounting feeds the metrics registry).
+ReconfigStats = ManagerStats
+
 
 @dataclass
 class _Job:
@@ -64,6 +83,10 @@ class _RegionState:
     history: list[str] = field(default_factory=list)
     #: module that was prefetched but not yet demanded (for waste accounting)
     unclaimed_prefetch: Optional[str] = None
+    #: the in-flight load is speculative and no demand has claimed it yet;
+    #: a mid-flight claim flips this so completion does not re-mark the
+    #: module unclaimed (which would double-count it as useful later)
+    inflight_prefetch_unclaimed: bool = False
     #: last module demanded (the history predictor learns demand transitions,
     #: self-transitions included — otherwise it would always predict a switch)
     last_demand: Optional[str] = None
@@ -127,6 +150,8 @@ class ReconfigurationManager:
             raise ReconfigError(f"region {region!r} already configured; preload must come first")
         state.loaded = module
         state.history.append(module)
+        if self.trace:
+            self.trace.begin(self.sim.now, f"region.{region}", "resident", detail=module)
 
     # -- the executive-facing protocol --------------------------------------------
 
@@ -165,10 +190,14 @@ class ReconfigurationManager:
             return ev
 
         if state.loading == module and state.load_done is not None:
-            # Piggyback on the in-flight (prefetch) load.
+            # Piggyback on the in-flight load; it only counts as a useful
+            # prefetch when the flight is speculative and still unclaimed
+            # (joining a demand load is just queueing, not prediction).
             ev = self.sim.event(name=f"join:{region}/{module}")
             state.unclaimed_prefetch = None
-            self.stats.useful_prefetches += 1
+            if state.inflight_prefetch_unclaimed:
+                self.stats.useful_prefetches += 1
+                state.inflight_prefetch_unclaimed = False
             self._chain_stall(state.load_done, ev, called_at)
             return ev
 
@@ -231,10 +260,16 @@ class ReconfigurationManager:
             state.loading = job.module
             state.load_started_at = self.sim.now
             state.load_done = job.done
+            state.inflight_prefetch_unclaimed = not job.demand
             self.in_reconf[region].set(True)
+            # Per-region load interval: demand loads as "load", speculative
+            # ones as "prefetch" (the Fig. 4 Gantt overlay).  The port-level
+            # "reconfig" span kind stays exclusively the builder's.
+            load_kind = "load" if job.demand else "prefetch"
             if self.trace:
                 self.trace.record(self.sim.now, f"mgr.{region}", "load_start",
                                   detail=job.module, payload="demand" if job.demand else "prefetch")
+                self.trace.begin(self.sim.now, f"region.{region}", load_kind, detail=job.module)
             previous = state.loaded
             try:
                 yield self.sim.process(self.builder.load(region, job.module))
@@ -257,7 +292,10 @@ class ReconfigurationManager:
                 self.stats.crc_failures += 1
                 state.loading = None
                 state.load_done = None
+                state.inflight_prefetch_unclaimed = False
                 self.in_reconf[region].set(False)
+                if self.trace:
+                    self.trace.end(self.sim.now, f"region.{region}", load_kind)
                 if self.strict_crc:
                     job.done.fail(ReconfigError(str(err)))
                 else:
@@ -272,11 +310,21 @@ class ReconfigurationManager:
             state.load_done = None
             state.history.append(job.module)
             self.in_reconf[region].set(False)
+            if self.trace:
+                actor = f"region.{region}"
+                self.trace.end(self.sim.now, actor, load_kind)
+                if self.trace.is_open(actor, "resident"):
+                    self.trace.end(self.sim.now, actor, "resident")
+                if previous is not None:
+                    self.trace.record(self.sim.now, actor, "unload", detail=previous)
+                self.trace.begin(self.sim.now, actor, "resident", detail=job.module)
             if job.demand:
                 self.stats.demand_loads += 1
             else:
                 self.stats.prefetch_loads += 1
-                state.unclaimed_prefetch = job.module
+                if state.inflight_prefetch_unclaimed:
+                    state.unclaimed_prefetch = job.module
+            state.inflight_prefetch_unclaimed = False
             job.done.succeed()
             # Idle speculation opportunity — only after demand activity, so
             # speculation never chains on speculation (bounded lookahead).

@@ -81,6 +81,24 @@ class Trace:
             raise ValueError(f"negative-duration span {span}")
         self.spans.append(span)
 
+    def is_open(self, actor: str, kind: str) -> bool:
+        """True while a span for ``(actor, kind)`` is open."""
+        return (actor, kind) in self._open
+
+    def close_open(self, time: int) -> list[Span]:
+        """Close every open span at ``time`` (end-of-simulation flush).
+
+        Long-lived activity spans — e.g. the reconfiguration manager's
+        module-residency intervals — are open until whatever evicts them;
+        at the end of a run they are still in flight, so exporters call
+        this to turn them into proper closed intervals.
+        """
+        closed = []
+        for actor, kind in sorted(self._open):
+            start, _ = self._open[(actor, kind)]
+            closed.append(self.end(max(time, start), actor, kind))
+        return closed
+
     # -- queries -----------------------------------------------------------
 
     def actors(self) -> list[str]:

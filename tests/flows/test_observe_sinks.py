@@ -1,0 +1,138 @@
+"""Observer sinks: JSONL file handling, composite fault isolation, profiles."""
+
+import json
+import logging
+
+import pytest
+
+from repro.flows.observe import (
+    CompositeObserver,
+    FlowEvent,
+    JsonLinesObserver,
+    RecordingObserver,
+    render_profile,
+)
+
+
+def make_event(stage="adequation", cache_hit=False, wall=0.002, flow="f@a"):
+    return FlowEvent(
+        flow=flow, stage=stage, cache_hit=cache_hit, wall_time_s=wall,
+        fingerprint="deadbeef" * 8, metrics={"n": 1},
+    )
+
+
+# -- JsonLinesObserver --------------------------------------------------------
+
+
+def test_jsonl_path_target_uses_one_handle(tmp_path):
+    target = tmp_path / "events.jsonl"
+    with JsonLinesObserver(target) as observer:
+        first_stream = observer._stream
+        observer.on_event(make_event(stage="a"))
+        observer.on_event(make_event(stage="b", cache_hit=True))
+        assert observer._stream is first_stream  # no reopen per event
+        # flushed per line: visible to concurrent readers before close
+        lines = target.read_text().splitlines()
+        assert len(lines) == 2
+    assert first_stream.closed
+    rows = [json.loads(line) for line in target.read_text().splitlines()]
+    assert [r["stage"] for r in rows] == ["a", "b"]
+    assert rows[1]["status"] == "hit"
+
+
+def test_jsonl_appends_across_observers(tmp_path):
+    target = tmp_path / "events.jsonl"
+    with JsonLinesObserver(target) as observer:
+        observer.on_event(make_event(stage="a"))
+    with JsonLinesObserver(target) as observer:
+        observer.on_event(make_event(stage="b"))
+    assert len(target.read_text().splitlines()) == 2
+
+
+def test_jsonl_close_is_idempotent(tmp_path):
+    observer = JsonLinesObserver(tmp_path / "e.jsonl")
+    observer.close()
+    observer.close()
+
+
+def test_jsonl_stream_target_not_closed():
+    import io
+
+    stream = io.StringIO()
+    with JsonLinesObserver(stream) as observer:
+        observer.on_event(make_event())
+    assert not stream.closed
+    assert json.loads(stream.getvalue())["flow"] == "f@a"
+
+
+# -- CompositeObserver fault isolation ---------------------------------------
+
+
+class _Broken:
+    def __init__(self):
+        self.calls = 0
+
+    def on_event(self, event):
+        self.calls += 1
+        raise RuntimeError("sink down")
+
+
+def test_composite_isolates_raising_observer(caplog):
+    broken, recorder = _Broken(), RecordingObserver()
+    composite = CompositeObserver(broken, recorder)
+    with caplog.at_level(logging.ERROR, logger="repro.flows"):
+        composite.on_event(make_event(stage="a"))
+        composite.on_event(make_event(stage="b"))
+    # The run survived and the healthy sink saw every event.
+    assert [e.stage for e in recorder.events] == ["a", "b"]
+    # The broken sink kept being offered events but was logged only once.
+    assert broken.calls == 2
+    failures = [r for r in caplog.records if "raised on" in r.message]
+    assert len(failures) == 1
+    assert "_Broken" in failures[0].getMessage()
+
+
+def test_composite_logs_each_distinct_failing_observer(caplog):
+    first, second = _Broken(), _Broken()
+    composite = CompositeObserver(first, second)
+    with caplog.at_level(logging.ERROR, logger="repro.flows"):
+        composite.on_event(make_event())
+        composite.on_event(make_event())
+    assert len([r for r in caplog.records if "raised on" in r.message]) == 2
+
+
+# -- render_profile -----------------------------------------------------------
+
+
+def _sweep_events():
+    return [
+        make_event(stage="adequation", cache_hit=False, wall=0.004),
+        make_event(stage="adequation", cache_hit=True, wall=0.001),
+        make_event(stage="modular_backend", cache_hit=False, wall=0.010),
+        make_event(stage="adequation", cache_hit=True, wall=0.001),
+    ]
+
+
+def test_render_profile_default_is_per_event():
+    text = render_profile(_sweep_events())
+    assert len([line for line in text.splitlines() if "adequation" in line]) == 3
+
+
+def test_render_profile_aggregate_groups_by_stage():
+    text = render_profile(_sweep_events(), aggregate=True)
+    lines = text.splitlines()
+    assert lines[0].split() == ["stage", "count", "hits", "rate", "total", "mean"]
+    # Busiest stage first.
+    assert lines[1].startswith("modular_backend")
+    adequation = next(line for line in lines if line.startswith("adequation"))
+    fields = adequation.split()
+    assert fields[1] == "3" and fields[2] == "2" and fields[3] == "67%"
+    assert pytest.approx(float(fields[4]), abs=0.01) == 6.0  # total ms
+    assert pytest.approx(float(fields[6]), abs=0.01) == 2.0  # mean ms
+    total = lines[-1].split()
+    assert total[0] == "total" and total[1] == "4" and total[2] == "2"
+
+
+def test_render_profile_empty():
+    assert "no stage events" in render_profile([])
+    assert "no stage events" in render_profile([], aggregate=True)

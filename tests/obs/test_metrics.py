@@ -1,0 +1,111 @@
+"""Metrics registry: instruments, snapshots, cross-process merging."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    STAGE_SECONDS_BUCKETS,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("jobs")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("jobs") is counter  # get-or-create
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_keeps_last_value():
+    registry = MetricsRegistry()
+    registry.gauge("depth").set(3)
+    registry.gauge("depth").set(1)
+    assert registry.gauge("depth").value == 1
+
+
+def test_histogram_buckets_and_overflow():
+    registry = MetricsRegistry()
+    hist = registry.histogram("t", boundaries=(1.0, 10.0))
+    for value in (0.5, 5.0, 100.0, 0.1):
+        hist.observe(value)
+    assert hist.counts == [2, 1, 1]
+    assert hist.total == 4
+    assert hist.sum == pytest.approx(105.6)
+    with pytest.raises(ValueError):
+        registry.histogram("bad", boundaries=(5.0, 1.0))
+
+
+def test_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_record_counts_skips_non_numeric_and_negative():
+    registry = MetricsRegistry()
+    registry.record_counts("mgr", {"loads": 3, "name": "D1", "flag": True, "delta": -2})
+    snapshot = registry.snapshot()
+    assert list(snapshot) == ["mgr.loads"]
+    assert snapshot["mgr.loads"]["value"] == 3
+
+
+def test_snapshot_is_sorted_and_typed():
+    registry = MetricsRegistry()
+    registry.gauge("b").set(2)
+    registry.counter("a").inc()
+    registry.histogram("c").observe(0.002)
+    snapshot = registry.snapshot()
+    assert list(snapshot) == ["a", "b", "c"]
+    assert snapshot["a"]["type"] == "counter"
+    assert snapshot["b"]["type"] == "gauge"
+    assert snapshot["c"]["boundaries"] == list(STAGE_SECONDS_BUCKETS)
+
+
+def test_merge_snapshot_combines_all_kinds():
+    worker = MetricsRegistry()
+    worker.counter("jobs").inc(2)
+    worker.gauge("depth").set(7)
+    worker.histogram("t", boundaries=(1.0, 2.0)).observe(0.5)
+    main = MetricsRegistry()
+    main.counter("jobs").inc(1)
+    main.histogram("t", boundaries=(1.0, 2.0)).observe(0.7)
+    main.histogram("t", boundaries=(1.0, 2.0)).observe(1.5)
+
+    main.merge_snapshot(worker.snapshot())
+    assert main.counter("jobs").value == 3
+    assert main.gauge("depth").value == 7
+    hist = main.histogram("t", boundaries=(1.0, 2.0))
+    assert hist.counts == [2, 1, 0]
+    assert hist.total == 3
+    assert hist.sum == pytest.approx(2.7)
+
+
+def test_merge_snapshot_rejects_boundary_mismatch_and_unknown_type():
+    main = MetricsRegistry()
+    main.histogram("t", boundaries=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        main.merge_snapshot(
+            {"t": {"type": "histogram", "boundaries": [5.0], "counts": [0, 0], "count": 0, "sum": 0.0}}
+        )
+    with pytest.raises(ValueError):
+        main.merge_snapshot({"x": {"type": "meter", "value": 1}})
+
+
+def test_ambient_registry_scoping():
+    default = get_metrics()
+    with use_metrics() as registry:
+        assert get_metrics() is registry
+        assert registry is not default
+        registry.counter("scoped").inc()
+    assert get_metrics() is default
+    assert "scoped" not in get_metrics().snapshot()
+    previous = set_metrics(None)  # None installs a fresh registry
+    assert get_metrics() is not previous
+    set_metrics(default)

@@ -1,0 +1,120 @@
+"""Tracer core: span lifecycle, parenting, context propagation, no-op path."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    get_tracer,
+    new_trace_id,
+    set_tracer,
+    use_tracer,
+)
+
+
+def test_span_records_interval_and_attributes():
+    tracer = Tracer(trace_id="t1")
+    with tracer.span("work", attributes={"k": 1}) as handle:
+        handle.set_attribute("extra", "v")
+    assert len(tracer.spans) == 1
+    span = tracer.spans[0]
+    assert span.name == "work"
+    assert span.context.trace_id == "t1"
+    assert span.context.parent_id is None
+    assert span.duration_ns >= 0
+    assert span.end_ns == span.start_ns + span.duration_ns
+    assert span.attributes == {"k": 1, "extra": "v"}
+    assert span.to_dict()["span_id"] == span.context.span_id
+
+
+def test_nested_spans_parent_to_innermost_open():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.context.parent_id == outer.context.span_id
+            assert tracer.current_context() is inner.context
+    assert tracer.current_context() is None
+    names = {s.name: s for s in tracer.spans}
+    assert names["inner"].context.parent_id == names["outer"].context.span_id
+
+
+def test_explicit_parent_overrides_stack():
+    tracer = Tracer()
+    remote = SpanContext(trace_id=tracer.trace_id, span_id="remote-1")
+    with tracer.span("ambient"):
+        with tracer.span("child", parent=remote) as child:
+            assert child.context.parent_id == "remote-1"
+            assert child.context.trace_id == tracer.trace_id
+
+
+def test_exception_sets_error_attribute():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("no")
+    assert tracer.spans[0].attributes["error"] == "RuntimeError: no"
+
+
+def test_double_end_is_idempotent():
+    tracer = Tracer()
+    handle = tracer.span("once").start()
+    assert handle.end() is not None
+    assert handle.end() is None
+    assert len(tracer.spans) == 1
+
+
+def test_span_ids_unique_and_prefixed():
+    tracer = Tracer(span_id_prefix="w3-")
+    ids = [tracer.span(f"s{i}").start().context.span_id for i in range(5)]
+    assert len(set(ids)) == 5
+    assert all(i.startswith("w3-") for i in ids)
+
+
+def test_span_context_pickles_and_children():
+    ctx = SpanContext(trace_id="t", span_id="a", parent_id=None)
+    child = ctx.child_of("b")
+    assert child == SpanContext(trace_id="t", span_id="b", parent_id="a")
+    assert pickle.loads(pickle.dumps(child)) == child
+
+
+def test_noop_tracer_is_inert_and_shared():
+    noop = NoopTracer()
+    h1 = noop.span("a")
+    h2 = noop.span("b", attributes={"x": 1})
+    assert h1 is h2  # one shared handle, no allocation per call
+    assert h1.context is None
+    with h1 as handle:
+        handle.set_attribute("ignored", 1)
+    assert h1.end() is None
+    noop.add_span(Span("x", SpanContext("t", "s"), 0, 1))
+    assert not noop.enabled
+
+
+def test_ambient_tracer_set_and_restore():
+    assert get_tracer() is NOOP_TRACER
+    tracer = Tracer()
+    with use_tracer(tracer):
+        assert get_tracer() is tracer
+        inner = Tracer()
+        previous = set_tracer(inner)
+        assert previous is tracer
+        set_tracer(previous)
+    assert get_tracer() is NOOP_TRACER
+    set_tracer(None)
+    assert get_tracer() is NOOP_TRACER
+
+
+def test_trace_ids_unique():
+    assert new_trace_id() != new_trace_id()
+
+
+def test_adopted_spans_join_the_list():
+    tracer = Tracer()
+    foreign = Span("远", SpanContext(tracer.trace_id, "w1-1"), 10, 5, clock="sim")
+    tracer.add_spans([foreign])
+    assert tracer.spans == [foreign]

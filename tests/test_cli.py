@@ -250,3 +250,80 @@ def test_linklevel_bad_grid_and_strategy_are_clean_errors():
     assert code == 2 and text.startswith("error:")
     code, text = run_cli("linklevel", "--strategies", "bpsk")
     assert code == 2 and "bpsk" in text
+
+
+def test_trace_flag_writes_chrome_trace_and_manifest(tmp_path):
+    import json
+
+    from repro.obs import validate_trace_file
+
+    trace_path = tmp_path / "run.json"
+    code, text = run_cli("--trace", str(trace_path), "flow")
+    assert code == 0
+    assert "wrote trace" in text
+    assert validate_trace_file(trace_path) == []
+    payload = json.loads(trace_path.read_text())
+    names = [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert any(n.startswith("flow:") for n in names)
+    assert any(n.startswith("stage:") for n in names)
+    manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+    assert manifest["command"] == "flow"
+    assert manifest["argv"][0] == "repro"
+    assert "flow.stages_total" in manifest["metrics"]
+
+
+def test_trace_command_runs_sim_and_renders_gantt(tmp_path):
+    from repro.obs import validate_trace_file
+
+    trace_path = tmp_path / "t.json"
+    svg_path = tmp_path / "t.svg"
+    code, text = run_cli(
+        "trace", "-n", "12", "--out", str(trace_path), "--svg", str(svg_path)
+    )
+    assert code == 0
+    assert "runtime[on_select]" in text
+    assert "D1 |" in text  # the Fig. 4 residency row
+    assert "*=prefetch" in text
+    assert svg_path.read_text().startswith("<svg")
+    assert validate_trace_file(trace_path) == []
+
+
+def test_trace_check_mode(tmp_path):
+    good = tmp_path / "good.json"
+    run_cli("--trace", str(good), "table1")
+    code, text = run_cli("trace", "--check", str(good))
+    assert code == 0 and "OK" in text
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": [{"name": "x"}]}')
+    code, text = run_cli("trace", "--check", str(bad))
+    assert code == 1
+    assert "INVALID" in text
+
+
+def test_traced_sweep_contains_worker_and_reconfig_spans(tmp_path):
+    import json
+
+    from repro.obs import validate_trace_file
+
+    trace_path = tmp_path / "sweep.json"
+    code, text = run_cli(
+        "--trace", str(trace_path),
+        "sweep", "--jobs", "2", "--timeout", "300",
+        "--devices", "xc2v1000", "--architectures", "case_a",
+    )
+    assert code == 0
+    assert validate_trace_file(trace_path) == []
+    payload = json.loads(trace_path.read_text())
+    events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    by_id = {e["args"]["span_id"]: e for e in events if "span_id" in e["args"]}
+    attempts = [e for e in events if e["name"].startswith("attempt:")]
+    assert attempts
+    for event in attempts:  # worker spans resolve to engine-side job spans
+        parent = by_id[event["args"]["parent_id"]]
+        assert parent["name"].startswith("job:")
+    # --trace implies per-point simulations: reconfiguration spans appear.
+    kinds = {e["name"].split(":")[0] for e in events}
+    assert "load" in kinds and "resident" in kinds
+    manifest = json.loads((tmp_path / "sweep.manifest.json").read_text())
+    assert "reconfig.demand_requests" in manifest["metrics"]
