@@ -1,0 +1,99 @@
+"""X7 — fleet-scale runtime multiplexing throughput and the policy frontier.
+
+One event kernel carries the whole fleet: 1,000 boards, each with its own
+bitstream store, protocol builder and configuration manager, driven by
+seeded request schedules for >= 1,000,000 total requests in a single
+process.  The benchmark reports
+
+- sustained requests/second through the kernel calendar (wall clock),
+- the per-policy hit-rate / mean-stall frontier over identical traffic,
+- a sha256 digest over every per-board counter — asserted identical
+  across two runs, so any nondeterminism in the multiplexer fails the
+  build, not just a throughput floor.
+
+Set ``FLEET_SMOKE=1`` (CI) for a reduced fleet with a relaxed floor; the
+determinism assertion is identical in both modes.
+
+Writes ``BENCH_fleet_throughput.json`` (full) or
+``BENCH_fleet_throughput_smoke.json`` (smoke).
+"""
+
+import json
+import os
+
+from conftest import RESULTS_DIR
+
+from repro.runtime import FleetConfig, run_fleet, run_frontier
+
+SMOKE = os.environ.get("FLEET_SMOKE", "") not in ("", "0")
+
+HEADLINE_BOARDS = 32 if SMOKE else 1000
+HEADLINE_REQUESTS = 50 if SMOKE else 1000
+HEADLINE_POLICY = "fixed"
+
+FRONTIER_BOARDS = 16 if SMOKE else 200
+FRONTIER_REQUESTS = 40 if SMOKE else 100
+FRONTIER_POLICIES = (
+    ("fixed", "lru")
+    if SMOKE
+    else ("none", "fixed", "history", "confidence", "markov", "lru", "lfu", "belady")
+)
+
+#: Wall-clock floor.  Measured ~15k req/s on a dev box; the floor is set
+#: far below that so shared CI runners only fail on a real regression.
+MIN_REQUESTS_PER_SEC = 1_000 if SMOKE else 5_000
+
+
+def test_fleet_throughput():
+    headline = FleetConfig(
+        n_boards=HEADLINE_BOARDS,
+        requests_per_board=HEADLINE_REQUESTS,
+        policy=HEADLINE_POLICY,
+    )
+    first = run_fleet(headline)
+    second = run_fleet(headline)
+
+    # Determinism is the acceptance bar: same seed, same fleet, same digest.
+    assert first.digest() == second.digest(), (first.digest(), second.digest())
+    if not SMOKE:
+        assert first.total_requests >= 1_000_000
+        assert first.n_boards >= 1_000
+    assert first.requests_per_sec >= MIN_REQUESTS_PER_SEC, first.summary()
+    # Every board finished its whole schedule.
+    assert first.totals["demand_requests"] == first.total_requests
+
+    frontier_base = FleetConfig(
+        n_boards=FRONTIER_BOARDS, requests_per_board=FRONTIER_REQUESTS
+    )
+    frontier = run_frontier(frontier_base, list(FRONTIER_POLICIES))
+    if not SMOKE:
+        # Clairvoyant eviction bounds its online competitors from above.
+        assert frontier["belady"].hit_rate >= frontier["lru"].hit_rate
+        assert frontier["belady"].hit_rate >= frontier["lfu"].hit_rate
+        # Any form of management beats the reactive single-slot baseline.
+        assert frontier["belady"].mean_stall_ns < frontier["none"].mean_stall_ns
+        assert frontier["fixed"].mean_stall_ns < frontier["none"].mean_stall_ns
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = "BENCH_fleet_throughput_smoke" if SMOKE else "BENCH_fleet_throughput"
+    payload = {
+        "smoke": SMOKE,
+        "min_requests_per_sec": MIN_REQUESTS_PER_SEC,
+        "headline": first.to_dict(),
+        "headline_digest_runs": [first.digest(), second.digest()],
+        "frontier": {policy: report.to_dict() for policy, report in frontier.items()},
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        first.summary(),
+        f"digest (both runs): {first.digest()[:16]}",
+        "",
+        f"{'policy':<12} {'hit rate':>9} {'mean stall':>12} {'req/s':>10}",
+    ]
+    for policy, report in frontier.items():
+        lines.append(
+            f"{policy:<12} {report.hit_rate:>8.1%} {report.mean_stall_ns / 1e3:>10.1f}us"
+            f" {report.requests_per_sec:>10,.0f}"
+        )
+    print("\n" + "\n".join(lines))

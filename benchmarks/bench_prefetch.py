@@ -16,7 +16,9 @@ from conftest import build_case_study_flow, write_result
 
 from repro.flows import SystemSimulation
 from repro.mccdma import Modulation
-from repro.reconfig import HistoryPrefetchPolicy, NoPrefetchPolicy
+
+# Policies are selected by registry name (repro.runtime.policies), the same
+# names the CLI accepts; SystemSimulation resolves them to bundles.
 
 
 def _block_plan(period: int, n: int):
@@ -43,7 +45,7 @@ def test_prefetch_vs_reactive_executive(benchmark):
                 result = SystemSimulation(
                     flow, n_iterations=n,
                     selector_values={"modulation": lambda it: plan[it]},
-                    policy=NoPrefetchPolicy(),
+                    policy="none",
                 ).run()
                 times[tag] = result
             rows.append((period, times["reactive"], times["prefetch"]))
@@ -77,14 +79,11 @@ def test_history_predictor_on_patterns(benchmark):
             ("alternating", _alternating_plan(n)),
             ("blocks_of_8", _block_plan(8, n)),
         ):
-            for policy_name, policy in (
-                ("none", NoPrefetchPolicy()),
-                ("history", HistoryPrefetchPolicy(min_confidence=0.5)),
-            ):
+            for policy_name in ("none", "history"):
                 result = SystemSimulation(
                     flow, n_iterations=n,
                     selector_values={"modulation": lambda it: plan[it]},
-                    policy=policy,
+                    policy=policy_name,
                 ).run()
                 out[(name, policy_name)] = result
         return out

@@ -9,6 +9,7 @@ Runs the paper's case study through the flow without writing any code::
     python -m repro simulate -n 32 --pattern step --policy history
     python -m repro sweep --jobs 4 --timeout 120 # parallel design-space sweep
     python -m repro linklevel --snr 0:10:2 --frames 200 --jobs 4
+    python -m repro fleet --boards 100 --requests 200 --policy none,fixed,lru
 """
 
 from __future__ import annotations
@@ -49,13 +50,8 @@ from repro.obs import (
 from repro.mccdma import SnrTrace
 from repro.mccdma.bindings import make_case_study_bindings
 from repro.mccdma.casestudy import build_mccdma_design
-from repro.reconfig import (
-    HistoryPrefetchPolicy,
-    NoPrefetchPolicy,
-    OnSelectPrefetchPolicy,
-    case_a_standalone,
-    case_b_processor,
-)
+from repro.reconfig import case_a_standalone, case_b_processor
+from repro.runtime import TRAFFIC_PATTERNS, get_bundle, policy_names
 
 __all__ = ["main", "build_parser"]
 
@@ -73,15 +69,47 @@ sharing   = true
 exclusive = mod_qpsk, mod_qam16
 """
 
-_POLICIES = {
-    "none": NoPrefetchPolicy,
-    "on_select": OnSelectPrefetchPolicy,
-    "history": HistoryPrefetchPolicy,
-}
 _ARCHITECTURES = {
     "case_a": case_a_standalone,
     "case_b": case_b_processor,
 }
+
+
+def _policy_name(value: str) -> str:
+    """Argparse type: one registered policy name, validated at parse time.
+
+    Clairvoyant bundles (Belady) need the demand schedule up front; the
+    runtime-simulation surfaces generate demands on the fly, so those names
+    are rejected here rather than deep inside a worker process.
+    """
+    try:
+        bundle = get_bundle(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown policy {value!r}; known policies: {', '.join(policy_names())}"
+        ) from None
+    if bundle.needs_future:
+        usable = ", ".join(policy_names(include_future=False))
+        raise argparse.ArgumentTypeError(
+            f"policy {value!r} is clairvoyant (needs the full demand schedule) "
+            f"and only works with the fleet driver; pick one of: {usable}"
+        )
+    return value
+
+
+def _policy_list(value: str) -> list[str]:
+    """Argparse type: comma-separated registry policy names (fleet allows all)."""
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("empty policy list")
+    for name in names:
+        try:
+            get_bundle(name)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"unknown policy {name!r}; known policies: {', '.join(policy_names())}"
+            ) from None
+    return names
 
 
 def _run_flow(args) -> "tuple":
@@ -270,12 +298,11 @@ def _cmd_simulate(args, out) -> int:
     _maybe_profile(args, result, out)
     snr = _make_snr(args.pattern, args.iterations)
     state = make_case_study_bindings(snr, seed=args.seed)
-    policy = _POLICIES[args.policy]()
     runtime = SystemSimulation(
         result,
         n_iterations=args.iterations,
         bindings=state.bindings,
-        policy=policy,
+        policy=args.policy,  # registry name; SystemSimulation resolves it
         capture={"dac"},
     ).run()
     print(runtime.summary(), file=out)
@@ -388,7 +415,7 @@ def _cmd_trace(args, out) -> int:
         result,
         n_iterations=args.iterations,
         bindings=state.bindings,
-        policy=_POLICIES[args.policy](),
+        policy=args.policy,
         capture={"dac"},
     ).run()
     print(runtime.summary(), file=out)
@@ -400,6 +427,61 @@ def _cmd_trace(args, out) -> int:
             svg_path.parent.mkdir(parents=True, exist_ok=True)
             svg_path.write_text(render_region_gantt_svg(tracer.spans), encoding="utf-8")
             print(f"wrote {svg_path}", file=out)
+    return 0
+
+
+def _cmd_fleet(args, out) -> int:
+    """Multiplex a fleet of boards on one kernel; frontier across policies."""
+    from repro.obs import get_metrics, record_fleet_stats, spans_from_sim_trace
+    from repro.runtime import FleetConfig, run_fleet
+
+    tracer = get_tracer()
+    # When tracing, record a few boards' full kernel traces so Perfetto
+    # shows one lane per board; tracing the whole fleet would dominate RAM.
+    trace_boards = args.trace_boards
+    if trace_boards is None:
+        trace_boards = 3 if tracer.enabled else 0
+    base = FleetConfig(
+        n_boards=args.boards,
+        requests_per_board=args.requests,
+        traffic=args.traffic,
+        seed=args.seed,
+        regions=args.regions,
+        modules_per_region=args.modules,
+        region_slots=args.slots,
+        architecture=_ARCHITECTURES[args.architecture]().name,
+        mean_gap_ns=args.mean_gap,
+        trace_boards=trace_boards,
+    )
+    reports = {}
+    for name in args.policy:
+        config = dataclasses.replace(base, policy=name)
+        with tracer.span(f"fleet:{name}") as span:
+            report = run_fleet(config)
+        if tracer.enabled:
+            span.set_attribute("boards", report.n_boards)
+            span.set_attribute("requests", report.total_requests)
+            span.set_attribute("hit_rate", report.hit_rate)
+            for board_trace in report.traces:
+                tracer.add_spans(
+                    spans_from_sim_trace(board_trace, parent=span.context)
+                )
+            record_fleet_stats(get_metrics(), report, prefix=f"fleet.{name}")
+        reports[name] = report
+    if args.json:
+        payload = {name: report.to_dict() for name, report in reports.items()}
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    for report in reports.values():
+        print(report.summary(), file=out)
+    print(file=out)
+    print(f"{'policy':12s} {'hit rate':>9s} {'mean stall':>12s} {'req/s':>12s} {'digest':>12s}", file=out)
+    for name, report in reports.items():
+        print(
+            f"{name:12s} {report.hit_rate:9.1%} {report.mean_stall_ns / 1e3:10.1f}us "
+            f"{report.requests_per_sec:12,.0f} {report.digest()[:12]:>12s}",
+            file=out,
+        )
     return 0
 
 
@@ -488,8 +570,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0; --trace implies 8 so traces show reconfiguration spans)",
     )
     p_sweep.add_argument(
-        "--simulate-policy", choices=sorted(_POLICIES), default="on_select",
-        help="prefetch policy for the per-point simulations (default: on_select)",
+        "--simulate-policy", type=_policy_name, default="on_select",
+        metavar="POLICY",
+        help="policy-registry name for the per-point simulations "
+        f"(default: on_select; known: {', '.join(policy_names(include_future=False))})",
     )
 
     p_link = sub.add_parser(
@@ -532,7 +616,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="runtime simulation with real MC-CDMA data")
     p_sim.add_argument("-n", "--iterations", type=int, default=24)
     p_sim.add_argument("--pattern", choices=("step", "walk", "sinus"), default="step")
-    p_sim.add_argument("--policy", choices=sorted(_POLICIES), default="none")
+    p_sim.add_argument(
+        "--policy", type=_policy_name, default="none", metavar="POLICY",
+        help="policy-registry name "
+        f"(known: {', '.join(policy_names(include_future=False))})",
+    )
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--reactive", action="store_true", help="reconfiguration-blind executive")
     p_sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
@@ -556,9 +644,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("-n", "--iterations", type=int, default=24)
     p_trace.add_argument("--pattern", choices=("step", "walk", "sinus"), default="step")
-    p_trace.add_argument("--policy", choices=sorted(_POLICIES), default="on_select")
+    p_trace.add_argument(
+        "--policy", type=_policy_name, default="on_select", metavar="POLICY",
+        help="policy-registry name "
+        f"(known: {', '.join(policy_names(include_future=False))})",
+    )
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--reactive", action="store_true", help="reconfiguration-blind executive")
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="multiplex a fleet of boards on one event kernel and compare "
+        "management policies (hit-rate / stall frontier)",
+    )
+    p_fleet.add_argument("--boards", type=int, default=100, help="boards in the fleet")
+    p_fleet.add_argument("--requests", type=int, default=200, help="requests per board")
+    p_fleet.add_argument(
+        "--policy", type=_policy_list, default=["none", "fixed", "history"],
+        metavar="P1,P2,...",
+        help="comma-separated policy-registry names to frontier "
+        f"(known: {', '.join(policy_names())})",
+    )
+    p_fleet.add_argument("--traffic", choices=TRAFFIC_PATTERNS, default="poisson")
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--regions", type=int, default=2, help="dynamic regions per board")
+    p_fleet.add_argument("--modules", type=int, default=4, help="modules per region")
+    p_fleet.add_argument(
+        "--slots", type=int, default=None,
+        help="override each policy bundle's region area budget (module slots)",
+    )
+    p_fleet.add_argument(
+        "--mean-gap", type=int, default=200_000, metavar="NS",
+        help="mean inter-request gap in virtual ns (default: 200000)",
+    )
+    p_fleet.add_argument(
+        "--trace-boards", type=int, default=None, metavar="N",
+        help="record full kernel traces for the first N boards "
+        "(default: 3 when --trace is active, else 0)",
+    )
+    p_fleet.add_argument("--json", action="store_true", help="emit reports as JSON")
     return parser
 
 
@@ -574,6 +698,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "linklevel": _cmd_linklevel,
     "trace": _cmd_trace,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -50,11 +50,6 @@ from repro.flows.observe import FlowEvent, FlowObserver
 from repro.flows.pipeline import ArtifactCache
 from repro.obs import MetricsRegistry, SpanContext, Tracer, set_metrics, set_tracer
 from repro.reconfig.architectures import ReconfigArchitecture
-from repro.reconfig.prefetch import (
-    HistoryPrefetchPolicy,
-    NoPrefetchPolicy,
-    OnSelectPrefetchPolicy,
-)
 
 __all__ = ["SweepJob", "run_job", "resolve_entrypoint", "worker_main"]
 
@@ -200,13 +195,6 @@ def run_job(
     return payload
 
 
-_SIM_POLICIES = {
-    "none": NoPrefetchPolicy,
-    "on_select": OnSelectPrefetchPolicy,
-    "history": HistoryPrefetchPolicy,
-}
-
-
 def _simulate_runtime(job: SweepJob, result) -> dict[str, Any]:
     """Run the dynamic verification for a fitting design point.
 
@@ -217,14 +205,22 @@ def _simulate_runtime(job: SweepJob, result) -> dict[str, Any]:
     # Local import: repro.flows.__init__ itself imports this module (via
     # designspace), so a top-level runtime import would re-enter it mid-init.
     from repro.flows.runtime import SystemSimulation
+    from repro.runtime.policies import create_policy, get_bundle, policy_names
 
     try:
-        policy_cls = _SIM_POLICIES[job.simulate_policy]
-    except KeyError:
+        bundle = get_bundle(job.simulate_policy)
+    except ValueError:
         raise ValueError(
             f"unknown simulate_policy {job.simulate_policy!r}; "
-            f"expected one of {sorted(_SIM_POLICIES)}"
+            f"expected one of {policy_names()}"
         ) from None
+    if bundle.needs_future:
+        raise ValueError(
+            f"simulate_policy {job.simulate_policy!r} is clairvoyant and "
+            f"needs the demand schedule up front; pick one of "
+            f"{policy_names(include_future=False)}"
+        )
+    runtime_policy = create_policy(job.simulate_policy)
     selectors = {
         group: (lambda i, vals=tuple(values): vals[i % len(vals)])
         for group, values in result.executive.condition_groups.items()
@@ -234,7 +230,9 @@ def _simulate_runtime(job: SweepJob, result) -> dict[str, Any]:
         result,
         n_iterations=job.simulate_iterations,
         selector_values=selectors,
-        policy=policy_cls(),
+        policy=runtime_policy.prefetch,
+        eviction=runtime_policy.eviction,
+        region_slots=runtime_policy.region_slots,
     )
     rt = runtime.run()
     return {

@@ -12,12 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
 
-from repro.executive.interpreter import ExecutionReport, ExecutiveRunner
+from typing import Union
+
+from repro.executive.interpreter import ExecutionReport
 from repro.flows.flow import FlowResult
 from repro.obs import get_metrics, get_tracer, record_manager_stats, spans_from_sim_trace
-from repro.reconfig.manager import ManagerStats, ReconfigurationManager
+from repro.reconfig.eviction import EvictionPolicy
+from repro.reconfig.manager import ManagerStats
 from repro.reconfig.memory import BitstreamStore
 from repro.reconfig.prefetch import NoPrefetchPolicy, PrefetchPolicy
+from repro.runtime.board import Board
 from repro.sim import Simulator, Trace
 
 __all__ = ["RuntimeResult", "SystemSimulation"]
@@ -77,9 +81,11 @@ class SystemSimulation:
         flow: FlowResult,
         n_iterations: int,
         selector_values: Optional[dict[str, Callable[[int], Hashable]]] = None,
-        policy: Optional[PrefetchPolicy] = None,
+        policy: Optional[Union[str, PrefetchPolicy]] = None,
         bindings: Optional[dict[str, Any]] = None,
         capture: Optional[set[str]] = None,
+        region_slots: Optional[int] = None,
+        eviction: Optional[EvictionPolicy] = None,
     ):
         self.flow = flow
         self.n_iterations = n_iterations
@@ -88,7 +94,21 @@ class SystemSimulation:
         # *executive's* early reconfigure placement (region-issued, ordering
         # safe); manager policies add speculative loads on top and can thrash
         # in deep pipelines (see tests/flows/test_flow.py).
-        self.policy = policy if policy is not None else NoPrefetchPolicy()
+        if isinstance(policy, str):
+            # A registry name selects a whole bundle; explicit kwargs win
+            # over whatever the bundle would set.
+            from repro.runtime.policies import create_policy
+
+            bundle = create_policy(policy)
+            self.policy = bundle.prefetch
+            if eviction is None:
+                eviction = bundle.eviction
+            if region_slots is None:
+                region_slots = bundle.region_slots
+        else:
+            self.policy = policy if policy is not None else NoPrefetchPolicy()
+        self.region_slots = region_slots if region_slots is not None else 1
+        self.eviction = eviction
         self.bindings = bindings
         self.capture = capture
 
@@ -108,25 +128,28 @@ class SystemSimulation:
         trace = Trace()
         arch = self.flow.modular.reconfig_architecture
         store = self._build_store()
-        builder = arch.make_builder(sim, store, trace=trace)
-        manager = ReconfigurationManager(
-            sim, builder, policy=self.policy,
-            request_latency_ns=arch.request_latency_ns, trace=trace,
+        # One platform = one Board on a private kernel.  Board builds the
+        # protocol builder and manager in the same order this method used
+        # to, so single-board results are identical to the pre-Board stack.
+        board = Board(
+            "board", sim, arch, store,
+            policy=self.policy,
+            eviction=self.eviction,
+            region_slots=self.region_slots,
+            trace=trace,
         )
+        manager = board.manager
         # Modules declared "loading = startup" ship in the initial full
         # bitstream — no first-use reconfiguration for them.
         for region, op_name in self.flow.startup_modules().items():
-            manager.preload(region, op_name)
-        runner = ExecutiveRunner(
+            board.preload(region, op_name)
+        runner = board.attach_executive(
             self.flow.executive,
             n_iterations=self.n_iterations,
-            sim=sim,
             bindings=self.bindings,
             selector_values=self.selector_values,
-            config_service=manager,
             capture=self.capture,
         )
-        runner.trace = trace  # share one trace across executive and manager
         tracer = get_tracer()
         with tracer.span("runtime:simulate") as rt_span:
             report = runner.run()

@@ -46,6 +46,7 @@ from repro.obs.metrics import (
 from repro.obs.bridge import (
     record_cache_stats,
     record_config_service_stats,
+    record_fleet_stats,
     record_manager_stats,
     record_scheduler_stats,
     spans_from_sim_trace,
@@ -82,6 +83,7 @@ __all__ = [
     "use_metrics",
     "record_cache_stats",
     "record_config_service_stats",
+    "record_fleet_stats",
     "record_manager_stats",
     "record_scheduler_stats",
     "spans_from_sim_trace",

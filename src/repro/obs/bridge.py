@@ -25,6 +25,7 @@ __all__ = [
     "spans_from_sim_trace",
     "record_scheduler_stats",
     "record_manager_stats",
+    "record_fleet_stats",
     "record_cache_stats",
     "record_config_service_stats",
 ]
@@ -35,7 +36,7 @@ _BRIDGE_SEQ = itertools.count(1)
 def spans_from_sim_trace(
     trace,
     parent: Optional[SpanContext] = None,
-    process: str = "sim",
+    process: Optional[str] = None,
     include_kinds: Optional[Sequence[str]] = None,
 ) -> list[Span]:
     """Sim-kernel trace spans as unified ``clock="sim"`` spans.
@@ -44,7 +45,14 @@ def spans_from_sim_trace(
     becomes every bridged span's parent, so the trace tree stays connected
     across the clock-domain boundary.  ``include_kinds`` filters by sim span
     kind (``compute``, ``comm``, ``reconfig``, ``prefetch``, ``resident``…).
+
+    ``process`` names the Perfetto process lane.  When omitted it falls back
+    to the trace's own ``scope`` (the per-board namespace a fleet run sets),
+    then to ``"sim"`` — so a multi-board trace set renders one lane per
+    board without callers plumbing names through.
     """
+    if process is None:
+        process = getattr(trace, "scope", "") or "sim"
     trace_id = parent.trace_id if parent is not None else new_trace_id()
     parent_id = parent.span_id if parent is not None else None
     prefix = f"sim{next(_BRIDGE_SEQ)}-"
@@ -86,20 +94,23 @@ def record_scheduler_stats(registry: MetricsRegistry, stats, prefix: str = "sche
 
 
 def record_manager_stats(registry: MetricsRegistry, stats, prefix: str = "reconfig") -> None:
-    """Feed :class:`~repro.reconfig.manager.ManagerStats` counters in."""
+    """Feed :class:`~repro.reconfig.manager.ManagerStats` counters in.
+
+    ``to_dict`` is :func:`dataclasses.asdict`-backed, so new counters flow
+    into the registry without this bridge having to enumerate them.
+    """
+    registry.record_counts(prefix, stats.to_dict())
+
+
+def record_fleet_stats(registry: MetricsRegistry, report, prefix: str = "fleet") -> None:
+    """Feed a :class:`~repro.runtime.fleet.FleetReport`'s aggregate totals in."""
+    registry.record_counts(prefix, dict(report.totals))
     registry.record_counts(
         prefix,
         {
-            "demand_requests": stats.demand_requests,
-            "demand_loads": stats.demand_loads,
-            "prefetch_loads": stats.prefetch_loads,
-            "useful_prefetches": stats.useful_prefetches,
-            "wasted_prefetches": stats.wasted_prefetches,
-            "instant_hits": stats.instant_hits,
-            "stall_ns": stats.stall_ns,
-            "crc_failures": stats.crc_failures,
-            "readback_failures": stats.readback_failures,
-            "load_retries": stats.load_retries,
+            "boards": report.n_boards,
+            "total_requests": report.total_requests,
+            "end_time_ns": report.end_time_ns,
         },
     )
 

@@ -13,7 +13,9 @@ selectmap)."  Fig. 2 enumerates where the two roles can live; §1 announces
 - :mod:`repro.reconfig.memory` — external bitstream memory,
 - :mod:`repro.reconfig.protocol` — the protocol configuration builder,
 - :mod:`repro.reconfig.prefetch` — prefetch policies (none / on-select /
-  Markov history predictor),
+  first- and second-order Markov predictors),
+- :mod:`repro.reconfig.eviction` — eviction policies (LRU / LFU / Belady)
+  for multi-slot region area,
 - :mod:`repro.reconfig.manager` — the configuration manager (implements the
   executive's configuration-service protocol),
 - :mod:`repro.reconfig.architectures` — the Fig. 2 placements (case a:
@@ -25,9 +27,17 @@ from repro.reconfig.memory import BitstreamStore, StoreError
 from repro.reconfig.protocol import ProtocolConfigurationBuilder, ProtocolError
 from repro.reconfig.prefetch import (
     HistoryPrefetchPolicy,
+    MarkovPrefetchPolicy,
     NoPrefetchPolicy,
     OnSelectPrefetchPolicy,
     PrefetchPolicy,
+)
+from repro.reconfig.eviction import (
+    BeladyEviction,
+    EvictionPolicy,
+    LFUEviction,
+    LRUEviction,
+    make_eviction,
 )
 from repro.reconfig.manager import (
     ManagerStats,
@@ -59,6 +69,12 @@ __all__ = [
     "NoPrefetchPolicy",
     "OnSelectPrefetchPolicy",
     "HistoryPrefetchPolicy",
+    "MarkovPrefetchPolicy",
+    "EvictionPolicy",
+    "LRUEviction",
+    "LFUEviction",
+    "BeladyEviction",
+    "make_eviction",
     "ManagerStats",
     "ReconfigStats",
     "ReconfigurationManager",

@@ -1,0 +1,181 @@
+"""Eviction policies for shared dynamic-region area.
+
+Hannachi et al. ("Efficient reconfigurable regions management method")
+evaluate region management with several modules resident at once: a region
+*group* has area for ``region_slots`` module configurations, a demand for a
+resident module is a hit, and a demand for a non-resident module loads it
+— evicting a victim chosen by one of these policies when the area is full.
+
+The manager drives a policy through four hooks:
+
+- ``on_demand(region, module)`` — every demand request, in program order
+  (recency/frequency bookkeeping; Belady's future cursor advances here);
+- ``on_insert(region, module)`` — a module became resident (demand load or
+  prefetch completion);
+- ``on_evict(region, module)`` — a module left the region area;
+- ``choose_victim(region, candidates)`` — pick one of ``candidates`` to
+  evict.  Candidates never include the module being loaded or the active
+  module.  Ties break on the module name so runs are deterministic.
+
+:class:`BeladyEviction` is the clairvoyant bound: built from the per-region
+future demand sequence (the fleet driver knows each board's generated
+request schedule up front), it evicts the candidate whose next use is
+farthest away.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Optional, Protocol, Sequence
+
+__all__ = [
+    "EvictionPolicy",
+    "LRUEviction",
+    "LFUEviction",
+    "BeladyEviction",
+]
+
+
+class EvictionPolicy(Protocol):
+    """Victim-selection strategy for a full region group."""
+
+    name: str
+
+    def on_demand(self, region: str, module: str) -> None:
+        """A demand request for ``module`` arrived (program order)."""
+
+    def on_insert(self, region: str, module: str) -> None:
+        """``module`` became resident in ``region``'s shared area."""
+
+    def on_evict(self, region: str, module: str) -> None:
+        """``module`` was evicted from ``region``."""
+
+    def choose_victim(self, region: str, candidates: Sequence[str]) -> str:
+        """The candidate to evict; ``candidates`` is non-empty."""
+
+
+class LRUEviction:
+    """Evict the least-recently-demanded resident module."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._clock = itertools.count(1)
+        self._last_use: dict[tuple[str, str], int] = {}
+
+    def _touch(self, region: str, module: str) -> None:
+        self._last_use[(region, module)] = next(self._clock)
+
+    def on_demand(self, region: str, module: str) -> None:
+        self._touch(region, module)
+
+    def on_insert(self, region: str, module: str) -> None:
+        # A prefetched module enters with "just used" recency; a demand
+        # load was already touched by on_demand.
+        self._last_use.setdefault((region, module), next(self._clock))
+
+    def on_evict(self, region: str, module: str) -> None:
+        self._last_use.pop((region, module), None)
+
+    def choose_victim(self, region: str, candidates: Sequence[str]) -> str:
+        return min(candidates, key=lambda m: (self._last_use.get((region, m), 0), m))
+
+
+class LFUEviction:
+    """Evict the least-frequently-demanded resident module."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._counts: dict[tuple[str, str], int] = defaultdict(int)
+
+    def on_demand(self, region: str, module: str) -> None:
+        self._counts[(region, module)] += 1
+
+    def on_insert(self, region: str, module: str) -> None:
+        pass
+
+    def on_evict(self, region: str, module: str) -> None:
+        # Frequency survives eviction (classic LFU keeps global counts, so
+        # a hot module evicted under pressure wins the next comparison).
+        pass
+
+    def choose_victim(self, region: str, candidates: Sequence[str]) -> str:
+        return min(candidates, key=lambda m: (self._counts.get((region, m), 0), m))
+
+
+class BeladyEviction:
+    """Clairvoyant (MIN) eviction: farthest next use goes first.
+
+    ``future`` maps each region to its full demand sequence; ``on_demand``
+    advances a per-region cursor through it, so ``choose_victim`` only
+    scans genuinely future requests.  The demand stream the manager feeds
+    the policy must match ``future`` in program order — the fleet driver
+    guarantees that by building both from the same generated schedule.
+    """
+
+    name = "belady"
+
+    #: Next-use distance for a module never demanded again.
+    NEVER = float("inf")
+
+    def __init__(self, future: dict[str, Sequence[str]]):
+        self._future = {region: list(seq) for region, seq in future.items()}
+        self._cursor: dict[str, int] = {region: 0 for region in self._future}
+        #: module -> sorted positions in the region's sequence (lazy index).
+        self._positions: dict[str, dict[str, list[int]]] = {}
+
+    def _index(self, region: str) -> dict[str, list[int]]:
+        if region not in self._positions:
+            index: dict[str, list[int]] = defaultdict(list)
+            for pos, module in enumerate(self._future.get(region, ())):
+                index[module].append(pos)
+            self._positions[region] = dict(index)
+        return self._positions[region]
+
+    def _next_use(self, region: str, module: str) -> float:
+        import bisect
+
+        cursor = self._cursor.get(region, 0)
+        positions = self._index(region).get(module)
+        if not positions:
+            return self.NEVER
+        at = bisect.bisect_left(positions, cursor)
+        if at >= len(positions):
+            return self.NEVER
+        return positions[at]
+
+    def on_demand(self, region: str, module: str) -> None:
+        cursor = self._cursor.setdefault(region, 0)
+        sequence = self._future.get(region, ())
+        if cursor < len(sequence) and sequence[cursor] == module:
+            self._cursor[region] = cursor + 1
+        else:
+            # Out-of-schedule demand (e.g. interactive use): resync to the
+            # next occurrence so the cursor never goes stale.
+            position = self._next_use(region, module)
+            if position is not self.NEVER:
+                self._cursor[region] = int(position) + 1
+
+    def on_insert(self, region: str, module: str) -> None:
+        pass
+
+    def on_evict(self, region: str, module: str) -> None:
+        pass
+
+    def choose_victim(self, region: str, candidates: Sequence[str]) -> str:
+        return max(candidates, key=lambda m: (self._next_use(region, m), m))
+
+
+def make_eviction(name: str, future: Optional[dict[str, Sequence[str]]] = None) -> "EvictionPolicy":
+    """Factory by name; ``belady`` requires the ``future`` schedule."""
+    if name == "lru":
+        return LRUEviction()
+    if name == "lfu":
+        return LFUEviction()
+    if name == "belady":
+        if future is None:
+            raise ValueError("belady eviction requires the future demand schedule")
+        return BeladyEviction(future)
+    raise ValueError(f"unknown eviction policy {name!r}; known: belady, lfu, lru")

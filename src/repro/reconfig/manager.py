@@ -12,10 +12,11 @@ lock-up of the receiving interface during partial reconfiguration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-from repro.reconfig.prefetch import HistoryPrefetchPolicy, NoPrefetchPolicy, PrefetchPolicy
+from repro.reconfig.eviction import EvictionPolicy
+from repro.reconfig.prefetch import NoPrefetchPolicy, PrefetchPolicy
 from repro.reconfig.protocol import ProtocolConfigurationBuilder, ProtocolError
 from repro.sim import Event, Mailbox, Signal, Simulator, Trace
 
@@ -36,6 +37,10 @@ class ManagerStats:
     useful_prefetches: int = 0
     wasted_prefetches: int = 0
     instant_hits: int = 0
+    #: demands satisfied by a non-active module already configured in the
+    #: region's shared area (multi-slot mode; zero with region_slots=1)
+    resident_hits: int = 0
+    evictions: int = 0
     stall_ns: int = 0
     crc_failures: int = 0
     readback_failures: int = 0
@@ -44,19 +49,14 @@ class ManagerStats:
     def mean_stall_ns(self) -> float:
         return self.stall_ns / self.demand_requests if self.demand_requests else 0.0
 
+    def hit_rate(self) -> float:
+        """Fraction of demand requests served without a blocking load."""
+        if not self.demand_requests:
+            return 0.0
+        return (self.instant_hits + self.resident_hits) / self.demand_requests
+
     def to_dict(self) -> dict:
-        return {
-            "demand_requests": self.demand_requests,
-            "demand_loads": self.demand_loads,
-            "prefetch_loads": self.prefetch_loads,
-            "useful_prefetches": self.useful_prefetches,
-            "wasted_prefetches": self.wasted_prefetches,
-            "instant_hits": self.instant_hits,
-            "stall_ns": self.stall_ns,
-            "crc_failures": self.crc_failures,
-            "readback_failures": self.readback_failures,
-            "load_retries": self.load_retries,
-        }
+        return asdict(self)
 
 
 #: The reconfiguration-side stats bag under the name the observability layer
@@ -90,6 +90,9 @@ class _RegionState:
     #: last module demanded (the history predictor learns demand transitions,
     #: self-transitions included — otherwise it would always predict a switch)
     last_demand: Optional[str] = None
+    #: modules currently configured in the region's shared area, insertion
+    #: ordered (dict-as-ordered-set); only maintained with region_slots > 1
+    resident: dict[str, None] = field(default_factory=dict)
 
 
 class ReconfigurationManager:
@@ -105,11 +108,15 @@ class ReconfigurationManager:
         strict_crc: bool = True,
         verify_readback: bool = False,
         max_load_retries: int = 2,
+        region_slots: int = 1,
+        eviction: Optional[EvictionPolicy] = None,
     ):
         if request_latency_ns < 0:
             raise ReconfigError("request latency must be >= 0")
         if max_load_retries < 0:
             raise ReconfigError("retry count must be >= 0")
+        if region_slots < 1:
+            raise ReconfigError("region_slots must be >= 1")
         self.sim = sim
         self.builder = builder
         self.policy = policy or NoPrefetchPolicy()
@@ -121,6 +128,15 @@ class ReconfigurationManager:
         #: mismatches are retried up to ``max_load_retries`` times.
         self.verify_readback = verify_readback
         self.max_load_retries = max_load_retries
+        #: Area budget per region, in module configurations: with slots > 1
+        #: several modules stay configured side by side and a demand for any
+        #: resident one is an instant context switch (no port traffic);
+        #: ``eviction`` picks the victim when the area fills up.  The default
+        #: (1 slot, no eviction) is the paper's exclusive-region model and
+        #: leaves the manager's behaviour exactly as before.
+        self.region_slots = region_slots
+        self.eviction = eviction
+        self._multi = region_slots > 1
         self.stats = ManagerStats()
         self.in_reconf: dict[str, Signal] = {}
         self._regions: dict[str, _RegionState] = {}
@@ -150,6 +166,10 @@ class ReconfigurationManager:
             raise ReconfigError(f"region {region!r} already configured; preload must come first")
         state.loaded = module
         state.history.append(module)
+        if self._multi:
+            state.resident[module] = None
+            if self.eviction is not None:
+                self.eviction.on_insert(region, module)
         if self.trace:
             self.trace.begin(self.sim.now, f"region.{region}", "resident", detail=module)
 
@@ -163,6 +183,8 @@ class ReconfigurationManager:
             return
         if target == state.loaded or target == state.loading:
             return
+        if self._multi and target in state.resident:
+            return
         if not self._known(region, target):
             return
         self._enqueue(region, target, demand=False)
@@ -174,8 +196,13 @@ class ReconfigurationManager:
         state = self._region(region)
         self.stats.demand_requests += 1
         called_at = self.sim.now
-        if isinstance(self.policy, HistoryPrefetchPolicy):
-            self.policy.observe(state.last_demand, module)
+        # Predictors that learn from the demand stream expose observe();
+        # duck-typing keeps the manager ignorant of concrete policy classes.
+        observe = getattr(self.policy, "observe", None)
+        if observe is not None:
+            observe(state.last_demand, module)
+        if self.eviction is not None:
+            self.eviction.on_demand(region, module)
         state.last_demand = module
 
         if state.loaded == module and state.loading is None:
@@ -183,6 +210,20 @@ class ReconfigurationManager:
                 self.stats.useful_prefetches += 1
                 state.unclaimed_prefetch = None
             self.stats.instant_hits += 1
+            ev = self.sim.event(name=f"hit:{region}/{module}")
+            ev.succeed()
+            if len(state.queue or ()) == 0:
+                self._speculate(region)
+            return ev
+
+        if self._multi and module in state.resident and state.loading is None:
+            # Already configured in the shared area: switch the active
+            # context without touching the configuration port.
+            if state.unclaimed_prefetch == module:
+                self.stats.useful_prefetches += 1
+                state.unclaimed_prefetch = None
+            self.stats.resident_hits += 1
+            self._activate(region, state, module)
             ev = self.sim.event(name=f"hit:{region}/{module}")
             ev.succeed()
             if len(state.queue or ()) == 0:
@@ -208,6 +249,40 @@ class ReconfigurationManager:
         return ev
 
     # -- internals ----------------------------------------------------------------------
+
+    def _activate(self, region: str, state: _RegionState, module: str) -> None:
+        """Make a resident module the active one (multi-slot context switch)."""
+        actor = f"region.{region}"
+        if self.trace:
+            if self.trace.is_open(actor, "resident"):
+                self.trace.end(self.sim.now, actor, "resident")
+            self.trace.begin(self.sim.now, actor, "resident", detail=module)
+        state.loaded = module
+        state.history.append(module)
+
+    def _evict_overflow(self, region: str, state: _RegionState, keep: str) -> None:
+        """Shrink the resident set back to the area budget.
+
+        ``keep`` (the just-loaded, now-active module) is never a candidate.
+        Without an eviction policy the oldest resident goes (FIFO).
+        """
+        while len(state.resident) > self.region_slots:
+            candidates = [m for m in state.resident if m != keep]
+            if not candidates:
+                return
+            if self.eviction is not None:
+                victim = self.eviction.choose_victim(region, candidates)
+                self.eviction.on_evict(region, victim)
+            else:
+                victim = candidates[0]
+            del state.resident[victim]
+            self.stats.evictions += 1
+            if state.unclaimed_prefetch == victim:
+                # A speculative load left the area before anyone demanded it.
+                self.stats.wasted_prefetches += 1
+                state.unclaimed_prefetch = None
+            if self.trace:
+                self.trace.record(self.sim.now, f"region.{region}", "evict", detail=victim)
 
     def _known(self, region: str, module: str) -> bool:
         try:
@@ -251,6 +326,20 @@ class ReconfigurationManager:
                 if job.demand and job.module == state.loaded and state.unclaimed_prefetch == job.module:
                     self.stats.useful_prefetches += 1
                     state.unclaimed_prefetch = None
+                job.done.succeed()
+                if job.demand and len(state.queue) == 0:
+                    self._speculate(region)
+                continue
+            if self._multi and job.module in state.resident:
+                # Configured while the job sat in the queue (or prefetched
+                # earlier): a demand switches the active context, a
+                # speculative job is simply satisfied.
+                if job.demand:
+                    if state.unclaimed_prefetch == job.module:
+                        self.stats.useful_prefetches += 1
+                        state.unclaimed_prefetch = None
+                    self.stats.resident_hits += 1
+                    self._activate(region, state, job.module)
                 job.done.succeed()
                 if job.demand and len(state.queue) == 0:
                     self._speculate(region)
@@ -301,8 +390,10 @@ class ReconfigurationManager:
                 else:
                     job.done.fail(err)
                 continue
-            # Swap complete.
-            if state.unclaimed_prefetch is not None and state.unclaimed_prefetch == previous:
+            # Swap complete.  With one slot the previous module is gone (the
+            # load overwrote it); with a shared area it stays resident and
+            # only leaves via eviction below.
+            if not self._multi and state.unclaimed_prefetch is not None and state.unclaimed_prefetch == previous:
                 self.stats.wasted_prefetches += 1
                 state.unclaimed_prefetch = None
             state.loaded = job.module
@@ -315,9 +406,14 @@ class ReconfigurationManager:
                 self.trace.end(self.sim.now, actor, load_kind)
                 if self.trace.is_open(actor, "resident"):
                     self.trace.end(self.sim.now, actor, "resident")
-                if previous is not None:
+                if previous is not None and not self._multi:
                     self.trace.record(self.sim.now, actor, "unload", detail=previous)
                 self.trace.begin(self.sim.now, actor, "resident", detail=job.module)
+            if self._multi:
+                state.resident[job.module] = None
+                if self.eviction is not None:
+                    self.eviction.on_insert(region, job.module)
+                self._evict_overflow(region, state, keep=job.module)
             if job.demand:
                 self.stats.demand_loads += 1
             else:
@@ -335,4 +431,6 @@ class ReconfigurationManager:
         state = self._region(region)
         target = self.policy.on_idle(region, state.loaded, state.history)
         if target and target not in (state.loaded, state.loading) and self._known(region, target):
+            if self._multi and target in state.resident:
+                return
             self._enqueue(region, target, demand=False)

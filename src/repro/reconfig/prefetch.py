@@ -17,6 +17,13 @@ Policies:
   the data entering the modulation block).
 - :class:`HistoryPrefetchPolicy` — first-order Markov predictor over the
   observed module sequence; speculates when the selection is not yet known.
+- :class:`MarkovPrefetchPolicy` — second-order sequence predictor with a
+  first-order fallback; catches period-2 alternations and longer motifs the
+  first-order predictor blurs into self-loops.
+
+A policy that exposes an ``observe(prev, nxt)`` method is fed every demand
+transition by the configuration manager (self-transitions included), so
+predictors learn from real demand order without manager-side type checks.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ __all__ = [
     "NoPrefetchPolicy",
     "OnSelectPrefetchPolicy",
     "HistoryPrefetchPolicy",
+    "MarkovPrefetchPolicy",
 ]
 
 
@@ -107,6 +115,71 @@ class HistoryPrefetchPolicy:
         if best_count / total < self.min_confidence:
             return None
         return best
+
+    def on_select(self, region: str, module: str) -> Optional[str]:
+        return None
+
+    def on_idle(self, region: str, loaded: Optional[str], history: Sequence[str]) -> Optional[str]:
+        prediction = self.predict(loaded if loaded is not None else (history[-1] if history else None))
+        if prediction is not None and prediction != loaded:
+            return prediction
+        return None
+
+
+class MarkovPrefetchPolicy:
+    """Second-order Markov predictor with a first-order fallback.
+
+    Learns ``P(next | (before, current))`` from the demand stream and backs
+    off to ``P(next | current)`` while the pair context is still unseen.
+    The longer context resolves patterns the first-order predictor cannot:
+    on ``a b a b …`` first-order sees ``a -> b`` *and* ``b -> a`` (fine),
+    but on ``a a b a a b …`` first-order's ``a``-row splits between ``a``
+    and ``b`` and stalls below the confidence bar, while the pair
+    ``(a, a) -> b`` is deterministic.
+
+    Like :class:`HistoryPrefetchPolicy` it is a pure idle-time speculator
+    and never acts on select announcements.
+    """
+
+    name = "markov"
+
+    def __init__(self, min_confidence: float = 0.5):
+        if not 0.0 < min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in (0, 1]")
+        self.min_confidence = min_confidence
+        self._first: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._second: dict[tuple[str, str], dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        #: last observed (before, current) demand pair, per the manager's
+        #: per-region observe() calls; reset when the chain breaks.
+        self._last_pair: Optional[tuple[str, str]] = None
+
+    def observe(self, prev: Optional[str], nxt: str) -> None:
+        if prev is None:
+            self._last_pair = None
+            return
+        self._first[prev][nxt] += 1
+        if self._last_pair is not None and self._last_pair[1] == prev:
+            self._second[self._last_pair][nxt] += 1
+        self._last_pair = (prev, nxt)
+
+    @staticmethod
+    def _best(counts: Optional[dict[str, int]], min_confidence: float) -> Optional[str]:
+        if not counts:
+            return None
+        total = sum(counts.values())
+        best, best_count = max(counts.items(), key=lambda kv: (kv[1], kv[0]))
+        if best_count / total < min_confidence:
+            return None
+        return best
+
+    def predict(self, current: Optional[str]) -> Optional[str]:
+        if current is None:
+            return None
+        if self._last_pair is not None and self._last_pair[1] == current:
+            prediction = self._best(self._second.get(self._last_pair), self.min_confidence)
+            if prediction is not None:
+                return prediction
+        return self._best(self._first.get(current), self.min_confidence)
 
     def on_select(self, region: str, module: str) -> Optional[str]:
         return None

@@ -1,0 +1,52 @@
+"""Fleet-scale runtime: boards, traffic, the policy zoo, the fleet driver.
+
+The paper validates one platform at a time; a deployed base station runs
+*fleets* of them.  This package multiplexes M independent reconfigurable
+boards onto one deterministic event kernel:
+
+- :mod:`repro.runtime.board` — the :class:`Board` abstraction (store +
+  protocol builder + configuration manager + optional executive) taking the
+  simulator as a shared handle,
+- :mod:`repro.runtime.traffic` — seeded request-stream generators (Poisson
+  bursts, diurnal swings, adversarial thrash),
+- :mod:`repro.runtime.policies` — the named policy registry unifying
+  prefetch strategies and multi-slot eviction bundles,
+- :mod:`repro.runtime.fleet` — the fleet driver and the per-policy
+  hit-rate / stall-latency frontier.
+"""
+
+from repro.runtime.board import Board
+from repro.runtime.fleet import FleetConfig, FleetJob, FleetReport, run_fleet, run_frontier
+from repro.runtime.policies import (
+    POLICY_REGISTRY,
+    PolicyBundle,
+    RuntimePolicy,
+    create_policy,
+    get_bundle,
+    policy_names,
+)
+from repro.runtime.traffic import (
+    TRAFFIC_PATTERNS,
+    board_rng,
+    future_from_schedule,
+    generate_schedule,
+)
+
+__all__ = [
+    "Board",
+    "FleetConfig",
+    "FleetJob",
+    "FleetReport",
+    "run_fleet",
+    "run_frontier",
+    "POLICY_REGISTRY",
+    "PolicyBundle",
+    "RuntimePolicy",
+    "create_policy",
+    "get_bundle",
+    "policy_names",
+    "TRAFFIC_PATTERNS",
+    "board_rng",
+    "future_from_schedule",
+    "generate_schedule",
+]

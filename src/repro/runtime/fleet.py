@@ -1,0 +1,239 @@
+"""The fleet driver: thousands of boards multiplexed on one event kernel.
+
+Builds N independent :class:`~repro.runtime.board.Board` instances on a
+single shared :class:`~repro.sim.Simulator`, gives each a seeded request
+schedule, and runs the calendar once.  Boards interact only through the
+kernel's event ordering — each owns its store, builder and manager — so
+per-board results are a pure function of ``(seed, board_id, policy)`` and
+the report digest is reproducible run-to-run and invariant under board
+registration order.
+
+``run_frontier`` replays the *same* seeded traffic against several policy
+bundles, yielding the hit-rate / mean-stall frontier the policy zoo exists
+to measure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.reconfig.architectures import ReconfigArchitecture, all_cases
+from repro.runtime.board import Board
+from repro.runtime.policies import create_policy, get_bundle
+from repro.runtime.traffic import board_rng, future_from_schedule, generate_schedule
+from repro.sim import Simulator, Trace
+
+__all__ = ["FleetConfig", "FleetReport", "FleetJob", "run_fleet", "run_frontier"]
+
+
+def _architecture(name: str) -> ReconfigArchitecture:
+    cases = {arch.name: arch for arch in all_cases()}
+    try:
+        return cases[name]
+    except KeyError:
+        known = ", ".join(sorted(cases))
+        raise ValueError(f"unknown architecture {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Parameters for one fleet run."""
+
+    n_boards: int = 100
+    requests_per_board: int = 200
+    policy: str = "none"
+    traffic: str = "poisson"
+    seed: int = 0
+    regions: int = 2
+    modules_per_region: int = 4
+    #: override the policy bundle's area budget (None = bundle default)
+    region_slots: Optional[int] = None
+    bitstream_bytes: int = 88_000
+    architecture: str = "case_a_standalone"
+    mean_gap_ns: int = 200_000
+    #: the first N boards record full traces (scoped per board); tracing
+    #: every board of a large fleet would dominate memory, so default off
+    trace_boards: int = 0
+
+    def region_map(self) -> dict[str, list[str]]:
+        return {
+            f"R{r}": [f"m{m}" for m in range(self.modules_per_region)]
+            for r in range(self.regions)
+        }
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet run (one policy, one traffic pattern)."""
+
+    policy: str
+    traffic: str
+    n_boards: int
+    requests_per_board: int
+    total_requests: int
+    end_time_ns: int
+    wall_s: float
+    #: per-board stats dicts, in board-id order
+    boards: list[dict] = field(default_factory=list)
+    totals: dict = field(default_factory=dict)
+    #: traces of the first ``trace_boards`` boards, scope = board id
+    traces: list[Trace] = field(default_factory=list)
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.total_requests / self.wall_s if self.wall_s else float("inf")
+
+    @property
+    def hit_rate(self) -> float:
+        demands = self.totals.get("demand_requests", 0)
+        if not demands:
+            return 0.0
+        hits = self.totals.get("instant_hits", 0) + self.totals.get("resident_hits", 0)
+        return hits / demands
+
+    @property
+    def mean_stall_ns(self) -> float:
+        demands = self.totals.get("demand_requests", 0)
+        return self.totals.get("stall_ns", 0) / demands if demands else 0.0
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the simulated outcome.
+
+        Covers every per-board counter and the kernel end time — not wall
+        time — so two runs with the same config produce the same digest and
+        any behavioural drift flips it.
+        """
+        payload = json.dumps(
+            {"boards": self.boards, "end_time_ns": self.end_time_ns},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def summary(self) -> str:
+        return (
+            f"fleet[{self.policy}/{self.traffic}]: {self.n_boards} boards x "
+            f"{self.requests_per_board} requests in {self.wall_s:.2f}s wall "
+            f"({self.requests_per_sec:,.0f} req/s) — hit rate {self.hit_rate:.1%}, "
+            f"mean stall {self.mean_stall_ns / 1e3:.1f} us"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "traffic": self.traffic,
+            "n_boards": self.n_boards,
+            "requests_per_board": self.requests_per_board,
+            "total_requests": self.total_requests,
+            "end_time_ns": self.end_time_ns,
+            "wall_s": self.wall_s,
+            "requests_per_sec": self.requests_per_sec,
+            "hit_rate": self.hit_rate,
+            "mean_stall_ns": self.mean_stall_ns,
+            "totals": dict(self.totals),
+            "digest": self.digest(),
+        }
+
+
+def run_fleet(config: FleetConfig) -> FleetReport:
+    """Run one policy over the whole fleet on a single shared kernel."""
+    bundle = get_bundle(config.policy)  # fail fast on unknown names
+    arch = _architecture(config.architecture)
+    region_map = config.region_map()
+    sim = Simulator()
+    boards: list[Board] = []
+    t0 = time.perf_counter()
+    for i in range(config.n_boards):
+        board_id = f"b{i:04d}"
+        rng = board_rng(config.seed, board_id)
+        schedule = generate_schedule(
+            config.traffic, rng, region_map, config.requests_per_board,
+            mean_gap_ns=config.mean_gap_ns,
+        )
+        future = future_from_schedule(schedule) if bundle.needs_future else None
+        runtime_policy = create_policy(
+            config.policy, future=future, region_slots=config.region_slots
+        )
+        store = arch.make_store()
+        for region, modules in region_map.items():
+            for module in modules:
+                store.register(region, module, config.bitstream_bytes)
+        trace = Trace(scope=board_id) if i < config.trace_boards else None
+        board = Board(
+            board_id, sim, arch, store,
+            policy=runtime_policy.prefetch,
+            eviction=runtime_policy.eviction,
+            region_slots=runtime_policy.region_slots,
+            trace=trace,
+        )
+        # Every region ships its first module in the startup bitstream, so
+        # boards start warm and the first request is not always a miss.
+        for region, modules in region_map.items():
+            board.preload(region, modules[0])
+        board.start(schedule)
+        boards.append(board)
+    sim.run()
+    wall_s = time.perf_counter() - t0
+    per_board = [board.stats.to_dict() for board in boards]
+    totals: dict[str, int] = {}
+    for stats in per_board:
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+    traces = []
+    for board in boards:
+        if board.trace is not None:
+            board.trace.close_open(sim.now)
+            traces.append(board.trace)
+    return FleetReport(
+        policy=config.policy,
+        traffic=config.traffic,
+        n_boards=config.n_boards,
+        requests_per_board=config.requests_per_board,
+        total_requests=config.n_boards * config.requests_per_board,
+        end_time_ns=sim.now,
+        wall_s=wall_s,
+        boards=per_board,
+        totals=totals,
+        traces=traces,
+    )
+
+
+def run_frontier(config: FleetConfig, policies: list[str]) -> dict[str, FleetReport]:
+    """Replay identical seeded traffic under each policy.
+
+    Schedules depend only on ``(seed, board_id, traffic)``, so every policy
+    sees the same demand stream and the resulting hit-rate / stall frontier
+    compares management strategies, not luck.
+    """
+    reports: dict[str, FleetReport] = {}
+    for name in policies:
+        from dataclasses import replace
+
+        reports[name] = run_fleet(replace(config, policy=name))
+    return reports
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """A fleet run as a sweep-engine job (plugs into ParallelSweepEngine).
+
+    The engine dispatches on ``execute()`` generically, so fleet points can
+    ride the existing process-pool machinery alongside placement sweeps.
+    """
+
+    config: FleetConfig
+
+    @property
+    def job_id(self) -> str:
+        c = self.config
+        return (
+            f"fleet-{c.policy}-{c.traffic}-{c.n_boards}x{c.requests_per_board}"
+            f"-seed{c.seed}"
+        )
+
+    def execute(self, attempt: int = 0, cache=None, observer=None) -> dict:
+        report = run_fleet(self.config)
+        return report.to_dict()

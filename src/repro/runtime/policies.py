@@ -1,0 +1,174 @@
+"""The policy zoo: named runtime-management bundles.
+
+One name selects a complete region-management strategy — a prefetch policy,
+an optional eviction policy, and the region area budget it assumes.  The
+registry is the single source of truth for every surface that takes a policy
+by name (``repro fleet --policy``, ``repro sweep --simulate-policy``, the
+benchmarks), so adding a bundle here makes it selectable everywhere at once.
+
+Prefetch-only bundles keep the paper's exclusive-region model (one slot);
+eviction bundles give each region a shared area of ``region_slots`` module
+configurations and differ only in victim selection, so their frontier
+isolates the replacement decision.  :data:`PolicyBundle.needs_future` marks
+clairvoyant bundles (Belady) that require the demand schedule up front —
+surfaces without one (e.g. the interactive runtime simulation) must reject
+those names at argument-parsing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.reconfig.eviction import EvictionPolicy, make_eviction
+from repro.reconfig.prefetch import (
+    HistoryPrefetchPolicy,
+    MarkovPrefetchPolicy,
+    NoPrefetchPolicy,
+    OnSelectPrefetchPolicy,
+    PrefetchPolicy,
+)
+
+__all__ = [
+    "PolicyBundle",
+    "RuntimePolicy",
+    "POLICY_REGISTRY",
+    "policy_names",
+    "get_bundle",
+    "create_policy",
+]
+
+#: Area budget (in module configurations) the eviction bundles assume.
+EVICTION_SLOTS = 2
+
+
+@dataclass(frozen=True)
+class RuntimePolicy:
+    """An instantiated bundle, ready to hand to a manager/board."""
+
+    name: str
+    prefetch: PrefetchPolicy
+    eviction: Optional[EvictionPolicy]
+    region_slots: int
+
+
+@dataclass(frozen=True)
+class PolicyBundle:
+    """Registry entry: how to build one named management strategy."""
+
+    name: str
+    description: str
+    prefetch_factory: Callable[[], PrefetchPolicy]
+    eviction_name: Optional[str] = None
+    region_slots: int = 1
+    #: True when instantiation requires the future demand schedule
+    #: (clairvoyant eviction); such bundles cannot serve surfaces that
+    #: generate demands on the fly.
+    needs_future: bool = False
+
+    def instantiate(
+        self,
+        future: Optional[dict[str, Sequence[str]]] = None,
+        region_slots: Optional[int] = None,
+    ) -> RuntimePolicy:
+        if self.needs_future and future is None:
+            raise ValueError(
+                f"policy {self.name!r} is clairvoyant and needs the future "
+                f"demand schedule; it is only usable where requests are known "
+                f"up front (the fleet driver)"
+            )
+        eviction = None
+        if self.eviction_name is not None:
+            eviction = make_eviction(self.eviction_name, future=future)
+        return RuntimePolicy(
+            name=self.name,
+            prefetch=self.prefetch_factory(),
+            eviction=eviction,
+            region_slots=region_slots if region_slots is not None else self.region_slots,
+        )
+
+
+def _registry() -> dict[str, PolicyBundle]:
+    bundles = [
+        PolicyBundle(
+            name="none",
+            description="reactive baseline: load only on demand",
+            prefetch_factory=NoPrefetchPolicy,
+        ),
+        PolicyBundle(
+            name="fixed",
+            description="the paper's fixed prefetch: load on Select announcement",
+            prefetch_factory=OnSelectPrefetchPolicy,
+        ),
+        PolicyBundle(
+            name="on_select",
+            description="alias of 'fixed' (historical CLI name)",
+            prefetch_factory=OnSelectPrefetchPolicy,
+        ),
+        PolicyBundle(
+            name="history",
+            description="first-order Markov predictor, speculate at >=50% confidence",
+            prefetch_factory=lambda: HistoryPrefetchPolicy(min_confidence=0.5),
+        ),
+        PolicyBundle(
+            name="confidence",
+            description="first-order predictor with a conservative 75% confidence bar",
+            prefetch_factory=lambda: HistoryPrefetchPolicy(min_confidence=0.75),
+        ),
+        PolicyBundle(
+            name="markov",
+            description="second-order Markov predictor with first-order fallback",
+            prefetch_factory=MarkovPrefetchPolicy,
+        ),
+        PolicyBundle(
+            name="lru",
+            description=f"{EVICTION_SLOTS}-slot shared area, evict least recently used",
+            prefetch_factory=NoPrefetchPolicy,
+            eviction_name="lru",
+            region_slots=EVICTION_SLOTS,
+        ),
+        PolicyBundle(
+            name="lfu",
+            description=f"{EVICTION_SLOTS}-slot shared area, evict least frequently used",
+            prefetch_factory=NoPrefetchPolicy,
+            eviction_name="lfu",
+            region_slots=EVICTION_SLOTS,
+        ),
+        PolicyBundle(
+            name="belady",
+            description=f"{EVICTION_SLOTS}-slot shared area, clairvoyant (MIN) eviction",
+            prefetch_factory=NoPrefetchPolicy,
+            eviction_name="belady",
+            region_slots=EVICTION_SLOTS,
+            needs_future=True,
+        ),
+    ]
+    return {b.name: b for b in bundles}
+
+
+POLICY_REGISTRY: dict[str, PolicyBundle] = _registry()
+
+
+def policy_names(include_future: bool = True) -> list[str]:
+    """Registered policy names, sorted; clairvoyant ones are optional."""
+    return sorted(
+        name for name, bundle in POLICY_REGISTRY.items()
+        if include_future or not bundle.needs_future
+    )
+
+
+def get_bundle(name: str) -> PolicyBundle:
+    try:
+        return POLICY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(policy_names())
+        raise ValueError(f"unknown policy {name!r}; known policies: {known}") from None
+
+
+def create_policy(
+    name: str,
+    future: Optional[dict[str, Sequence[str]]] = None,
+    region_slots: Optional[int] = None,
+) -> RuntimePolicy:
+    """Instantiate a registered bundle by name."""
+    return get_bundle(name).instantiate(future=future, region_slots=region_slots)

@@ -1,0 +1,153 @@
+"""Seeded request-stream generators for the fleet driver.
+
+Each board gets a pre-generated schedule of ``(gap_ns, region, module)``
+requests.  Generating up front (instead of sampling inside the simulation
+processes) keeps the event kernel deterministic regardless of board
+interleaving, lets the clairvoyant Belady policy see its future, and makes a
+board's traffic a pure function of ``(seed, board_id)``.
+
+Patterns:
+
+- ``poisson`` — exponential inter-arrival gaps with occasional tight bursts;
+  module selection follows a noisy cycle (predictable enough that learned
+  prefetchers can win, noisy enough that they can lose).
+- ``diurnal`` — sinusoidally rate-modulated load (the day/night swing of a
+  deployed fleet) over a deterministic module rotation.
+- ``thrash`` — adversarial: uniform random module excluding the current one,
+  so every request misses and history-based prediction has nothing to learn.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+__all__ = [
+    "TRAFFIC_PATTERNS",
+    "board_rng",
+    "generate_schedule",
+    "future_from_schedule",
+]
+
+TRAFFIC_PATTERNS = ("poisson", "diurnal", "thrash")
+
+
+def board_rng(seed: int, board_id: str) -> random.Random:
+    """Independent, reproducible RNG per board.
+
+    String seeds hash stably in :mod:`random` (unlike ``hash()``), so the
+    stream depends only on the values, not the interpreter run.
+    """
+    return random.Random(f"{seed}:{board_id}")
+
+
+def _pick_region(rng: random.Random, regions: Sequence[str]) -> str:
+    return regions[rng.randrange(len(regions))]
+
+
+def _poisson(
+    rng: random.Random,
+    regions: dict[str, list[str]],
+    n_requests: int,
+    mean_gap_ns: int,
+) -> list[tuple[int, str, str]]:
+    names = sorted(regions)
+    cursor = {r: 0 for r in names}
+    schedule: list[tuple[int, str, str]] = []
+    burst_left = 0
+    while len(schedule) < n_requests:
+        if burst_left > 0:
+            gap = 1 + int(rng.expovariate(1.0) * mean_gap_ns / 10)
+            burst_left -= 1
+        else:
+            gap = 1 + int(rng.expovariate(1.0) * mean_gap_ns)
+            if rng.random() < 0.1:
+                burst_left = rng.randrange(3, 9)
+        region = _pick_region(rng, names)
+        modules = regions[region]
+        # Noisy cycle: usually advance to the next module in rotation, the
+        # rest of the time jump anywhere.  Learnable but not trivial.
+        if rng.random() < 0.8:
+            cursor[region] = (cursor[region] + 1) % len(modules)
+        else:
+            cursor[region] = rng.randrange(len(modules))
+        schedule.append((gap, region, modules[cursor[region]]))
+    return schedule
+
+
+def _diurnal(
+    rng: random.Random,
+    regions: dict[str, list[str]],
+    n_requests: int,
+    mean_gap_ns: int,
+) -> list[tuple[int, str, str]]:
+    names = sorted(regions)
+    cursor = {r: 0 for r in names}
+    # One "day" spans roughly n_requests/2 requests so every run sees at
+    # least a couple of peaks and troughs.
+    period = max(2, n_requests // 2)
+    phase = rng.random() * 2 * math.pi
+    schedule: list[tuple[int, str, str]] = []
+    for i in range(n_requests):
+        # Rate swings 4x between trough and peak -> gap swings inversely.
+        swing = 1.0 + 0.6 * math.sin(2 * math.pi * i / period + phase)
+        gap = 1 + int(rng.expovariate(1.0) * mean_gap_ns * swing)
+        region = _pick_region(rng, names)
+        modules = regions[region]
+        cursor[region] = (cursor[region] + 1) % len(modules)
+        schedule.append((gap, region, modules[cursor[region]]))
+    return schedule
+
+
+def _thrash(
+    rng: random.Random,
+    regions: dict[str, list[str]],
+    n_requests: int,
+    mean_gap_ns: int,
+) -> list[tuple[int, str, str]]:
+    names = sorted(regions)
+    current: dict[str, int] = {r: 0 for r in names}
+    schedule: list[tuple[int, str, str]] = []
+    for _ in range(n_requests):
+        gap = 1 + int(rng.expovariate(1.0) * mean_gap_ns)
+        region = _pick_region(rng, names)
+        modules = regions[region]
+        if len(modules) > 1:
+            # Uniform over the *other* modules: every request is a swap and
+            # carries no sequential signal for a predictor to latch onto.
+            step = rng.randrange(1, len(modules))
+            current[region] = (current[region] + step) % len(modules)
+        schedule.append((gap, region, modules[current[region]]))
+    return schedule
+
+
+_GENERATORS = {"poisson": _poisson, "diurnal": _diurnal, "thrash": _thrash}
+
+
+def generate_schedule(
+    pattern: str,
+    rng: random.Random,
+    regions: dict[str, list[str]],
+    n_requests: int,
+    mean_gap_ns: int = 200_000,
+) -> list[tuple[int, str, str]]:
+    """A board's full request schedule: ``[(gap_ns, region, module), ...]``."""
+    try:
+        generator = _GENERATORS[pattern]
+    except KeyError:
+        known = ", ".join(TRAFFIC_PATTERNS)
+        raise ValueError(f"unknown traffic pattern {pattern!r}; known: {known}") from None
+    if n_requests < 0:
+        raise ValueError("n_requests must be >= 0")
+    if not regions or any(not mods for mods in regions.values()):
+        raise ValueError("every region needs at least one module")
+    return generator(rng, regions, n_requests, mean_gap_ns)
+
+
+def future_from_schedule(schedule: Sequence[tuple[int, str, str]]) -> dict[str, list[str]]:
+    """Per-region demand sequence, as :class:`BeladyEviction` expects it."""
+    future: dict[str, list[str]] = {}
+    for _gap, region, module in schedule:
+        future.setdefault(region, []).append(module)
+    return future

@@ -104,6 +104,15 @@ class Event:
         self.sim._enqueue(self, delay=0, priority=priority)
         return self
 
+    def _abandon(self) -> None:
+        """Mark the event abandoned (its waiter was interrupted away).
+
+        Queue owners (channels, semaphores) check the flag and skip the
+        event instead of satisfying it; composite events override this to
+        release their hold on still-pending members.
+        """
+        self.abandoned = True
+
     def _process(self) -> None:
         self.processed = True
         callbacks, self.callbacks = self.callbacks, []
@@ -166,7 +175,7 @@ class Process(Event):
             except ValueError:
                 pass
             if not target.triggered:
-                target.abandoned = True
+                target._abandon()
             self._waiting_on = None
         kick = Event(self.sim, name=f"interrupt:{self.name}")
         kick.callbacks.append(lambda ev: self._throw(Interrupt(cause)))
@@ -243,6 +252,28 @@ class _Condition(Event):
 
     def _collect(self) -> dict[Event, Any]:
         return {ev: ev._value for ev in self.events if ev.processed and ev._exc is None}
+
+    def _abandon(self) -> None:
+        """Abandon the condition *and* detach from its pending members.
+
+        Without this, an interrupted ``yield AnyOf([sem.acquire(), ...])``
+        leaves the acquire event live in the semaphore's waiter queue: the
+        next release would satisfy it and the permit would be consumed by a
+        process that is no longer listening.  Detaching drops this
+        condition's callback from every untriggered member; a member left
+        with no other listener is abandoned recursively, so queue owners
+        skip it.
+        """
+        super()._abandon()
+        for ev in self.events:
+            if ev.triggered:
+                continue
+            try:
+                ev.callbacks.remove(self._on_settle)
+            except ValueError:
+                pass
+            if not ev.callbacks:
+                ev._abandon()
 
     def _on_settle(self, event: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

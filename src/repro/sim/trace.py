@@ -47,7 +47,12 @@ class Span:
 class Trace:
     """Ordered store of records and spans with query helpers."""
 
-    def __init__(self) -> None:
+    def __init__(self, scope: str = "") -> None:
+        #: Namespace label for multi-board runs (e.g. ``"b0042"``).  Not
+        #: applied to actor names — per-board traces keep identical actor
+        #: vocabularies so they compare byte-for-byte across boards — but
+        #: exporters (``spans_from_sim_trace``) use it as the process lane.
+        self.scope = scope
         self.records: list[TraceRecord] = []
         self.spans: list[Span] = []
         self._open: dict[tuple[str, str], tuple[int, str]] = {}

@@ -113,8 +113,9 @@ def test_reconfig_stats_alias_and_dict():
     stats = ReconfigStats(demand_loads=2, stall_ns=10)
     payload = stats.to_dict()
     assert payload["demand_loads"] == 2
+    # to_dict is dataclasses.asdict-backed, so it tracks the field list.
     assert set(payload) == {
         "demand_requests", "demand_loads", "prefetch_loads", "useful_prefetches",
-        "wasted_prefetches", "instant_hits", "stall_ns", "crc_failures",
-        "readback_failures", "load_retries",
+        "wasted_prefetches", "instant_hits", "resident_hits", "evictions",
+        "stall_ns", "crc_failures", "readback_failures", "load_retries",
     }

@@ -1,0 +1,131 @@
+"""Fleet driver: determinism, registration-order invariance, frontier."""
+
+import dataclasses
+import random
+
+from repro.reconfig import case_a_standalone
+from repro.runtime import (
+    Board,
+    FleetConfig,
+    FleetJob,
+    board_rng,
+    generate_schedule,
+    run_fleet,
+    run_frontier,
+)
+from repro.sim import Simulator, Trace
+
+SMALL = FleetConfig(n_boards=6, requests_per_board=30, policy="history", seed=11)
+
+
+def test_digest_is_stable_across_runs():
+    first = run_fleet(SMALL)
+    second = run_fleet(SMALL)
+    assert first.digest() == second.digest()
+    assert first.boards == second.boards
+    assert first.end_time_ns == second.end_time_ns
+
+
+def test_digest_ignores_wall_clock():
+    report = run_fleet(SMALL)
+    before = report.digest()
+    report.wall_s *= 100  # a slow machine must not change the fingerprint
+    assert report.digest() == before
+
+
+def test_digest_changes_with_seed_and_policy():
+    base = run_fleet(SMALL).digest()
+    assert run_fleet(dataclasses.replace(SMALL, seed=12)).digest() != base
+    assert run_fleet(dataclasses.replace(SMALL, policy="lru")).digest() != base
+
+
+def _run_ordered(order, seed=4, n_requests=25):
+    """Build one board per id on a shared kernel, registering in ``order``,
+    and return {board_id: (stats, records, spans)} after a single run."""
+    arch = case_a_standalone()
+    region_map = {"R0": ["m0", "m1", "m2"], "R1": ["m0", "m1"]}
+    sim = Simulator()
+    boards = {}
+    for board_id in order:
+        schedule = generate_schedule(
+            "poisson", board_rng(seed, board_id), region_map, n_requests
+        )
+        store = arch.make_store()
+        for region, modules in region_map.items():
+            for module in modules:
+                store.register(region, module, 88_000)
+        trace = Trace(scope=board_id)
+        board = Board(board_id, sim, arch, store, trace=trace)
+        for region, modules in region_map.items():
+            board.preload(region, modules[0])
+        board.start(schedule)
+        boards[board_id] = board
+    sim.run()
+    out = {}
+    for board_id, board in boards.items():
+        board.trace.close_open(sim.now)
+        out[board_id] = (
+            board.stats.to_dict(),
+            board.trace.records,
+            board.trace.spans,
+        )
+    return out
+
+
+def test_board_registration_order_does_not_change_per_board_traces():
+    """The ISSUE.md determinism property: shuffling the order boards are
+    registered on the shared kernel leaves every board's stats, trace
+    records and spans byte-identical."""
+    ids = [f"b{i:04d}" for i in range(8)]
+    canonical = _run_ordered(ids)
+    shuffled = list(ids)
+    random.Random(99).shuffle(shuffled)
+    assert shuffled != ids
+    reordered = _run_ordered(shuffled)
+    for board_id in ids:
+        assert reordered[board_id] == canonical[board_id], board_id
+
+
+def test_traced_boards_get_scoped_traces():
+    report = run_fleet(dataclasses.replace(SMALL, trace_boards=2))
+    assert [t.scope for t in report.traces] == ["b0000", "b0001"]
+    for trace in report.traces:
+        assert trace.records, "traced boards must actually record"
+
+
+def test_totals_and_rates_aggregate_per_board_stats():
+    report = run_fleet(SMALL)
+    assert report.total_requests == SMALL.n_boards * SMALL.requests_per_board
+    assert report.totals["demand_requests"] == report.total_requests
+    assert len(report.boards) == SMALL.n_boards
+    assert 0.0 <= report.hit_rate <= 1.0
+    assert report.mean_stall_ns >= 0.0
+    payload = report.to_dict()
+    assert payload["digest"] == report.digest()
+    assert payload["totals"] == report.totals
+
+
+def test_frontier_replays_identical_traffic():
+    base = FleetConfig(n_boards=4, requests_per_board=30, seed=3)
+    frontier = run_frontier(base, ["none", "history"])
+    assert set(frontier) == {"none", "history"}
+    # Same schedules on both sides: demand totals match exactly.
+    assert (
+        frontier["none"].totals["demand_requests"]
+        == frontier["history"].totals["demand_requests"]
+    )
+
+
+def test_unknown_policy_fails_before_building_the_fleet():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown policy"):
+        run_fleet(dataclasses.replace(SMALL, policy="oracle"))
+
+
+def test_fleet_job_rides_the_sweep_engine_protocol():
+    job = FleetJob(config=dataclasses.replace(SMALL, n_boards=3))
+    assert job.job_id == "fleet-history-poisson-3x30-seed11"
+    result = job.execute()
+    assert result["n_boards"] == 3
+    assert result["digest"] == run_fleet(job.config).digest()

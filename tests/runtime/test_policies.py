@@ -1,0 +1,77 @@
+"""The policy registry: names, bundles, clairvoyance gating."""
+
+import pytest
+
+from repro.reconfig import (
+    BeladyEviction,
+    HistoryPrefetchPolicy,
+    MarkovPrefetchPolicy,
+    NoPrefetchPolicy,
+    OnSelectPrefetchPolicy,
+)
+from repro.runtime import POLICY_REGISTRY, create_policy, get_bundle, policy_names
+
+
+def test_registry_exposes_the_required_zoo():
+    names = policy_names()
+    for required in ("none", "fixed", "history", "confidence", "markov", "lru", "lfu", "belady"):
+        assert required in names
+    assert len(names) >= 6
+
+
+def test_bundles_instantiate_expected_prefetchers():
+    assert isinstance(create_policy("none").prefetch, NoPrefetchPolicy)
+    assert isinstance(create_policy("fixed").prefetch, OnSelectPrefetchPolicy)
+    assert isinstance(create_policy("on_select").prefetch, OnSelectPrefetchPolicy)
+    assert isinstance(create_policy("markov").prefetch, MarkovPrefetchPolicy)
+    history = create_policy("history").prefetch
+    confidence = create_policy("confidence").prefetch
+    assert isinstance(history, HistoryPrefetchPolicy)
+    assert isinstance(confidence, HistoryPrefetchPolicy)
+    assert confidence.min_confidence > history.min_confidence
+
+
+def test_eviction_bundles_carry_slots_and_policy():
+    lru = create_policy("lru")
+    assert lru.region_slots == 2
+    assert lru.eviction is not None and lru.eviction.name == "lru"
+    assert create_policy("lfu").eviction.name == "lfu"
+    # slots override wins over the bundle default
+    assert create_policy("lru", region_slots=4).region_slots == 4
+
+
+def test_belady_requires_future_and_gets_it():
+    with pytest.raises(ValueError, match="clairvoyant"):
+        create_policy("belady")
+    bundle = get_bundle("belady")
+    assert bundle.needs_future
+    policy = create_policy("belady", future={"R0": ["a", "b"]})
+    assert isinstance(policy.eviction, BeladyEviction)
+
+
+def test_unknown_name_lists_known_policies():
+    with pytest.raises(ValueError) as err:
+        create_policy("nope")
+    message = str(err.value)
+    assert "nope" in message
+    for name in policy_names():
+        assert name in message
+
+
+def test_policy_names_can_exclude_clairvoyant():
+    assert "belady" in policy_names()
+    assert "belady" not in policy_names(include_future=False)
+
+
+def test_fresh_instances_per_call():
+    """Bundles are factories: two fleets must never share predictor state."""
+    a = create_policy("history").prefetch
+    b = create_policy("history").prefetch
+    assert a is not b
+    a.observe("x", "y")
+    assert b.predict("x") is None
+
+
+def test_every_bundle_has_description():
+    for name, bundle in POLICY_REGISTRY.items():
+        assert bundle.description, name

@@ -1,0 +1,63 @@
+"""Traffic generators: reproducibility and pattern properties."""
+
+import pytest
+
+from repro.runtime import board_rng, future_from_schedule, generate_schedule
+from repro.runtime.traffic import TRAFFIC_PATTERNS
+
+REGIONS = {"R0": ["m0", "m1", "m2"], "R1": ["m0", "m1"]}
+
+
+@pytest.mark.parametrize("pattern", TRAFFIC_PATTERNS)
+def test_schedules_are_pure_functions_of_seed_and_board(pattern):
+    a = generate_schedule(pattern, board_rng(7, "b0001"), REGIONS, 200)
+    b = generate_schedule(pattern, board_rng(7, "b0001"), REGIONS, 200)
+    assert a == b
+    other_board = generate_schedule(pattern, board_rng(7, "b0002"), REGIONS, 200)
+    other_seed = generate_schedule(pattern, board_rng(8, "b0001"), REGIONS, 200)
+    assert a != other_board
+    assert a != other_seed
+
+
+@pytest.mark.parametrize("pattern", TRAFFIC_PATTERNS)
+def test_schedule_shape_and_vocabulary(pattern):
+    schedule = generate_schedule(pattern, board_rng(0, "b0000"), REGIONS, 150)
+    assert len(schedule) == 150
+    for gap, region, module in schedule:
+        assert gap >= 1
+        assert region in REGIONS
+        assert module in REGIONS[region]
+
+
+def test_thrash_always_switches_modules():
+    schedule = generate_schedule("thrash", board_rng(3, "b0000"), REGIONS, 300)
+    last = {}
+    for _gap, region, module in schedule:
+        if region in last:
+            assert module != last[region], "thrash must never repeat a module"
+        last[region] = module
+
+
+def test_poisson_has_bursts():
+    schedule = generate_schedule("poisson", board_rng(1, "b0000"), REGIONS, 500,
+                                 mean_gap_ns=100_000)
+    gaps = [gap for gap, _r, _m in schedule]
+    # Bursts compress gaps by ~10x: the small-gap tail must be well below
+    # the overall mean, and plentiful.
+    small = [g for g in gaps if g < 20_000]
+    assert len(small) > 25
+
+
+def test_future_from_schedule_groups_per_region():
+    schedule = [(10, "R0", "m1"), (5, "R1", "m0"), (7, "R0", "m2")]
+    assert future_from_schedule(schedule) == {"R0": ["m1", "m2"], "R1": ["m0"]}
+
+
+def test_unknown_pattern_and_bad_inputs():
+    rng = board_rng(0, "b")
+    with pytest.raises(ValueError, match="unknown traffic pattern"):
+        generate_schedule("solar-flare", rng, REGIONS, 10)
+    with pytest.raises(ValueError, match="at least one module"):
+        generate_schedule("poisson", rng, {"R0": []}, 10)
+    with pytest.raises(ValueError, match="n_requests"):
+        generate_schedule("poisson", rng, REGIONS, -1)

@@ -236,3 +236,85 @@ def test_nested_process_chain_values():
 
     assert sim.run(until=sim.process(level1())) == 6
     assert sim.now == 2
+
+
+def test_interrupt_while_waiting_on_anyof_abandons_members():
+    """Interrupting ``yield AnyOf([...])`` must release the condition's hold
+    on every still-pending member — a queued ``sem.acquire()`` left live in
+    the semaphore would silently eat the next permit."""
+    sim = Simulator()
+    sem = Semaphore(sim)
+    log = []
+
+    def waiter():
+        try:
+            yield AnyOf(sim, [sem.acquire(), sim.timeout(100)])
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def controller():
+        p = sim.process(waiter())
+        yield sim.timeout(5)
+        p.interrupt("give up")
+        yield sim.timeout(1)
+        # The interrupted waiter's acquire must not consume this permit.
+        sem.release()
+        got = sem.acquire()
+        assert got.triggered
+        log.append(("acquired", sim.now))
+
+    sim.run(until=sim.process(controller()))
+    assert log == [("interrupted", 5, "give up"), ("acquired", 6)]
+
+
+def test_interrupt_while_waiting_on_allof_abandons_members():
+    sim = Simulator()
+    sem = Semaphore(sim)
+    chan = Channel(sim)
+    log = []
+
+    def waiter():
+        try:
+            yield AllOf(sim, [sem.acquire(), chan.get()])
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+
+    def controller():
+        p = sim.process(waiter())
+        yield sim.timeout(2)
+        p.interrupt()
+        yield sim.timeout(1)
+        # Both member events were abandoned: the permit banks, and the
+        # channel item goes to the next live getter instead of the ghost.
+        sem.release()
+        assert sem.count == 1
+        yield chan.put("fresh")
+        item = yield chan.get()
+        log.append(("got", item, sim.now))
+
+    sim.run(until=sim.process(controller()))
+    assert log == [("interrupted", 2), ("got", "fresh", 3)]
+
+
+def test_interrupt_anyof_with_already_triggered_member_still_delivers():
+    """A member that fired before the interrupt settles the condition first;
+    the interrupt then has nothing to abandon and the waiter saw the value."""
+    sim = Simulator()
+    log = []
+
+    def waiter():
+        try:
+            result = yield AnyOf(sim, [sim.timeout(1, value="fast"), sim.timeout(50)])
+            log.append(("value", sorted(result.values()), sim.now))
+            yield sim.timeout(100)
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+
+    def controller():
+        p = sim.process(waiter())
+        yield sim.timeout(10)  # after the AnyOf settled at t=1
+        p.interrupt()
+        yield sim.timeout(1)
+
+    sim.run(until=sim.process(controller()))
+    assert log == [("value", ["fast"], 1), ("interrupted", 10)]

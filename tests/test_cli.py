@@ -327,3 +327,77 @@ def test_traced_sweep_contains_worker_and_reconfig_spans(tmp_path):
     assert "load" in kinds and "resident" in kinds
     manifest = json.loads((tmp_path / "sweep.manifest.json").read_text())
     assert "reconfig.demand_requests" in manifest["metrics"]
+
+
+# -- fleet command ----------------------------------------------------------
+
+
+def test_fleet_command_prints_frontier_table():
+    code, text = run_cli(
+        "fleet", "--boards", "4", "--requests", "20", "--policy", "none,history"
+    )
+    assert code == 0
+    assert "fleet[none/poisson]" in text
+    assert "fleet[history/poisson]" in text
+    assert "policy" in text and "hit rate" in text and "digest" in text
+
+
+def test_fleet_json_output():
+    import json
+
+    code, text = run_cli(
+        "fleet", "--boards", "3", "--requests", "15", "--policy", "lru",
+        "--traffic", "thrash", "--seed", "7", "--json",
+    )
+    assert code == 0
+    payload = json.loads(text)
+    assert set(payload) == {"lru"}
+    report = payload["lru"]
+    assert report["n_boards"] == 3
+    assert report["total_requests"] == 45
+    assert report["traffic"] == "thrash"
+    assert len(report["digest"]) == 64
+
+
+def test_fleet_rejects_unknown_policy_at_parse_time(capsys):
+    with pytest.raises(SystemExit):
+        run_cli("fleet", "--policy", "oracle")
+    err = capsys.readouterr().err
+    assert "unknown policy 'oracle'" in err
+    assert "belady" in err  # the error lists the registry
+
+
+def test_sweep_rejects_clairvoyant_policy(capsys):
+    with pytest.raises(SystemExit):
+        run_cli("sweep", "--simulate-policy", "belady")
+    err = capsys.readouterr().err
+    assert "clairvoyant" in err
+
+
+def test_simulate_policy_accepts_registry_names():
+    code, text = run_cli("simulate", "--policy", "markov", "-n", "6")
+    assert code == 0
+    assert "runtime[markov]" in text
+
+
+def test_fleet_trace_bridges_per_board_lanes(tmp_path):
+    import json
+
+    from repro.obs import validate_trace_file
+
+    trace_path = tmp_path / "fleet.json"
+    code, _ = run_cli(
+        "--trace", str(trace_path),
+        "fleet", "--boards", "4", "--requests", "15",
+        "--policy", "fixed", "--trace-boards", "2",
+    )
+    assert code == 0
+    assert validate_trace_file(trace_path) == []
+    payload = json.loads(trace_path.read_text())
+    lanes = {
+        e["args"]["name"]
+        for e in payload["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    # Each traced board gets its own Perfetto lane, named by board id.
+    assert {"b0000 [sim time]", "b0001 [sim time]"} <= lanes
