@@ -2,8 +2,10 @@
 
 "Complex design and architecture can support more than one dynamic part."
 Regenerates: a two-region floorplan on the XC2V2000, the serialization of
-both regions' loads on the single configuration port, and throughput as a
-function of how many regions switch simultaneously.
+both regions' loads on the single configuration port, throughput as a
+function of how many regions switch simultaneously, and — since the
+``repro.search`` co-optimizer landed — the fixed-sweep region-count
+frontier alongside the searched optimum in one table.
 """
 
 from conftest import write_result
@@ -13,6 +15,7 @@ from repro.arch import dual_region_board
 from repro.dfg import AlgorithmGraph, WORD32
 from repro.dfg.library import default_library
 from repro.flows import DesignFlow, SystemSimulation
+from repro.flows.designspace import search_multiregion
 
 
 def _dual_graph() -> AlgorithmGraph:
@@ -132,3 +135,22 @@ def test_port_serializes_simultaneous_switches(benchmark):
             f"{result.total_stall_ns / 1e6:>8.2f}"
         )
     write_result("multiregion_serialization", "\n".join(text))
+
+
+def test_fixed_sweep_frontier_vs_searched_optimum(benchmark):
+    """The §7 hand partition as one row of a frontier: every fixed region
+    count priced by the co-optimizer's objective, with the annealed optimum
+    in the same table — the searched point must hold the frontier."""
+    report = benchmark.pedantic(
+        lambda: search_multiregion(
+            _dual_graph(), default_library(), budget=120, seed=0, restarts=2
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert report.searched.total_ns <= report.best_fixed_cost_ns
+    assert report.gain <= 1.0
+    # The paper's own configuration (two regions, one per condition group)
+    # must appear on the frontier it helped define.
+    assert 2 in report.fixed
+    write_result("multiregion_frontier", report.render())

@@ -10,6 +10,7 @@ Runs the paper's case study through the flow without writing any code::
     python -m repro sweep --jobs 4 --timeout 120 # parallel design-space sweep
     python -m repro linklevel --snr 0:10:2 --frames 200 --jobs 4
     python -m repro fleet --boards 100 --requests 200 --policy none,fixed,lru
+    python -m repro search --groups 3 --budget 300 --seed 1 --trace search.json
 """
 
 from __future__ import annotations
@@ -430,6 +431,39 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_search(args, out) -> int:
+    """Annealed partition/schedule/floorplan co-optimization vs fixed sweep."""
+    from repro.dfg.generators import multiregion_graph
+    from repro.dfg.library import default_library
+    from repro.fabric.device import device_by_name
+    from repro.flows.designspace import search_multiregion
+    from repro.obs import get_metrics, record_search_stats
+
+    try:
+        device = device_by_name(args.device)
+    except KeyError as err:
+        print(f"error: {err.args[0]}", file=out)
+        return 2
+    graph = multiregion_graph(n_groups=args.groups, alternatives=args.alternatives)
+    report = search_multiregion(
+        graph,
+        default_library(),
+        device=device,
+        architecture=_ARCHITECTURES[args.architecture](),
+        method=args.method,
+        budget=args.budget,
+        seed=args.seed,
+        restarts=args.restarts,
+        max_regions=args.max_regions,
+    )
+    record_search_stats(get_metrics(), report.result)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.render(), file=out)
+    return 0
+
+
 def _cmd_fleet(args, out) -> int:
     """Multiplex a fleet of boards on one kernel; frontier across policies."""
     from repro.obs import get_metrics, record_fleet_stats, spans_from_sim_trace
@@ -652,6 +686,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--reactive", action="store_true", help="reconfiguration-blind executive")
 
+    p_search = sub.add_parser(
+        "search",
+        help="co-optimize partitioning, region count and floorplan by "
+        "simulated annealing; report the fixed-sweep frontier alongside",
+    )
+    p_search.add_argument(
+        "--method", choices=("anneal", "greedy", "random"), default="anneal",
+        help="search driver (default: anneal)",
+    )
+    p_search.add_argument(
+        "--budget", type=int, default=400,
+        help="evaluation budget across all restarts (default: 400)",
+    )
+    p_search.add_argument("--seed", type=int, default=0, help="root SeedSequence seed")
+    p_search.add_argument(
+        "--restarts", type=int, default=2,
+        help="independent restarts sharing the budget (default: 2)",
+    )
+    p_search.add_argument(
+        "--groups", type=int, default=2,
+        help="condition groups in the generated workload (default: 2)",
+    )
+    p_search.add_argument(
+        "--alternatives", type=int, default=2,
+        help="mutually-exclusive alternatives per group (default: 2)",
+    )
+    p_search.add_argument(
+        "--max-regions", type=int, default=None,
+        help="cap on dynamic regions (default: min(conditioned ops, 4))",
+    )
+    p_search.add_argument(
+        "--device", default="xc2v2000",
+        help="Virtex-II part hosting the regions (default: xc2v2000)",
+    )
+    p_search.add_argument("--json", action="store_true", help="emit the report as JSON")
+
     p_fleet = sub.add_parser(
         "fleet",
         help="multiplex a fleet of boards on one event kernel and compare "
@@ -698,6 +768,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "linklevel": _cmd_linklevel,
     "trace": _cmd_trace,
+    "search": _cmd_search,
     "fleet": _cmd_fleet,
 }
 

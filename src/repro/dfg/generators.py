@@ -13,7 +13,13 @@ from typing import Sequence
 from repro.dfg.graph import AlgorithmGraph
 from repro.dfg.types import WORD32
 
-__all__ = ["chain_graph", "fork_join_graph", "layered_random_graph", "conditioned_chain_graph"]
+__all__ = [
+    "chain_graph",
+    "fork_join_graph",
+    "layered_random_graph",
+    "conditioned_chain_graph",
+    "multiregion_graph",
+]
 
 _GENERIC_KINDS = ("generic_small", "generic_medium", "generic_large")
 
@@ -131,4 +137,43 @@ def conditioned_chain_graph(
             cur = _add_generic(g, f"stage{i}", "generic_medium", 1, 1 if i < length - 1 else 0, tokens)
             g.connect(prev, "o0", cur, "i0")
             prev = cur
+    return g
+
+
+def multiregion_graph(n_groups: int = 2, alternatives: int = 2, tokens: int = 16) -> AlgorithmGraph:
+    """A pipeline of ``n_groups`` conditioned stages — the multi-region workload.
+
+    Each stage is a condition group with ``alternatives`` mutually-exclusive
+    implementations fanned between a source/merge pair, generalizing the §7
+    dual-region benchmark (two groups, two alternatives each).  Every
+    conditioned stage is a candidate for its own dynamic region, so the
+    partition/floorplan search space grows with ``n_groups``.
+    """
+    if n_groups < 1:
+        raise ValueError("need at least one condition group")
+    if alternatives < 2:
+        raise ValueError("need at least two alternatives per group")
+    g = AlgorithmGraph(f"multiregion{n_groups}x{alternatives}")
+    selectors = []
+    for s in range(n_groups):
+        sel = g.add_operation(f"sel{s}", "select_source")
+        sel.add_output("value", WORD32, 1)
+        selectors.append(sel)
+    prev = _add_generic(g, "src", "generic_small", 0, alternatives, tokens)
+    prev_ports = [f"o{i}" for i in range(alternatives)]
+    for s in range(n_groups):
+        group = g.condition_group(f"g{s}", selectors[s], "value")
+        last = s == n_groups - 1
+        merge = _add_generic(
+            g, f"merge{s}", "cond_merge", alternatives, 1 if last else alternatives, tokens
+        )
+        for a in range(alternatives):
+            alt = _add_generic(g, f"g{s}_alt{a}", "generic_medium", 1, 1, tokens)
+            g.connect(prev, prev_ports[a % len(prev_ports)], alt, "i0")
+            g.connect(alt, "o0", merge, f"i{a}")
+            group.add_case(a, [alt])
+        prev = merge
+        prev_ports = [f"o{i}" for i in range(1 if last else alternatives)]
+    sink = _add_generic(g, "sink", "generic_small", 1, 0, tokens)
+    g.connect(prev, "o0", sink, "i0")
     return g

@@ -27,7 +27,7 @@ from repro.fabric.device import (
     device_by_name,
 )
 from repro.fabric.netlist import Netlist, NetlistModule
-from repro.fabric.busmacro import BusMacro, plan_bus_macros
+from repro.fabric.busmacro import BoundaryCost, BusMacro, boundary_cost, plan_bus_macros
 from repro.fabric.floorplan import Floorplan, FloorplanError, ModulePlacement, Floorplanner
 from repro.fabric.bitstream import (
     Bitstream,
@@ -50,6 +50,8 @@ __all__ = [
     "Netlist",
     "NetlistModule",
     "BusMacro",
+    "BoundaryCost",
+    "boundary_cost",
     "plan_bus_macros",
     "Floorplan",
     "FloorplanError",

@@ -20,12 +20,29 @@ from typing import Literal
 from repro.fabric.device import VirtexIIDevice
 from repro.fabric.resources import ResourceVector
 
-__all__ = ["BusMacro", "BusMacroError", "plan_bus_macros", "BITS_PER_MACRO", "TBUFS_PER_MACRO"]
+__all__ = [
+    "BusMacro",
+    "BusMacroError",
+    "BoundaryCost",
+    "boundary_cost",
+    "plan_bus_macros",
+    "BITS_PER_MACRO",
+    "TBUFS_PER_MACRO",
+    "MACRO_DELAY_NS",
+    "HETEROGENEOUS_PREMIUM_NS",
+]
 
 #: Eight 3-state buffers per macro, two per signal bit.
 TBUFS_PER_MACRO = 8
 #: Data bits carried by one macro.
 BITS_PER_MACRO = 4
+#: Routing/latency price of one macro on the dividing column: the pre-routed
+#: TBUF bridge adds one fixed hop to every signal through it.
+MACRO_DELAY_NS = 25
+#: Extra price per macro when the dividing column coincides with a BRAM /
+#: multiplier column pair: the fixed bridge must route *around* the hard
+#: block, lengthening the pre-routed nets.
+HETEROGENEOUS_PREMIUM_NS = 15
 
 
 class BusMacroError(ValueError):
@@ -56,6 +73,56 @@ class BusMacro:
 
     def resources(self) -> ResourceVector:
         return ResourceVector(tbufs=TBUFS_PER_MACRO)
+
+
+@dataclass(frozen=True, slots=True)
+class BoundaryCost:
+    """Priced account of one region boundary.
+
+    ``macros`` counts both directions; ``heterogeneous`` is True when the
+    dividing column straddles a BRAM/multiplier column, which prices every
+    macro at the heterogeneous premium on top of the base delay.
+    """
+
+    column: int
+    macros: int
+    heterogeneous: bool
+    cost_ns: int
+
+    @property
+    def tbufs(self) -> int:
+        return self.macros * TBUFS_PER_MACRO
+
+
+def boundary_cost(
+    device: VirtexIIDevice,
+    boundary_column: int,
+    bits_in: int,
+    bits_out: int,
+) -> BoundaryCost:
+    """Price the bus-macro bridge a region boundary needs.
+
+    The cost is monotone in the crossing bit count (each
+    :data:`BITS_PER_MACRO` bits add one macro at :data:`MACRO_DELAY_NS`),
+    and a boundary sitting on one of the device's heterogeneous BRAM columns
+    pays :data:`HETEROGENEOUS_PREMIUM_NS` extra per macro.  Raises
+    :class:`BusMacroError` for a non-internal column, mirroring
+    :func:`plan_bus_macros`.
+    """
+    if not 0 < boundary_column < device.clb_cols:
+        raise BusMacroError(
+            f"boundary column {boundary_column} is not internal to {device.name} "
+            f"(must be 1..{device.clb_cols - 1})"
+        )
+    macros = macros_needed(bits_in) + macros_needed(bits_out)
+    heterogeneous = boundary_column in device.bram_cols
+    per_macro = MACRO_DELAY_NS + (HETEROGENEOUS_PREMIUM_NS if heterogeneous else 0)
+    return BoundaryCost(
+        column=boundary_column,
+        macros=macros,
+        heterogeneous=heterogeneous,
+        cost_ns=macros * per_macro,
+    )
 
 
 def macros_needed(bits: int) -> int:

@@ -62,6 +62,11 @@ class Floorplan:
         """Place a region; enforces the modular-design rules immediately."""
         if region in self.placements:
             raise FloorplanError(f"region {region!r} already placed")
+        if width <= 0:
+            # Distinct from the minimum-width rule: a zero- or negative-width
+            # span is degenerate geometry (it would "overlap" nothing and
+            # occupy no frames), so reject it by name everywhere.
+            raise FloorplanError(f"region {region!r}: zero-width span [{col0}, {col0 + width})")
         if width < MIN_WIDTH_CLB:
             raise FloorplanError(
                 f"region {region!r}: width {width} CLB columns is below the 4-slice minimum "
@@ -82,6 +87,63 @@ class Floorplan:
                 raise FloorplanError(f"region {region!r} overlaps region {other.region!r}")
         self.placements[region] = candidate
         return candidate
+
+    # -- validation ---------------------------------------------------------
+
+    def violations(self) -> list[str]:
+        """Every modular-design rule the current placements break.
+
+        ``place()`` enforces these incrementally; this re-checks a whole
+        floorplan (including placements injected directly into the dict, as
+        the co-optimizer's move generator does) with the same verdicts:
+        zero-width spans are rejected, column ranges that merely *touch* at
+        a shared boundary are legal, overlapping ranges are not.  Also
+        catches bus-macro row collisions when two regions stack macros on
+        the same dividing column.
+        """
+        problems: list[str] = []
+        for p in self.placements.values():
+            if p.width <= 0:
+                problems.append(f"region {p.region!r}: zero-width span [{p.col0}, {p.col_end})")
+                continue
+            if p.width < MIN_WIDTH_CLB:
+                problems.append(
+                    f"region {p.region!r}: width {p.width} CLB columns is below the "
+                    f"4-slice minimum ({MIN_WIDTH_CLB} columns)"
+                )
+            if p.width % WIDTH_STEP_CLB:
+                problems.append(
+                    f"region {p.region!r}: width must be a multiple of 4 slices "
+                    f"({WIDTH_STEP_CLB} CLB columns), got {p.width}"
+                )
+            if p.col0 < 0 or p.col_end > self.device.clb_cols:
+                problems.append(
+                    f"region {p.region!r}: span [{p.col0}, {p.col_end}) outside {self.device.name}"
+                )
+        ordered = sorted(self.placements.values(), key=lambda x: (x.col0, x.region))
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                if a.width > 0 and b.width > 0 and a.overlaps(b):
+                    problems.append(f"region {a.region!r} overlaps region {b.region!r}")
+        occupied: dict[tuple[int, int], str] = {}
+        for region in sorted(self.bus_macros):
+            for macro in self.bus_macros[region]:
+                slot = (macro.column, macro.row)
+                owner = occupied.get(slot)
+                if owner is not None and owner != region:
+                    problems.append(
+                        f"bus-macro row collision on column {macro.column} row {macro.row}: "
+                        f"regions {owner!r} and {region!r}"
+                    )
+                else:
+                    occupied[slot] = region
+        return problems
+
+    def validate(self) -> None:
+        """Raise :class:`FloorplanError` listing every violation, if any."""
+        problems = self.violations()
+        if problems:
+            raise FloorplanError("; ".join(problems))
 
     # -- geometry -----------------------------------------------------------
 

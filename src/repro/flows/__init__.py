@@ -40,8 +40,10 @@ from repro.flows.runtime import RuntimeResult, SystemSimulation
 from repro.flows.report import table1_report
 from repro.flows.designspace import (
     DesignPoint,
+    SearchReport,
     design_point_from_payload,
     explore_design_space,
+    search_multiregion,
     sweep_jobs_for_grid,
 )
 
@@ -72,6 +74,8 @@ __all__ = [
     "SystemSimulation",
     "table1_report",
     "DesignPoint",
+    "SearchReport",
+    "search_multiregion",
     "design_point_from_payload",
     "explore_design_space",
     "sweep_jobs_for_grid",

@@ -49,6 +49,7 @@ from repro.obs.bridge import (
     record_fleet_stats,
     record_manager_stats,
     record_scheduler_stats,
+    record_search_stats,
     spans_from_sim_trace,
 )
 from repro.obs.export import (
@@ -86,6 +87,7 @@ __all__ = [
     "record_fleet_stats",
     "record_manager_stats",
     "record_scheduler_stats",
+    "record_search_stats",
     "spans_from_sim_trace",
     "build_manifest",
     "chrome_trace",

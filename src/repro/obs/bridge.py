@@ -28,6 +28,7 @@ __all__ = [
     "record_fleet_stats",
     "record_cache_stats",
     "record_config_service_stats",
+    "record_search_stats",
 ]
 
 _BRIDGE_SEQ = itertools.count(1)
@@ -138,5 +139,25 @@ def record_config_service_stats(registry: MetricsRegistry, service, prefix: str 
             "stall_ns": service.stall_ns,
             "hints_seen": service.hints_seen,
             "prefetch_starts": service.prefetch_starts,
+        },
+    )
+
+
+def record_search_stats(registry: MetricsRegistry, result, prefix: str = "search") -> None:
+    """Feed a :class:`~repro.search.anneal.SearchResult`'s counters in.
+
+    The driver already bumps the ambient ``search.*`` counters as it runs;
+    this records a *finished* result into an arbitrary registry (the traced
+    CLI path uses it so the manifest carries the run's totals).
+    """
+    registry.record_counts(
+        prefix,
+        {
+            "evaluations": result.evaluations,
+            "accepted": result.accepted,
+            "improved": result.improved,
+            "best_total_ns": result.best_cost.total_ns,
+            "best_makespan_ns": result.best_cost.makespan_ns,
+            "violations": len(result.best_cost.violations),
         },
     )

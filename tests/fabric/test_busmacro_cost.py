@@ -1,0 +1,102 @@
+"""Tests for bus-macro boundary pricing: monotone in crossing count,
+heterogeneous-column premium on BRAM columns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import XC2V1000, XC2V2000, boundary_cost
+from repro.fabric.busmacro import (
+    BITS_PER_MACRO,
+    HETEROGENEOUS_PREMIUM_NS,
+    MACRO_DELAY_NS,
+    TBUFS_PER_MACRO,
+    BusMacroError,
+    macros_needed,
+)
+
+
+def plain_column(device=XC2V2000):
+    """An internal column that is not a BRAM column."""
+    for col in range(1, device.clb_cols):
+        if col not in device.bram_cols:
+            return col
+    raise AssertionError("device has no homogeneous internal column")
+
+
+def test_zero_bits_cost_nothing():
+    cost = boundary_cost(XC2V2000, plain_column(), 0, 0)
+    assert cost.macros == 0
+    assert cost.cost_ns == 0
+    assert cost.tbufs == 0
+
+
+def test_cost_counts_both_directions():
+    cost = boundary_cost(XC2V2000, plain_column(), 8, 8)
+    assert cost.macros == macros_needed(8) + macros_needed(8)
+    assert cost.cost_ns == cost.macros * MACRO_DELAY_NS
+    assert cost.tbufs == cost.macros * TBUFS_PER_MACRO
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bits=st.integers(min_value=0, max_value=512),
+    extra=st.integers(min_value=1, max_value=512),
+)
+def test_cost_is_monotone_in_crossing_bits(bits, extra):
+    """Satellite property: more crossing bits never cost less."""
+    column = plain_column()
+    narrow = boundary_cost(XC2V2000, column, bits, bits)
+    wider_in = boundary_cost(XC2V2000, column, bits + extra, bits)
+    wider_out = boundary_cost(XC2V2000, column, bits, bits + extra)
+    assert wider_in.cost_ns >= narrow.cost_ns
+    assert wider_out.cost_ns >= narrow.cost_ns
+    assert wider_in.macros >= narrow.macros
+
+
+def test_cost_steps_at_macro_granularity():
+    column = plain_column()
+    one = boundary_cost(XC2V2000, column, BITS_PER_MACRO, 0)
+    same = boundary_cost(XC2V2000, column, 1, 0)
+    more = boundary_cost(XC2V2000, column, BITS_PER_MACRO + 1, 0)
+    assert one.macros == same.macros == 1
+    assert more.macros == 2
+    assert more.cost_ns == 2 * MACRO_DELAY_NS
+
+
+def test_heterogeneous_column_pays_the_premium():
+    bram_col = XC2V2000.bram_cols[1]
+    assert 0 < bram_col < XC2V2000.clb_cols
+    hetero = boundary_cost(XC2V2000, bram_col, 32, 32)
+    homo = boundary_cost(XC2V2000, plain_column(), 32, 32)
+    assert hetero.heterogeneous and not homo.heterogeneous
+    assert hetero.macros == homo.macros
+    assert hetero.cost_ns == homo.cost_ns + hetero.macros * HETEROGENEOUS_PREMIUM_NS
+    assert hetero.cost_ns > homo.cost_ns
+
+
+def test_premium_applies_on_every_device():
+    for device in (XC2V1000, XC2V2000):
+        bram_col = next(c for c in device.bram_cols if 0 < c < device.clb_cols)
+        cost = boundary_cost(device, bram_col, 16, 16)
+        assert cost.heterogeneous
+        assert cost.cost_ns == cost.macros * (MACRO_DELAY_NS + HETEROGENEOUS_PREMIUM_NS)
+
+
+def test_monotonicity_holds_across_the_heterogeneous_premium():
+    """Even on a premium column, pricing stays monotone in bits."""
+    bram_col = XC2V2000.bram_cols[0]
+    costs = [boundary_cost(XC2V2000, bram_col, bits, 0).cost_ns for bits in range(0, 256, 8)]
+    assert costs == sorted(costs)
+
+
+def test_non_internal_columns_rejected():
+    with pytest.raises(BusMacroError, match="not internal"):
+        boundary_cost(XC2V2000, 0, 8, 8)
+    with pytest.raises(BusMacroError, match="not internal"):
+        boundary_cost(XC2V2000, XC2V2000.clb_cols, 8, 8)
+
+
+def test_negative_bits_rejected():
+    with pytest.raises(ValueError, match=">= 0"):
+        boundary_cost(XC2V2000, plain_column(), -1, 8)

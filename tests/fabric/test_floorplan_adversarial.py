@@ -1,0 +1,149 @@
+"""Adversarial floorplan fixtures: degenerate spans, touching ranges,
+injected placements — the edge cases the co-optimizer's move generator
+feeds straight into ``Floorplan.placements``."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import Floorplan, FloorplanError, ModulePlacement, XC2V2000
+from repro.fabric.busmacro import BusMacro
+from repro.fabric.floorplan import MIN_WIDTH_CLB, WIDTH_STEP_CLB
+
+
+def inject(plan, region, col0, width):
+    """Bypass place() the way the search move generator does."""
+    plan.placements[region] = ModulePlacement(region, col0, width)
+
+
+# -- zero-width and degenerate spans -----------------------------------------
+
+
+def test_place_rejects_zero_width_by_name():
+    plan = Floorplan(XC2V2000)
+    with pytest.raises(FloorplanError, match="zero-width"):
+        plan.place("D1", 10, 0)
+
+
+def test_place_rejects_negative_width_as_zero_width():
+    plan = Floorplan(XC2V2000)
+    with pytest.raises(FloorplanError, match="zero-width"):
+        plan.place("D1", 10, -2)
+
+
+def test_violations_reports_zero_width_consistently():
+    plan = Floorplan(XC2V2000)
+    inject(plan, "D1", 10, 0)
+    problems = plan.violations()
+    assert len(problems) == 1
+    assert "zero-width" in problems[0]
+    with pytest.raises(FloorplanError, match="zero-width"):
+        plan.validate()
+
+
+def test_zero_width_span_does_not_phantom_overlap():
+    """A degenerate span occupies no columns; it must not also be reported
+    as overlapping a real region sitting at the same column."""
+    plan = Floorplan(XC2V2000)
+    inject(plan, "D1", 10, 0)
+    inject(plan, "D2", 10, 2)
+    problems = plan.violations()
+    assert any("zero-width" in p for p in problems)
+    assert not any("overlaps" in p for p in problems)
+
+
+# -- touching vs overlapping ranges ------------------------------------------
+
+
+def test_touching_ranges_are_legal_via_place():
+    plan = Floorplan(XC2V2000)
+    plan.place("D1", 10, 2)
+    plan.place("D2", 12, 2)  # shares the boundary column 12, no overlap
+    assert plan.violations() == []
+    plan.validate()
+
+
+def test_touching_ranges_are_legal_via_injection():
+    plan = Floorplan(XC2V2000)
+    inject(plan, "D1", 10, 4)
+    inject(plan, "D2", 14, 2)
+    assert plan.violations() == []
+
+
+def test_one_column_overlap_rejected_both_ways():
+    plan = Floorplan(XC2V2000)
+    plan.place("D1", 10, 2)
+    with pytest.raises(FloorplanError, match="overlaps"):
+        plan.place("D2", 11, 2)
+    injected = Floorplan(XC2V2000)
+    inject(injected, "D1", 10, 2)
+    inject(injected, "D2", 11, 2)
+    assert any("overlaps" in p for p in injected.violations())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    col_a=st.integers(min_value=0, max_value=XC2V2000.clb_cols - 2),
+    col_b=st.integers(min_value=0, max_value=XC2V2000.clb_cols - 2),
+)
+def test_place_and_violations_agree_on_min_width_spans(col_a, col_b):
+    """Property: for any two min-width spans, place() accepts exactly the
+    configurations violations() calls clean — touching included."""
+    via_place = Floorplan(XC2V2000)
+    via_place.place("D1", col_a, MIN_WIDTH_CLB)
+    try:
+        via_place.place("D2", col_b, MIN_WIDTH_CLB)
+        placed_ok = True
+    except FloorplanError:
+        placed_ok = False
+    injected = Floorplan(XC2V2000)
+    inject(injected, "D1", col_a, MIN_WIDTH_CLB)
+    inject(injected, "D2", col_b, MIN_WIDTH_CLB)
+    assert placed_ok == (injected.violations() == [])
+
+
+# -- other injected-placement rules ------------------------------------------
+
+
+def test_violations_reports_step_and_bounds():
+    plan = Floorplan(XC2V2000)
+    inject(plan, "D1", 10, 3)  # not a multiple of the step
+    inject(plan, "D2", XC2V2000.clb_cols - 1, 2)  # spills past the edge
+    problems = "\n".join(plan.violations())
+    assert "multiple of 4 slices" in problems
+    assert "outside" in problems
+
+
+def test_violations_reports_below_minimum_width():
+    assert WIDTH_STEP_CLB == MIN_WIDTH_CLB == 2
+    plan = Floorplan(XC2V2000)
+    inject(plan, "D1", 10, 1)
+    problems = "\n".join(plan.violations())
+    assert "4-slice minimum" in problems
+
+
+def test_bus_macro_row_collision_detected():
+    plan = Floorplan(XC2V2000)
+    plan.place("D1", 10, 2)
+    plan.place("D2", 14, 2)
+    plan.bus_macros["D1"] = [BusMacro(name="bm_d1_0", column=12, row=0, direction="into_region")]
+    plan.bus_macros["D2"] = [BusMacro(name="bm_d2_0", column=12, row=0, direction="out_of_region")]
+    problems = plan.violations()
+    assert any("bus-macro row collision" in p for p in problems)
+
+
+def test_bus_macros_on_distinct_rows_coexist():
+    plan = Floorplan(XC2V2000)
+    plan.place("D1", 10, 2)
+    plan.place("D2", 14, 2)
+    plan.bus_macros["D1"] = [BusMacro(name="bm_d1_0", column=12, row=0, direction="into_region")]
+    plan.bus_macros["D2"] = [BusMacro(name="bm_d2_0", column=12, row=1, direction="out_of_region")]
+    assert plan.violations() == []
+
+
+def test_clean_plan_validates_silently():
+    plan = Floorplan(XC2V2000)
+    plan.place("D1", 30, 4)
+    plan.place("D2", 20, 2)
+    plan.validate()
+    assert plan.violations() == []

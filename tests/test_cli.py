@@ -401,3 +401,55 @@ def test_fleet_trace_bridges_per_board_lanes(tmp_path):
     }
     # Each traced board gets its own Perfetto lane, named by board id.
     assert {"b0000 [sim time]", "b0001 [sim time]"} <= lanes
+
+
+def test_search_command():
+    code, text = run_cli("search", "--budget", "25", "--seed", "1")
+    assert code == 0
+    assert "search report: multiregion2x2" in text
+    assert "fixed k=1" in text
+    assert "gain vs best fixed" in text
+
+
+def test_search_json_command():
+    import json
+
+    code, text = run_cli(
+        "search", "--budget", "20", "--seed", "2", "--method", "greedy", "--json"
+    )
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["method"] == "greedy"
+    assert payload["gain"] <= 1.0
+    assert payload["result"]["digest"] == json.loads(text)["result"]["digest"]
+
+
+def test_search_same_seed_same_digest():
+    import json
+
+    _, a = run_cli("search", "--budget", "20", "--seed", "5", "--json")
+    _, b = run_cli("search", "--budget", "20", "--seed", "5", "--json")
+    assert json.loads(a)["result"]["digest"] == json.loads(b)["result"]["digest"]
+
+
+def test_search_rejects_unknown_device():
+    code, text = run_cli("search", "--budget", "5", "--device", "xc9999")
+    assert code == 2
+    assert "xc9999" in text
+
+
+def test_search_traced_writes_trace_and_manifest(tmp_path):
+    import json
+
+    from repro.obs import validate_trace_file
+
+    trace_path = tmp_path / "search.json"
+    code, text = run_cli(
+        "--trace", str(trace_path), "search", "--budget", "15", "--seed", "0"
+    )
+    assert code == 0
+    assert validate_trace_file(trace_path) == []
+    names = {e["name"] for e in json.loads(trace_path.read_text())["traceEvents"]}
+    assert "search:anneal" in names
+    manifest = json.loads((tmp_path / "search.manifest.json").read_text())
+    assert manifest["metrics"]["search.evaluations"]["value"] >= 15
