@@ -260,13 +260,15 @@ def _cmd_sweep(args, out) -> int:
     log_json = getattr(args, "log_json", None)
     with ExitStack() as stack:
         observer = stack.enter_context(JsonLinesObserver(log_json)) if log_json else None
-        engine = ParallelSweepEngine(
-            jobs=args.jobs,
-            timeout_s=args.timeout,
-            retries=args.retries,
-            cache_dir=args.cache_dir,
-            observer=observer,
-            sweep_name=f"designspace:{design.graph.name}",
+        engine = stack.enter_context(
+            ParallelSweepEngine(
+                jobs=args.jobs,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                cache_dir=args.cache_dir,
+                observer=observer,
+                sweep_name=f"designspace:{design.graph.name}",
+            )
         )
         report = engine.run(jobs)
     if getattr(args, "profile", False):
@@ -367,10 +369,17 @@ def _cmd_linklevel(args, out) -> int:
             ),
             observer=observer,
         )
+        pool = None
+        if args.jobs > 0 and len(strategies) > 1:
+            # One warm pool serves every strategy's curve: workers spawn
+            # and import once, not once per --strategy.
+            from repro.exec.pool import WorkerPool
+
+            pool = stack.enter_context(WorkerPool(args.jobs, name="linklevel"))
         for strategy in strategies:
             results = engine.sweep_points(
                 strategy, snr_points, args.frames, seed=args.seed,
-                jobs=args.jobs, timeout_s=args.timeout,
+                jobs=args.jobs, timeout_s=args.timeout, pool=pool,
             )
             report[strategy] = [
                 {"snr_db": snr, **result.to_dict(), "ber": result.ber}
@@ -455,6 +464,7 @@ def _cmd_search(args, out) -> int:
         seed=args.seed,
         restarts=args.restarts,
         max_regions=args.max_regions,
+        jobs=args.jobs,
     )
     record_search_stats(get_metrics(), report.result)
     if args.json:
@@ -703,6 +713,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument(
         "--restarts", type=int, default=2,
         help="independent restarts sharing the budget (default: 2)",
+    )
+    p_search.add_argument(
+        "--jobs", type=int, default=0,
+        help="shard restarts over this many pooled workers "
+        "(default: 0 = in-process)",
     )
     p_search.add_argument(
         "--groups", type=int, default=2,

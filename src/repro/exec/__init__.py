@@ -14,13 +14,17 @@ the primitives in :mod:`repro.exec.locks`.  Progress streams back through
   convert to :class:`~repro.flows.observe.FlowEvent`;
 - :mod:`repro.exec.worker` — the worker process loop and the picklable job
   description;
-- :mod:`repro.exec.engine` — the scheduler: per-job timeout, bounded retry
-  with backoff, graceful degradation, deterministic result ordering.
+- :mod:`repro.exec.pool` — the persistent :class:`WorkerPool` of warm,
+  pre-imported worker processes, reusable across runs and engines;
+- :mod:`repro.exec.engine` — the scheduler: pull-based dispatch with
+  batched prefetch, per-job timeout, bounded retry with backoff, graceful
+  degradation, deterministic result ordering.
 """
 
 from repro.exec.locks import FileLock, atomic_write_bytes
 from repro.exec.events import SweepEvent, SWEEP_EVENT_KINDS
 from repro.exec.worker import SweepJob, run_job, resolve_entrypoint
+from repro.exec.pool import WorkerPool, PoolWorker
 from repro.exec.engine import ParallelSweepEngine, SweepJobResult, SweepReport
 
 __all__ = [
@@ -31,6 +35,8 @@ __all__ = [
     "SweepJob",
     "run_job",
     "resolve_entrypoint",
+    "WorkerPool",
+    "PoolWorker",
     "ParallelSweepEngine",
     "SweepJobResult",
     "SweepReport",

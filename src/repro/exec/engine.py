@@ -1,24 +1,36 @@
 """The parallel sweep engine: multi-process design-space exploration.
 
-:class:`ParallelSweepEngine` shards :class:`~repro.exec.worker.SweepJob`
-records across a pool of ``multiprocessing`` *spawn* workers, each running
-the ordinary :class:`~repro.flows.flow.DesignFlow` pipeline against a
-shared on-disk :class:`~repro.flows.pipeline.ArtifactCache` (safe for
-concurrent access: atomic write-rename, per-key advisory locks,
-corruption-tolerant reads).  The engine owns the scheduler:
+:class:`ParallelSweepEngine` schedules :class:`~repro.exec.worker.SweepJob`
+records over a persistent :class:`~repro.exec.pool.WorkerPool` of
+``multiprocessing`` *spawn* workers, each running the ordinary
+:class:`~repro.flows.flow.DesignFlow` pipeline against a shared on-disk
+:class:`~repro.flows.pipeline.ArtifactCache` (safe for concurrent access:
+atomic write-rename, per-key advisory locks, corruption-tolerant reads).
+The engine owns the scheduler:
 
-- deterministic sharding — jobs are dispatched in submission order to the
-  first idle worker; results are reported in submission order regardless of
-  completion order (the artifacts are content-addressed, so scheduling
-  cannot change them);
-- per-job timeout — a worker that exceeds ``timeout_s`` on one job is
-  terminated; the job re-enters the queue (or is recorded failed) and a
-  replacement worker is spawned;
-- bounded retry with exponential backoff — a job may fail/crash/time out
-  ``retries`` times before it is recorded as failed; each retry waits
+- **warm pool** — workers spawn once (paying process start + full ``repro``
+  import cost exactly once) and serve jobs across every ``run()`` call of
+  the engine's life; pass ``pool=`` to share one pool across engines
+  (design-space, link-level and search-restart sweeps all accept it);
+- **pull-based dispatch** — jobs wait in one shared pending deque and flow
+  to whichever worker frees up first; no worker ever owns a static shard,
+  so one slow job cannot idle the other cores behind it (work stealing
+  falls out of central pull for free);
+- **batched submission** — each worker keeps up to ``prefetch_depth`` jobs
+  queued locally (submitted as one pipe message), so it starts the next
+  job without a round-trip and a 10k-job grid amortizes pipe latency while
+  committing at most ``prefetch_depth`` jobs to any one worker;
+- **per-job timeout** — the clock starts when the worker *starts* the job
+  (its ``started`` message), not at dispatch; a worker that exceeds
+  ``timeout_s`` is killed and replaced into the warm pool, failing only
+  the running job's attempt — its queued-but-unstarted jobs re-enter the
+  pending deque with **no attempt consumed**;
+- **bounded retry with exponential backoff** — a job may fail/crash/time
+  out ``retries`` times before it is recorded as failed; each retry waits
   ``backoff_s * 2**(attempt-1)``;
-- graceful degradation — a crashed or hung worker fails only its own job;
-  the sweep always completes and reports partial results.
+- **graceful degradation** — a crashed or hung worker fails only the job
+  it was running; the sweep always completes and reports partial results,
+  and the pool stays warm (dead workers are respawned).
 
 Every worker streams its pipeline stage events and job lifecycle messages
 back over its result pipe; the engine forwards them (and its own
@@ -35,7 +47,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import multiprocessing
+import weakref
+from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
@@ -43,15 +56,13 @@ from time import monotonic, perf_counter
 from typing import Any, Optional, Sequence
 
 from repro.exec.events import SweepEvent
-from repro.exec.worker import SweepJob, run_job, worker_main
+from repro.exec.pool import PoolWorker, WorkerPool
+from repro.exec.worker import SweepJob, run_job
 from repro.flows.observe import FlowEvent, FlowObserver, LoggingObserver
 from repro.flows.pipeline import ArtifactCache
 from repro.obs import NOOP_TRACER, get_metrics, get_tracer
 
 __all__ = ["SweepJobResult", "SweepReport", "ParallelSweepEngine"]
-
-#: Seconds granted to a stopping/killed worker before escalating.
-_JOIN_GRACE_S = 5.0
 
 
 @dataclass
@@ -135,29 +146,42 @@ class SweepReport:
         }
 
 
-class _WorkerHandle:
-    """Engine-side bookkeeping for one worker process."""
+class _InFlight:
+    """One job committed to a worker's local queue (engine-side record)."""
 
-    def __init__(self, worker_id: int, process, conn):
-        self.worker_id = worker_id
-        self.process = process
-        self.conn = conn
-        #: (job, attempt, deadline_monotonic|None, dispatched_at, job_span)
-        #: while busy.
-        self.current: Optional[tuple[SweepJob, int, Optional[float], float, Any]] = None
+    __slots__ = ("job", "attempt", "span", "head_since", "started_at")
 
-    @property
-    def busy(self) -> bool:
-        return self.current is not None
+    def __init__(self, job, attempt: int, span, head_since: float):
+        self.job = job
+        self.attempt = attempt
+        self.span = span
+        #: monotonic time this entry reached the *front* of its worker's
+        #: queue (the worker is about to start it); the provisional
+        #: timeout clock until ``started`` arrives.
+        self.head_since = head_since
+        self.started_at: Optional[float] = None
+
+    def deadline(self, timeout_s: Optional[float]) -> Optional[float]:
+        if timeout_s is None:
+            return None
+        return (self.started_at if self.started_at is not None else self.head_since) + timeout_s
 
 
 class ParallelSweepEngine:
-    """Schedule sweep jobs over a pool of spawn workers; see module docs.
+    """Schedule sweep jobs over a warm worker pool; see module docs.
 
-    ``jobs=0`` (or 1 with ``serial_inline=True``) degrades to a fully
-    in-process serial run through the very same :func:`run_job` code path —
-    useful on platforms where process spawn is expensive and as the
-    reference for byte-identity checks.
+    ``jobs=0`` degrades to a fully in-process serial run through the very
+    same :func:`run_job` code path — the reference for byte-identity
+    checks and handy under a debugger.
+
+    The engine creates (and owns) its pool lazily on the first parallel
+    ``run()`` and keeps it warm for subsequent runs; ``close()`` (or the
+    engine as a context manager, or garbage collection) stops the owned
+    pool.  Pass ``pool=`` to share a caller-owned
+    :class:`~repro.exec.pool.WorkerPool` instead — the engine then uses up
+    to ``pool.size`` workers and never closes it.  When the engine's
+    ``cache_dir`` differs from the pool's current one, the pool's workers
+    are pointed at the engine's cache before any job is dispatched.
     """
 
     def __init__(
@@ -169,6 +193,8 @@ class ParallelSweepEngine:
         cache_dir: Optional[str | Path] = None,
         observer: Optional[FlowObserver] = None,
         sweep_name: str = "sweep",
+        pool: Optional[WorkerPool] = None,
+        prefetch_depth: int = 2,
     ):
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = serial in-process)")
@@ -176,16 +202,59 @@ class ParallelSweepEngine:
             raise ValueError("retries must be >= 0")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
-        self.n_workers = jobs
+        if prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
+        #: A supplied pool decides the worker count — ``jobs`` is a request
+        #: for engine-owned workers and is ignored when borrowing.
+        self.n_workers = pool.size if pool is not None else jobs
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.observer = observer if observer is not None else LoggingObserver()
         self.sweep_name = sweep_name
+        self.prefetch_depth = prefetch_depth
         self._events: list[FlowEvent] = []
-        self._worker_seq = itertools.count()
         self._sweep_span = NOOP_TRACER.span("sweep")
+        self._pool = pool
+        self._owns_pool = False
+        self._pool_finalizer = None
+
+    # -- pool lifecycle ---------------------------------------------------------
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(
+                self.n_workers, cache_dir=self.cache_dir, name=self.sweep_name
+            )
+            self._owns_pool = True
+            # Close the owned pool when the engine is collected, so engines
+            # used fire-and-forget do not strand warm worker processes.
+            self._pool_finalizer = weakref.finalize(self, WorkerPool.close, self._pool)
+        elif self.cache_dir is not None and self._pool.cache_dir != self.cache_dir:
+            self._pool.reset_caches(self.cache_dir)
+        return self._pool
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The engine's pool (``None`` until the first parallel run)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Stop the owned worker pool (a later ``run()`` re-creates one)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            self._pool = None
+            self._owns_pool = False
+
+    def __enter__(self) -> "ParallelSweepEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- event plumbing ---------------------------------------------------------
 
@@ -272,200 +341,263 @@ class ParallelSweepEngine:
             return self._run_serial(jobs)
 
         sweep_started = perf_counter()
-        ctx = multiprocessing.get_context("spawn")
-        #: min-heap of (eligible_at_monotonic, seq, job, attempt)
-        pending: list[tuple[float, int, SweepJob, int]] = []
+        pool = self._ensure_pool()
+        pool.acquire(self.sweep_name)
+        try:
+            results = self._run_pooled(pool, jobs, tracer)
+        except BaseException:
+            # In-flight pipe state would poison the next run: sacrifice the
+            # warm workers, keep the pool object usable.
+            pool.recycle()
+            raise
+        finally:
+            pool.release()
+        return self._finish(jobs, results, sweep_started)
+
+    def _run_pooled(
+        self, pool: WorkerPool, jobs: Sequence[SweepJob], tracer
+    ) -> dict[str, SweepJobResult]:
+        warm = pool.warm_count
+        if warm:
+            self._emit("pool_reused", metrics={"warm_workers": warm})
+        for handle in pool.ensure(min(self.n_workers, len(jobs))):
+            self._emit("worker_spawned", worker=handle.worker_id)
+
+        #: Jobs ready to dispatch, FIFO; retries re-enter via the backoff heap.
+        pending: deque[tuple[SweepJob, int]] = deque((job, 1) for job in jobs)
+        #: min-heap of (eligible_at_monotonic, seq, job, attempt).
+        backoff: list[tuple[float, int, SweepJob, int]] = []
         seq = itertools.count()
-        for job in jobs:
-            heapq.heappush(pending, (0.0, next(seq), job, 1))
         results: dict[str, SweepJobResult] = {}
-        workers: dict[int, _WorkerHandle] = {}
 
-        def spawn_worker() -> None:
-            worker_id = next(self._worker_seq)
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            process = ctx.Process(
-                target=worker_main,
-                args=(child_conn, worker_id, self.cache_dir),
-                name=f"{self.sweep_name}-worker-{worker_id}",
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            workers[worker_id] = _WorkerHandle(worker_id, process, parent_conn)
-            self._emit("worker_spawned", worker=worker_id)
-
-        def remove_worker(handle: _WorkerHandle, *, kill: bool) -> None:
-            workers.pop(handle.worker_id, None)
-            if kill:
-                handle.process.terminate()
-            handle.process.join(_JOIN_GRACE_S)
-            if handle.process.is_alive():  # pragma: no cover - stubborn child
-                handle.process.kill()
-                handle.process.join(_JOIN_GRACE_S)
-            try:
-                handle.conn.close()
-            except OSError:
-                pass
-
-        def fail_attempt(handle: _WorkerHandle, reason: str, wall: float) -> None:
-            assert handle.current is not None
-            job, attempt, _, _, job_span = handle.current
-            handle.current = None
+        def fail_attempt(entry: _InFlight, reason: str, wall: float, worker_id: int) -> None:
             if tracer.enabled:
-                job_span.set_attribute("error", reason)
-            job_span.end()
-            if attempt <= self.retries:
-                eligible = monotonic() + self.backoff_s * (2 ** (attempt - 1))
-                heapq.heappush(pending, (eligible, next(seq), job, attempt + 1))
+                entry.span.set_attribute("error", reason)
+            entry.span.end()
+            if entry.attempt <= self.retries:
+                eligible = monotonic() + self.backoff_s * (2 ** (entry.attempt - 1))
+                heapq.heappush(backoff, (eligible, next(seq), entry.job, entry.attempt + 1))
                 self._emit(
-                    "job_retried", job=job.job_id, worker=handle.worker_id,
-                    attempt=attempt, wall_time_s=wall, detail=reason,
+                    "job_retried", job=entry.job.job_id, worker=worker_id,
+                    attempt=entry.attempt, wall_time_s=wall, detail=reason,
                 )
             else:
-                results[job.job_id] = SweepJobResult(
-                    job.job_id, ok=False, attempts=attempt, wall_time_s=wall, error=reason
+                results[entry.job.job_id] = SweepJobResult(
+                    entry.job.job_id, ok=False, attempts=entry.attempt,
+                    wall_time_s=wall, error=reason,
                 )
                 self._emit(
-                    "job_failed", job=job.job_id, worker=handle.worker_id,
-                    attempt=attempt, wall_time_s=wall, detail=reason,
+                    "job_failed", job=entry.job.job_id, worker=worker_id,
+                    attempt=entry.attempt, wall_time_s=wall, detail=reason,
                 )
 
-        def unassigned() -> int:
-            return len(pending)
+        def requeue_unstarted(handle: PoolWorker) -> None:
+            """Return a dead worker's queued-but-unstarted jobs to pending.
 
-        def ensure_workers() -> None:
-            while len(workers) < min(self.n_workers, len(workers) + unassigned()):
-                spawn_worker()
+            These jobs never ran, so no attempt is consumed — the crash
+            accounting must keep every job tracked in exactly one place
+            (pending, backoff, a worker queue, or results) or the engine
+            would wait forever on a job nobody owns.
+            """
+            orphans = list(handle.queue)
+            handle.queue.clear()
+            for entry in orphans:
+                if tracer.enabled:
+                    entry.span.set_attribute("requeued", True)
+                entry.span.end()
+            pending.extendleft((e.job, e.attempt) for e in reversed(orphans))
 
-        ensure_workers()
-        try:
-            while len(results) < len(jobs):
-                now = monotonic()
-                # 1. dispatch eligible pending jobs to idle workers
-                idle = [h for h in workers.values() if not h.busy]
-                for handle in idle:
-                    if not pending or pending[0][0] > now:
+        def lose_worker(
+            handle: PoolWorker, reason: str, *, kill: bool, fail_unstarted_head: bool = True
+        ) -> None:
+            """Crash/timeout path: fail the running job, requeue the rest.
+
+            A crash (``fail_unstarted_head=False``) only consumes an attempt
+            of a job the worker actually *started*; a head job the worker
+            died before reaching is requeued attempt-intact.  A timeout
+            always fails the head — its clock ran, started or not.
+            """
+            now = monotonic()
+            if handle.queue and (fail_unstarted_head or handle.queue[0].started_at is not None):
+                head = handle.queue.popleft()
+                wall = now - (head.started_at if head.started_at is not None else head.head_since)
+                fail_attempt(head, reason, wall, handle.worker_id)
+            requeue_unstarted(handle)
+            pool.discard(handle, kill=kill)
+
+        def dispatch() -> None:
+            now = monotonic()
+            while backoff and backoff[0][0] <= now:
+                _, _, job, attempt = heapq.heappop(backoff)
+                pending.append((job, attempt))
+            if not pending:
+                return
+            # Round-robin fill: one job per worker per pass, so small grids
+            # spread across the pool before anyone's queue deepens.
+            batches: dict[int, list[_InFlight]] = {}
+            handles = {h.worker_id: h for h in pool.alive}
+            assigned = True
+            while pending and assigned:
+                assigned = False
+                for wid, handle in sorted(handles.items()):
+                    if not pending:
                         break
-                    _, _, job, attempt = heapq.heappop(pending)
-                    deadline = now + self.timeout_s if self.timeout_s is not None else None
-                    job_span = tracer.span(
+                    depth = len(handle.queue) + len(batches.get(wid, ()))
+                    if depth >= self.prefetch_depth:
+                        continue
+                    job, attempt = pending.popleft()
+                    span = tracer.span(
                         f"job:{job.job_id}",
                         parent=self._sweep_span.context,
-                        attributes={"worker": handle.worker_id, "attempt": attempt}
+                        attributes={"worker": wid, "attempt": attempt}
                         if tracer.enabled
                         else None,
                     ).start()
-                    handle.current = (job, attempt, deadline, now, job_span)
-                    # The span context rides along so the worker's spans
-                    # parent under this job span across the process boundary
-                    # (None when tracing is disabled).
-                    handle.conn.send(("job", job, attempt, job_span.context))
+                    batches.setdefault(wid, []).append(
+                        _InFlight(job, attempt, span, head_since=now)
+                    )
+                    assigned = True
+            for wid, entries in batches.items():
+                handle = handles[wid]
+                payload = [(e.job, e.attempt, e.span.context) for e in entries]
+                try:
+                    handle.conn.send(("jobs", payload))
+                except (BrokenPipeError, OSError):
+                    # Worker died before we could feed it: nothing in this
+                    # batch ran, so everything re-enters pending untouched.
+                    for entry in entries:
+                        entry.span.end()
+                    pending.extendleft((e.job, e.attempt) for e in reversed(entries))
                     self._emit(
-                        "job_dispatched", job=job.job_id,
-                        worker=handle.worker_id, attempt=attempt,
+                        "worker_crashed", worker=wid, detail="dispatch pipe closed"
+                    )
+                    lose_worker(
+                        handle, "worker crashed (dispatch pipe closed)",
+                        kill=True, fail_unstarted_head=not handle.ready,
+                    )
+                    continue
+                handle.queue.extend(entries)
+                for entry in entries:
+                    self._emit(
+                        "job_dispatched", job=entry.job.job_id,
+                        worker=wid, attempt=entry.attempt,
                     )
 
-                # 2. how long may we sleep?
-                wake_times = [
-                    h.current[2] for h in workers.values() if h.busy and h.current[2] is not None
-                ]
-                if pending:
-                    wake_times.append(pending[0][0])
-                timeout = max(0.0, min(wake_times) - monotonic()) if wake_times else None
+        def ensure_workers() -> None:
+            outstanding = len(pending) + len(backoff)
+            for handle in pool.ensure(min(self.n_workers, len(pool.alive) + outstanding)):
+                self._emit("worker_respawned", worker=handle.worker_id)
 
-                # 3. wait for traffic
-                conn_to_handle = {h.conn: h for h in workers.values()}
-                if conn_to_handle:
-                    ready = connection_wait(list(conn_to_handle), timeout)
-                elif pending:  # every worker died; back off until eligibility
-                    if timeout:
-                        import time as _time
+        dispatch()
+        while len(results) < len(jobs):
+            ensure_workers()
+            dispatch()
 
-                        _time.sleep(min(timeout, 0.1))
-                    ready = []
-                else:  # pragma: no cover - defensive: nothing to wait for
-                    ready = []
+            # How long may we sleep?  Until the nearest job deadline or
+            # backoff eligibility — forever (block on traffic) otherwise.
+            now = monotonic()
+            wake_times = []
+            for handle in pool.alive:
+                if handle.queue:
+                    deadline = handle.queue[0].deadline(self.timeout_s)
+                    if deadline is not None:
+                        wake_times.append(deadline)
+            if backoff:
+                wake_times.append(backoff[0][0])
+            timeout = max(0.0, min(wake_times) - now) if wake_times else None
 
-                # 4. drain messages
-                for conn in ready:
-                    handle = conn_to_handle[conn]
-                    try:
-                        message = conn.recv()
-                    except (EOFError, OSError):
-                        wall = monotonic() - handle.current[3] if handle.busy else 0.0
-                        self._emit(
-                            "worker_crashed", worker=handle.worker_id,
-                            detail="connection lost",
-                            job=handle.current[0].job_id if handle.busy else "",
-                        )
-                        if handle.busy:
-                            fail_attempt(handle, "worker crashed (connection lost)", wall)
-                        remove_worker(handle, kill=True)
-                        continue
-                    kind = message[0]
-                    if kind == "ready":
-                        continue
-                    if kind == "started":
-                        _, job_id, attempt = message
-                        self._emit(
-                            "job_started", job=job_id,
-                            worker=handle.worker_id, attempt=attempt,
-                        )
-                    elif kind == "event":
-                        self._emit_flow(message[1])
-                    elif kind == "spans":
-                        tracer.add_spans(message[2])
-                    elif kind == "metrics":
-                        get_metrics().merge_snapshot(message[2])
-                    elif kind == "done":
-                        _, job_id, payload, wall = message
-                        job, attempt, _, _, job_span = handle.current
-                        handle.current = None
-                        if tracer.enabled:
-                            job_span.set_attribute("fits", payload.get("fits"))
-                        job_span.end()
-                        results[job_id] = SweepJobResult(
-                            job_id, ok=True, attempts=attempt,
-                            wall_time_s=wall, payload=payload,
-                        )
-                        self._emit(
-                            "job_finished", job=job_id, worker=handle.worker_id,
-                            attempt=attempt, wall_time_s=wall,
-                            metrics={"fits": payload.get("fits")},
-                        )
-                    elif kind == "fail":
-                        _, job_id, error, _tb, wall = message
-                        fail_attempt(handle, error, wall)
+            conn_to_handle = {h.conn: h for h in pool.alive}
+            if conn_to_handle:
+                ready = connection_wait(list(conn_to_handle), timeout)
+            elif timeout is not None:  # every worker died; wait out the backoff
+                import time as _time
 
-                # 5. enforce per-job deadlines
-                now = monotonic()
-                for handle in list(workers.values()):
-                    if not handle.busy:
-                        continue
-                    job, attempt, deadline, dispatched, _ = handle.current
-                    if deadline is not None and now >= deadline:
-                        self._emit(
-                            "job_timeout", job=job.job_id, worker=handle.worker_id,
-                            attempt=attempt, wall_time_s=now - dispatched,
-                            detail=f"exceeded {self.timeout_s} s",
-                        )
-                        fail_attempt(
-                            handle, f"timed out after {self.timeout_s} s", now - dispatched
-                        )
-                        remove_worker(handle, kill=True)
+                _time.sleep(min(timeout, 0.1))
+                ready = []
+            else:  # pragma: no cover - defensive: respawn on next iteration
+                ready = []
 
-                ensure_workers()
-        finally:
-            for handle in list(workers.values()):
+            for conn in ready:
+                handle = conn_to_handle[conn]
                 try:
-                    handle.conn.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    pass
-            for handle in list(workers.values()):
-                remove_worker(handle, kill=False)
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._emit(
+                        "worker_crashed", worker=handle.worker_id,
+                        detail="connection lost",
+                        job=handle.queue[0].job.job_id if handle.queue else "",
+                    )
+                    # A worker that died before ever reporting ready is a
+                    # systemic spawn failure: consume the head attempt so
+                    # bounded retry terminates instead of respawning forever.
+                    lose_worker(
+                        handle, "worker crashed (connection lost)",
+                        kill=True, fail_unstarted_head=not handle.ready,
+                    )
+                    continue
+                kind = message[0]
+                if kind == "ready":
+                    handle.ready = True
+                    continue
+                if kind == "started":
+                    _, job_id, attempt = message
+                    if handle.queue and handle.queue[0].job.job_id == job_id:
+                        handle.queue[0].started_at = monotonic()
+                    self._emit(
+                        "job_started", job=job_id,
+                        worker=handle.worker_id, attempt=attempt,
+                    )
+                elif kind == "event":
+                    self._emit_flow(message[1])
+                elif kind == "spans":
+                    tracer.add_spans(message[2])
+                elif kind == "metrics":
+                    get_metrics().merge_snapshot(message[2])
+                elif kind == "done":
+                    _, job_id, payload, wall = message
+                    entry = handle.queue.popleft()
+                    if handle.queue:
+                        handle.queue[0].head_since = monotonic()
+                    handle.jobs_done += 1
+                    if tracer.enabled:
+                        entry.span.set_attribute("fits", payload.get("fits"))
+                    entry.span.end()
+                    results[job_id] = SweepJobResult(
+                        job_id, ok=True, attempts=entry.attempt,
+                        wall_time_s=wall, payload=payload,
+                    )
+                    self._emit(
+                        "job_finished", job=job_id, worker=handle.worker_id,
+                        attempt=entry.attempt, wall_time_s=wall,
+                        metrics={"fits": payload.get("fits")},
+                    )
+                elif kind == "fail":
+                    _, job_id, error, _tb, wall = message
+                    entry = handle.queue.popleft()
+                    if handle.queue:
+                        handle.queue[0].head_since = monotonic()
+                    fail_attempt(entry, error, wall, handle.worker_id)
 
-        return self._finish(jobs, results, sweep_started)
+            # Enforce per-job deadlines (head of each worker queue only —
+            # queued jobs have not started, so their clocks have not either).
+            now = monotonic()
+            for handle in list(pool.alive):
+                if not handle.queue:
+                    continue
+                head = handle.queue[0]
+                deadline = head.deadline(self.timeout_s)
+                if deadline is not None and now >= deadline:
+                    wall = now - (head.started_at if head.started_at is not None
+                                  else head.head_since)
+                    self._emit(
+                        "job_timeout", job=head.job.job_id, worker=handle.worker_id,
+                        attempt=head.attempt, wall_time_s=wall,
+                        detail=f"exceeded {self.timeout_s} s",
+                    )
+                    lose_worker(
+                        handle, f"timed out after {self.timeout_s} s", kill=True
+                    )
+        return results
 
     def _finish(
         self,

@@ -33,8 +33,10 @@ SWEEP_EVENT_KINDS = (
     "job_retried",
     "job_timeout",
     "worker_spawned",
+    "worker_respawned",
     "worker_crashed",
     "worker_stopped",
+    "pool_reused",
     "cache_warning",
     "sweep_completed",
 )

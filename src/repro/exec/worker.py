@@ -1,14 +1,21 @@
 """Worker-side half of the parallel sweep engine.
 
-A worker process is spawned with one end of a duplex pipe and loops over a
-simple message protocol:
+A worker process is spawned **once** per :class:`~repro.exec.pool.WorkerPool`
+slot, pre-imports the full ``repro`` package, and then serves jobs over its
+duplex pipe for its whole life — across as many engine ``run()`` calls as
+the pool survives.  The message protocol:
 
-- engine → worker: ``("job", SweepJob, attempt[, span_context])`` or
-  ``("stop",)``; ``span_context`` is the engine-side job span's
+- engine → worker: ``("jobs", [(job, attempt, span_context), ...])`` with a
+  *batch* of jobs (one pipe round-trip amortized over the batch; the worker
+  queues them locally and pulls the next as soon as the previous finishes),
+  ``("reset_cache", cache_dir)`` to drop the worker's artifact cache and
+  rebuild it against ``cache_dir`` (applied in FIFO order after any queued
+  jobs), or ``("stop",)``; ``span_context`` is the engine-side job span's
   :class:`~repro.obs.SpanContext` (``None`` when tracing is disabled), so
   the worker's spans parent correctly across the process boundary;
 - worker → engine: ``("ready", worker_id)`` once imports complete,
-  ``("started", job_id, attempt)`` when a job begins,
+  ``("started", job_id, attempt)`` when a job begins (the engine starts the
+  job's timeout clock here, not at dispatch — a queued job is not running),
   ``("event", FlowEvent)`` for every pipeline stage event (streamed live so
   the engine's observer sees parallel stage traffic as it happens),
   ``("spans", job_id, [Span, ...])`` with the worker's finished trace spans
@@ -25,17 +32,26 @@ context can rebuild everything by import.  :func:`run_job` is the pure
 "evaluate one design point" function; the engine's serial fallback and the
 tests call it in-process.
 
+Because one worker serves many traced runs, it keeps a single span-id
+counter for its whole life: every run's tracer reuses it, so ``w<id>-``
+span ids stay unique across runs even though each run carries a fresh
+``trace_id``.
+
 ``fault`` is a deliberate fault-injection hook (``raise``, ``exit``,
-``hang``, ``sleep:<s>``, ``fail_below:<n>``) used to validate the engine's
-retry, timeout and graceful-degradation semantics.
+``hang``, ``sleep:<s>``, ``fail_below:<n>``, ``raise_exit``) used to
+validate the engine's retry, timeout and graceful-degradation semantics;
+``raise_exit`` reports a failure and *then* kills the worker, reproducing
+a worker dying between a failed attempt and its redispatch.
 """
 
 from __future__ import annotations
 
 import importlib
+import itertools
 import time
 import traceback
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable, Optional
 
@@ -48,7 +64,7 @@ from repro.flows.constraints import DynamicConstraints
 from repro.flows.flow import DesignFlow
 from repro.flows.observe import FlowEvent, FlowObserver
 from repro.flows.pipeline import ArtifactCache
-from repro.obs import MetricsRegistry, SpanContext, Tracer, set_metrics, set_tracer
+from repro.obs import MetricsRegistry, Tracer, set_metrics, set_tracer
 from repro.reconfig.architectures import ReconfigArchitecture
 
 __all__ = ["SweepJob", "run_job", "resolve_entrypoint", "worker_main"]
@@ -101,11 +117,25 @@ class SweepJob:
     simulate_policy: str = "none"
 
 
+class ExitAfterReport(RuntimeError):
+    """Injected failure that also kills the worker *after* it reports.
+
+    Reproduces the nastiest respawn-accounting case: the engine sees the
+    job fail (and schedules its retry with backoff), then the worker that
+    failed it dies before the retry can be dispatched.  The engine must
+    respawn a replacement into the warm pool and still finish the job.
+    """
+
+
 def _apply_fault(fault: Optional[str], attempt: int) -> None:
     if not fault:
         return
     if fault == "raise":
         raise RuntimeError(f"injected fault (attempt {attempt})")
+    if fault == "raise_exit":
+        if attempt < 2:
+            raise ExitAfterReport(f"injected fault then crash (attempt {attempt})")
+        return
     if fault == "exit":  # simulate a hard crash (segfault-style death)
         import os
 
@@ -247,13 +277,15 @@ def _simulate_runtime(job: SweepJob, result) -> dict[str, Any]:
 
 @dataclass
 class _PipeObserver:
-    """Streams each pipeline stage event back to the engine live."""
+    """Streams each pipeline stage event back to the engine live.
+
+    Send-only: nothing is retained worker-side, so a long-lived pool
+    worker's memory footprint stays flat across thousands of jobs.
+    """
 
     conn: Any
-    events: list[FlowEvent] = field(default_factory=list)
 
     def on_event(self, event: FlowEvent) -> None:
-        self.events.append(event)
         try:
             self.conn.send(("event", event))
         except (BrokenPipeError, OSError):  # engine went away; keep computing
@@ -261,28 +293,50 @@ class _PipeObserver:
 
 
 def worker_main(conn, worker_id: int, cache_dir: Optional[str]) -> None:
-    """Process entrypoint: serve jobs from ``conn`` until ``stop`` or EOF.
+    """Process entrypoint: serve job batches from ``conn`` until ``stop``/EOF.
 
-    The worker keeps one :class:`ArtifactCache` for its whole life, so its
-    in-memory tier stays warm across the jobs it is assigned; with a
+    The worker keeps one :class:`ArtifactCache` for its whole life (unless
+    the engine sends ``reset_cache``), so its in-memory tier stays warm
+    across the jobs — and the engine *runs* — it serves; with a
     ``cache_dir`` the disk tier is also shared with every sibling worker.
+
+    Dispatch is pull-based: the engine keeps at most a couple of jobs
+    queued here, and the worker starts the next the instant the previous
+    finishes — it never waits a pipe round-trip with work in hand, and the
+    engine never commits more than the queue depth to one worker (so a
+    slow job cannot strand a long tail behind it).
     """
     cache = ArtifactCache(disk_dir=cache_dir) if cache_dir else ArtifactCache()
     observer = _PipeObserver(conn)
-    #: Lazily created on the first traced job and kept for the worker's
-    #: life, so span ids stay unique across the jobs this worker serves.
+    #: One span-id counter for the worker's whole life: each traced run
+    #: gets a fresh tracer (runs carry distinct trace ids) but the counter
+    #: carries over, so ``w<id>-N`` ids never repeat across runs.
+    span_seq = itertools.count(1)
     tracer: Optional[Tracer] = None
+    #: FIFO of ("job", job, attempt, ctx) and ("reset_cache", dir) entries.
+    local: deque = deque()
     try:
         conn.send(("ready", worker_id))
         while True:
+            # Ingest everything available; block only when out of work.
             try:
-                message = conn.recv()
+                while not local or conn.poll():
+                    message = conn.recv()
+                    kind = message[0]
+                    if kind == "stop":
+                        return
+                    if kind == "jobs":
+                        local.extend(("job", *entry) for entry in message[1])
+                    elif kind == "reset_cache":
+                        local.append(message)
             except (EOFError, OSError):
-                break
-            if message[0] == "stop":
-                break
-            _, job, attempt, *rest = message
-            ctx: Optional[SpanContext] = rest[0] if rest else None
+                return
+            entry = local.popleft()
+            if entry[0] == "reset_cache":
+                new_dir = entry[1]
+                cache = ArtifactCache(disk_dir=new_dir) if new_dir else ArtifactCache()
+                continue
+            _, job, attempt, ctx = entry
             started = perf_counter()
             conn.send(("started", job.job_id, attempt))
             job_span = None
@@ -290,11 +344,12 @@ def worker_main(conn, worker_id: int, cache_dir: Optional[str]) -> None:
             previous_metrics = None
             registry = None
             if ctx is not None:
-                if tracer is None:
+                if tracer is None or tracer.trace_id != ctx.trace_id:
                     tracer = Tracer(
                         trace_id=ctx.trace_id,
                         span_id_prefix=f"w{worker_id}-",
                         process=f"worker-{worker_id}",
+                        span_seq=span_seq,
                     )
                 previous = set_tracer(tracer)
                 registry = MetricsRegistry()
@@ -330,6 +385,10 @@ def worker_main(conn, worker_id: int, cache_dir: Optional[str]) -> None:
                 conn.send(
                     ("fail", job.job_id, f"{type(error).__name__}: {error}", error_tb, wall)
                 )
+                if isinstance(error, ExitAfterReport):
+                    import os
+
+                    os._exit(13)
             else:
                 conn.send(("done", job.job_id, payload, wall))
     except (BrokenPipeError, OSError):  # engine died; exit quietly

@@ -140,6 +140,8 @@ def search_multiregion(
     restarts: int = 2,
     max_regions: Optional[int] = None,
     cache: Optional[ArtifactCache] = None,
+    jobs: int = 0,
+    pool=None,
 ) -> SearchReport:
     """Co-optimize partitioning, region count and floorplan for ``graph``.
 
@@ -149,10 +151,22 @@ def search_multiregion(
     runs the requested driver.  Because restart 0 starts *from* a frontier
     point, the searched optimum is never worse than the best fixed point
     given any budget >= 1.
+
+    ``jobs>0`` (or a warm ``pool=``) shards the restarts over the parallel
+    sweep engine via :func:`repro.search.run_search_sharded`; shard
+    trajectories are bit-identical to the sequential restarts, though
+    unspent per-restart budget no longer rolls over (see
+    :mod:`repro.search.parallel`).
     """
     # Deferred so `repro.search` can import the pipeline (cache/fingerprints)
     # at module level without a cycle through this module.
-    from repro.search import CostEvaluator, SearchConfig, SearchSpace, run_search
+    from repro.search import (
+        CostEvaluator,
+        SearchConfig,
+        SearchSpace,
+        run_search,
+        run_search_sharded,
+    )
 
     space = SearchSpace(graph, library, device=device, max_regions=max_regions)
     evaluator = CostEvaluator(
@@ -165,7 +179,20 @@ def search_multiregion(
         for k in range(1, space.max_regions + 1)
     }
     config = SearchConfig(budget=budget, seed=seed, restarts=restarts)
-    result = run_search(space, evaluator, config, method=method)
+    if jobs > 0 or pool is not None:
+        result = run_search_sharded(
+            graph,
+            library,
+            device=device,
+            architecture=evaluator.architecture,
+            method=method,
+            config=config,
+            max_regions=max_regions,
+            jobs=jobs,
+            pool=pool,
+        )
+    else:
+        result = run_search(space, evaluator, config, method=method)
     # The search starts at initial_state() = the default-k frontier point,
     # so its best can only tie or beat that point; re-check against the
     # whole frontier and keep the better of the two.
@@ -256,7 +283,7 @@ def design_point_from_payload(result) -> DesignPoint:
 
 def _explore_parallel(
     graph, library, devices, architectures, dynamic_constraints, pins,
-    jobs, timeout_s, retries, cache_dir, observer,
+    jobs, timeout_s, retries, cache_dir, observer, pool,
 ) -> list[DesignPoint]:
     from repro.exec.engine import ParallelSweepEngine
 
@@ -274,8 +301,13 @@ def _explore_parallel(
         cache_dir=cache_dir,
         observer=observer,
         sweep_name=f"designspace:{graph.name}",
+        pool=pool,
     )
-    report = engine.run(sweep_jobs)
+    try:
+        report = engine.run(sweep_jobs)
+    finally:
+        if pool is None:  # engine-owned workers have no further caller
+            engine.close()
     return [design_point_from_payload(r) for r in report.results]
 
 
@@ -296,6 +328,7 @@ def explore_design_space(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     cache_dir: Optional[str | Path] = None,
+    pool=None,
 ) -> list[DesignPoint]:
     """Run the full flow at every (device, architecture) point.
 
@@ -315,16 +348,20 @@ def explore_design_space(
     stage event of every point.
 
     ``jobs > 1`` delegates to the
-    :class:`~repro.exec.engine.ParallelSweepEngine`: the grid is sharded
-    over that many worker processes sharing one crash-safe disk cache
+    :class:`~repro.exec.engine.ParallelSweepEngine`: jobs are pulled by
+    that many worker processes sharing one crash-safe disk cache
     (``cache_dir``, or a private in-process cache per worker when omitted),
-    with per-job ``timeout_s`` and up to ``retries`` retries.  The parallel
-    path needs picklable inputs, so ``configure_flow``, a custom
-    ``board_factory`` and ``keep_flow_results`` are rejected — use ``pins``
-    (and, for a custom board, an importable builder via
-    :func:`sweep_jobs_for_grid` + the engine directly).
+    with per-job ``timeout_s`` and up to ``retries`` retries.  Pass
+    ``pool=`` (a warm :class:`~repro.exec.pool.WorkerPool`) to skip the
+    worker spawn + import cost entirely — the pool is borrowed for the
+    sweep and left warm for the next caller; without it, this function
+    spins up workers for this call only.  The parallel path needs
+    picklable inputs, so ``configure_flow``, a custom ``board_factory``
+    and ``keep_flow_results`` are rejected — use ``pins`` (and, for a
+    custom board, an importable builder via :func:`sweep_jobs_for_grid` +
+    the engine directly).
     """
-    if jobs > 1:
+    if jobs > 1 or pool is not None:
         if configure_flow is not None:
             raise ValueError(
                 "configure_flow cannot cross a process boundary; use pins=[...] "
@@ -334,7 +371,7 @@ def explore_design_space(
             raise ValueError("keep_flow_results is not supported with jobs > 1")
         return _explore_parallel(
             graph, library, devices, architectures, dynamic_constraints, pins,
-            jobs, timeout_s, retries, cache_dir, observer,
+            jobs, timeout_s, retries, cache_dir, observer, pool,
         )
     archs = list(architectures) or [case_a_standalone(), case_b_processor()]
     if cache is None and cache_dir is not None:

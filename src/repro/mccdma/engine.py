@@ -436,16 +436,20 @@ class LinkSimulationEngine:
         timeout_s: Optional[float] = None,
         retries: int = 1,
         backoff_s: float = 0.05,
+        pool=None,
     ) -> list[LinkResult]:
-        """Simulate one constant-SNR point per entry, sharded over workers.
+        """Simulate one constant-SNR point per entry, pulled by workers.
 
         ``jobs=0`` runs serially in-process through the very same
         :class:`LinkPointJob` code path the workers execute, so serial and
         parallel sweeps are field-identical; ``jobs>=1`` reuses the
         :class:`~repro.exec.engine.ParallelSweepEngine` scheduler (per-job
         timeout, bounded retry with exponential backoff, crash isolation).
-        Point ``i`` derives its frame streams from
-        ``SeedSequence(seed, spawn_key=(i,))`` regardless of sharding.
+        Pass ``pool=`` (a warm :class:`~repro.exec.pool.WorkerPool`) to
+        amortize worker spawn + import across many sweeps — the CLI shares
+        one pool across all ``--strategy`` curves this way.  Point ``i``
+        derives its frame streams from ``SeedSequence(seed, spawn_key=(i,))``
+        regardless of sharding.
         """
         from repro.exec.engine import ParallelSweepEngine
 
@@ -471,8 +475,13 @@ class LinkSimulationEngine:
             backoff_s=backoff_s,
             observer=self.observer,
             sweep_name=f"linklevel:{strategy}",
+            pool=pool,
         )
-        report = sweep.run(point_jobs)
+        try:
+            report = sweep.run(point_jobs)
+        finally:
+            if pool is None:
+                sweep.close()
         if report.failed:
             detail = "; ".join(f"{r.job_id}: {r.error}" for r in report.failed)
             raise RuntimeError(f"link sweep failed for {len(report.failed)} point(s): {detail}")

@@ -193,13 +193,18 @@ class Tracer:
         span_id_prefix: str = "s",
         process: str = "main",
         track: str = "main",
+        span_seq: Optional[Iterator[int]] = None,
     ):
         self.trace_id = trace_id or new_trace_id()
         self.span_id_prefix = span_id_prefix
         self.process = process
         self.track = track
         self.spans: list[Span] = []
-        self._seq = itertools.count(1)
+        #: ``span_seq`` lets a caller share one id counter across several
+        #: tracers with the same prefix — a long-lived pool worker serves
+        #: many traced runs (each with its own tracer) and must never
+        #: repeat a ``w<id>-N`` span id.
+        self._seq = span_seq if span_seq is not None else itertools.count(1)
         self._stack: list[SpanHandle] = []
         #: Anchor mapping the monotonic clock onto the epoch: spans are
         #: *timed* monotonically and *placed* on the shared epoch timeline.

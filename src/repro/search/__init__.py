@@ -23,6 +23,10 @@ heterogeneous fabrics.  This package makes the combined space searchable:
   randomness from one :class:`numpy.random.SeedSequence` so equal seeds
   produce identical trajectories; progress emits ``repro.obs``
   spans/metrics and a per-iteration best-so-far trajectory.
+- :mod:`repro.search.parallel` — restart sharding: each global restart
+  becomes one picklable :class:`SearchRestartJob` on the parallel sweep
+  engine's warm worker pool, merged deterministically (``jobs=0`` and
+  ``jobs=N`` digests match).
 
 High-level entry points live in :func:`repro.flows.designspace.search_multiregion`
 and the ``repro search`` CLI subcommand.
@@ -39,6 +43,12 @@ from repro.search.anneal import (
     random_search,
     run_search,
 )
+from repro.search.parallel import (
+    SearchRestartJob,
+    merge_shard_results,
+    run_search_sharded,
+    shard_configs,
+)
 
 __all__ = [
     "SearchSpace",
@@ -54,4 +64,8 @@ __all__ = [
     "greedy",
     "random_search",
     "run_search",
+    "SearchRestartJob",
+    "run_search_sharded",
+    "shard_configs",
+    "merge_shard_results",
 ]

@@ -57,6 +57,13 @@ class SearchConfig:
     seed: int = 0
     #: Independent restarts; each gets a spawned child sequence.
     restarts: int = 2
+    #: Global index of this config's *first* restart.  Restart ``i`` of a
+    #: run always draws from ``SeedSequence(seed, spawn_key=(offset + i,))``
+    #: — identical to child ``offset + i`` of a sequential run rooted at the
+    #: same seed — so :func:`repro.search.parallel.run_search_sharded` can
+    #: farm restarts out as ``restarts=1`` shards that reproduce the exact
+    #: per-restart trajectories of an unsharded run.
+    restart_offset: int = 0
     #: Starting temperature in cost units (ns); ``None`` auto-scales to a
     #: fraction of the initial state's cost.
     initial_temperature: Optional[float] = None
@@ -74,6 +81,8 @@ class SearchConfig:
             raise ValueError("restarts must be >= 1")
         if not 0.0 < self.cooling < 1.0:
             raise ValueError("cooling must be in (0, 1)")
+        if self.restart_offset < 0:
+            raise ValueError("restart_offset must be >= 0")
 
 
 @dataclass
@@ -132,9 +141,19 @@ class SearchResult:
 
 
 def _restart_rngs(config: SearchConfig) -> list[np.random.Generator]:
-    """One child generator per restart from a single rooted sequence."""
-    root = np.random.SeedSequence(config.seed)
-    return [np.random.default_rng(child) for child in root.spawn(config.restarts)]
+    """One child generator per restart from a single rooted sequence.
+
+    ``SeedSequence(seed, spawn_key=(i,))`` is exactly child ``i`` of
+    ``SeedSequence(seed).spawn(...)``, so addressing children explicitly
+    through ``restart_offset`` gives a sharded run (each shard covering a
+    slice of the global restart range) bit-identical per-restart streams.
+    """
+    return [
+        np.random.default_rng(
+            np.random.SeedSequence(config.seed, spawn_key=(config.restart_offset + i,))
+        )
+        for i in range(config.restarts)
+    ]
 
 
 class _Run:
@@ -186,8 +205,10 @@ class _Run:
 def _start_state(
     space: SearchSpace, restart: int, rng: np.random.Generator
 ) -> SearchState:
-    """Restart 0 starts from the deterministic fixed-sweep point; later
-    restarts scatter uniformly so the search escapes that basin."""
+    """*Global* restart 0 starts from the deterministic fixed-sweep point;
+    later restarts scatter uniformly so the search escapes that basin.
+    ``restart`` is the global index (``config.restart_offset`` included),
+    so exactly one shard of a sharded run anchors to the frontier."""
     return space.initial_state() if restart == 0 else space.random_state(rng)
 
 
@@ -206,8 +227,9 @@ def anneal(
             limit = config.budget * (restart + 1) // config.restarts
             if run.evaluations >= limit:
                 continue
-            with tracer.span("search:restart", attributes={"restart": restart}):
-                current = _start_state(space, restart, rng)
+            global_restart = config.restart_offset + restart
+            with tracer.span("search:restart", attributes={"restart": global_restart}):
+                current = _start_state(space, global_restart, rng)
                 current_cost = run.evaluate(current)
                 temperature = config.initial_temperature
                 if temperature is None:
@@ -240,8 +262,9 @@ def greedy(
             limit = config.budget * (restart + 1) // config.restarts
             if run.evaluations >= limit:
                 continue
-            with tracer.span("search:restart", attributes={"restart": restart}):
-                current = _start_state(space, restart, rng)
+            global_restart = config.restart_offset + restart
+            with tracer.span("search:restart", attributes={"restart": global_restart}):
+                current = _start_state(space, global_restart, rng)
                 current_cost = run.evaluate(current)
                 stale = 0
                 while run.evaluations < limit and stale < config.patience:
