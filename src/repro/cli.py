@@ -52,7 +52,7 @@ from repro.mccdma import SnrTrace
 from repro.mccdma.bindings import make_case_study_bindings
 from repro.mccdma.casestudy import build_mccdma_design
 from repro.reconfig import case_a_standalone, case_b_processor
-from repro.runtime import TRAFFIC_PATTERNS, get_bundle, policy_names
+from repro.runtime import ENGINES, TRAFFIC_PATTERNS, get_bundle, policy_names
 
 __all__ = ["main", "build_parser"]
 
@@ -477,11 +477,12 @@ def _cmd_search(args, out) -> int:
 def _cmd_fleet(args, out) -> int:
     """Multiplex a fleet of boards on one kernel; frontier across policies."""
     from repro.obs import get_metrics, record_fleet_stats, spans_from_sim_trace
-    from repro.runtime import FleetConfig, run_fleet
+    from repro.runtime import FleetConfig, generate_fleet_schedules, run_fleet
 
     tracer = get_tracer()
     # When tracing, record a few boards' full kernel traces so Perfetto
-    # shows one lane per board; tracing the whole fleet would dominate RAM.
+    # shows one lane per board; tracing the whole fleet would dominate RAM
+    # (traced boards run through the reference kernel under either engine).
     trace_boards = args.trace_boards
     if trace_boards is None:
         trace_boards = 3 if tracer.enabled else 0
@@ -496,12 +497,16 @@ def _cmd_fleet(args, out) -> int:
         architecture=_ARCHITECTURES[args.architecture]().name,
         mean_gap_ns=args.mean_gap,
         trace_boards=trace_boards,
+        engine=args.engine,
     )
+    # One traffic-generation pass serves every policy: schedules depend
+    # only on (seed, board_id, traffic).
+    schedules = generate_fleet_schedules(base)
     reports = {}
     for name in args.policy:
         config = dataclasses.replace(base, policy=name)
         with tracer.span(f"fleet:{name}") as span:
-            report = run_fleet(config)
+            report = run_fleet(config, schedules=schedules)
         if tracer.enabled:
             span.set_attribute("boards", report.n_boards)
             span.set_attribute("requests", report.total_requests)
@@ -766,6 +771,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-boards", type=int, default=None, metavar="N",
         help="record full kernel traces for the first N boards "
         "(default: 3 when --trace is active, else 0)",
+    )
+    p_fleet.add_argument(
+        "--engine", choices=ENGINES, default="fast",
+        help="fleet engine: 'fast' (batched array-state, default) or "
+        "'kernel' (reference event path); outcomes are digest-identical",
     )
     p_fleet.add_argument("--json", action="store_true", help="emit reports as JSON")
     return parser

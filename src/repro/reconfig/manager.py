@@ -12,15 +12,21 @@ lock-up of the receiving interface during partial reconfiguration.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Optional, Sequence
 
 from repro.reconfig.eviction import EvictionPolicy
 from repro.reconfig.prefetch import NoPrefetchPolicy, PrefetchPolicy
 from repro.reconfig.protocol import ProtocolConfigurationBuilder, ProtocolError
 from repro.sim import Event, Mailbox, Signal, Simulator, Trace
 
-__all__ = ["ReconfigError", "ManagerStats", "ReconfigStats", "ReconfigurationManager"]
+__all__ = [
+    "COUNTER_FIELDS",
+    "ReconfigError",
+    "ManagerStats",
+    "ReconfigStats",
+    "ReconfigurationManager",
+]
 
 
 class ReconfigError(RuntimeError):
@@ -57,6 +63,33 @@ class ManagerStats:
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+    # -- array-form bridge (the batched fleet engine keeps counters as flat
+    # -- integer rows; these two methods pin the field order in one place) ----
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """Counter names in declaration order (the array-row layout)."""
+        return COUNTER_FIELDS
+
+    def as_counters(self) -> list[int]:
+        """The stats as a flat row, ordered like :meth:`field_names`."""
+        return [getattr(self, name) for name in COUNTER_FIELDS]
+
+    @classmethod
+    def from_counters(cls, values: Sequence[int]) -> "ManagerStats":
+        """Rebuild from a flat row (numpy integers are normalised to int)."""
+        if len(values) != len(COUNTER_FIELDS):
+            raise ValueError(
+                f"expected {len(COUNTER_FIELDS)} counters, got {len(values)}"
+            )
+        return cls(**{name: int(v) for name, v in zip(COUNTER_FIELDS, values)})
+
+
+#: Declaration-ordered counter names; the contract between ManagerStats and
+#: every array-form consumer (repro.runtime.fast keeps one int64 row per board
+#: in exactly this layout).
+COUNTER_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(ManagerStats))
 
 
 #: The reconfiguration-side stats bag under the name the observability layer
@@ -434,3 +467,51 @@ class ReconfigurationManager:
             if self._multi and target in state.resident:
                 return
             self._enqueue(region, target, demand=False)
+
+    # -- array-form state bridge ---------------------------------------------------
+    #
+    # The batched fleet engine (repro.runtime.fast) advances manager state as
+    # flat arrays.  These hooks translate between a quiescent manager and that
+    # plain-data form, so a board can be handed from one engine to the other
+    # (and so tests can assert the array form round-trips losslessly).
+
+    def export_state(self) -> dict:
+        """Snapshot the visible manager state as plain data.
+
+        Only quiescent managers export: an in-flight or queued load has no
+        array representation (the fast engine materialises those transients
+        itself).  Raises :class:`ReconfigError` otherwise.
+        """
+        for region, state in self._regions.items():
+            if state.loading is not None or (state.queue is not None and len(state.queue)):
+                raise ReconfigError(
+                    f"cannot export state while region {region!r} has active or queued loads"
+                )
+        return {
+            "stats": self.stats.as_counters(),
+            "regions": {
+                region: {
+                    "loaded": state.loaded,
+                    "history": list(state.history),
+                    "unclaimed_prefetch": state.unclaimed_prefetch,
+                    "last_demand": state.last_demand,
+                    "resident": list(state.resident),
+                }
+                for region, state in self._regions.items()
+            },
+        }
+
+    def import_state(self, snapshot: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self.stats = ManagerStats.from_counters(snapshot["stats"])
+        for region, data in snapshot["regions"].items():
+            state = self._region(region)
+            if state.loading is not None or (state.queue is not None and len(state.queue)):
+                raise ReconfigError(
+                    f"cannot import state while region {region!r} has active or queued loads"
+                )
+            state.loaded = data["loaded"]
+            state.history = list(data["history"])
+            state.unclaimed_prefetch = data["unclaimed_prefetch"]
+            state.last_demand = data["last_demand"]
+            state.resident = dict.fromkeys(data["resident"])

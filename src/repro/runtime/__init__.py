@@ -12,11 +12,22 @@ boards onto one deterministic event kernel:
 - :mod:`repro.runtime.policies` — the named policy registry unifying
   prefetch strategies and multi-slot eviction bundles,
 - :mod:`repro.runtime.fleet` — the fleet driver and the per-policy
-  hit-rate / stall-latency frontier.
+  hit-rate / stall-latency frontier, with an ``engine`` selector,
+- :mod:`repro.runtime.fast` — the batched array-state engine reproducing
+  the kernel's outcomes exactly (digest parity) at vector speed.
 """
 
 from repro.runtime.board import Board
-from repro.runtime.fleet import FleetConfig, FleetJob, FleetReport, run_fleet, run_frontier
+from repro.runtime.fast import FastRunStats, simulate_fast_fleet, vector_mode
+from repro.runtime.fleet import (
+    ENGINES,
+    FleetConfig,
+    FleetJob,
+    FleetReport,
+    generate_fleet_schedules,
+    run_fleet,
+    run_frontier,
+)
 from repro.runtime.policies import (
     POLICY_REGISTRY,
     PolicyBundle,
@@ -34,11 +45,16 @@ from repro.runtime.traffic import (
 
 __all__ = [
     "Board",
+    "ENGINES",
+    "FastRunStats",
     "FleetConfig",
     "FleetJob",
     "FleetReport",
+    "generate_fleet_schedules",
     "run_fleet",
     "run_frontier",
+    "simulate_fast_fleet",
+    "vector_mode",
     "POLICY_REGISTRY",
     "PolicyBundle",
     "RuntimePolicy",

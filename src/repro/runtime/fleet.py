@@ -1,16 +1,28 @@
-"""The fleet driver: thousands of boards multiplexed on one event kernel.
+"""The fleet driver: thousands of boards under one policy, two engines.
 
-Builds N independent :class:`~repro.runtime.board.Board` instances on a
-single shared :class:`~repro.sim.Simulator`, gives each a seeded request
-schedule, and runs the calendar once.  Boards interact only through the
-kernel's event ordering — each owns its store, builder and manager — so
-per-board results are a pure function of ``(seed, board_id, policy)`` and
-the report digest is reproducible run-to-run and invariant under board
-registration order.
+Builds N independent :class:`~repro.runtime.board.Board` instances, gives
+each a seeded request schedule, and measures the fleet outcome.  Boards
+interact only through event ordering — each owns its store, builder and
+manager — so per-board results are a pure function of ``(seed, board_id,
+policy)`` and the report digest is reproducible run-to-run and invariant
+under board registration order.
+
+Two engines produce that outcome:
+
+- ``engine="kernel"`` — the reference path: every board lives on one shared
+  :class:`~repro.sim.Simulator` and the calendar runs every request as
+  discrete events.  Required for tracing and for any future cross-board
+  coupling (shared backhaul, fleet-wide admission control).
+- ``engine="fast"`` (default) — :mod:`repro.runtime.fast` replays the same
+  schedules against array-state cores (or an exact scalar micro-simulator
+  for speculative policies), reproducing per-board counters and
+  ``end_time_ns`` exactly: ``FleetReport.digest()`` is identical across
+  engines.  With ``trace_boards > 0`` the first boards still run through a
+  kernel subset so their trace lanes keep full event fidelity.
 
 ``run_frontier`` replays the *same* seeded traffic against several policy
-bundles, yielding the hit-rate / mean-stall frontier the policy zoo exists
-to measure.
+bundles — schedules are generated once and shared across policies, since
+they depend only on ``(seed, board_id, traffic)``.
 """
 
 from __future__ import annotations
@@ -18,16 +30,28 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Optional, Sequence
 
 from repro.reconfig.architectures import ReconfigArchitecture, all_cases
 from repro.runtime.board import Board
+from repro.runtime.fast import FastRunStats, simulate_fast_fleet
 from repro.runtime.policies import create_policy, get_bundle
 from repro.runtime.traffic import board_rng, future_from_schedule, generate_schedule
 from repro.sim import Simulator, Trace
 
-__all__ = ["FleetConfig", "FleetReport", "FleetJob", "run_fleet", "run_frontier"]
+__all__ = [
+    "ENGINES",
+    "FleetConfig",
+    "FleetReport",
+    "FleetJob",
+    "generate_fleet_schedules",
+    "run_fleet",
+    "run_frontier",
+]
+
+#: Recognised values for the engine selector.
+ENGINES = ("fast", "kernel")
 
 
 def _architecture(name: str) -> ReconfigArchitecture:
@@ -56,14 +80,22 @@ class FleetConfig:
     architecture: str = "case_a_standalone"
     mean_gap_ns: int = 200_000
     #: the first N boards record full traces (scoped per board); tracing
-    #: every board of a large fleet would dominate memory, so default off
+    #: every board of a large fleet would dominate memory, so default off.
+    #: Traced boards always run through the reference kernel path.
     trace_boards: int = 0
+    #: "fast" (batched array-state engine) or "kernel" (reference event path)
+    engine: str = "fast"
 
     def region_map(self) -> dict[str, list[str]]:
         return {
             f"R{r}": [f"m{m}" for m in range(self.modules_per_region)]
             for r in range(self.regions)
         }
+
+    def fingerprint(self) -> str:
+        """Content hash over *every* config field (the sweep-cache identity)."""
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
 
 
 @dataclass
@@ -82,6 +114,12 @@ class FleetReport:
     totals: dict = field(default_factory=dict)
     #: traces of the first ``trace_boards`` boards, scope = board id
     traces: list[Trace] = field(default_factory=list)
+    #: which engine produced this report ("kernel" or "fast")
+    engine: str = "kernel"
+    #: fast-engine execution stats (vector vs scalar board counts); None
+    #: for kernel runs.  Excluded from the digest: it describes *how* the
+    #: outcome was computed, not the outcome.
+    engine_stats: Optional[FastRunStats] = None
 
     @property
     def requests_per_sec(self) -> float:
@@ -104,8 +142,9 @@ class FleetReport:
         """Deterministic fingerprint of the simulated outcome.
 
         Covers every per-board counter and the kernel end time — not wall
-        time — so two runs with the same config produce the same digest and
-        any behavioural drift flips it.
+        time, not the engine — so two runs with the same config produce the
+        same digest whichever engine computed them, and any behavioural
+        drift flips it.
         """
         payload = json.dumps(
             {"boards": self.boards, "end_time_ns": self.end_time_ns},
@@ -117,7 +156,8 @@ class FleetReport:
         return (
             f"fleet[{self.policy}/{self.traffic}]: {self.n_boards} boards x "
             f"{self.requests_per_board} requests in {self.wall_s:.2f}s wall "
-            f"({self.requests_per_sec:,.0f} req/s) — hit rate {self.hit_rate:.1%}, "
+            f"({self.requests_per_sec:,.0f} req/s, {self.engine} engine) — "
+            f"hit rate {self.hit_rate:.1%}, "
             f"mean stall {self.mean_stall_ns / 1e3:.1f} us"
         )
 
@@ -134,85 +174,179 @@ class FleetReport:
             "hit_rate": self.hit_rate,
             "mean_stall_ns": self.mean_stall_ns,
             "totals": dict(self.totals),
+            "engine": self.engine,
+            "engine_stats": self.engine_stats.to_dict() if self.engine_stats else None,
             "digest": self.digest(),
         }
 
 
-def run_fleet(config: FleetConfig) -> FleetReport:
-    """Run one policy over the whole fleet on a single shared kernel."""
-    bundle = get_bundle(config.policy)  # fail fast on unknown names
-    arch = _architecture(config.architecture)
+def _board_id(index: int) -> str:
+    return f"b{index:04d}"
+
+
+def generate_fleet_schedules(config: FleetConfig) -> list[list[tuple[int, str, str]]]:
+    """Every board's request schedule, in board-id order.
+
+    Schedules depend only on ``(seed, board_id, traffic)`` — never on the
+    policy or engine — so one generation pass serves a whole frontier.
+    """
     region_map = config.region_map()
-    sim = Simulator()
-    boards: list[Board] = []
-    t0 = time.perf_counter()
-    for i in range(config.n_boards):
-        board_id = f"b{i:04d}"
-        rng = board_rng(config.seed, board_id)
-        schedule = generate_schedule(
-            config.traffic, rng, region_map, config.requests_per_board,
+    return [
+        generate_schedule(
+            config.traffic,
+            board_rng(config.seed, _board_id(i)),
+            region_map,
+            config.requests_per_board,
             mean_gap_ns=config.mean_gap_ns,
         )
-        future = future_from_schedule(schedule) if bundle.needs_future else None
-        runtime_policy = create_policy(
-            config.policy, future=future, region_slots=config.region_slots
+        for i in range(config.n_boards)
+    ]
+
+
+def _build_kernel_board(
+    config: FleetConfig,
+    sim: Simulator,
+    arch: ReconfigArchitecture,
+    region_map: dict[str, list[str]],
+    index: int,
+    schedule: list[tuple[int, str, str]],
+    traced: bool,
+) -> Board:
+    bundle = get_bundle(config.policy)
+    future = future_from_schedule(schedule) if bundle.needs_future else None
+    runtime_policy = create_policy(
+        config.policy, future=future, region_slots=config.region_slots
+    )
+    store = arch.make_store()
+    for region, modules in region_map.items():
+        for module in modules:
+            store.register(region, module, config.bitstream_bytes)
+    board_id = _board_id(index)
+    trace = Trace(scope=board_id) if traced else None
+    board = Board(
+        board_id, sim, arch, store,
+        policy=runtime_policy.prefetch,
+        eviction=runtime_policy.eviction,
+        region_slots=runtime_policy.region_slots,
+        trace=trace,
+    )
+    # Every region ships its first module in the startup bitstream, so
+    # boards start warm and the first request is not always a miss.
+    for region, modules in region_map.items():
+        board.preload(region, modules[0])
+    board.start(schedule)
+    return board
+
+
+def _run_kernel_boards(
+    config: FleetConfig,
+    arch: ReconfigArchitecture,
+    schedules: Sequence[list[tuple[int, str, str]]],
+    first_index: int = 0,
+) -> tuple[list[Board], Simulator]:
+    """Build and run a (sub)fleet on one shared reference kernel."""
+    region_map = config.region_map()
+    sim = Simulator()
+    boards = [
+        _build_kernel_board(
+            config, sim, arch, region_map,
+            first_index + offset, schedule,
+            traced=(first_index + offset) < config.trace_boards,
         )
-        store = arch.make_store()
-        for region, modules in region_map.items():
-            for module in modules:
-                store.register(region, module, config.bitstream_bytes)
-        trace = Trace(scope=board_id) if i < config.trace_boards else None
-        board = Board(
-            board_id, sim, arch, store,
-            policy=runtime_policy.prefetch,
-            eviction=runtime_policy.eviction,
-            region_slots=runtime_policy.region_slots,
-            trace=trace,
-        )
-        # Every region ships its first module in the startup bitstream, so
-        # boards start warm and the first request is not always a miss.
-        for region, modules in region_map.items():
-            board.preload(region, modules[0])
-        board.start(schedule)
-        boards.append(board)
+        for offset, schedule in enumerate(schedules)
+    ]
     sim.run()
+    return boards, sim
+
+
+def run_fleet(
+    config: FleetConfig,
+    engine: Optional[str] = None,
+    schedules: Optional[list[list[tuple[int, str, str]]]] = None,
+) -> FleetReport:
+    """Run one policy over the whole fleet.
+
+    ``engine`` overrides ``config.engine``; pass pre-generated
+    ``schedules`` (from :func:`generate_fleet_schedules`) to amortise
+    traffic generation across runs — they must match ``config``.
+    """
+    get_bundle(config.policy)  # fail fast on unknown names
+    engine = engine if engine is not None else config.engine
+    if engine not in ENGINES:
+        known = ", ".join(ENGINES)
+        raise ValueError(f"unknown engine {engine!r}; known engines: {known}")
+    arch = _architecture(config.architecture)
+    t0 = time.perf_counter()
+    if schedules is None:
+        schedules = generate_fleet_schedules(config)
+    elif len(schedules) != config.n_boards:
+        raise ValueError(
+            f"got {len(schedules)} schedules for {config.n_boards} boards"
+        )
+    engine_stats: Optional[FastRunStats] = None
+    if engine == "kernel":
+        boards, sim = _run_kernel_boards(config, arch, schedules)
+        per_board = [board.stats.to_dict() for board in boards]
+        end_time_ns = sim.now
+        open_traces = [board.trace for board in boards if board.trace is not None]
+    else:
+        traced = min(config.trace_boards, config.n_boards)
+        traced_boards: list[Board] = []
+        traced_end = 0
+        if traced:
+            traced_boards, traced_sim = _run_kernel_boards(
+                config, arch, schedules[:traced]
+            )
+            traced_end = traced_sim.now
+        fast_rows, fast_ends, engine_stats = simulate_fast_fleet(
+            config, schedules[traced:], arch
+        )
+        per_board = [board.stats.to_dict() for board in traced_boards] + fast_rows
+        end_time_ns = max([traced_end, *fast_ends]) if (traced or fast_ends) else 0
+        open_traces = [b.trace for b in traced_boards if b.trace is not None]
     wall_s = time.perf_counter() - t0
-    per_board = [board.stats.to_dict() for board in boards]
     totals: dict[str, int] = {}
     for stats in per_board:
         for key, value in stats.items():
             totals[key] = totals.get(key, 0) + value
     traces = []
-    for board in boards:
-        if board.trace is not None:
-            board.trace.close_open(sim.now)
-            traces.append(board.trace)
+    for trace in open_traces:
+        trace.close_open(end_time_ns)
+        traces.append(trace)
     return FleetReport(
         policy=config.policy,
         traffic=config.traffic,
         n_boards=config.n_boards,
         requests_per_board=config.requests_per_board,
         total_requests=config.n_boards * config.requests_per_board,
-        end_time_ns=sim.now,
+        end_time_ns=end_time_ns,
         wall_s=wall_s,
         boards=per_board,
         totals=totals,
         traces=traces,
+        engine=engine,
+        engine_stats=engine_stats,
     )
 
 
-def run_frontier(config: FleetConfig, policies: list[str]) -> dict[str, FleetReport]:
+def run_frontier(
+    config: FleetConfig,
+    policies: list[str],
+    engine: Optional[str] = None,
+) -> dict[str, FleetReport]:
     """Replay identical seeded traffic under each policy.
 
-    Schedules depend only on ``(seed, board_id, traffic)``, so every policy
-    sees the same demand stream and the resulting hit-rate / stall frontier
-    compares management strategies, not luck.
+    Schedules depend only on ``(seed, board_id, traffic)``, so they are
+    generated once and every policy sees the same demand stream — the
+    resulting hit-rate / stall frontier compares management strategies,
+    not luck (and not repeated traffic-generation cost).
     """
+    schedules = generate_fleet_schedules(config)
     reports: dict[str, FleetReport] = {}
     for name in policies:
-        from dataclasses import replace
-
-        reports[name] = run_fleet(replace(config, policy=name))
+        reports[name] = run_fleet(
+            replace(config, policy=name), engine=engine, schedules=schedules
+        )
     return reports
 
 
@@ -228,10 +362,14 @@ class FleetJob:
 
     @property
     def job_id(self) -> str:
+        # The human-readable prefix aids log scanning; the fingerprint
+        # covers *every* config field (regions, slots, architecture,
+        # mean gap, engine, ...) so distinct configs never collide in the
+        # sweep-engine cache.
         c = self.config
         return (
             f"fleet-{c.policy}-{c.traffic}-{c.n_boards}x{c.requests_per_board}"
-            f"-seed{c.seed}"
+            f"-seed{c.seed}-{c.fingerprint()[:12]}"
         )
 
     def execute(self, attempt: int = 0, cache=None, observer=None) -> dict:
