@@ -25,11 +25,10 @@ Writes ``BENCH_fleet_throughput.json`` (full) or
 side by side.
 """
 
-import json
 import os
 import time
 
-from conftest import RESULTS_DIR
+from conftest import write_bench_json
 
 from repro.runtime import FleetConfig, generate_fleet_schedules, run_fleet, run_frontier
 
@@ -133,7 +132,6 @@ def test_fleet_throughput():
         assert frontier["belady"].mean_stall_ns < frontier["none"].mean_stall_ns
         assert frontier["fixed"].mean_stall_ns < frontier["none"].mean_stall_ns
 
-    RESULTS_DIR.mkdir(exist_ok=True)
     name = "BENCH_fleet_throughput_smoke" if SMOKE else "BENCH_fleet_throughput"
     payload = {
         "smoke": SMOKE,
@@ -170,7 +168,7 @@ def test_fleet_throughput():
             for policy, report in frontier.items()
         },
     }
-    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(name, payload)
 
     lines = [
         f"headline: {headline.n_boards} boards x {headline.requests_per_board} req "

@@ -25,7 +25,7 @@ import json
 import os
 import time
 
-from conftest import RESULTS_DIR
+from conftest import write_bench_json
 
 from repro.mccdma.engine import LinkEngineConfig, LinkSimulationEngine
 from repro.mccdma.transmitter import MCCDMAConfig
@@ -95,7 +95,6 @@ def test_linklevel_throughput():
     overall = sum(r["reference_s"] for r in rows) / sum(r["batched_s"] for r in rows)
     assert overall >= MIN_SPEEDUP, (overall, rows)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
     name = "BENCH_linklevel_throughput_smoke" if SMOKE else "BENCH_linklevel_throughput"
     payload = {
         "smoke": SMOKE,
@@ -105,7 +104,7 @@ def test_linklevel_throughput():
         "n_users": len(USER_CODES),
         "rows": rows,
     }
-    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(name, payload)
 
     lines = [f"{'strategy':<9}  snr     batched     reference  speedup  ber"]
     for r in rows:

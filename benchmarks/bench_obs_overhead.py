@@ -28,7 +28,7 @@ import json
 import os
 import time
 
-from conftest import RESULTS_DIR
+from conftest import write_bench_json
 
 from repro.mccdma.engine import LinkEngineConfig, LinkSimulationEngine
 from repro.mccdma.transmitter import MCCDMAConfig
@@ -42,7 +42,10 @@ from repro.obs import (
     use_tracer,
 )
 
-SMOKE = os.environ.get("OBS_OVERHEAD_SMOKE", "") not in ("", "0")
+SMOKE = any(
+    os.environ.get(var, "") not in ("", "0")
+    for var in ("OBS_OVERHEAD_SMOKE", "OBS_TELEMETRY_SMOKE")
+)
 
 FRAMES = 48 if SMOKE else 192
 REPEATS = 3 if SMOKE else 5
@@ -53,6 +56,16 @@ MAX_NOOP_SPAN_NS = 2_000
 #: Enabled tracing may cost something, but the link loop is batch-dominated;
 #: a blow-up here means a call site landed inside the per-frame kernels.
 MAX_ENABLED_OVERHEAD_PCT = 30.0
+
+#: Fast-engine fleet scale for the telemetry guard: big enough that one run
+#: is tens of milliseconds (a stable best-of target), small enough for CI.
+FLEET_BOARDS = 32 if SMOKE else 100
+FLEET_REQUESTS = 200 if SMOKE else 1000
+FLEET_PAIRS = 3 if SMOKE else 12
+#: The telemetry recorder only appends references to per-step arrays and
+#: defers all aggregation to one vectorized flush per policy run, so the
+#: telemetry-on fast engine must stay within a few percent of telemetry-off.
+MAX_TELEMETRY_OVERHEAD_PCT = 5.0
 
 
 def _time_noop_span_ns() -> float:
@@ -105,11 +118,131 @@ def test_observability_overhead_guard():
         "max_enabled_overhead_pct": MAX_ENABLED_OVERHEAD_PCT,
         "enabled_spans_recorded": len(tracer.spans),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    name = "BENCH_obs_overhead_smoke.json" if SMOKE else "BENCH_obs_overhead.json"
-    (RESULTS_DIR / name).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    name = "BENCH_obs_overhead_smoke" if SMOKE else "BENCH_obs_overhead"
+    write_bench_json(name, payload)
     print(f"\n[obs_overhead] {json.dumps(payload, indent=2, sort_keys=True)}")
 
     assert noop_span_ns < MAX_NOOP_SPAN_NS
     if not SMOKE:  # timing ratios on shared runners are noise in smoke mode
         assert overhead_pct < MAX_ENABLED_OVERHEAD_PCT
+
+
+def test_fleet_telemetry_overhead_guard():
+    """Telemetry-on fast-engine fleet: identical digest, bounded overhead.
+
+    Runs the batched array-state engine with and without a sim-clock
+    telemetry store in back-to-back pairs and pins down the two halves of
+    the tentpole contract: the :meth:`FleetReport.digest` must not move at
+    all, and the measured overhead of windowed counter/sketch recording
+    must stay small.  The estimator is built for a noisy shared machine
+    where preemptions only ever *add* time: off/on runs are interleaved in
+    pairs, and the reported overhead is the smaller of two upward-noisy
+    estimators — best-of difference (min walls per side) and the median of
+    per-pair deltas (pairing cancels slow drift).  Each inflates under a
+    different noise pattern, neither deflates below the true floor, so
+    their minimum is the stable choice.  The cyclic GC is paused during
+    timed runs and collected between pairs so store teardown never lands
+    inside a measurement.  Because noise can only inflate the estimate, a
+    measurement that lands over the bound is retried once and the best
+    attempt is what the guard asserts on.
+    """
+    from repro.obs.telemetry import TimeSeriesStore
+    from repro.runtime import FleetConfig, generate_fleet_schedules, run_fleet
+
+    config = FleetConfig(
+        n_boards=FLEET_BOARDS,
+        requests_per_board=FLEET_REQUESTS,
+        policy="lru",
+        engine="fast",
+    )
+    schedules = generate_fleet_schedules(config)
+    run_fleet(config, schedules=schedules)  # warm imports and allocators
+
+    def run_once(with_telemetry: bool):
+        # the window is sized so the whole run fits inside the retention
+        # ring — an evicted window would silently shrink the demand total
+        # the parity assertion below checks
+        store = (
+            TimeSeriesStore(window=20_000_000, clock="sim")
+            if with_telemetry
+            else None
+        )
+        t0 = time.perf_counter()
+        report = run_fleet(config, schedules=schedules, telemetry=store)
+        return time.perf_counter() - t0, report, store
+
+    import gc
+    import statistics
+
+    def measure():
+        off_walls, on_walls = [], []
+        off_report = on_report = store = None
+        gc_was_enabled = gc.isenabled()
+        try:
+            for _ in range(FLEET_PAIRS):  # paired: same thermal/cache state
+                store = None  # free the previous store outside the timed runs
+                gc.collect()
+                gc.disable()
+                off, off_report, _ = run_once(False)
+                on, on_report, store = run_once(True)
+                gc.enable()
+                off_walls.append(off)
+                on_walls.append(on)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        assert on_report.digest() == off_report.digest(), (
+            "telemetry recording moved the simulation digest"
+        )
+        total = config.n_boards * config.requests_per_board
+        assert store.total("fleet.demands", policy="lru") == total
+        off_wall = min(off_walls)
+        on_wall = min(on_walls)
+        best_of = 100.0 * (on_wall - off_wall) / off_wall
+        paired_median = 100.0 * statistics.median(
+            on - off for on, off in zip(on_walls, off_walls)
+        ) / statistics.median(off_walls)
+        return {
+            "off_wall": off_wall,
+            "on_wall": on_wall,
+            "best_of_pct": best_of,
+            "paired_median_pct": paired_median,
+            "overhead_pct": min(best_of, paired_median),
+            "digest": on_report.digest(),
+            "windows": len(store.window_indices()),
+        }
+
+    attempts = 1
+    result = measure()
+    if result["overhead_pct"] >= MAX_TELEMETRY_OVERHEAD_PCT:
+        attempts = 2
+        retry = measure()
+        if retry["overhead_pct"] < result["overhead_pct"]:
+            result = retry
+    telemetry_overhead_pct = result["overhead_pct"]
+
+    payload = {
+        "smoke": SMOKE,
+        "boards": FLEET_BOARDS,
+        "requests_per_board": FLEET_REQUESTS,
+        "pairs": FLEET_PAIRS,
+        "attempts": attempts,
+        "fleet_wall_off_s": round(result["off_wall"], 6),
+        "fleet_wall_on_s": round(result["on_wall"], 6),
+        "best_of_pct": round(result["best_of_pct"], 2),
+        "paired_median_pct": round(result["paired_median_pct"], 2),
+        "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),
+        "max_telemetry_overhead_pct": MAX_TELEMETRY_OVERHEAD_PCT,
+        "digest": result["digest"],
+        "telemetry_windows": result["windows"],
+    }
+    name = (
+        "BENCH_obs_telemetry_overhead_smoke" if SMOKE
+        else "BENCH_obs_telemetry_overhead"
+    )
+    write_bench_json(name, payload)
+    print(f"\n[obs_telemetry_overhead] {json.dumps(payload, indent=2, sort_keys=True)}")
+
+    if not SMOKE:  # timing ratios on shared runners are noise in smoke mode
+        assert telemetry_overhead_pct < MAX_TELEMETRY_OVERHEAD_PCT, payload

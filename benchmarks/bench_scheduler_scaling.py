@@ -19,11 +19,10 @@ Writes ``BENCH_scheduler_scaling.json`` (full) or
 ``BENCH_scheduler_scaling_smoke.json`` (smoke) next to the other artefacts.
 """
 
-import json
 import os
 import time
 
-from conftest import RESULTS_DIR
+from conftest import write_bench_json
 
 from repro.aaa import InsertionScheduler, SynDExScheduler
 from repro.aaa.costs import CostModel
@@ -115,7 +114,6 @@ def test_incremental_scheduler_scaling():
             if row["operations"] == largest:
                 assert row["speedup"] >= MIN_SPEEDUP_AT_200, row
 
-    RESULTS_DIR.mkdir(exist_ok=True)
     name = "BENCH_scheduler_scaling_smoke" if SMOKE else "BENCH_scheduler_scaling"
     payload = {
         "smoke": SMOKE,
@@ -123,7 +121,7 @@ def test_incremental_scheduler_scaling():
         "max_eval_fraction": MAX_EVAL_FRACTION,
         "rows": rows,
     }
-    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(name, payload)
 
     width_col = max(len(r["scheduler"]) for r in rows)
     lines = [f"{'scheduler':<{width_col}}  ops  seed  incremental  naive      speedup  evals/requests"]

@@ -18,11 +18,10 @@ identical in both modes.  Writes ``BENCH_search_anneal.json`` (full) or
 ``BENCH_search_anneal_smoke.json`` (smoke) plus ``search_frontier.txt``.
 """
 
-import json
 import os
 import time
 
-from conftest import RESULTS_DIR, write_result
+from conftest import write_bench_json, write_result
 
 from repro.dfg.generators import multiregion_graph
 from repro.dfg.library import default_library
@@ -77,9 +76,8 @@ def test_anneal_beats_or_matches_the_fixed_sweep():
         "evaluations": report.result.evaluations,
         "digest": report.result.digest(),
     }
-    name = "BENCH_search_anneal_smoke.json" if SMOKE else "BENCH_search_anneal.json"
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / name).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    name = "BENCH_search_anneal_smoke" if SMOKE else "BENCH_search_anneal"
+    write_bench_json(name, payload)
 
 
 def test_anneal_is_no_worse_than_greedy_and_random():

@@ -28,11 +28,10 @@ asserted.  Set ``SWEEP_SMOKE=1`` (CI) for reduced frame counts; results
 land in ``results/BENCH_sweep_parallel.json`` (or ``..._smoke.json``).
 """
 
-import json
 import os
 import time
 
-from conftest import CASE_STUDY_CONSTRAINTS, RESULTS_DIR, write_result
+from conftest import CASE_STUDY_CONSTRAINTS, write_bench_json, write_result
 
 from repro.dfg.library import default_library
 from repro.exec import ParallelSweepEngine, WorkerPool
@@ -198,9 +197,8 @@ def test_parallel_sweep_vs_serial(tmp_path):
         "min_design_ratio": MIN_DESIGN_RATIO if CPUS >= 4 else None,
         "runs": rows,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    name = "BENCH_sweep_parallel_smoke.json" if SMOKE else "BENCH_sweep_parallel.json"
-    (RESULTS_DIR / name).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    name = "BENCH_sweep_parallel_smoke" if SMOKE else "BENCH_sweep_parallel"
+    write_bench_json(name, payload)
 
     lines = ["workload                  serial_s  cold_s  warm_s  speedup"]
     for row in rows:

@@ -45,6 +45,27 @@ def write_result(name: str, text: str) -> None:
     print(f"\n[{name}] -> {path}\n{text}")
 
 
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a ``BENCH_*.json`` artefact and append its headline to history.
+
+    Every benchmark result lands twice: the full payload overwrites its
+    ``BENCH_<name>.json`` (latest-state artefact, committed), and the one
+    headline number appends to ``HISTORY.jsonl`` — the append-only series
+    the ``repro bench-check`` regression gate reads.  Benchmarks without a
+    registered headline (see :data:`repro.obs.history.HEADLINES`) still get
+    their JSON; they just don't join the gate.
+    """
+    from repro.obs.history import append_from_result
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stem = name[: -len(".json")] if name.endswith(".json") else name
+    path = RESULTS_DIR / f"{stem}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    bench = stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+    append_from_result(RESULTS_DIR / "HISTORY.jsonl", bench, payload)
+    return path
+
+
 def build_case_study_flow(prefetch: bool = True, reconfig_architecture=None):
     """The full design flow on the paper's case study."""
     design = build_mccdma_design()

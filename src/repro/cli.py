@@ -10,7 +10,10 @@ Runs the paper's case study through the flow without writing any code::
     python -m repro sweep --jobs 4 --timeout 120 # parallel design-space sweep
     python -m repro linklevel --snr 0:10:2 --frames 200 --jobs 4
     python -m repro fleet --boards 100 --requests 200 --policy none,fixed,lru
+    python -m repro fleet --live --telemetry fleet.jsonl --slo-hit-floor 0.4
+    python -m repro tail fleet.jsonl                # replay a telemetry stream
     python -m repro search --groups 3 --budget 300 --seed 1 --trace search.json
+    python -m repro bench-check --backfill          # benchmark regression gate
 """
 
 from __future__ import annotations
@@ -474,6 +477,43 @@ def _cmd_search(args, out) -> int:
     return 0
 
 
+def _fleet_slo_rules(args) -> list:
+    """Declarative fleet SLOs from the --slo-* flags (empty = no monitor)."""
+    from repro.obs.telemetry import SloRule
+
+    rules = []
+    if getattr(args, "slo_hit_floor", None) is not None:
+        rules.append(
+            SloRule(
+                name="hit-rate-floor",
+                series="fleet.hits",
+                kind="floor",
+                threshold=args.slo_hit_floor,
+                denominator="fleet.demands",
+                min_count=getattr(args, "slo_min_count", 1),
+            )
+        )
+    if getattr(args, "slo_p99_ceiling", None) is not None:
+        rules.append(
+            SloRule(
+                name="stall-p99-ceiling",
+                series="fleet.stall_ns",
+                kind="ceiling",
+                threshold=args.slo_p99_ceiling,
+                quantile=0.99,
+                min_count=getattr(args, "slo_min_count", 1),
+            )
+        )
+    return rules
+
+
+def _redraw(out, text: str) -> None:
+    """Repaint a live dashboard: clear-screen only when ``out`` is a tty."""
+    if getattr(out, "isatty", lambda: False)():
+        print("\x1b[2J\x1b[H", end="", file=out)
+    print(text, file=out)
+
+
 def _cmd_fleet(args, out) -> int:
     """Multiplex a fleet of boards on one kernel; frontier across policies."""
     from repro.obs import get_metrics, record_fleet_stats, spans_from_sim_trace
@@ -502,11 +542,21 @@ def _cmd_fleet(args, out) -> int:
     # One traffic-generation pass serves every policy: schedules depend
     # only on (seed, board_id, traffic).
     schedules = generate_fleet_schedules(base)
+    store = monitor = None
+    slo_rules = _fleet_slo_rules(args)
+    want_telemetry = args.live or args.telemetry is not None or bool(slo_rules)
+    if want_telemetry:
+        from repro.obs.dashboard import render_dashboard
+        from repro.obs.telemetry import SloMonitor, TimeSeriesStore
+
+        store = TimeSeriesStore(window=args.telemetry_window, clock="sim")
+        monitor = SloMonitor(store, slo_rules)
+    breaches: list = []
     reports = {}
     for name in args.policy:
         config = dataclasses.replace(base, policy=name)
         with tracer.span(f"fleet:{name}") as span:
-            report = run_fleet(config, schedules=schedules)
+            report = run_fleet(config, schedules=schedules, telemetry=store)
         if tracer.enabled:
             span.set_attribute("boards", report.n_boards)
             span.set_attribute("requests", report.total_requests)
@@ -517,10 +567,32 @@ def _cmd_fleet(args, out) -> int:
                 )
             record_fleet_stats(get_metrics(), report, prefix=f"fleet.{name}")
         reports[name] = report
+        if monitor is not None:
+            breaches.extend(monitor.evaluate())
+        if args.live:
+            done = len(reports)
+            _redraw(
+                out,
+                render_dashboard(
+                    store,
+                    last=args.live_windows,
+                    breaches=breaches,
+                    title=f"fleet {done}/{len(args.policy)} policies "
+                    f"({args.boards} boards x {args.requests} req)",
+                    ascii_only=args.ascii,
+                ),
+            )
+    if args.telemetry is not None:
+        telemetry_path = pathlib.Path(args.telemetry)
+        telemetry_path.parent.mkdir(parents=True, exist_ok=True)
+        rows = store.write_jsonl(telemetry_path)
+        print(f"wrote telemetry {telemetry_path} ({rows} rows)", file=out)
     if args.json:
         payload = {name: report.to_dict() for name, report in reports.items()}
+        if monitor is not None and monitor.rules:
+            payload["slo_breaches"] = [breach.to_dict() for breach in breaches]
         print(json.dumps(payload, indent=2, sort_keys=True), file=out)
-        return 0
+        return 3 if breaches else 0
     for report in reports.values():
         print(report.summary(), file=out)
     print(file=out)
@@ -531,6 +603,95 @@ def _cmd_fleet(args, out) -> int:
             f"{report.requests_per_sec:12,.0f} {report.digest()[:12]:>12s}",
             file=out,
         )
+    if monitor is not None and monitor.rules:
+        if breaches:
+            print(file=out)
+            for breach in breaches:
+                print(f"SLO BREACH: {breach.describe()}", file=out)
+            print(f"{len(breaches)} SLO breach(es)", file=out)
+            return 3
+        print(f"SLO: {len(monitor.rules)} rule(s), no breaches", file=out)
+    return 0
+
+
+def _cmd_tail(args, out) -> int:
+    """Render a telemetry JSONL stream as the fleet dashboard.
+
+    One-shot by default (read, render, exit — safe for CI and pipes);
+    ``--follow`` re-reads and repaints whenever the file grows, the
+    ``top``-style view of a run writing telemetry elsewhere.
+    """
+    import time as _time
+
+    from repro.obs.dashboard import render_dashboard
+    from repro.obs.telemetry import SloMonitor, TimeSeriesStore
+
+    path = pathlib.Path(args.path)
+    last_size = -1
+    while True:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            if not args.follow:
+                print(f"error: cannot read {path}", file=out)
+                return 2
+            size = -1
+        if size != last_size and size >= 0:
+            last_size = size
+            try:
+                store = TimeSeriesStore.read_jsonl(path)
+            except ValueError as err:
+                print(f"error: {path}: {err}", file=out)
+                return 2
+            breaches = SloMonitor(store, _fleet_slo_rules(args)).evaluate()
+            _redraw(
+                out,
+                render_dashboard(
+                    store,
+                    last=args.live_windows,
+                    breaches=breaches,
+                    title=str(path),
+                    ascii_only=args.ascii,
+                ),
+            )
+        if not args.follow:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+
+
+def _cmd_bench_check(args, out) -> int:
+    """The benchmark-history regression gate (and its --backfill mode)."""
+    from repro.obs.history import DEFAULT_HISTORY_PATH, backfill, bench_check
+
+    history_path = pathlib.Path(args.history) if args.history else DEFAULT_HISTORY_PATH
+    if args.backfill:
+        entries = backfill(args.results_dir, history_path)
+        print(f"backfilled {len(entries)} entries into {history_path}", file=out)
+        if not args.check_after_backfill:
+            return 0
+    results = bench_check(
+        history_path,
+        threshold_pct=args.threshold,
+        trailing=args.trailing,
+        benches=args.bench or None,
+    )
+    if args.json:
+        print(
+            json.dumps([dataclasses.asdict(r) for r in results], indent=2, sort_keys=True),
+            file=out,
+        )
+    else:
+        if not results:
+            print(f"{history_path}: no history entries to check", file=out)
+        for result in results:
+            print(result.describe(), file=out)
+    regressions = [r for r in results if r.status == "regression"]
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond {args.threshold:g}%", file=out)
+        return 1
     return 0
 
 
@@ -778,7 +939,101 @@ def build_parser() -> argparse.ArgumentParser:
         "'kernel' (reference event path); outcomes are digest-identical",
     )
     p_fleet.add_argument("--json", action="store_true", help="emit reports as JSON")
+    p_fleet.add_argument(
+        "--live", action="store_true",
+        help="render a live per-policy dashboard (hit rate, stall p50/p99) "
+        "after each policy completes",
+    )
+    p_fleet.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write the windowed telemetry store as JSON lines to PATH "
+        "(replay it with 'repro tail PATH')",
+    )
+    p_fleet.add_argument(
+        "--telemetry-window", type=int, default=5_000_000, metavar="NS",
+        help="sim-time window width for --live/--telemetry (default: 5000000)",
+    )
+    _add_dashboard_args(p_fleet)
+    _add_slo_args(p_fleet)
+
+    p_tail = sub.add_parser(
+        "tail",
+        help="render a telemetry JSONL file (from fleet --telemetry) as the "
+        "dashboard; --follow repaints as the file grows",
+    )
+    p_tail.add_argument("path", help="telemetry JSONL file to read")
+    p_tail.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep watching the file and repaint on growth (Ctrl-C to stop)",
+    )
+    p_tail.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="poll interval in seconds with --follow (default: 1.0)",
+    )
+    _add_dashboard_args(p_tail)
+    _add_slo_args(p_tail)
+
+    p_check = sub.add_parser(
+        "bench-check",
+        help="benchmark-history regression gate: latest entry per lineage vs "
+        "its trailing median; non-zero exit on regression",
+    )
+    p_check.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="history JSONL (default: benchmarks/results/HISTORY.jsonl)",
+    )
+    p_check.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="regression threshold in percent (default: 10)",
+    )
+    p_check.add_argument(
+        "--trailing", type=int, default=5, metavar="N",
+        help="prior entries per lineage forming the baseline median (default: 5)",
+    )
+    p_check.add_argument(
+        "--bench", action="append", default=None, metavar="NAME",
+        help="restrict to one benchmark lineage (repeatable)",
+    )
+    p_check.add_argument(
+        "--backfill", action="store_true",
+        help="first append missing entries from committed BENCH_*.json files",
+    )
+    p_check.add_argument(
+        "--results-dir", default="benchmarks/results", metavar="DIR",
+        help="directory scanned by --backfill (default: benchmarks/results)",
+    )
+    p_check.add_argument(
+        "--check-after-backfill", action="store_true",
+        help="with --backfill, also run the gate afterwards",
+    )
+    p_check.add_argument("--json", action="store_true", help="emit verdicts as JSON")
     return parser
+
+
+def _add_dashboard_args(p) -> None:
+    p.add_argument(
+        "--live-windows", type=int, default=12, metavar="N",
+        help="windows shown per sparkline in the dashboard (default: 12)",
+    )
+    p.add_argument(
+        "--ascii", action="store_true",
+        help="ASCII-only sparklines (no unicode blocks)",
+    )
+
+
+def _add_slo_args(p) -> None:
+    p.add_argument(
+        "--slo-hit-floor", type=float, default=None, metavar="RATE",
+        help="SLO: per-window fleet hit-rate floor in [0,1] (breach exits 3)",
+    )
+    p.add_argument(
+        "--slo-p99-ceiling", type=float, default=None, metavar="NS",
+        help="SLO: per-window p99 stall-latency ceiling in ns (breach exits 3)",
+    )
+    p.add_argument(
+        "--slo-min-count", type=int, default=1, metavar="N",
+        help="skip windows with fewer demands than N (default: 1)",
+    )
 
 
 _COMMANDS = {
@@ -795,6 +1050,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "search": _cmd_search,
     "fleet": _cmd_fleet,
+    "tail": _cmd_tail,
+    "bench-check": _cmd_bench_check,
 }
 
 
@@ -815,6 +1072,7 @@ def _run_traced(args, out, raw_argv: list[str]) -> int:
         write_chrome_trace(
             trace_path, tracer.spans,
             metadata={"trace_id": tracer.trace_id, "command": args.command},
+            counters=registry,
         )
         manifest = build_manifest(
             argv=["repro", *raw_argv],

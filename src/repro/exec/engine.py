@@ -52,7 +52,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
-from time import monotonic, perf_counter
+from time import monotonic, perf_counter, time_ns
 from typing import Any, Optional, Sequence
 
 from repro.exec.events import SweepEvent
@@ -61,6 +61,7 @@ from repro.exec.worker import SweepJob, run_job
 from repro.flows.observe import FlowEvent, FlowObserver, LoggingObserver
 from repro.flows.pipeline import ArtifactCache
 from repro.obs import NOOP_TRACER, get_metrics, get_tracer
+from repro.obs.telemetry import get_telemetry
 
 __all__ = ["SweepJobResult", "SweepReport", "ParallelSweepEngine"]
 
@@ -343,6 +344,13 @@ class ParallelSweepEngine:
         sweep_started = perf_counter()
         pool = self._ensure_pool()
         pool.acquire(self.sweep_name)
+        hub = get_telemetry()
+        if hub is not None:
+            # borrow latency: how long this run waited for warm capacity
+            hub.store("wall").observe(
+                "exec.borrow_latency_ns", time_ns(),
+                (perf_counter() - sweep_started) * 1e9, pool=pool.name,
+            )
         try:
             results = self._run_pooled(pool, jobs, tracer)
         except BaseException:
@@ -362,6 +370,11 @@ class ParallelSweepEngine:
             self._emit("pool_reused", metrics={"warm_workers": warm})
         for handle in pool.ensure(min(self.n_workers, len(jobs))):
             self._emit("worker_spawned", worker=handle.worker_id)
+        # ambient telemetry (wall-clock windows): resolved once per run so
+        # the disabled cost inside the dispatch loop is one None check
+        hub = get_telemetry()
+        tstore = hub.store("wall") if hub is not None else None
+        pool_label = pool.name
 
         #: Jobs ready to dispatch, FIFO; retries re-enter via the backoff heap.
         pending: deque[tuple[SweepJob, int]] = deque((job, 1) for job in jobs)
@@ -487,11 +500,25 @@ class ParallelSweepEngine:
             outstanding = len(pending) + len(backoff)
             for handle in pool.ensure(min(self.n_workers, len(pool.alive) + outstanding)):
                 self._emit("worker_respawned", worker=handle.worker_id)
+                if tstore is not None:
+                    tstore.counter_add(
+                        "exec.respawns", time_ns(), 1, pool=pool_label
+                    )
 
         dispatch()
         while len(results) < len(jobs):
             ensure_workers()
             dispatch()
+            if tstore is not None:
+                # queue depth = everything not yet finished: pending deque,
+                # backoff heap, and jobs parked on worker queues
+                depth = (
+                    len(pending) + len(backoff)
+                    + sum(len(h.queue) for h in pool.alive)
+                )
+                tstore.gauge_set(
+                    "exec.queue_depth", time_ns(), depth, pool=pool_label
+                )
 
             # How long may we sleep?  Until the nearest job deadline or
             # backoff eligibility — forever (block on traffic) otherwise.
@@ -566,6 +593,15 @@ class ParallelSweepEngine:
                         job_id, ok=True, attempts=entry.attempt,
                         wall_time_s=wall, payload=payload,
                     )
+                    if tstore is not None:
+                        done_ns = time_ns()
+                        tstore.counter_add(
+                            "exec.jobs_done", done_ns, 1, pool=pool_label
+                        )
+                        tstore.observe(
+                            "exec.job_wall_ns", done_ns, wall * 1e9,
+                            pool=pool_label,
+                        )
                     self._emit(
                         "job_finished", job=job_id, worker=handle.worker_id,
                         attempt=entry.attempt, wall_time_s=wall,

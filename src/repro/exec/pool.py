@@ -35,9 +35,11 @@ import itertools
 import multiprocessing
 from collections import deque
 from pathlib import Path
+from time import time_ns
 from typing import Optional
 
 from repro.exec.worker import worker_main
+from repro.obs.telemetry import get_telemetry
 
 __all__ = ["WorkerPool", "PoolWorker"]
 
@@ -120,6 +122,7 @@ class WorkerPool:
         handle = PoolWorker(worker_id, process, parent_conn)
         self._workers[worker_id] = handle
         self.spawned_total += 1
+        self._record_size(spawned=1)
         return handle
 
     def ensure(self, n: int) -> list[PoolWorker]:
@@ -128,9 +131,21 @@ class WorkerPool:
         target = min(n, self.size)
         return [self.spawn() for _ in range(target - len(self._workers))]
 
+    def _record_size(self, spawned: int = 0) -> None:
+        """Ambient telemetry: spawn counter + warm-size gauge (None = free)."""
+        hub = get_telemetry()
+        if hub is None:
+            return
+        store = hub.store("wall")
+        now = time_ns()
+        if spawned:
+            store.counter_add("exec.pool.spawned", now, spawned, pool=self.name)
+        store.gauge_set("exec.pool.warm", now, len(self._workers), pool=self.name)
+
     def discard(self, handle: PoolWorker, kill: bool = True) -> None:
         """Remove one worker from the pool, terminating its process."""
         self._workers.pop(handle.worker_id, None)
+        self._record_size()
         if kill:
             handle.process.terminate()
         handle.process.join(_JOIN_GRACE_S)

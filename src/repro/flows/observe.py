@@ -102,6 +102,12 @@ class JsonLinesObserver:
     tail readers see events live.  Close explicitly via :meth:`close` or use
     the observer as a context manager; a stream target is never closed (the
     caller owns it).
+
+    A write or flush against a handle that was closed under us — typically
+    interpreter shutdown tearing streams down while a late stage event is
+    still in flight — degrades to one logged warning and marks the sink
+    dead; subsequent events are dropped silently.  Observability must never
+    abort (or noisily crash out of) the run it is observing.
     """
 
     def __init__(self, target: str | Path | IO[str]):
@@ -112,15 +118,33 @@ class JsonLinesObserver:
         else:
             self._path = None
             self._stream = target
+        self._dead = False
 
     def on_event(self, event: FlowEvent) -> None:
-        self._stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
-        self._stream.flush()
+        if self._dead:
+            return
+        try:
+            self._stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            self._stream.flush()
+        except (ValueError, OSError) as err:
+            # ValueError is "I/O operation on closed file"; OSError covers
+            # broken pipes and full disks.  Either way the sink is gone.
+            self._dead = True
+            try:
+                logger.warning(
+                    "JsonLinesObserver sink %s is gone (%s); dropping further events",
+                    self._path if self._path is not None else "<stream>", err,
+                )
+            except Exception:  # pragma: no cover - logging torn down too
+                pass
 
     def close(self) -> None:
         """Close the underlying file (only when this observer opened it)."""
         if self._path is not None and not self._stream.closed:
-            self._stream.close()
+            try:
+                self._stream.close()
+            except (ValueError, OSError):  # pragma: no cover - racing shutdown
+                self._dead = True
 
     def __enter__(self) -> "JsonLinesObserver":
         return self

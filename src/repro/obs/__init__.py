@@ -17,9 +17,25 @@ package gives them one tracing/metrics vocabulary:
   onto the same span model and feeds the pre-existing stat bags
   (``SchedulerStats``, ``ManagerStats``/``ReconfigStats``, ``CacheStats``)
   into the registry.
-- :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable),
-  the Fig. 4 per-region residency Gantt (text and SVG) and run manifests.
+- :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable,
+  including ``ph:"C"`` counter tracks from metrics snapshots and windowed
+  telemetry stores), the Fig. 4 per-region residency Gantt (text and SVG)
+  and run manifests.
 - :mod:`repro.obs.validate` — the trace-schema validator CI gates on.
+- :mod:`repro.obs.telemetry` — streaming dimensionally-labeled time-series
+  (:class:`TimeSeriesStore`: windowed counters/gauges/quantile sketches
+  keyed by label sets) and declarative SLO rules
+  (:class:`SloRule`/:class:`SloMonitor`) with typed breach events; the
+  ambient :class:`Telemetry` hub (:func:`get_telemetry`/:func:`use_telemetry`)
+  is what the engines write through.
+- :mod:`repro.obs.sketch` — the mergeable DDSketch-style
+  :class:`QuantileSketch` behind quantile series, plus the
+  :class:`ExactQuantiles` test reference.
+- :mod:`repro.obs.history` — benchmark headline history
+  (``benchmarks/results/HISTORY.jsonl``) and the :func:`bench_check`
+  regression gate the CLI exposes as ``repro bench-check``.
+- :mod:`repro.obs.dashboard` — the ``fleet --live`` terminal dashboard
+  renderers.
 """
 
 from repro.obs.tracer import (
@@ -55,6 +71,8 @@ from repro.obs.bridge import (
 from repro.obs.export import (
     build_manifest,
     chrome_trace,
+    counter_events_from_snapshot,
+    counter_events_from_store,
     manifest_path_for,
     region_timeline,
     render_region_gantt,
@@ -63,6 +81,32 @@ from repro.obs.export import (
     write_manifest,
 )
 from repro.obs.validate import validate_chrome_trace, validate_trace_file
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    ExactQuantiles,
+    QuantileSketch,
+)
+from repro.obs.telemetry import (
+    SloBreach,
+    SloMonitor,
+    SloRule,
+    Telemetry,
+    TimeSeriesStore,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+from repro.obs.history import (
+    DEFAULT_HISTORY_PATH,
+    CheckResult,
+    HistoryEntry,
+    append_from_result,
+    backfill,
+    bench_check,
+    extract_headline,
+    load_history,
+)
+from repro.obs.dashboard import render_dashboard, render_fleet_panel, sparkline
 
 __all__ = [
     "NOOP_TRACER",
@@ -99,4 +143,28 @@ __all__ = [
     "write_manifest",
     "validate_chrome_trace",
     "validate_trace_file",
+    "counter_events_from_snapshot",
+    "counter_events_from_store",
+    "DEFAULT_RELATIVE_ACCURACY",
+    "ExactQuantiles",
+    "QuantileSketch",
+    "SloBreach",
+    "SloMonitor",
+    "SloRule",
+    "Telemetry",
+    "TimeSeriesStore",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "DEFAULT_HISTORY_PATH",
+    "CheckResult",
+    "HistoryEntry",
+    "append_from_result",
+    "backfill",
+    "bench_check",
+    "extract_headline",
+    "load_history",
+    "render_dashboard",
+    "render_fleet_panel",
+    "sparkline",
 ]

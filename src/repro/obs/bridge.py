@@ -23,6 +23,7 @@ from repro.obs.tracer import Span, SpanContext, new_trace_id
 
 __all__ = [
     "spans_from_sim_trace",
+    "record_trace_telemetry",
     "record_scheduler_stats",
     "record_manager_stats",
     "record_fleet_stats",
@@ -86,6 +87,38 @@ def spans_from_sim_trace(
             )
         )
     return out
+
+
+def record_trace_telemetry(store, trace, **labels) -> int:
+    """Windowed telemetry from a (closed) sim-kernel trace.
+
+    This is the DES kernel's road into the time-series layer: the kernel
+    already records everything as :class:`repro.sim.Trace` spans, so
+    instead of hooking the manager's hot path we fold the trace's load and
+    residency intervals into a sim-clock
+    :class:`~repro.obs.telemetry.TimeSeriesStore` after the run:
+
+    - ``fleet.loads`` — counter per window of load *starts*, labeled by
+      span kind (``load`` = demand, ``prefetch`` = speculative);
+    - ``fleet.reconfig_ns`` — quantile sketch of load durations (the p99
+      reconfiguration-latency SLO input), window of the start time;
+    - ``fleet.port_busy_ns`` — configuration-port occupancy attributed to
+      the window the transfer started in.
+
+    Extra ``labels`` (typically ``policy=...``) apply to every series.
+    Returns the number of spans folded in.  Close the trace first
+    (``trace.close_open``) — open spans have no duration yet.
+    """
+    folded = 0
+    for span in trace.spans:
+        if span.kind not in ("load", "prefetch"):
+            continue
+        duration = span.duration
+        store.counter_add("fleet.loads", span.start, 1, kind=span.kind, **labels)
+        store.observe("fleet.reconfig_ns", span.start, duration, **labels)
+        store.counter_add("fleet.port_busy_ns", span.start, duration, **labels)
+        folded += 1
+    return folded
 
 
 def record_scheduler_stats(registry: MetricsRegistry, stats, prefix: str = "scheduler") -> None:

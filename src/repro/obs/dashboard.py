@@ -1,0 +1,232 @@
+"""`repro top`-style text dashboard over a telemetry store.
+
+Renders a :class:`~repro.obs.telemetry.TimeSeriesStore` (or a whole
+:class:`~repro.obs.telemetry.Telemetry` hub) as plain text: a fleet panel
+with per-policy hit rate and stall percentiles, a generic series table
+with per-window sparklines, and the SLO breach log.  Output is a plain
+``str`` — the CLI decides whether to clear the screen between frames
+(``fleet --live`` on a tty) or just print once (``repro tail`` piping to a
+file), so rendering works identically on a non-tty.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.obs.sketch import QuantileSketch
+from repro.obs.telemetry import SloBreach, Telemetry, TimeSeriesStore
+
+__all__ = [
+    "sparkline",
+    "render_dashboard",
+    "render_hub",
+    "render_fleet_panel",
+]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[Optional[float]], ascii_only: bool = False) -> str:
+    """Min-max scaled one-row chart; None cells (empty windows) render as
+    spaces so time gaps stay visible instead of collapsing."""
+    ramp = ".:-=+*#%" if ascii_only else _BLOCKS
+    present = [v for v in values if v is not None]
+    if not present:
+        return " " * len(values)
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None:
+            out.append(" ")
+        elif span == 0:
+            out.append(ramp[0])
+        else:
+            out.append(ramp[min(len(ramp) - 1, int((v - lo) / span * len(ramp)))])
+    return "".join(out)
+
+
+def _fmt_num(value: float) -> str:
+    """Compact engineering format: 1234567 -> '1.23M'."""
+    if value != value:  # NaN
+        return "nan"
+    neg = value < 0
+    v = abs(float(value))
+    for cut, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if v >= cut:
+            return f"{'-' if neg else ''}{v / cut:.2f}{suffix}"
+    if v == int(v):
+        return f"{'-' if neg else ''}{int(v)}"
+    return f"{'-' if neg else ''}{v:.3g}"
+
+
+def _fmt_ns(value: float) -> str:
+    v = float(value)
+    for cut, suffix in ((1e9, "s"), (1e6, "ms"), (1e3, "us")):
+        if abs(v) >= cut:
+            return f"{v / cut:.2f}{suffix}"
+    return f"{v:.0f}ns"
+
+
+def _fmt_value(name: str, value: float) -> str:
+    return _fmt_ns(value) if name.endswith("_ns") else _fmt_num(value)
+
+
+def _fmt_labels(label_set) -> str:
+    return ",".join(f"{k}={v}" for k, v in label_set) or "-"
+
+
+def _axis_desc(store: TimeSeriesStore) -> str:
+    if store.clock in ("sim", "wall"):
+        return f"{store.clock} clock, window {_fmt_ns(store.window)}"
+    return f"{store.clock} axis, window {store.window}"
+
+
+def _tail_windows(store: TimeSeriesStore, last: int) -> list[int]:
+    """The dashboard's time axis: the last ``last`` windows holding data,
+    padded to a contiguous range so sparklines show gaps."""
+    indices = store.window_indices()
+    if not indices:
+        return []
+    hi = indices[-1]
+    lo = max(indices[0], hi - last + 1)
+    return list(range(lo, hi + 1))
+
+
+def render_fleet_panel(
+    store: TimeSeriesStore, last: int = 12, ascii_only: bool = False
+) -> str:
+    """Per-policy hit-rate and stall-percentile table.
+
+    Reads the fleet wiring's conventional series (``fleet.demands``,
+    ``fleet.hits`` counters and the ``fleet.stall_ns`` sketch, labeled by
+    policy): per-window hit rates feed the sparkline, while totals and the
+    percentile columns aggregate across the shown windows (counter sums
+    and sketch merges — both exact).
+    """
+    label_sets = store.label_sets("fleet.demands")
+    if not label_sets:
+        return ""
+    axis = _tail_windows(store, last)
+    lines = [
+        f"fleet  ({_axis_desc(store)}, last {len(axis)} windows)",
+        f"  {'labels':<24} {'demands':>8} {'hit%':>6} {'p50 stall':>10} "
+        f"{'p99 stall':>10}  hit%/window",
+    ]
+    for label_set in label_sets:
+        labels = dict(label_set)
+        demands = dict(store.series("fleet.demands", **labels))
+        hits = dict(store.series("fleet.hits", **labels))
+        rates: list[Optional[float]] = []
+        for w in axis:
+            d = demands.get(w)
+            rates.append(hits.get(w, 0) / d if d else None)
+        total_d = sum(demands.get(w, 0) for w in axis)
+        total_h = sum(hits.get(w, 0) for w in axis)
+        merged = QuantileSketch(store.sketch_accuracy)
+        for w in axis:
+            sketch = store.value("fleet.stall_ns", w, **labels)
+            if isinstance(sketch, QuantileSketch):
+                merged.merge(sketch)
+        hit_pct = f"{100.0 * total_h / total_d:.1f}" if total_d else "-"
+        p50 = _fmt_ns(merged.quantile(0.5)) if merged.count else "-"
+        p99 = _fmt_ns(merged.quantile(0.99)) if merged.count else "-"
+        lines.append(
+            f"  {_fmt_labels(label_set):<24} {_fmt_num(total_d):>8} {hit_pct:>6} "
+            f"{p50:>10} {p99:>10}  {sparkline(rates, ascii_only)}"
+        )
+    return "\n".join(lines)
+
+
+def _series_rows(
+    store: TimeSeriesStore, axis: list[int], ascii_only: bool
+) -> list[str]:
+    rows = []
+    for name in store.series_names():
+        if name in ("fleet.demands", "fleet.hits", "fleet.stall_ns") and (
+            store.label_sets("fleet.demands")
+        ):
+            continue  # already on the fleet panel
+        kind = store.kind(name)
+        for label_set in store.label_sets(name):
+            labels = dict(label_set)
+            per_window = dict(store.series(name, **labels))
+            if kind == "quantile":
+                track = [
+                    s.quantile(0.99) if s is not None else None
+                    for s in (per_window.get(w) for w in axis)
+                ]
+                latest = next(
+                    (per_window[w] for w in reversed(axis) if w in per_window), None
+                )
+                value = (
+                    f"p50 {_fmt_value(name, latest.quantile(0.5))} "
+                    f"p99 {_fmt_value(name, latest.quantile(0.99))} "
+                    f"n={_fmt_num(latest.count)}"
+                    if latest is not None else "-"
+                )
+            else:
+                track = [per_window.get(w) for w in axis]
+                latest_v = next(
+                    (per_window[w] for w in reversed(axis) if w in per_window), None
+                )
+                value = _fmt_value(name, latest_v) if latest_v is not None else "-"
+            rows.append(
+                f"  {kind[0]} {name:<26} {_fmt_labels(label_set):<24} "
+                f"{value:<34} {sparkline(track, ascii_only)}"
+            )
+    return rows
+
+
+def render_dashboard(
+    store: TimeSeriesStore,
+    last: int = 12,
+    breaches: Iterable[SloBreach] = (),
+    title: str = "telemetry",
+    ascii_only: bool = False,
+) -> str:
+    """One full text frame for a store (header, fleet panel, series, SLOs)."""
+    axis = _tail_windows(store, last)
+    header = (
+        f"== {title} == {_axis_desc(store)} | series {len(store)} | "
+        f"windows {len(store.window_indices())}"
+        + (f" | evicted {store.evicted_windows}" if store.evicted_windows else "")
+    )
+    parts = [header]
+    if not axis:
+        parts.append("  (no data)")
+        return "\n".join(parts)
+    fleet = render_fleet_panel(store, last, ascii_only)
+    if fleet:
+        parts.append(fleet)
+    rows = _series_rows(store, axis, ascii_only)
+    if rows:
+        parts.append("series (latest window; sparkline = last windows)")
+        parts.extend(rows)
+    breaches = list(breaches)
+    if breaches:
+        parts.append(f"SLO breaches ({len(breaches)})")
+        parts.extend(f"  ! {b.describe()}" for b in breaches[-10:])
+    return "\n".join(parts)
+
+
+def render_hub(
+    hub: Telemetry,
+    last: int = 12,
+    breaches: Mapping[str, Iterable[SloBreach]] = None,
+    ascii_only: bool = False,
+) -> str:
+    """Render every domain store in a hub, one panel per domain."""
+    breaches = breaches or {}
+    parts = []
+    for domain in hub.domains():
+        parts.append(
+            render_dashboard(
+                hub.store(domain),
+                last=last,
+                breaches=breaches.get(domain, ()),
+                title=domain,
+                ascii_only=ascii_only,
+            )
+        )
+    return "\n\n".join(parts) if parts else "== telemetry == (no domains)"

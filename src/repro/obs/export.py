@@ -10,6 +10,13 @@ Three consumers of one span list:
   (:mod:`repro.obs.validate`) can check it.  Wall-clock spans and
   virtual-time (``clock="sim"``) spans are kept on separate process lanes:
   their clocks are unrelated, and Perfetto renders named lanes side by side.
+  Numeric instruments ride along as ``"C"`` counter-track events:
+  :func:`counter_events_from_snapshot` stamps a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot (counters and gauges)
+  at one instant, and :func:`counter_events_from_store` unrolls a windowed
+  :class:`~repro.obs.telemetry.TimeSeriesStore` into one counter sample per
+  window so hit rates and p99 latencies render as graphs under the span
+  lanes.  ``chrome_trace(..., counters=..., telemetry=...)`` folds both in.
 - :func:`render_region_gantt` / :func:`render_region_gantt_svg` — the
   paper's Fig. 4 view: module residency per dynamic region over virtual
   time, with reconfiguration/prefetch intervals overlaid.
@@ -32,6 +39,8 @@ from repro.obs.tracer import Span
 __all__ = [
     "chrome_trace",
     "write_chrome_trace",
+    "counter_events_from_snapshot",
+    "counter_events_from_store",
     "region_timeline",
     "render_region_gantt",
     "render_region_gantt_svg",
@@ -62,11 +71,124 @@ def _process_label(span: Span) -> str:
     return span.process if span.clock == "wall" else f"{span.process} [sim time]"
 
 
-def chrome_trace(spans: Sequence[Span], metadata: Optional[Mapping[str, Any]] = None) -> dict:
-    """The spans as a Chrome trace-event JSON object (Perfetto-loadable)."""
+def _metrics_snapshot(registry_or_snapshot: Any) -> Mapping[str, Mapping]:
+    if hasattr(registry_or_snapshot, "snapshot"):
+        return registry_or_snapshot.snapshot()
+    return dict(registry_or_snapshot)
+
+
+def counter_events_from_snapshot(
+    registry_or_snapshot: Any, ts_us: float = 0.0, pid: int = 0
+) -> list[dict]:
+    """One ``"C"`` counter event per counter/gauge instrument, at one instant.
+
+    A registry snapshot is a point-in-time total, so each instrument gets a
+    single sample stamped at ``ts_us`` (callers usually pass the trace's end
+    time).  Histograms are skipped — a bucket vector is not a counter track.
+    """
+    snapshot = _metrics_snapshot(registry_or_snapshot)
+    events: list[dict] = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        if payload.get("type") not in ("counter", "gauge"):
+            continue
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": ts_us,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": payload.get("value", 0)},
+            }
+        )
+    return events
+
+
+def counter_events_from_store(
+    store: Any, pid: int = 0, quantiles: Sequence[float] = (0.5, 0.99)
+) -> list[dict]:
+    """Windowed telemetry series as ``"C"`` counter tracks, one sample per window.
+
+    Counter and gauge series emit their per-window value at the window start
+    (sim-time nanoseconds → microseconds, matching the sim span lane).
+    Quantile series fan out into ``<name>/count`` plus one ``<name>/p<q>``
+    track per requested quantile, so the p99 reconfiguration-latency SLO
+    input is visible as a graph.  Label sets become distinct tracks via a
+    ``{k=v,...}`` suffix.
+    """
+    events: list[dict] = []
+    for name in store.series_names():
+        kind = store.kind(name)
+        for label_set in store.label_sets(name):
+            labels = dict(label_set)
+            suffix = "{" + ",".join(f"{k}={v}" for k, v in label_set) + "}" if label_set else ""
+            for window, value in store.series(name, **labels):
+                ts_us = store.window_bounds(window)[0] / 1e3
+                if kind in ("counter", "gauge"):
+                    events.append(
+                        {
+                            "name": f"{name}{suffix}",
+                            "ph": "C",
+                            "ts": ts_us,
+                            "pid": pid,
+                            "tid": 0,
+                            "args": {"value": value},
+                        }
+                    )
+                else:  # quantile sketch
+                    events.append(
+                        {
+                            "name": f"{name}/count{suffix}",
+                            "ph": "C",
+                            "ts": ts_us,
+                            "pid": pid,
+                            "tid": 0,
+                            "args": {"value": value.count},
+                        }
+                    )
+                    for q in quantiles:
+                        label = f"p{q * 100:g}"
+                        events.append(
+                            {
+                                "name": f"{name}/{label}{suffix}",
+                                "ph": "C",
+                                "ts": ts_us,
+                                "pid": pid,
+                                "tid": 0,
+                                "args": {"value": value.quantile(q)},
+                            }
+                        )
+    events.sort(key=lambda e: (e["name"], e["ts"]))
+    return events
+
+
+def chrome_trace(
+    spans: Sequence[Span],
+    metadata: Optional[Mapping[str, Any]] = None,
+    counters: Optional[Any] = None,
+    telemetry: Optional[Any] = None,
+) -> dict:
+    """The spans as a Chrome trace-event JSON object (Perfetto-loadable).
+
+    ``counters`` (a :class:`~repro.obs.metrics.MetricsRegistry` or its
+    snapshot) adds a ``metrics`` process lane of point-in-time counter
+    tracks stamped at the last wall-span end; ``telemetry`` (a sim-clock
+    :class:`~repro.obs.telemetry.TimeSeriesStore`) adds a windowed
+    ``telemetry [sim time]`` counter lane next to the sim span lanes.
+    """
     pids, tids = _lane_maps(spans)
     wall_starts = [s.start_ns for s in spans if s.clock == "wall"]
     wall_origin = min(wall_starts) if wall_starts else 0
+    counter_lanes: list[tuple[str, Any]] = []
+    if counters is not None:
+        counter_lanes.append(("metrics", counters))
+    if telemetry is not None:
+        counter_lanes.append(("telemetry [sim time]", telemetry))
+    next_pid = len(pids)
+    for label, _source in counter_lanes:
+        next_pid += 1
+        pids[label] = next_pid
     events: list[dict] = []
     for label, pid in pids.items():
         events.append(
@@ -103,6 +225,12 @@ def chrome_trace(spans: Sequence[Span], metadata: Optional[Mapping[str, Any]] = 
                 "args": args,
             }
         )
+    if counters is not None:
+        wall_ends = [s.end_ns for s in spans if s.clock == "wall"]
+        ts_us = (max(wall_ends) - wall_origin) / 1e3 if wall_ends else 0.0
+        events.extend(counter_events_from_snapshot(counters, ts_us=ts_us, pid=pids["metrics"]))
+    if telemetry is not None:
+        events.extend(counter_events_from_store(telemetry, pid=pids["telemetry [sim time]"]))
     payload: dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
     if metadata:
         payload["metadata"] = dict(metadata)
@@ -110,11 +238,16 @@ def chrome_trace(spans: Sequence[Span], metadata: Optional[Mapping[str, Any]] = 
 
 
 def write_chrome_trace(
-    path: "str | Path", spans: Sequence[Span], metadata: Optional[Mapping[str, Any]] = None
+    path: "str | Path",
+    spans: Sequence[Span],
+    metadata: Optional[Mapping[str, Any]] = None,
+    counters: Optional[Any] = None,
+    telemetry: Optional[Any] = None,
 ) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(spans, metadata), sort_keys=True), encoding="utf-8")
+    payload = chrome_trace(spans, metadata, counters=counters, telemetry=telemetry)
+    path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
     return path
 
 

@@ -8,6 +8,9 @@ trace export must satisfy before anyone debugs from it:
 - every event carries a ``ph`` phase; ``X`` (complete) events carry
   numeric, non-negative ``ts``/``dur``; ``B``/``E`` duration events pair up
   per ``(pid, tid)`` lane with nothing left open;
+- ``C`` (counter) events carry a numeric, non-negative ``ts`` and an
+  ``args`` object whose every value is a finite number — a counter track
+  with a string sample renders as a silent gap in Perfetto;
 - span identity is coherent: every ``parent_id`` referenced by a span
   resolves to a ``span_id`` present in the file (a worker span whose parent
   was lost in transit fails here), and all spans belong to **one** trace.
@@ -72,6 +75,30 @@ def validate_chrome_trace(payload: Any) -> list[str]:
                 errors.append(f"event #{index}: 'E' with no matching 'B' on lane {lane}")
             else:
                 stack.pop()
+        elif phase == "C":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+                errors.append(f"event #{index} ({event.get('name')!r}): non-numeric 'ts'")
+            elif ts < 0:
+                errors.append(f"event #{index} ({event.get('name')!r}): negative 'ts'")
+            counter_args = event.get("args")
+            if not isinstance(counter_args, dict) or not counter_args:
+                errors.append(
+                    f"event #{index} ({event.get('name')!r}): counter event needs a "
+                    "non-empty 'args' object"
+                )
+            else:
+                for key, value in counter_args.items():
+                    if (
+                        isinstance(value, bool)
+                        or not isinstance(value, (int, float))
+                        or value != value  # NaN
+                        or value in (float("inf"), float("-inf"))
+                    ):
+                        errors.append(
+                            f"event #{index} ({event.get('name')!r}): counter sample "
+                            f"{key!r} is not a finite number"
+                        )
         args = event.get("args")
         if phase == "X" and isinstance(args, dict) and "span_id" in args:
             span_id = args.get("span_id")

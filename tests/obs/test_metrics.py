@@ -109,3 +109,57 @@ def test_ambient_registry_scoping():
     previous = set_metrics(None)  # None installs a fresh registry
     assert get_metrics() is not previous
     set_metrics(default)
+
+
+def test_merge_snapshot_into_empty_registry_adopts_everything():
+    worker = MetricsRegistry()
+    worker.counter("jobs").inc(4)
+    worker.gauge("depth").set(2)
+    worker.histogram("t", boundaries=(1.0, 2.0)).observe(1.5)
+    empty = MetricsRegistry()
+    empty.merge_snapshot(worker.snapshot())
+    assert empty.snapshot() == worker.snapshot()
+    # and an empty snapshot folded in changes nothing
+    empty.merge_snapshot(MetricsRegistry().snapshot())
+    assert empty.snapshot() == worker.snapshot()
+
+
+def test_merge_snapshot_is_associative_across_workers():
+    def worker(jobs, depth, sample):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(jobs)
+        registry.gauge("depth").set(depth)
+        registry.histogram("t", boundaries=(1.0, 2.0)).observe(sample)
+        return registry.snapshot()
+
+    a, b, c = worker(1, 5, 0.5), worker(2, 6, 1.5), worker(3, 7, 9.0)
+
+    left = MetricsRegistry()   # (a + b) + c
+    left.merge_snapshot(a)
+    left.merge_snapshot(b)
+    left.merge_snapshot(c)
+
+    inner = MetricsRegistry()  # a + (b + c)
+    inner.merge_snapshot(b)
+    inner.merge_snapshot(c)
+    right = MetricsRegistry()
+    right.merge_snapshot(a)
+    right.merge_snapshot(inner.snapshot())
+
+    # counters and histograms agree exactly; the gauge takes the last
+    # value in merge order, which both orders share (c's)
+    assert left.snapshot() == right.snapshot()
+
+
+def test_merge_snapshot_disjoint_histogram_names_coexist():
+    main = MetricsRegistry()
+    main.histogram("coarse", boundaries=(10.0,)).observe(3.0)
+    other = MetricsRegistry()
+    other.histogram("fine", boundaries=(0.1, 1.0)).observe(0.5)
+    main.merge_snapshot(other.snapshot())
+    snapshot = main.snapshot()
+    # same registry, different names: each keeps its own boundaries
+    assert snapshot["coarse"]["boundaries"] == [10.0]
+    assert snapshot["fine"]["boundaries"] == [0.1, 1.0]
+    assert snapshot["coarse"]["counts"] == [1, 0]
+    assert snapshot["fine"]["counts"] == [0, 1, 0]

@@ -150,3 +150,23 @@ def test_fleet_job_ids_cover_every_config_field():
     ]
     ids = {FleetJob(config=c).job_id for c in [base, *variants]}
     assert len(ids) == len(variants) + 1
+
+
+def test_telemetry_never_perturbs_the_digest():
+    """Hard invariant from the telemetry wiring: the recorder only reads
+    simulation arrays, so a telemetry-enabled run is byte-identical to a
+    bare one — for every fast-engine policy core, and with totals that
+    reconcile against the report."""
+    from repro.obs.telemetry import TimeSeriesStore
+
+    for policy in ("none", "fixed", "history", "lru", "on_select"):
+        config = dataclasses.replace(SMALL, policy=policy, engine="fast")
+        bare = run_fleet(config)
+        store = TimeSeriesStore(window=5_000_000, clock="sim")
+        with_tel = run_fleet(config, telemetry=store)
+        assert with_tel.digest() == bare.digest(), policy
+        assert store.total("fleet.demands", policy=policy) == (
+            config.n_boards * config.requests_per_board
+        )
+        hits = sum(b["instant_hits"] + b["resident_hits"] for b in bare.boards)
+        assert store.total("fleet.hits", policy=policy) == hits

@@ -453,3 +453,103 @@ def test_search_traced_writes_trace_and_manifest(tmp_path):
     assert "search:anneal" in names
     manifest = json.loads((tmp_path / "search.manifest.json").read_text())
     assert manifest["metrics"]["search.evaluations"]["value"] >= 15
+
+
+# -- fleet telemetry / dashboard / tail / bench-check ------------------------
+
+
+def test_fleet_live_renders_policy_rows_and_sparklines():
+    code, text = run_cli(
+        "fleet", "--live", "--ascii", "--boards", "6", "--requests", "40",
+        "--policy", "lru,none", "--engine", "fast",
+    )
+    assert code == 0
+    assert "fleet 2/2 policies" in text
+    assert "hit%" in text and "p99 stall" in text  # per-policy hit rate / p99
+    assert "policy=lru" in text and "policy=none" in text
+    assert "fleet.port_util" in text  # non-panel series get their own rows
+
+
+def test_fleet_slo_breach_sets_exit_code_three():
+    code, text = run_cli(
+        "fleet", "--boards", "4", "--requests", "30", "--policy", "none",
+        "--engine", "fast", "--slo-hit-floor", "1.01",  # unsatisfiable
+    )
+    assert code == 3
+    assert "SLO BREACH" in text
+    assert "hit-rate-floor" in text
+
+
+def test_fleet_slo_pass_keeps_exit_code_zero():
+    code, text = run_cli(
+        "fleet", "--boards", "4", "--requests", "30", "--policy", "lru",
+        "--engine", "fast", "--slo-hit-floor", "0.0",
+    )
+    assert code == 0
+    assert "no breaches" in text
+
+
+def test_fleet_telemetry_jsonl_roundtrips_through_tail(tmp_path):
+    stream = tmp_path / "fleet.jsonl"
+    code, text = run_cli(
+        "fleet", "--boards", "5", "--requests", "40", "--policy", "lru",
+        "--engine", "fast", "--telemetry", str(stream),
+    )
+    assert code == 0
+    assert f"wrote telemetry {stream}" in text
+    code, text = run_cli("tail", str(stream), "--ascii")
+    assert code == 0
+    assert "policy=lru" in text and "p99 stall" in text
+
+
+def test_tail_missing_and_malformed_files_exit_two(tmp_path):
+    code, text = run_cli("tail", str(tmp_path / "nope.jsonl"))
+    assert code == 2
+    assert "cannot read" in text
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"schema": 999, "meta": true, "window": 1}\n', encoding="utf-8")
+    code, text = run_cli("tail", str(bad))
+    assert code == 2
+    assert "error" in text
+
+
+def test_bench_check_gate_passes_and_fails_on_injected_regression(tmp_path):
+    import json as _json
+
+    history = tmp_path / "HISTORY.jsonl"
+    row = {
+        "schema": 1, "bench": "fleet_throughput", "metric": "fast.requests_per_sec",
+        "higher_is_better": True, "unit": "req/s", "smoke": False,
+        "recorded_at": "2026-08-09T00:00:00+00:00", "host": {}, "detail": {},
+    }
+    with history.open("w", encoding="utf-8") as f:
+        for value in (100.0, 101.0, 99.0, 100.0):
+            f.write(_json.dumps({**row, "value": value}) + "\n")
+    code, text = run_cli("bench-check", "--history", str(history))
+    assert code == 0
+    assert "-> ok" in text
+
+    with history.open("a", encoding="utf-8") as f:
+        f.write(_json.dumps({**row, "value": 80.0}) + "\n")  # injected -20%
+    code, text = run_cli("bench-check", "--history", str(history))
+    assert code == 1
+    assert "regression" in text
+
+
+def test_bench_check_backfill_seeds_from_results_dir(tmp_path):
+    import json as _json
+
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "BENCH_fleet_throughput.json").write_text(
+        _json.dumps({"headline": {"fast": {"requests_per_sec": 50.0}}}),
+        encoding="utf-8",
+    )
+    history = tmp_path / "HISTORY.jsonl"
+    code, text = run_cli(
+        "bench-check", "--backfill", "--results-dir", str(results),
+        "--history", str(history), "--check-after-backfill",
+    )
+    assert code == 0
+    assert "backfilled 1 entries" in text
+    assert "no prior entries" in text  # single entry: insufficient history

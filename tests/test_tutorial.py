@@ -100,3 +100,33 @@ def test_tutorial_deadline_violation_raises():
     )
     with pytest.raises(TimingConstraintError):
         flow.run()
+
+
+def test_tutorial_telemetry_slos_and_bench_gate(tmp_path):
+    """Section 11: telemetry windows, SLO breaches, the history gate."""
+    from repro.obs import SloMonitor, SloRule, TimeSeriesStore, bench_check
+    from repro.obs.history import HistoryEntry, append_entry
+    from repro.runtime import FleetConfig, run_fleet
+
+    config = FleetConfig(n_boards=8, requests_per_board=40, policy="lru", seed=2)
+    store = TimeSeriesStore(window=5_000_000, clock="sim")
+    report = run_fleet(config, engine="fast", telemetry=store)
+    assert store.total("fleet.demands", policy="lru") == report.total_requests
+    # digest parity: telemetry on or off, same fingerprint
+    assert run_fleet(config, engine="fast").digest() == report.digest()
+
+    monitor = SloMonitor(store, [
+        SloRule(name="hit-rate-floor", series="fleet.hits", kind="floor",
+                threshold=1.01, denominator="fleet.demands"),
+    ])
+    assert monitor.evaluate()  # an unsatisfiable floor must breach
+
+    history = tmp_path / "HISTORY.jsonl"
+    for value in (100.0, 101.0, 99.0, 80.0):  # last run regressed 20%
+        append_entry(history, HistoryEntry(
+            bench="fleet_throughput", metric="fast.requests_per_sec",
+            value=value, higher_is_better=True, unit="req/s", smoke=False,
+            recorded_at="2026-08-09T00:00:00+00:00",
+        ))
+    (verdict,) = bench_check(history, threshold_pct=10.0)
+    assert verdict.status == "regression"
